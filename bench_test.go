@@ -1,0 +1,353 @@
+// Package repro's benchmarks regenerate every figure and evaluation number
+// of the paper and report them as benchmark metrics, plus ablation and
+// micro-benchmarks of the core algorithms.
+//
+//	go test -bench=. -benchmem
+//
+// Experiment index (see DESIGN.md):
+//
+//	BenchmarkFigure1*            -> Figure 1 (battery vs interface/interval)
+//	BenchmarkFigure2*            -> Figure 2 (application characterization)
+//	BenchmarkStudyPlaceDiscovery -> Section 4 place-discovery numbers
+//	BenchmarkStudyPlaceADs       -> Section 4 like:dislike ratio
+//	BenchmarkAblation*           -> design-choice ablations
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/geo"
+	"repro/internal/gpsplace"
+	"repro/internal/gsm"
+	"repro/internal/mobility"
+	"repro/internal/route"
+	"repro/internal/simclock"
+	"repro/internal/study"
+	"repro/internal/trace"
+	"repro/internal/wifi"
+	"repro/internal/world"
+)
+
+// --- Figure 1: power consumption of location interfaces -------------------
+
+func BenchmarkFigure1BatteryLife(b *testing.B) {
+	m := energy.DefaultModel()
+	for _, iface := range energy.Figure1Interfaces() {
+		for _, interval := range energy.Figure1Intervals() {
+			name := fmt.Sprintf("%s/%s", iface, interval)
+			b.Run(name, func(b *testing.B) {
+				var hours float64
+				for i := 0; i < b.N; i++ {
+					hours = m.BatteryLifeHours(iface, interval)
+				}
+				b.ReportMetric(hours, "battery-hours")
+				b.ReportMetric(m.AveragePowerW(iface, interval)*1000, "mW")
+			})
+		}
+	}
+}
+
+func BenchmarkFigure1HeadlineRatio(b *testing.B) {
+	m := energy.DefaultModel()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ratio = energy.GSMToGPSRatioAtMinute(m)
+	}
+	// Paper: "battery duration is almost 11x".
+	b.ReportMetric(ratio, "gsm-over-gps-x")
+}
+
+// --- Figure 2: characterization of place-aware applications ---------------
+
+func BenchmarkFigure2Characterization(b *testing.B) {
+	m := energy.DefaultModel()
+	cfg := core.DefaultConfig("bench")
+	for _, row := range core.Figure2(m, cfg) {
+		b.Run(row.Class.Name, func(b *testing.B) {
+			var hours float64
+			for i := 0; i < b.N; i++ {
+				loads := core.SensingPlan(row.Class.Granularity, row.Class.Routes, cfg)
+				hours = core.PlanBatteryHours(m, loads)
+			}
+			b.ReportMetric(hours, "battery-hours")
+		})
+	}
+}
+
+// --- Section 4: deployment study -------------------------------------------
+
+// studyResult caches one small-study run for the study benchmarks; the
+// heavyweight full-size run is exercised by cmd/pmware-sim.
+var (
+	studyOnce sync.Once
+	studyRes  *study.Result
+	studyErr  error
+)
+
+func benchStudy(b *testing.B) *study.Result {
+	b.Helper()
+	studyOnce.Do(func() {
+		cfg := study.DefaultConfig()
+		cfg.Participants = 8
+		cfg.Days = 7
+		studyRes, studyErr = study.Run(cfg)
+	})
+	if studyErr != nil {
+		b.Fatal(studyErr)
+	}
+	return studyRes
+}
+
+func BenchmarkStudyPlaceDiscovery(b *testing.B) {
+	var res *study.Result
+	for i := 0; i < b.N; i++ {
+		res = benchStudy(b)
+	}
+	c, m, d := res.Fused.Rates()
+	// Paper: 79.03 / 14.52 / 6.45 over 62 evaluable places.
+	b.ReportMetric(c*100, "correct-%")
+	b.ReportMetric(m*100, "merged-%")
+	b.ReportMetric(d*100, "divided-%")
+	b.ReportMetric(float64(res.TotalDiscovered), "places")
+	b.ReportMetric(float64(res.TotalTagged), "tagged")
+}
+
+func BenchmarkStudyPlaceADs(b *testing.B) {
+	var res *study.Result
+	for i := 0; i < b.N; i++ {
+		res = benchStudy(b)
+	}
+	l, d := res.LikeRatio()
+	// Paper: 17:3.
+	b.ReportMetric(l, "likes-of-20")
+	b.ReportMetric(d, "dislikes-of-20")
+}
+
+// --- Ablations --------------------------------------------------------------
+
+func BenchmarkAblationTriggeredSensing(b *testing.B) {
+	m := energy.DefaultModel()
+	cfg := core.DefaultConfig("bench")
+	plans := map[string][]energy.Load{
+		"triggered":      core.SensingPlan(core.GranularityBuilding, core.RouteNone, cfg),
+		"always-wifi-1m": {{Interface: energy.GSM, Interval: cfg.GSMInterval}, {Interface: energy.WiFi, Interval: time.Minute}},
+		"always-gps-1m":  {{Interface: energy.GSM, Interval: cfg.GSMInterval}, {Interface: energy.GPS, Interval: time.Minute}},
+	}
+	for name, loads := range plans {
+		loads := loads
+		b.Run(name, func(b *testing.B) {
+			var hours float64
+			for i := 0; i < b.N; i++ {
+				hours = core.PlanBatteryHours(m, loads)
+			}
+			b.ReportMetric(hours, "battery-hours")
+		})
+	}
+}
+
+func BenchmarkAblationSharedSensing(b *testing.B) {
+	m := energy.DefaultModel()
+	cfg := core.DefaultConfig("bench")
+	for _, n := range []int{1, 2, 4, 8} {
+		n := n
+		b.Run(fmt.Sprintf("isolated-apps-%d", n), func(b *testing.B) {
+			var hours float64
+			for i := 0; i < b.N; i++ {
+				hours = core.PlanBatteryHours(m, core.IsolatedAppsPlan(n, core.GranularityBuilding, core.RouteNone, cfg))
+			}
+			b.ReportMetric(hours, "battery-hours")
+		})
+	}
+	b.Run("shared-pms", func(b *testing.B) {
+		var hours float64
+		for i := 0; i < b.N; i++ {
+			hours = core.PlanBatteryHours(m, core.SensingPlan(core.GranularityBuilding, core.RouteNone, cfg))
+		}
+		b.ReportMetric(hours, "battery-hours")
+	})
+}
+
+func BenchmarkAblationInterfaceMergeRate(b *testing.B) {
+	var res *study.Result
+	for i := 0; i < b.N; i++ {
+		res = benchStudy(b)
+	}
+	_, mGSM, _ := res.GSMOnly.Rates()
+	_, mFused, _ := res.Fused.Rates()
+	_, mWiFi, _ := res.WiFiOnly.Rates()
+	b.ReportMetric(mGSM*100, "gsm-merged-%")
+	b.ReportMetric(mFused*100, "fused-merged-%")
+	b.ReportMetric(mWiFi*100, "wifi-merged-%")
+	b.ReportMetric(float64(res.WiFiOnly.Missed), "wifi-missed")
+}
+
+// --- Algorithm micro-benchmarks ---------------------------------------------
+
+// benchTrace builds a week-long GSM trace once.
+var (
+	traceOnce sync.Once
+	gsmWeek   []trace.GSMObservation
+	wifiDay   []trace.WiFiScan
+	gpsDay    []trace.GPSFix
+)
+
+func benchTraces(b *testing.B) {
+	b.Helper()
+	traceOnce.Do(func() {
+		cfg := world.DefaultConfig()
+		cfg.TowerGridMeters = 500
+		cfg.TowerRangeMeters = 800
+		r := rand.New(rand.NewSource(99))
+		w := world.Generate(cfg, r)
+		home := w.AddVenue("home", "Home", world.KindHome, geo.Offset(cfg.Origin, 210, 2300), true, cfg, r)
+		work := w.AddVenue("work", "Office", world.KindWorkplace, geo.Offset(cfg.Origin, 30, 2400), true, cfg, r)
+		agent := &mobility.Agent{ID: "bench", Home: home, Work: work, SpeedMPS: 7}
+		for _, v := range w.Venues {
+			if v.Kind != world.KindHome && v.Kind != world.KindWorkplace {
+				agent.Haunts = append(agent.Haunts, v)
+			}
+		}
+		it, err := mobility.BuildItinerary(agent, w, simclock.Epoch, 7, mobility.DefaultScheduleConfig(), rand.New(rand.NewSource(100)))
+		if err != nil {
+			panic(err)
+		}
+		s := trace.NewSensors(w, it, trace.DefaultConfig(), rand.New(rand.NewSource(101)))
+		gsmWeek = s.CollectGSM(it.Start, it.End, time.Minute)
+		wifiDay = s.CollectWiFi(it.Start, it.Start.Add(24*time.Hour), time.Minute)
+		gpsDay = s.CollectGPS(it.Start, it.Start.Add(24*time.Hour), time.Minute)
+	})
+}
+
+func BenchmarkGCADiscoverWeek(b *testing.B) {
+	benchTraces(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := gsm.Discover(gsmWeek, gsm.DefaultParams())
+		if len(res.Places) == 0 {
+			b.Fatal("no places")
+		}
+	}
+	b.ReportMetric(float64(len(gsmWeek)), "observations")
+}
+
+func BenchmarkGCATrackerObserve(b *testing.B) {
+	benchTraces(b)
+	res := gsm.Discover(gsmWeek, gsm.DefaultParams())
+	tr := gsm.NewTracker(res.Places)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Observe(gsmWeek[i%len(gsmWeek)])
+	}
+}
+
+func BenchmarkSensLocDiscoverDay(b *testing.B) {
+	benchTraces(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wifi.Discover(wifiDay, wifi.DefaultParams())
+	}
+	b.ReportMetric(float64(len(wifiDay)), "scans")
+}
+
+func BenchmarkTanimoto(b *testing.B) {
+	a := wifi.Signature{"a": 40, "b": 30, "c": 20, "d": 10}
+	c := wifi.Signature{"a": 35, "b": 25, "e": 15, "f": 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wifi.Tanimoto(a, c)
+	}
+}
+
+func BenchmarkKangClusteringDay(b *testing.B) {
+	benchTraces(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gpsplace.Discover(gpsDay, gpsplace.DefaultParams())
+	}
+	b.ReportMetric(float64(len(gpsDay)), "fixes")
+}
+
+func BenchmarkRouteExtractGSM(b *testing.B) {
+	benchTraces(b)
+	res := gsm.Discover(gsmWeek, gsm.DefaultParams())
+	var intervals []route.Interval
+	for _, p := range res.Places {
+		for _, v := range p.Visits {
+			intervals = append(intervals, route.Interval{Start: v.Arrive, End: v.Depart})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		route.ExtractGSM(gsmWeek, intervals, route.DefaultParams())
+	}
+}
+
+func BenchmarkHaversine(b *testing.B) {
+	p := geo.LatLng{Lat: 28.6139, Lng: 77.2090}
+	q := geo.LatLng{Lat: 28.7041, Lng: 77.1025}
+	for i := 0; i < b.N; i++ {
+		geo.Distance(p, q)
+	}
+}
+
+// BenchmarkAblationGCAMergeThreshold sweeps the segment-merge similarity
+// threshold — the design choice DESIGN.md calls out (cosine over
+// oscillation-expanded dwell vectors). Low thresholds over-merge, high ones
+// over-divide; 0.5 is the calibrated operating point.
+func BenchmarkAblationGCAMergeThreshold(b *testing.B) {
+	benchTraces(b)
+	for _, th := range []float64{0.3, 0.4, 0.5, 0.6, 0.7} {
+		th := th
+		b.Run(fmt.Sprintf("threshold-%.1f", th), func(b *testing.B) {
+			p := gsm.DefaultParams()
+			p.MergeOverlap = th
+			var places int
+			for i := 0; i < b.N; i++ {
+				places = len(gsm.Discover(gsmWeek, p).Places)
+			}
+			b.ReportMetric(float64(places), "places")
+		})
+	}
+}
+
+// BenchmarkAblationWiFiCoverage reproduces the paper's geographic
+// customization observation (Section 1.4): a user is under WiFi coverage
+// ~60% of the time in India vs ~90% in a developed country like
+// Switzerland. Higher venue WiFi coverage lets the fusion split more merged
+// GSM places.
+func BenchmarkAblationWiFiCoverage(b *testing.B) {
+	for _, tc := range []struct {
+		name     string
+		fraction float64
+	}{
+		{"india-60pct", 0.60},
+		{"switzerland-90pct", 0.90},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			var res *study.Result
+			for i := 0; i < b.N; i++ {
+				cfg := study.DefaultConfig()
+				cfg.Participants = 8
+				cfg.Days = 7
+				cfg.World.WiFiVenueFraction = tc.fraction
+				var err error
+				res, err = study.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			_, mFused, _ := res.Fused.Rates()
+			_, mGSM, _ := res.GSMOnly.Rates()
+			b.ReportMetric(mFused*100, "fused-merged-%")
+			b.ReportMetric(mGSM*100, "gsm-merged-%")
+			b.ReportMetric(float64(res.WiFiOnly.Missed), "wifi-missed")
+		})
+	}
+}

@@ -1,0 +1,90 @@
+// Command pmware-cloud runs the PMWare Cloud Instance: the REST service the
+// mobile service syncs against (paper Section 2.3). It serves registration,
+// place/route discovery offload, mobility profiles, social contacts, Cell-ID
+// geolocation, and the analytics/prediction endpoints.
+//
+// Usage:
+//
+//	pmware-cloud [-addr :8080] [-store pmware-store.json] [-world-seed 2014]
+//
+// The store file, when given, is loaded on startup (if present) and saved on
+// SIGINT/SIGTERM. The world seed builds the synthetic Open-Cell-ID database
+// so geolocation answers match simulations generated from the same seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/cloud"
+	"repro/internal/world"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	storePath := flag.String("store", "", "JSON persistence file (optional)")
+	worldSeed := flag.Int64("world-seed", 2014, "seed of the synthetic world for the cell database")
+	extent := flag.Float64("extent", 2600, "world half-extent in meters (must match the simulation)")
+	flag.Parse()
+
+	wc := world.DefaultConfig()
+	wc.ExtentMeters = *extent
+	wc.TowerGridMeters = 500
+	wc.TowerRangeMeters = 800
+	w := world.Generate(wc, rand.New(rand.NewSource(*worldSeed)))
+
+	store := cloud.NewStore(nil)
+	if *storePath != "" {
+		if err := store.Load(*storePath); err == nil {
+			log.Printf("loaded store from %s (%d users)", *storePath, store.UserCount())
+		} else if !os.IsNotExist(unwrapPathError(err)) {
+			log.Printf("warning: could not load %s: %v", *storePath, err)
+		}
+	}
+
+	server := cloud.NewServer(store, cloud.WithCellDatabase(cloud.NewCellDatabase(w, 150)))
+
+	if *storePath != "" {
+		sigs := make(chan os.Signal, 1)
+		signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+		go func() {
+			<-sigs
+			if err := store.Save(*storePath); err != nil {
+				log.Printf("save failed: %v", err)
+				os.Exit(1)
+			}
+			log.Printf("store saved to %s", *storePath)
+			os.Exit(0)
+		}()
+	}
+
+	log.Printf("PMWare cloud instance listening on %s (world seed %d, %d towers in cell DB)",
+		*addr, *worldSeed, len(w.Towers))
+	if err := http.ListenAndServe(*addr, server.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// unwrapPathError digs out the fs-level error so missing files are not
+// treated as load failures.
+func unwrapPathError(err error) error {
+	for {
+		type unwrapper interface{ Unwrap() error }
+		u, ok := err.(unwrapper)
+		if !ok {
+			return err
+		}
+		inner := u.Unwrap()
+		if inner == nil {
+			return err
+		}
+		err = inner
+	}
+}

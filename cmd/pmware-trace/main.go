@@ -1,0 +1,165 @@
+// Command pmware-trace generates synthetic sensor traces and runs the place
+// and route discovery algorithms over trace files — the offline analysis
+// workflow for archived deployment data.
+//
+//	pmware-trace gen  -out trace.jsonl [-seed 42] [-days 7] [-gsm 1m] [-wifi 1m] [-gps 1m]
+//	pmware-trace show -in trace.jsonl
+//	pmware-trace discover -in trace.jsonl [-algo gsm|wifi|gps]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/gpsplace"
+	"repro/internal/gsm"
+	"repro/internal/mobility"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+	"repro/internal/wifi"
+	"repro/internal/world"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "show":
+		cmdShow(os.Args[2:])
+	case "discover":
+		cmdDiscover(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: pmware-trace gen|show|discover [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	out := fs.String("out", "trace.jsonl", "output file")
+	seed := fs.Int64("seed", 42, "random seed")
+	days := fs.Int("days", 7, "days of simulated life")
+	gsmEvery := fs.Duration("gsm", time.Minute, "GSM sampling interval")
+	wifiEvery := fs.Duration("wifi", time.Minute, "WiFi scan interval (0 = off)")
+	gpsEvery := fs.Duration("gps", time.Minute, "GPS fix interval (0 = off)")
+	_ = fs.Parse(args)
+
+	cfg := world.DefaultConfig()
+	cfg.TowerGridMeters = 500
+	cfg.TowerRangeMeters = 800
+	r := rand.New(rand.NewSource(*seed))
+	w := world.Generate(cfg, r)
+	home := w.AddVenue("home", "Home", world.KindHome, geo.Offset(cfg.Origin, 210, 2300), true, cfg, r)
+	work := w.AddVenue("work", "Office", world.KindWorkplace, geo.Offset(cfg.Origin, 30, 2400), true, cfg, r)
+	agent := &mobility.Agent{ID: "trace-agent", Home: home, Work: work, SpeedMPS: 7}
+	for _, v := range w.Venues {
+		if v.Kind != world.KindHome && v.Kind != world.KindWorkplace {
+			agent.Haunts = append(agent.Haunts, v)
+		}
+	}
+	it, err := mobility.BuildItinerary(agent, w, simclock.Epoch, *days, mobility.DefaultScheduleConfig(), rand.New(rand.NewSource(*seed+1)))
+	if err != nil {
+		fatal(err)
+	}
+	s := trace.NewSensors(w, it, trace.DefaultConfig(), rand.New(rand.NewSource(*seed+2)))
+
+	b := &trace.Bundle{GSM: s.CollectGSM(it.Start, it.End, *gsmEvery)}
+	if *wifiEvery > 0 {
+		b.WiFi = s.CollectWiFi(it.Start, it.End, *wifiEvery)
+	}
+	if *gpsEvery > 0 {
+		b.GPS = s.CollectGPS(it.Start, it.End, *gpsEvery)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := trace.WriteBundle(f, b); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %d gsm, %d wifi, %d gps records over %d days (truth: %d venues)\n",
+		*out, len(b.GSM), len(b.WiFi), len(b.GPS), *days, len(it.VisitedVenueIDs(10*time.Minute)))
+}
+
+func readBundle(path string) *trace.Bundle {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	b, err := trace.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+	return b
+}
+
+func cmdShow(args []string) {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	in := fs.String("in", "trace.jsonl", "input file")
+	_ = fs.Parse(args)
+
+	b := readBundle(*in)
+	fmt.Printf("%s:\n", *in)
+	fmt.Printf("  gsm observations: %d (%d distinct cells)\n", len(b.GSM), len(trace.DistinctCells(b.GSM)))
+	fmt.Printf("  wifi scans:       %d\n", len(b.WiFi))
+	fmt.Printf("  gps fixes:        %d\n", len(b.GPS))
+	fmt.Printf("  activity samples: %d\n", len(b.Activity))
+	if len(b.GSM) > 0 {
+		fmt.Printf("  span: %s .. %s\n",
+			b.GSM[0].At.Format(time.RFC3339), b.GSM[len(b.GSM)-1].At.Format(time.RFC3339))
+	}
+}
+
+func cmdDiscover(args []string) {
+	fs := flag.NewFlagSet("discover", flag.ExitOnError)
+	in := fs.String("in", "trace.jsonl", "input file")
+	algo := fs.String("algo", "gsm", "algorithm: gsm (GCA), wifi (SensLoc), gps (Kang)")
+	_ = fs.Parse(args)
+
+	b := readBundle(*in)
+	switch *algo {
+	case "gsm":
+		res := gsm.Discover(b.GSM, gsm.DefaultParams())
+		fmt.Printf("GCA: %d stay segments -> %d places\n", len(res.Segments), len(res.Places))
+		for _, p := range res.Places {
+			fmt.Printf("  place %d: signature %v, %d visits, dwell %s\n",
+				p.ID, p.Signature, len(p.Visits), p.TotalDwell().Truncate(time.Minute))
+		}
+	case "wifi":
+		res := wifi.Discover(b.WiFi, wifi.DefaultParams())
+		fmt.Printf("SensLoc: %d places\n", len(res.Places))
+		for _, p := range res.Places {
+			fmt.Printf("  place %d: %d APs in signature, %d visits, dwell %s\n",
+				p.ID, len(p.Sig), len(p.Visits), p.TotalDwell().Truncate(time.Minute))
+		}
+	case "gps":
+		res := gpsplace.Discover(b.GPS, gpsplace.DefaultParams())
+		fmt.Printf("Kang: %d places\n", len(res.Places))
+		for _, p := range res.Places {
+			fmt.Printf("  place %d: center %s, %d visits, dwell %s\n",
+				p.ID, p.Center, len(p.Visits), p.TotalDwell().Truncate(time.Minute))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -algo %q\n", *algo)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,134 @@
+// Prediction demo (paper Section 2.3.2): after two simulated weeks, the
+// cloud's analytics and prediction engine answers the paper's three query
+// families over the synced mobility profiles:
+//
+//  1. at what time does the user typically reach home in the evening?
+//
+//  2. when is the user's next visit to a given place?
+//
+//  3. how frequently does the user visit a class of places?
+//
+//     go run ./examples/predictions
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+	"repro/internal/world"
+)
+
+func main() {
+	cfg := world.DefaultConfig()
+	cfg.TowerGridMeters = 500
+	cfg.TowerRangeMeters = 800
+	r := rand.New(rand.NewSource(11))
+	w := world.Generate(cfg, r)
+	home := w.AddVenue("home", "Home", world.KindHome, geo.Offset(cfg.Origin, 210, 2300), true, cfg, r)
+	work := w.AddVenue("work", "Office", world.KindWorkplace, geo.Offset(cfg.Origin, 30, 2400), true, cfg, r)
+	agent := &mobility.Agent{ID: "eve", Home: home, Work: work, SpeedMPS: 7}
+	for _, v := range w.Venues {
+		if v.Kind != world.KindHome && v.Kind != world.KindWorkplace {
+			agent.Haunts = append(agent.Haunts, v)
+		}
+	}
+	it, err := mobility.BuildItinerary(agent, w, simclock.Epoch, 14, mobility.DefaultScheduleConfig(), rand.New(rand.NewSource(12)))
+	if err != nil {
+		panic(err)
+	}
+
+	// Full REST stack: cloud instance over loopback HTTP.
+	store := cloud.NewStore(nil)
+	server := cloud.NewServer(store, cloud.WithCellDatabase(cloud.NewCellDatabase(w, 150)))
+	ts := httptest.NewServer(server.Handler())
+	defer ts.Close()
+	client := cloud.NewClient(ts.URL, "imei-eve", "eve@example.com", ts.Client())
+	if err := client.Register(); err != nil {
+		panic(err)
+	}
+
+	clock := simclock.New()
+	sensors := trace.NewSensors(w, it, trace.DefaultConfig(), rand.New(rand.NewSource(13)))
+	svc := core.NewService(core.DefaultConfig("eve"), clock, sensors, energy.NewMeter(energy.DefaultModel()), client)
+	svc.Connect(
+		core.Requirement{AppID: "logger", Granularity: core.GranularityBuilding},
+		core.Filter{Actions: []string{core.ActionNewPlace}},
+		func(core.Intent) {},
+	)
+
+	fmt.Println("two weeks of life, synced nightly to the cloud instance...")
+	svc.Run(14 * 24 * time.Hour)
+
+	// Identify home and work among the discovered places by dwell.
+	places := svc.Places()
+	if len(places) < 2 {
+		fmt.Println("not enough places; try another seed")
+		return
+	}
+	var homeP, workP *core.UnifiedPlace
+	for _, p := range places {
+		switch {
+		case homeP == nil || p.TotalDwell() > homeP.TotalDwell():
+			workP = homeP
+			homeP = p
+		case workP == nil || p.TotalDwell() > workP.TotalDwell():
+			workP = p
+		}
+	}
+	_ = svc.LabelPlace(homeP.ID, "home")
+	_ = svc.LabelPlace(workP.ID, "work")
+
+	hhmm := func(sec int) string {
+		return fmt.Sprintf("%02d:%02d", sec/3600, sec%3600/60)
+	}
+
+	// Query 1: typical arrival time.
+	for _, q := range []struct{ label, id string }{{"home", homeP.ID}, {"work", workP.ID}} {
+		arr, err := client.PredictArrival(q.id)
+		if err != nil {
+			fmt.Printf("q1 (%s): %v\n", q.label, err)
+			continue
+		}
+		fmt.Printf("q1: typical arrival at %-5s = %s (from %d arrivals)\n",
+			q.label, hhmm(arr.TypicalArrivalSec), arr.SampleCount)
+	}
+
+	// Query 2: next visit after the study.
+	after := simclock.Epoch.AddDate(0, 0, 14)
+	next, err := client.PredictNextVisit(workP.ID, after)
+	if err != nil {
+		panic(err)
+	}
+	if next.Confident {
+		fmt.Printf("q2: next visit to work predicted %s\n", next.NextVisit.Format("Mon Jan 2 15:04"))
+	} else {
+		fmt.Println("q2: not enough history for a confident prediction")
+	}
+
+	// Query 3: visit frequencies.
+	for _, q := range []struct{ label, id string }{{"home", homeP.ID}, {"work", workP.ID}} {
+		freq, err := client.VisitFrequency(q.id)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("q3: %-5s visited %.1f times/week (%d total)\n", q.label, freq.VisitsPerWeek, freq.TotalVisits)
+	}
+
+	// Bonus: the k-anonymous aggregate needs >= k users, so with one user it
+	// must stay empty — privacy holding by construction.
+	agg, err := client.PopularPlaces(3, 400)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("popular-places aggregate with 1 user and k=%d: %d clusters (privacy holds)\n",
+		agg.K, len(agg.Places))
+}

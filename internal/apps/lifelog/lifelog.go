@@ -1,0 +1,115 @@
+// Package lifelog implements the life-logging application PMWare ships with
+// (paper Section 3, Figure 4): it visualizes every discovered place, lets
+// the user validate and tag places with semantic labels, and renders
+// fine-grained mobility history (stay time per place, visiting days) from
+// the PMWare profiles.
+package lifelog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// AppID is the connected-application identifier.
+const AppID = "lifelog"
+
+// App is the life-logging connected application.
+type App struct {
+	svc *core.Service
+
+	newPlaces []core.PlaceInfo
+}
+
+// New builds the app.
+func New() *App { return &App{} }
+
+// Attach connects the app. Life logging wants building-level places and
+// low-accuracy routes (Figure 2).
+func (a *App) Attach(svc *core.Service) error {
+	a.svc = svc
+	return svc.Connect(
+		core.Requirement{AppID: AppID, Granularity: core.GranularityBuilding, Routes: core.RouteLow},
+		core.Filter{Actions: []string{core.ActionNewPlace, core.ActionPlaceLabeled}},
+		a.handle,
+	)
+}
+
+func (a *App) handle(in core.Intent) {
+	if in.Action == core.ActionNewPlace && in.Place != nil {
+		a.newPlaces = append(a.newPlaces, *in.Place)
+	}
+}
+
+// NewPlaceCount returns how many new-place notifications arrived.
+func (a *App) NewPlaceCount() int { return len(a.newPlaces) }
+
+// Tag records a user-provided label for a place — the Figure 4.b tagging
+// flow. It forwards to the middleware so every connected app benefits
+// ("PMWare unifies the human intervention process").
+func (a *App) Tag(placeID, label string) error {
+	if a.svc == nil {
+		return fmt.Errorf("lifelog: not attached")
+	}
+	return a.svc.LabelPlace(placeID, label)
+}
+
+// PlaceSummary is one row of the places list (Figure 4.b/4.c).
+type PlaceSummary struct {
+	ID        string
+	Label     string
+	Visits    int
+	TotalStay time.Duration
+	VisitDays []string // dates with at least one visit
+}
+
+// Summaries computes the mobility-history view from the service's places
+// and profiles.
+func (a *App) Summaries() []PlaceSummary {
+	if a.svc == nil {
+		return nil
+	}
+	days := map[string]map[string]bool{} // placeID -> set of dates
+	for _, p := range a.svc.Profiles() {
+		for _, v := range p.Places {
+			if days[v.PlaceID] == nil {
+				days[v.PlaceID] = map[string]bool{}
+			}
+			days[v.PlaceID][p.Date] = true
+		}
+	}
+	var out []PlaceSummary
+	for _, p := range a.svc.Places() {
+		s := PlaceSummary{
+			ID:        p.ID,
+			Label:     p.Label,
+			Visits:    len(p.Visits),
+			TotalStay: p.TotalDwell(),
+		}
+		for d := range days[p.ID] {
+			s.VisitDays = append(s.VisitDays, d)
+		}
+		sort.Strings(s.VisitDays)
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TotalStay > out[j].TotalStay })
+	return out
+}
+
+// Render prints the places list as the app's text UI.
+func (a *App) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-6s %-12s %7s %12s %s\n", "place", "label", "visits", "stay", "days")
+	for _, s := range a.Summaries() {
+		label := s.Label
+		if label == "" {
+			label = "(untagged)"
+		}
+		fmt.Fprintf(&sb, "%-6s %-12s %7d %12s %d\n",
+			s.ID, label, s.Visits, s.TotalStay.Truncate(time.Minute), len(s.VisitDays))
+	}
+	return sb.String()
+}

@@ -1,0 +1,94 @@
+package lifelog
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+	"repro/internal/world"
+)
+
+// newServiceHarness runs a small live PMS for the app to attach to.
+func newServiceHarness(t *testing.T, seed int64, days int) (*core.Service, func(time.Duration)) {
+	t.Helper()
+	cfg := world.DefaultConfig()
+	r := rand.New(rand.NewSource(seed))
+	w := world.Generate(cfg, r)
+	home := w.AddVenue("home", "Home", world.KindHome, geo.Offset(cfg.Origin, 210, 2300), true, cfg, r)
+	work := w.AddVenue("work", "Office", world.KindWorkplace, geo.Offset(cfg.Origin, 30, 2400), true, cfg, r)
+	agent := &mobility.Agent{ID: "u1", Home: home, Work: work, SpeedMPS: 7}
+	it, err := mobility.BuildItinerary(agent, w, simclock.Epoch, days, mobility.DefaultScheduleConfig(), rand.New(rand.NewSource(seed+1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := simclock.New()
+	sensors := trace.NewSensors(w, it, trace.DefaultConfig(), rand.New(rand.NewSource(seed+2)))
+	svc := core.NewService(core.DefaultConfig("u1"), clock, sensors, energy.NewMeter(energy.DefaultModel()), nil)
+	return svc, svc.Run
+}
+
+func TestLifelogCollectsAndTags(t *testing.T) {
+	svc, run := newServiceHarness(t, 301, 2)
+	app := New()
+	if err := app.Attach(svc); err != nil {
+		t.Fatal(err)
+	}
+	run(48 * time.Hour)
+
+	if app.NewPlaceCount() == 0 {
+		t.Error("no new-place notifications over 2 days")
+	}
+	places := svc.Places()
+	if len(places) == 0 {
+		t.Fatal("no places")
+	}
+	if err := app.Tag(places[0].ID, "Home"); err != nil {
+		t.Fatal(err)
+	}
+	if svc.Label(places[0].ID) != "Home" {
+		t.Error("tag did not reach the middleware")
+	}
+
+	sums := app.Summaries()
+	if len(sums) == 0 {
+		t.Fatal("no summaries")
+	}
+	// Sorted by stay descending.
+	for i := 1; i < len(sums); i++ {
+		if sums[i].TotalStay > sums[i-1].TotalStay {
+			t.Error("summaries not sorted by stay")
+		}
+	}
+	top := sums[0]
+	if top.TotalStay < 12*time.Hour {
+		t.Errorf("top place stay = %v", top.TotalStay)
+	}
+	if len(top.VisitDays) == 0 {
+		t.Error("no visit days for top place")
+	}
+
+	out := app.Render()
+	if !strings.Contains(out, "Home") {
+		t.Errorf("render missing tag:\n%s", out)
+	}
+	if !strings.Contains(out, "place") || !strings.Contains(out, "days") {
+		t.Error("render missing header")
+	}
+}
+
+func TestLifelogUnattached(t *testing.T) {
+	app := New()
+	if err := app.Tag("p0", "X"); err == nil {
+		t.Error("tag on unattached app should fail")
+	}
+	if app.Summaries() != nil {
+		t.Error("summaries on unattached app should be nil")
+	}
+}

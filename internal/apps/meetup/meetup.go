@@ -1,0 +1,110 @@
+// Package meetup implements a social connected application of the kind the
+// paper motivates ("organizing meetups"): it asks PMWare for social-contact
+// discovery, receives encounter intents whenever the user spends time near
+// another PMWare user at a place, and keeps a per-peer contact journal that
+// could seed meetup suggestions ("you and u07 are both at the gym on
+// Tuesdays").
+package meetup
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// AppID is the connected-application identifier.
+const AppID = "meetup"
+
+// Contact summarizes the history with one peer.
+type Contact struct {
+	PeerID     string
+	Encounters int
+	TotalTime  time.Duration
+	// Places maps place IDs to the number of encounters there.
+	Places map[string]int
+}
+
+// App is the meetup connected application.
+type App struct {
+	mu sync.Mutex
+
+	// TargetPlaceIDs optionally narrows sensing to specific places
+	// (PMWare's targeted social sensing, e.g. workplace only). Set before
+	// Attach.
+	TargetPlaceIDs []string
+
+	contacts map[string]*Contact
+	events   int
+}
+
+// New builds the app.
+func New() *App {
+	return &App{contacts: map[string]*Contact{}}
+}
+
+// Attach connects the app to PMWare: area-level place accuracy is enough (it
+// just needs place identity for journaling), plus social discovery.
+func (a *App) Attach(svc *core.Service) error {
+	return svc.Connect(
+		core.Requirement{
+			AppID:          AppID,
+			Granularity:    core.GranularityArea,
+			Social:         true,
+			TargetPlaceIDs: a.TargetPlaceIDs,
+		},
+		core.Filter{Actions: []string{core.ActionEncounter}},
+		a.handle,
+	)
+}
+
+func (a *App) handle(in core.Intent) {
+	if in.Encounter == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.events++
+	c, ok := a.contacts[in.Encounter.PeerID]
+	if !ok {
+		c = &Contact{PeerID: in.Encounter.PeerID, Places: map[string]int{}}
+		a.contacts[in.Encounter.PeerID] = c
+	}
+	c.Encounters++
+	c.TotalTime += in.Encounter.End.Sub(in.Encounter.Start)
+	c.Places[in.Encounter.PlaceID]++
+}
+
+// Contacts returns the journal, most-met peers first.
+func (a *App) Contacts() []Contact {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Contact, 0, len(a.contacts))
+	for _, c := range a.contacts {
+		cc := Contact{
+			PeerID:     c.PeerID,
+			Encounters: c.Encounters,
+			TotalTime:  c.TotalTime,
+			Places:     make(map[string]int, len(c.Places)),
+		}
+		for k, v := range c.Places {
+			cc.Places[k] = v
+		}
+		out = append(out, cc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Encounters != out[j].Encounters {
+			return out[i].Encounters > out[j].Encounters
+		}
+		return out[i].PeerID < out[j].PeerID
+	})
+	return out
+}
+
+// EncounterCount returns the total number of encounter intents received.
+func (a *App) EncounterCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.events
+}

@@ -1,0 +1,75 @@
+package meetup
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/simclock"
+)
+
+func encounter(peer, place string, startMin, endMin int) core.Intent {
+	return core.Intent{
+		Action: core.ActionEncounter,
+		Encounter: &core.EncounterInfo{
+			PeerID:  peer,
+			PlaceID: place,
+			Start:   simclock.Epoch.Add(time.Duration(startMin) * time.Minute),
+			End:     simclock.Epoch.Add(time.Duration(endMin) * time.Minute),
+		},
+	}
+}
+
+func TestJournalAccumulates(t *testing.T) {
+	app := New()
+	app.handle(encounter("u2", "work", 0, 30))
+	app.handle(encounter("u2", "work", 100, 160))
+	app.handle(encounter("u2", "gym", 300, 330))
+	app.handle(encounter("u3", "cafe", 0, 10))
+
+	if app.EncounterCount() != 4 {
+		t.Errorf("events = %d", app.EncounterCount())
+	}
+	contacts := app.Contacts()
+	if len(contacts) != 2 {
+		t.Fatalf("contacts = %d", len(contacts))
+	}
+	// Most-met first.
+	if contacts[0].PeerID != "u2" || contacts[0].Encounters != 3 {
+		t.Errorf("top contact = %+v", contacts[0])
+	}
+	if contacts[0].TotalTime != 120*time.Minute {
+		t.Errorf("total time = %v", contacts[0].TotalTime)
+	}
+	if contacts[0].Places["work"] != 2 || contacts[0].Places["gym"] != 1 {
+		t.Errorf("places = %v", contacts[0].Places)
+	}
+}
+
+func TestNilEncounterIgnored(t *testing.T) {
+	app := New()
+	app.handle(core.Intent{Action: core.ActionEncounter})
+	if app.EncounterCount() != 0 {
+		t.Error("nil encounter counted")
+	}
+}
+
+func TestContactsReturnsCopies(t *testing.T) {
+	app := New()
+	app.handle(encounter("u2", "work", 0, 30))
+	cs := app.Contacts()
+	cs[0].Places["work"] = 99
+	if app.Contacts()[0].Places["work"] != 1 {
+		t.Error("Contacts leaked internal map")
+	}
+}
+
+func TestTieBreakByPeerID(t *testing.T) {
+	app := New()
+	app.handle(encounter("zed", "work", 0, 30))
+	app.handle(encounter("amy", "work", 0, 30))
+	cs := app.Contacts()
+	if cs[0].PeerID != "amy" {
+		t.Errorf("tie break wrong: %v", cs[0].PeerID)
+	}
+}

@@ -1,0 +1,254 @@
+// Package placeads implements PlaceADs, the proof-of-concept connected
+// application of the paper (Sections 3-4): it delegates place sensing to
+// PMWare, and whenever the user arrives at (or newly discovers) a place it
+// fetches contextual advertisements for nearby points of interest. Users
+// swipe each ad card left (like) or right (dislike); the deployment study
+// reports the like:dislike ratio (17:3 in the paper).
+package placeads
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/world"
+)
+
+// AppID is the connected-application identifier PlaceADs registers under.
+const AppID = "placeads"
+
+// Ad is one advertisement card.
+type Ad struct {
+	ID       string
+	Title    string
+	Category world.VenueKind // the kind of venue the ad promotes
+	Discount int             // percent off
+}
+
+// Inventory is the ad catalogue, indexed by category.
+type Inventory struct {
+	byCategory map[world.VenueKind][]Ad
+	all        []Ad
+}
+
+// NewInventory builds an inventory from ads.
+func NewInventory(ads []Ad) *Inventory {
+	inv := &Inventory{byCategory: map[world.VenueKind][]Ad{}}
+	for _, a := range ads {
+		inv.byCategory[a.Category] = append(inv.byCategory[a.Category], a)
+		inv.all = append(inv.all, a)
+	}
+	return inv
+}
+
+// DefaultInventory returns a catalogue covering the ad-friendly venue kinds.
+func DefaultInventory() *Inventory {
+	var ads []Ad
+	mk := func(kind world.VenueKind, titles ...string) {
+		for i, title := range titles {
+			ads = append(ads, Ad{
+				ID:       fmt.Sprintf("%s-%d", kind, i),
+				Title:    title,
+				Category: kind,
+				Discount: 10 + 5*i,
+			})
+		}
+	}
+	mk(world.KindRestaurant, "Thali lunch special", "2-for-1 dinner", "Chef's tasting menu")
+	mk(world.KindCafe, "Free cookie with coffee", "Monsoon chai offer")
+	mk(world.KindMall, "Season-end sale", "Midnight shopping festival")
+	mk(world.KindCinema, "Tuesday ticket deal", "Combo popcorn offer")
+	mk(world.KindGym, "First month free", "Yoga pass discount")
+	mk(world.KindMarket, "Fresh produce morning deal", "Festival bazaar coupons")
+	mk(world.KindClinic, "Health check package")
+	return NewInventory(ads)
+}
+
+// ForCategories returns ads in any of the given categories, in stable order.
+func (inv *Inventory) ForCategories(kinds []world.VenueKind) []Ad {
+	var out []Ad
+	for _, k := range kinds {
+		out = append(out, inv.byCategory[k]...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Size returns the catalogue size.
+func (inv *Inventory) Size() int { return len(inv.all) }
+
+// POIDirectory answers "what kinds of venues are near these coordinates?" —
+// the maps/POI service a real PlaceADs would query. The reproduction backs
+// it with the synthetic world's public venues.
+type POIDirectory struct {
+	venues []*world.Venue
+}
+
+// NewPOIDirectory indexes the world's venues.
+func NewPOIDirectory(w *world.World) *POIDirectory {
+	d := &POIDirectory{}
+	for _, v := range w.Venues {
+		// Homes and workplaces are private and not in a POI directory.
+		if v.Kind == world.KindHome || v.Kind == world.KindWorkplace {
+			continue
+		}
+		d.venues = append(d.venues, v)
+	}
+	return d
+}
+
+// KindsNear returns the distinct venue kinds within radius of p, nearest
+// first.
+func (d *POIDirectory) KindsNear(p geo.LatLng, radiusM float64) []world.VenueKind {
+	type hit struct {
+		kind world.VenueKind
+		dist float64
+	}
+	var hits []hit
+	seen := map[world.VenueKind]bool{}
+	for _, v := range d.venues {
+		dist := geo.Distance(v.Center, p)
+		if dist <= radiusM && !seen[v.Kind] {
+			seen[v.Kind] = true
+			hits = append(hits, hit{v.Kind, dist})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].dist != hits[j].dist {
+			return hits[i].dist < hits[j].dist
+		}
+		return hits[i].kind < hits[j].kind
+	})
+	out := make([]world.VenueKind, len(hits))
+	for i, h := range hits {
+		out[i] = h.kind
+	}
+	return out
+}
+
+// Impression is one ad card shown to the user, with the swipe outcome.
+type Impression struct {
+	Ad      Ad
+	PlaceID string
+	At      time.Time
+	Liked   bool
+}
+
+// Swiper decides whether the user likes an ad shown in a given context.
+type Swiper interface {
+	Swipe(ad Ad, at time.Time) (liked bool)
+}
+
+// SimSwiper is the study's user model: the participant likes an ad with
+// RelevantProb when the ad's category matches a venue kind actually near
+// them (context relevant), and with IrrelevantProb otherwise.
+type SimSwiper struct {
+	Directory      *POIDirectory
+	TruePosition   func(time.Time) geo.LatLng
+	RelevanceM     float64
+	RelevantProb   float64
+	IrrelevantProb float64
+	Rand           *rand.Rand
+}
+
+// Swipe implements Swiper.
+func (s *SimSwiper) Swipe(ad Ad, at time.Time) bool {
+	relevant := false
+	for _, k := range s.Directory.KindsNear(s.TruePosition(at), s.RelevanceM) {
+		if k == ad.Category {
+			relevant = true
+			break
+		}
+	}
+	p := s.IrrelevantProb
+	if relevant {
+		p = s.RelevantProb
+	}
+	return s.Rand.Float64() < p
+}
+
+// App is the PlaceADs connected application.
+type App struct {
+	inventory *Inventory
+	directory *POIDirectory
+	swiper    Swiper
+
+	// AdsPerArrival caps how many cards are pushed per place event.
+	AdsPerArrival int
+
+	impressions []Impression
+	served      map[string]map[string]bool // placeID -> adID shown already
+}
+
+// New builds the app.
+func New(inventory *Inventory, directory *POIDirectory, swiper Swiper) *App {
+	return &App{
+		inventory:     inventory,
+		directory:     directory,
+		swiper:        swiper,
+		AdsPerArrival: 3,
+		served:        map[string]map[string]bool{},
+	}
+}
+
+// Attach connects the app to a PMWare mobile service. PlaceADs needs only
+// area-level granularity (Figure 2), making it the cheapest tier to serve.
+func (a *App) Attach(svc *core.Service) error {
+	return svc.Connect(
+		core.Requirement{AppID: AppID, Granularity: core.GranularityArea},
+		core.Filter{Actions: []string{core.ActionPlaceArrival, core.ActionNewPlace}},
+		a.handle,
+	)
+}
+
+// handle receives place intents and pushes ad cards.
+func (a *App) handle(in core.Intent) {
+	if in.Place == nil {
+		return
+	}
+	pos := in.Place.Center
+	if pos.IsZero() {
+		return // no coordinates yet (pre-geolocation)
+	}
+	// Target: POI kinds near the (area-degraded) position. The search radius
+	// covers the disclosure fuzz.
+	kinds := a.directory.KindsNear(pos, in.Place.AccuracyMeters+300)
+	candidates := a.inventory.ForCategories(kinds)
+
+	shown := a.served[in.Place.ID]
+	if shown == nil {
+		shown = map[string]bool{}
+		a.served[in.Place.ID] = shown
+	}
+	count := 0
+	for _, ad := range candidates {
+		if count >= a.AdsPerArrival {
+			break
+		}
+		if shown[ad.ID] {
+			continue
+		}
+		shown[ad.ID] = true
+		count++
+		liked := a.swiper.Swipe(ad, in.At)
+		a.impressions = append(a.impressions, Impression{Ad: ad, PlaceID: in.Place.ID, At: in.At, Liked: liked})
+	}
+}
+
+// Impressions returns every ad card shown so far.
+func (a *App) Impressions() []Impression { return a.impressions }
+
+// LikeDislike returns the total likes and dislikes.
+func (a *App) LikeDislike() (likes, dislikes int) {
+	for _, im := range a.impressions {
+		if im.Liked {
+			likes++
+		} else {
+			dislikes++
+		}
+	}
+	return likes, dislikes
+}

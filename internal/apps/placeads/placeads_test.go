@@ -1,0 +1,222 @@
+package placeads
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/simclock"
+	"repro/internal/world"
+)
+
+func testWorld(seed int64) (*world.World, world.Config) {
+	cfg := world.DefaultConfig()
+	return world.Generate(cfg, rand.New(rand.NewSource(seed))), cfg
+}
+
+func TestInventory(t *testing.T) {
+	inv := DefaultInventory()
+	if inv.Size() == 0 {
+		t.Fatal("empty inventory")
+	}
+	ads := inv.ForCategories([]world.VenueKind{world.KindRestaurant})
+	if len(ads) == 0 {
+		t.Fatal("no restaurant ads")
+	}
+	for _, a := range ads {
+		if a.Category != world.KindRestaurant {
+			t.Errorf("wrong category: %+v", a)
+		}
+	}
+	// Stable ordering.
+	again := inv.ForCategories([]world.VenueKind{world.KindRestaurant})
+	for i := range ads {
+		if ads[i].ID != again[i].ID {
+			t.Fatal("unstable ad ordering")
+		}
+	}
+	if got := inv.ForCategories([]world.VenueKind{world.KindHome}); len(got) != 0 {
+		t.Error("ads for homes?")
+	}
+}
+
+func TestPOIDirectoryExcludesPrivateVenues(t *testing.T) {
+	w, cfg := testWorld(1)
+	r := rand.New(rand.NewSource(2))
+	home := w.AddVenue("home-x", "Home", world.KindHome, cfg.Origin, false, cfg, r)
+	d := NewPOIDirectory(w)
+	kinds := d.KindsNear(home.Center, 1)
+	for _, k := range kinds {
+		if k == world.KindHome || k == world.KindWorkplace {
+			t.Errorf("private kind %v in POI directory", k)
+		}
+	}
+}
+
+func TestKindsNearOrderingAndRadius(t *testing.T) {
+	w, cfg := testWorld(3)
+	d := NewPOIDirectory(w)
+	all := d.KindsNear(cfg.Origin, cfg.ExtentMeters*3)
+	if len(all) == 0 {
+		t.Fatal("no kinds in whole world")
+	}
+	// Tiny radius: at most the kinds of venues containing origin.
+	near := d.KindsNear(cfg.Origin, 10)
+	if len(near) > len(all) {
+		t.Error("radius filter broken")
+	}
+	// Distinctness.
+	seen := map[world.VenueKind]bool{}
+	for _, k := range all {
+		if seen[k] {
+			t.Fatalf("duplicate kind %v", k)
+		}
+		seen[k] = true
+	}
+}
+
+// fixedSwiper likes everything.
+type fixedSwiper struct{ like bool }
+
+func (f fixedSwiper) Swipe(Ad, time.Time) bool { return f.like }
+
+func arrivalIntent(placeID string, pos geo.LatLng) core.Intent {
+	return core.Intent{
+		Action: core.ActionPlaceArrival,
+		At:     simclock.Epoch,
+		Place: &core.PlaceInfo{
+			ID:             placeID,
+			Center:         pos,
+			AccuracyMeters: 750,
+			Granularity:    core.GranularityArea,
+		},
+	}
+}
+
+func TestAppServesAdsOnArrival(t *testing.T) {
+	w, _ := testWorld(4)
+	d := NewPOIDirectory(w)
+	app := New(DefaultInventory(), d, fixedSwiper{like: true})
+
+	// Arrive near a market (guaranteed ad category nearby).
+	var market *world.Venue
+	for _, v := range w.Venues {
+		if v.Kind == world.KindMarket {
+			market = v
+			break
+		}
+	}
+	if market == nil {
+		t.Skip("no market generated")
+	}
+	app.handle(arrivalIntent("p0", market.Center))
+	if len(app.Impressions()) == 0 {
+		t.Fatal("no impressions at a market")
+	}
+	if len(app.Impressions()) > app.AdsPerArrival {
+		t.Errorf("served %d > cap %d", len(app.Impressions()), app.AdsPerArrival)
+	}
+	likes, dislikes := app.LikeDislike()
+	if dislikes != 0 || likes != len(app.Impressions()) {
+		t.Errorf("likes=%d dislikes=%d", likes, dislikes)
+	}
+}
+
+func TestAppDoesNotRepeatAdsAtSamePlace(t *testing.T) {
+	w, _ := testWorld(5)
+	d := NewPOIDirectory(w)
+	app := New(DefaultInventory(), d, fixedSwiper{like: true})
+	var market *world.Venue
+	for _, v := range w.Venues {
+		if v.Kind == world.KindMarket {
+			market = v
+			break
+		}
+	}
+	if market == nil {
+		t.Skip("no market generated")
+	}
+	in := arrivalIntent("p0", market.Center)
+	app.handle(in)
+	first := len(app.Impressions())
+	app.handle(in)
+	second := len(app.Impressions()) - first
+	// Second visit may show more (unshown) ads but never repeats one.
+	seen := map[string]int{}
+	for _, im := range app.Impressions() {
+		seen[im.Ad.ID]++
+		if seen[im.Ad.ID] > 1 {
+			t.Fatalf("ad %s repeated at same place", im.Ad.ID)
+		}
+	}
+	_ = second
+}
+
+func TestAppSkipsZeroCoordinates(t *testing.T) {
+	w, _ := testWorld(6)
+	app := New(DefaultInventory(), NewPOIDirectory(w), fixedSwiper{like: true})
+	app.handle(core.Intent{
+		Action: core.ActionPlaceArrival,
+		Place:  &core.PlaceInfo{ID: "p0"}, // zero center: not yet geolocated
+	})
+	if len(app.Impressions()) != 0 {
+		t.Error("served ads without coordinates")
+	}
+	app.handle(core.Intent{Action: core.ActionPlaceArrival}) // nil place
+	if len(app.Impressions()) != 0 {
+		t.Error("served ads for nil place")
+	}
+}
+
+func TestSimSwiperRelevance(t *testing.T) {
+	w, cfg := testWorld(7)
+	d := NewPOIDirectory(w)
+	var market *world.Venue
+	for _, v := range w.Venues {
+		if v.Kind == world.KindMarket {
+			market = v
+			break
+		}
+	}
+	if market == nil {
+		t.Skip("no market")
+	}
+	sw := &SimSwiper{
+		Directory:      d,
+		TruePosition:   func(time.Time) geo.LatLng { return market.Center },
+		RelevanceM:     200,
+		RelevantProb:   1.0,
+		IrrelevantProb: 0.0,
+		Rand:           rand.New(rand.NewSource(8)),
+	}
+	marketAd := Ad{ID: "m", Category: world.KindMarket}
+	if !sw.Swipe(marketAd, simclock.Epoch) {
+		t.Error("relevant ad disliked at p=1")
+	}
+	// A category guaranteed absent within 200 m of the market: use a kind
+	// not present anywhere near.
+	farAway := Ad{ID: "x", Category: world.KindCinema}
+	liked := sw.Swipe(farAway, simclock.Epoch)
+	// Only fails if a cinema happens to be within 200 m of this market.
+	hasCinema := false
+	for _, k := range d.KindsNear(market.Center, 200) {
+		if k == world.KindCinema {
+			hasCinema = true
+		}
+	}
+	if !hasCinema && liked {
+		t.Error("irrelevant ad liked at p=0")
+	}
+	_ = cfg
+}
+
+func TestAttachRegistersAreaLevel(t *testing.T) {
+	// Attach is exercised end-to-end by the study; here just check the
+	// requirement shape via a bare service-free registry path is not
+	// possible, so validate through the public constants.
+	if AppID != "placeads" {
+		t.Error("unexpected app id")
+	}
+}

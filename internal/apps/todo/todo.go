@@ -1,0 +1,105 @@
+// Package todo implements the To-Do application of the paper's use case
+// (Section 2.4): it asks PMWare for building-level place alerts between 9 AM
+// and 6 PM and prompts the user with reminders when they enter or leave
+// their workplace.
+package todo
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// AppID is the connected-application identifier.
+const AppID = "todo"
+
+// Item is one to-do entry, bound to a trigger.
+type Item struct {
+	Text string
+	// OnArrive fires the reminder when entering the target place; otherwise
+	// it fires when leaving.
+	OnArrive bool
+}
+
+// Reminder is a fired alert.
+type Reminder struct {
+	Item    Item
+	PlaceID string
+	At      time.Time
+}
+
+// App is the To-Do connected application. It targets places by user label
+// (e.g. "work"): reminders fire only once PMWare knows which place carries
+// that label, which is exactly the human-labelling loop of Section 2.2.5.
+type App struct {
+	mu sync.Mutex
+
+	targetLabel string
+	items       []Item
+	reminders   []Reminder
+	events      int
+}
+
+// New builds the app targeting places labelled targetLabel
+// (case-insensitive).
+func New(targetLabel string) *App {
+	return &App{targetLabel: targetLabel}
+}
+
+// Add queues a to-do item.
+func (a *App) Add(item Item) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.items = append(a.items, item)
+}
+
+// Attach connects the app to PMWare with the Section 2.4 requirement:
+// building-level granularity, tracked 9 AM - 6 PM.
+func (a *App) Attach(svc *core.Service) error {
+	return svc.Connect(
+		core.Requirement{
+			AppID:       AppID,
+			Granularity: core.GranularityBuilding,
+			FromHour:    9,
+			ToHour:      18,
+		},
+		core.Filter{Actions: []string{core.ActionPlaceArrival, core.ActionPlaceDeparture}},
+		a.handle,
+	)
+}
+
+func (a *App) handle(in core.Intent) {
+	if in.Place == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.events++
+	if !strings.EqualFold(in.Place.Label, a.targetLabel) {
+		return
+	}
+	arriving := in.Action == core.ActionPlaceArrival
+	for _, item := range a.items {
+		if item.OnArrive == arriving {
+			a.reminders = append(a.reminders, Reminder{Item: item, PlaceID: in.Place.ID, At: in.At})
+		}
+	}
+}
+
+// Reminders returns the fired reminders.
+func (a *App) Reminders() []Reminder {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Reminder, len(a.reminders))
+	copy(out, a.reminders)
+	return out
+}
+
+// Events returns how many place intents the app received.
+func (a *App) Events() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.events
+}

@@ -1,0 +1,72 @@
+package todo
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/simclock"
+)
+
+func intent(action, label string, at time.Time) core.Intent {
+	return core.Intent{
+		Action: action,
+		At:     at,
+		Place:  &core.PlaceInfo{ID: "p1", Label: label},
+	}
+}
+
+func TestRemindersFireOnLabeledArrival(t *testing.T) {
+	app := New("work")
+	app.Add(Item{Text: "check standup notes", OnArrive: true})
+	app.Add(Item{Text: "submit timesheet", OnArrive: false})
+
+	at := simclock.Epoch.Add(9 * time.Hour)
+	app.handle(intent(core.ActionPlaceArrival, "Work", at)) // case-insensitive
+	rs := app.Reminders()
+	if len(rs) != 1 || rs[0].Item.Text != "check standup notes" {
+		t.Fatalf("reminders after arrival = %+v", rs)
+	}
+	if !rs[0].At.Equal(at) {
+		t.Errorf("reminder at %v", rs[0].At)
+	}
+
+	app.handle(intent(core.ActionPlaceDeparture, "work", at.Add(9*time.Hour)))
+	rs = app.Reminders()
+	if len(rs) != 2 || rs[1].Item.Text != "submit timesheet" {
+		t.Fatalf("reminders after departure = %+v", rs)
+	}
+}
+
+func TestNonTargetPlacesIgnored(t *testing.T) {
+	app := New("work")
+	app.Add(Item{Text: "x", OnArrive: true})
+	app.handle(intent(core.ActionPlaceArrival, "home", simclock.Epoch))
+	app.handle(intent(core.ActionPlaceArrival, "", simclock.Epoch)) // unlabeled
+	if len(app.Reminders()) != 0 {
+		t.Error("reminders for non-target places")
+	}
+	if app.Events() != 2 {
+		t.Errorf("events = %d", app.Events())
+	}
+}
+
+func TestNilPlaceIgnored(t *testing.T) {
+	app := New("work")
+	app.Add(Item{Text: "x", OnArrive: true})
+	app.handle(core.Intent{Action: core.ActionPlaceArrival})
+	if app.Events() != 0 || len(app.Reminders()) != 0 {
+		t.Error("nil place processed")
+	}
+}
+
+func TestRemindersCopy(t *testing.T) {
+	app := New("work")
+	app.Add(Item{Text: "x", OnArrive: true})
+	app.handle(intent(core.ActionPlaceArrival, "work", simclock.Epoch))
+	rs := app.Reminders()
+	rs[0].Item.Text = "mutated"
+	if app.Reminders()[0].Item.Text != "x" {
+		t.Error("Reminders returned internal slice")
+	}
+}

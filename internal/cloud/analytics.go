@@ -1,0 +1,242 @@
+package cloud
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/profile"
+)
+
+// Analytics is the prediction engine over stored mobility profiles (paper
+// Section 2.3.2). It answers the three query families the paper lists:
+// typical arrival time at a place, next expected visit, and visit frequency.
+type Analytics struct {
+	store *Store
+}
+
+// NewAnalytics returns an engine over the store.
+func NewAnalytics(store *Store) *Analytics { return &Analytics{store: store} }
+
+// arrivalsAt collects (time-of-day-seconds, weekday) of every arrival at the
+// place across the user's stored profiles. An overnight stay split at
+// midnight produces a spurious 00:00 "arrival" on the second day; those
+// continuation rows are skipped.
+func (a *Analytics) arrivalsAt(userID, placeID string) []arrival {
+	profiles := a.store.ProfileRange(userID, "", "")
+	var out []arrival
+	var prevDay *profile.DayProfile
+	for _, day := range profiles {
+		for _, v := range day.Places {
+			if v.PlaceID != placeID {
+				continue
+			}
+			if isMidnightContinuation(v, prevDay, placeID) {
+				continue
+			}
+			sec := v.Arrive.Hour()*3600 + v.Arrive.Minute()*60 + v.Arrive.Second()
+			out = append(out, arrival{secOfDay: sec, weekday: v.Arrive.Weekday(), at: v.Arrive})
+		}
+		prevDay = day
+	}
+	return out
+}
+
+type arrival struct {
+	secOfDay int
+	weekday  time.Weekday
+	at       time.Time
+}
+
+// isMidnightContinuation detects the second half of a visit split at the day
+// boundary: arrival exactly at 00:00 while the previous day's profile ends
+// with the same place at 24:00.
+func isMidnightContinuation(v profile.PlaceVisit, prevDay *profile.DayProfile, placeID string) bool {
+	if v.Arrive.Hour() != 0 || v.Arrive.Minute() != 0 || v.Arrive.Second() != 0 {
+		return false
+	}
+	if prevDay == nil || len(prevDay.Places) == 0 {
+		return false
+	}
+	last := prevDay.Places[len(prevDay.Places)-1]
+	return last.PlaceID == placeID && last.Depart.Equal(v.Arrive)
+}
+
+// TypicalArrival answers "at what time does the user typically reach this
+// place?" — e.g. the likely time the user reaches home in the evening. It
+// returns the circular mean of arrival times-of-day and the sample count
+// (zero when the place was never visited).
+func (a *Analytics) TypicalArrival(userID, placeID string) (secOfDay int, n int) {
+	arrivals := a.arrivalsAt(userID, placeID)
+	if len(arrivals) == 0 {
+		return 0, 0
+	}
+	// Circular mean over the 24 h cycle, so 23:30 and 00:30 average to
+	// midnight rather than noon.
+	var sx, sy float64
+	for _, ar := range arrivals {
+		th := float64(ar.secOfDay) / 86400 * 2 * math.Pi
+		sx += math.Cos(th)
+		sy += math.Sin(th)
+	}
+	th := math.Atan2(sy, sx)
+	if th < 0 {
+		th += 2 * math.Pi
+	}
+	return int(th / (2 * math.Pi) * 86400), len(arrivals)
+}
+
+// PredictNextVisit answers "when will the user next visit this place?" after
+// the given instant. The model is the day-of-week visiting pattern: for each
+// of the next 14 days, if the user has historically visited the place on
+// that weekday, predict the typical arrival time on the first such day.
+// Confident is false when history is too thin (fewer than 2 visits).
+func (a *Analytics) PredictNextVisit(userID, placeID string, after time.Time) (time.Time, bool) {
+	arrivals := a.arrivalsAt(userID, placeID)
+	if len(arrivals) < 2 {
+		return time.Time{}, false
+	}
+	// Per-weekday typical arrival.
+	type acc struct {
+		sx, sy float64
+		n      int
+	}
+	byWD := map[time.Weekday]*acc{}
+	for _, ar := range arrivals {
+		a, ok := byWD[ar.weekday]
+		if !ok {
+			a = &acc{}
+			byWD[ar.weekday] = a
+		}
+		th := float64(ar.secOfDay) / 86400 * 2 * math.Pi
+		a.sx += math.Cos(th)
+		a.sy += math.Sin(th)
+		a.n++
+	}
+	day := time.Date(after.Year(), after.Month(), after.Day(), 0, 0, 0, 0, after.Location())
+	for i := 0; i < 14; i++ {
+		d := day.AddDate(0, 0, i)
+		acc, ok := byWD[d.Weekday()]
+		if !ok {
+			continue
+		}
+		th := math.Atan2(acc.sy, acc.sx)
+		if th < 0 {
+			th += 2 * math.Pi
+		}
+		sec := int(th / (2 * math.Pi) * 86400)
+		cand := d.Add(time.Duration(sec) * time.Second)
+		if cand.After(after) {
+			return cand, true
+		}
+	}
+	return time.Time{}, false
+}
+
+// VisitFrequency answers "how often does the user visit this place?" as
+// visits per week over the observed profile span.
+func (a *Analytics) VisitFrequency(userID, placeID string) (perWeek float64, total int) {
+	profiles := a.store.ProfileRange(userID, "", "")
+	if len(profiles) == 0 {
+		return 0, 0
+	}
+	arrivals := a.arrivalsAt(userID, placeID)
+	total = len(arrivals)
+	first, _ := time.Parse(profile.DateFormat, profiles[0].Date)
+	last, _ := time.Parse(profile.DateFormat, profiles[len(profiles)-1].Date)
+	days := last.Sub(first).Hours()/24 + 1
+	if days <= 0 {
+		days = 1
+	}
+	return float64(total) / days * 7, total
+}
+
+// DwellStats summarizes stay durations at a place across stored profiles.
+// Visits split at midnight are re-joined before measuring, so an overnight
+// home stay counts once at its full length.
+func (a *Analytics) DwellStats(userID, placeID string) DwellStatsResponse {
+	profiles := a.store.ProfileRange(userID, "", "")
+	var stays []time.Duration
+	var open *profile.PlaceVisit
+	var openDur time.Duration
+	flush := func() {
+		if open != nil {
+			stays = append(stays, openDur)
+			open = nil
+			openDur = 0
+		}
+	}
+	for _, day := range profiles {
+		for i := range day.Places {
+			v := day.Places[i]
+			if v.PlaceID != placeID {
+				continue
+			}
+			if open != nil && v.Arrive.Equal(openEnd(open, openDur)) {
+				openDur += v.Duration()
+				continue
+			}
+			flush()
+			vv := v
+			open = &vv
+			openDur = v.Duration()
+		}
+	}
+	flush()
+
+	resp := DwellStatsResponse{PlaceID: placeID, Visits: len(stays)}
+	if len(stays) == 0 {
+		return resp
+	}
+	sortDurations(stays)
+	var sum time.Duration
+	for _, s := range stays {
+		sum += s
+	}
+	resp.MeanStaySec = int(sum.Seconds()) / len(stays)
+	resp.MedianStaySec = int(stays[len(stays)/2].Seconds())
+	resp.LongestStaySec = int(stays[len(stays)-1].Seconds())
+	return resp
+}
+
+// openEnd computes where the currently-joined visit run ends.
+func openEnd(v *profile.PlaceVisit, joined time.Duration) time.Time {
+	return v.Arrive.Add(joined)
+}
+
+func sortDurations(d []time.Duration) {
+	for i := 1; i < len(d); i++ {
+		for j := i; j > 0 && d[j] < d[j-1]; j-- {
+			d[j], d[j-1] = d[j-1], d[j]
+		}
+	}
+}
+
+// FrequencyByKindPrefix sums visit frequency across every place whose ID (or
+// label) starts with the prefix — e.g. "how frequently does the user visit
+// shopping malls" when mall places are labelled accordingly.
+func (a *Analytics) FrequencyByLabel(userID, label string) (perWeek float64, total int) {
+	profiles := a.store.ProfileRange(userID, "", "")
+	if len(profiles) == 0 {
+		return 0, 0
+	}
+	var prevDay *profile.DayProfile
+	for _, day := range profiles {
+		for _, v := range day.Places {
+			if v.Label != label {
+				continue
+			}
+			if isMidnightContinuation(v, prevDay, v.PlaceID) {
+				continue
+			}
+			total++
+		}
+		prevDay = day
+	}
+	first, _ := time.Parse(profile.DateFormat, profiles[0].Date)
+	last, _ := time.Parse(profile.DateFormat, profiles[len(profiles)-1].Date)
+	days := last.Sub(first).Hours()/24 + 1
+	if days <= 0 {
+		days = 1
+	}
+	return float64(total) / days * 7, total
+}

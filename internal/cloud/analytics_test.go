@@ -1,0 +1,260 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/profile"
+	"repro/internal/simclock"
+)
+
+// seedProfiles stores a fortnight of synthetic routine: home overnight,
+// work 9:15-ish on weekdays, mall on Saturdays around 14:00.
+func seedProfiles(t *testing.T, s *Store, userID string) {
+	t.Helper()
+	for d := 0; d < 14; d++ {
+		day := simclock.Epoch.AddDate(0, 0, d)
+		date := day.Format(profile.DateFormat)
+		p := &profile.DayProfile{UserID: userID, Date: date}
+
+		wd := day.Weekday()
+		switch {
+		case wd == time.Saturday:
+			p.Places = append(p.Places,
+				profile.PlaceVisit{PlaceID: "home", Label: "home", Arrive: day, Depart: day.Add(13 * time.Hour)},
+				profile.PlaceVisit{PlaceID: "mall", Label: "mall", Arrive: day.Add(14 * time.Hour), Depart: day.Add(17 * time.Hour)},
+				profile.PlaceVisit{PlaceID: "home", Label: "home", Arrive: day.Add(18 * time.Hour), Depart: day.Add(24 * time.Hour)},
+			)
+		case wd == time.Sunday:
+			p.Places = append(p.Places,
+				profile.PlaceVisit{PlaceID: "home", Label: "home", Arrive: day, Depart: day.Add(24 * time.Hour)},
+			)
+		default:
+			// Work 9:15 +/- a few minutes depending on day index; home at
+			// ~18:40.
+			arrive := day.Add(9*time.Hour + time.Duration(10+d)*time.Minute)
+			homeBack := day.Add(18*time.Hour + 40*time.Minute)
+			p.Places = append(p.Places,
+				profile.PlaceVisit{PlaceID: "home", Label: "home", Arrive: day, Depart: arrive.Add(-30 * time.Minute)},
+				profile.PlaceVisit{PlaceID: "work", Label: "work", Arrive: arrive, Depart: homeBack.Add(-25 * time.Minute)},
+				profile.PlaceVisit{PlaceID: "home", Label: "home", Arrive: homeBack, Depart: day.Add(24 * time.Hour)},
+			)
+		}
+		if err := s.PutProfile(userID, p); err != nil {
+			t.Fatalf("seed %s: %v", date, err)
+		}
+	}
+}
+
+func TestTypicalArrivalWork(t *testing.T) {
+	s := NewStore(fixedNow(simclock.Epoch))
+	a := NewAnalytics(s)
+	seedProfiles(t, s, "u1")
+
+	sec, n := a.TypicalArrival("u1", "work")
+	if n != 10 {
+		t.Errorf("work arrivals = %d, want 10 weekdays", n)
+	}
+	// ~9:15-9:25.
+	h := float64(sec) / 3600
+	if h < 9.0 || h > 9.7 {
+		t.Errorf("typical work arrival = %.2f h, want ~9.3", h)
+	}
+}
+
+func TestTypicalArrivalHomeEveningNotMidnight(t *testing.T) {
+	// The paper's query: "likely time at which the user typically reaches
+	// home in the evening". Midnight continuations must not drag the mean.
+	s := NewStore(fixedNow(simclock.Epoch))
+	a := NewAnalytics(s)
+	seedProfiles(t, s, "u1")
+
+	sec, n := a.TypicalArrival("u1", "home")
+	if n == 0 {
+		t.Fatal("no home arrivals")
+	}
+	h := float64(sec) / 3600
+	// Home arrivals cluster in the evening (18:40, 18:00 Sat); with the
+	// midnight continuations correctly skipped the mean stays in the
+	// evening.
+	if h < 17 || h > 20 {
+		t.Errorf("typical home arrival = %.2f h, want evening", h)
+	}
+}
+
+func TestTypicalArrivalUnknownPlace(t *testing.T) {
+	s := NewStore(fixedNow(simclock.Epoch))
+	a := NewAnalytics(s)
+	if _, n := a.TypicalArrival("u1", "atlantis"); n != 0 {
+		t.Error("phantom arrivals")
+	}
+}
+
+func TestCircularMeanAroundMidnight(t *testing.T) {
+	// Arrivals at 23:30 and 00:30 must average to ~midnight, not noon.
+	s := NewStore(fixedNow(simclock.Epoch))
+	a := NewAnalytics(s)
+	day0 := simclock.Epoch
+	day1 := simclock.Epoch.AddDate(0, 0, 1)
+	_ = s.PutProfile("u1", &profile.DayProfile{
+		UserID: "u1", Date: day0.Format(profile.DateFormat),
+		Places: []profile.PlaceVisit{{PlaceID: "club", Arrive: day0.Add(23*time.Hour + 30*time.Minute), Depart: day0.Add(24 * time.Hour)}},
+	})
+	_ = s.PutProfile("u1", &profile.DayProfile{
+		UserID: "u1", Date: day1.Format(profile.DateFormat),
+		Places: []profile.PlaceVisit{{PlaceID: "club", Arrive: day1.Add(30 * time.Minute), Depart: day1.Add(2 * time.Hour)}},
+	})
+	sec, n := a.TypicalArrival("u1", "club")
+	if n != 2 {
+		t.Fatalf("arrivals = %d", n)
+	}
+	// Within 15 minutes of midnight (either side).
+	distFromMidnight := math.Min(float64(sec), float64(86400-sec))
+	if distFromMidnight > 900 {
+		t.Errorf("circular mean = %d s from midnight", sec)
+	}
+}
+
+func TestPredictNextVisit(t *testing.T) {
+	s := NewStore(fixedNow(simclock.Epoch))
+	a := NewAnalytics(s)
+	seedProfiles(t, s, "u1")
+
+	// After the study: next mall visit should land on a Saturday around
+	// 14:00.
+	after := simclock.Epoch.AddDate(0, 0, 14)
+	next, ok := a.PredictNextVisit("u1", "mall", after)
+	if !ok {
+		t.Fatal("no prediction despite 2 mall visits")
+	}
+	if next.Weekday() != time.Saturday {
+		t.Errorf("predicted weekday = %v, want Saturday", next.Weekday())
+	}
+	if h := next.Hour(); h < 13 || h > 15 {
+		t.Errorf("predicted hour = %d, want ~14", h)
+	}
+	if !next.After(after) {
+		t.Error("prediction not in the future")
+	}
+}
+
+func TestPredictNextVisitSameDayLater(t *testing.T) {
+	s := NewStore(fixedNow(simclock.Epoch))
+	a := NewAnalytics(s)
+	seedProfiles(t, s, "u1")
+
+	// Monday 06:00: work visit should be predicted for the same day ~9:20.
+	after := simclock.Epoch.AddDate(0, 0, 14).Add(6 * time.Hour) // a Monday
+	next, ok := a.PredictNextVisit("u1", "work", after)
+	if !ok {
+		t.Fatal("no prediction")
+	}
+	if next.Day() != after.Day() {
+		t.Errorf("prediction skipped same-day visit: %v", next)
+	}
+}
+
+func TestPredictNextVisitThinHistory(t *testing.T) {
+	s := NewStore(fixedNow(simclock.Epoch))
+	a := NewAnalytics(s)
+	day := simclock.Epoch
+	_ = s.PutProfile("u1", &profile.DayProfile{
+		UserID: "u1", Date: day.Format(profile.DateFormat),
+		Places: []profile.PlaceVisit{{PlaceID: "once", Arrive: day.Add(10 * time.Hour), Depart: day.Add(11 * time.Hour)}},
+	})
+	if _, ok := a.PredictNextVisit("u1", "once", day.AddDate(0, 0, 1)); ok {
+		t.Error("confident prediction from a single visit")
+	}
+}
+
+func TestVisitFrequency(t *testing.T) {
+	s := NewStore(fixedNow(simclock.Epoch))
+	a := NewAnalytics(s)
+	seedProfiles(t, s, "u1")
+
+	perWeek, total := a.VisitFrequency("u1", "work")
+	if total != 10 {
+		t.Errorf("work visits = %d, want 10", total)
+	}
+	if perWeek < 4.5 || perWeek > 5.5 {
+		t.Errorf("work frequency = %.2f/week, want ~5", perWeek)
+	}
+	perWeek, total = a.VisitFrequency("u1", "mall")
+	if total != 2 || perWeek < 0.8 || perWeek > 1.2 {
+		t.Errorf("mall frequency = %.2f/week (%d), want ~1", perWeek, total)
+	}
+	if _, total := a.VisitFrequency("u1", "nowhere"); total != 0 {
+		t.Error("phantom visits")
+	}
+	if perWeek, total := a.VisitFrequency("ghost", "work"); perWeek != 0 || total != 0 {
+		t.Error("unknown user should have zero frequency")
+	}
+}
+
+func TestFrequencyByLabel(t *testing.T) {
+	s := NewStore(fixedNow(simclock.Epoch))
+	a := NewAnalytics(s)
+	seedProfiles(t, s, "u1")
+	perWeek, total := a.FrequencyByLabel("u1", "mall")
+	if total != 2 {
+		t.Errorf("labelled mall visits = %d", total)
+	}
+	if perWeek <= 0 {
+		t.Error("zero label frequency")
+	}
+}
+
+func TestDwellStats(t *testing.T) {
+	s := NewStore(fixedNow(simclock.Epoch))
+	a := NewAnalytics(s)
+	seedProfiles(t, s, "u1")
+
+	// Work stays: weekdays, roughly 9:20 -> 18:15 (~9h each).
+	stats := a.DwellStats("u1", "work")
+	if stats.Visits != 10 {
+		t.Errorf("work stays = %d, want 10", stats.Visits)
+	}
+	meanH := float64(stats.MeanStaySec) / 3600
+	if meanH < 8 || meanH > 10 {
+		t.Errorf("mean work stay = %.1f h, want ~9", meanH)
+	}
+	if stats.MedianStaySec <= 0 || stats.LongestStaySec < stats.MedianStaySec {
+		t.Errorf("order stats wrong: %+v", stats)
+	}
+
+	// Home stays include overnight runs rejoined across midnight: the
+	// longest home stay must exceed 24h is impossible, but it must exceed a
+	// single evening (>12h spanning the midnight split).
+	home := a.DwellStats("u1", "home")
+	if home.Visits == 0 {
+		t.Fatal("no home stays")
+	}
+	if home.LongestStaySec < 12*3600 {
+		t.Errorf("longest home stay = %d s; midnight rejoin failed", home.LongestStaySec)
+	}
+
+	// Unknown place: zeroes.
+	if got := a.DwellStats("u1", "atlantis"); got.Visits != 0 || got.MeanStaySec != 0 {
+		t.Errorf("phantom dwell stats: %+v", got)
+	}
+}
+
+func TestDwellStatsViaHTTP(t *testing.T) {
+	ts := newTestServer(t)
+	c := ts.client()
+	if err := c.Register(); err != nil {
+		t.Fatal(err)
+	}
+	seedProfiles(t, ts.store, c.UserID())
+	stats, err := c.DwellStats("mall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Visits != 2 {
+		t.Errorf("mall stays = %d", stats.Visits)
+	}
+	if err := c.authedCall("GET", PathStatsDwell, nil, nil, nil); err == nil {
+		t.Error("missing place parameter accepted")
+	}
+}

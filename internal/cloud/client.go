@@ -1,0 +1,340 @@
+package cloud
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/gsm"
+	"repro/internal/profile"
+	"repro/internal/trace"
+	"repro/internal/world"
+)
+
+// Client implements the cloud surface the mobile service consumes.
+var _ core.CloudAPI = (*Client)(nil)
+
+// Client is the mobile service's connection to the cloud instance: the
+// communication-management module of Section 2.2.5 ("REST API based
+// communication with the cloud instance"). It handles registration, token
+// refresh on expiry, and typed access to every endpoint. Safe for concurrent
+// use.
+type Client struct {
+	baseURL string
+	http    *http.Client
+
+	imei  string
+	email string
+
+	mu     sync.Mutex
+	token  string
+	userID string
+}
+
+// NewClient builds a client for the given base URL (no trailing slash) and
+// device identity. httpClient may be nil for http.DefaultClient.
+func NewClient(baseURL, imei, email string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{baseURL: baseURL, http: httpClient, imei: imei, email: email}
+}
+
+// UserID returns the registered user id (empty before first registration).
+func (c *Client) UserID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.userID
+}
+
+// Register performs the one-time registration handshake, storing the token
+// for subsequent calls.
+func (c *Client) Register() error {
+	var resp RegisterResponse
+	if err := c.call(http.MethodPost, PathRegister, nil, RegisterRequest{IMEI: c.imei, Email: c.email}, &resp, false); err != nil {
+		return fmt.Errorf("cloud: register: %w", err)
+	}
+	c.mu.Lock()
+	c.token = resp.Token
+	c.userID = resp.UserID
+	c.mu.Unlock()
+	return nil
+}
+
+// Refresh exchanges the current token for a fresh one.
+func (c *Client) Refresh() error {
+	var resp RefreshResponse
+	if err := c.call(http.MethodPost, PathRefresh, nil, nil, &resp, true); err != nil {
+		return fmt.Errorf("cloud: refresh: %w", err)
+	}
+	c.mu.Lock()
+	c.token = resp.Token
+	c.mu.Unlock()
+	return nil
+}
+
+// statusError carries a non-2xx response.
+type statusError struct {
+	Status int
+	Msg    string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("cloud: http %d: %s", e.Status, e.Msg)
+}
+
+// call performs one JSON request. withAuth attaches the bearer token.
+func (c *Client) call(method, path string, query url.Values, body, into any, withAuth bool) error {
+	u := c.baseURL + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("marshal request: %w", err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, u, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if withAuth {
+		c.mu.Lock()
+		tok := c.token
+		c.mu.Unlock()
+		if tok == "" {
+			return &statusError{Status: http.StatusUnauthorized, Msg: "no token (register first)"}
+		}
+		req.Header.Set("Authorization", "Bearer "+tok)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return &statusError{Status: resp.StatusCode, Msg: e.Error}
+	}
+	if into == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		return fmt.Errorf("decode response: %w", err)
+	}
+	return nil
+}
+
+// authedCall wraps call with one automatic recovery from an expired token:
+// refresh (or re-register when refresh is also rejected) and retry once.
+func (c *Client) authedCall(method, path string, query url.Values, body, into any) error {
+	err := c.call(method, path, query, body, into, true)
+	se, ok := err.(*statusError)
+	if !ok || se.Status != http.StatusUnauthorized {
+		return err
+	}
+	if rerr := c.Refresh(); rerr != nil {
+		if rerr := c.Register(); rerr != nil {
+			return err
+		}
+	}
+	return c.call(method, path, query, body, into, true)
+}
+
+// DiscoverPlaces offloads GCA to the cloud (core.CloudAPI).
+func (c *Client) DiscoverPlaces(obs []trace.GSMObservation) ([]*gsm.Place, error) {
+	var resp DiscoverPlacesResponse
+	if err := c.authedCall(http.MethodPost, PathPlacesDiscover, nil, DiscoverPlacesRequest{Observations: obs}, &resp); err != nil {
+		return nil, err
+	}
+	places := make([]*gsm.Place, 0, len(resp.Places))
+	for _, w := range resp.Places {
+		places = append(places, WireToPlace(w))
+	}
+	return places, nil
+}
+
+// SyncProfile uploads a day profile (core.CloudAPI).
+func (c *Client) SyncProfile(p *profile.DayProfile) error {
+	return c.authedCall(http.MethodPut, PathProfiles+"/"+p.Date, nil, p, nil)
+}
+
+// GeolocateCell resolves a Cell-ID via the cloud geo service
+// (core.CloudAPI).
+func (c *Client) GeolocateCell(id world.CellID) (geo.LatLng, float64, error) {
+	q := url.Values{}
+	q.Set("mcc", strconv.Itoa(id.MCC))
+	q.Set("mnc", strconv.Itoa(id.MNC))
+	q.Set("lac", strconv.Itoa(id.LAC))
+	q.Set("cid", strconv.Itoa(id.CID))
+	var resp GeoCellResponse
+	if err := c.authedCall(http.MethodGet, PathGeoCell, q, nil, &resp); err != nil {
+		return geo.LatLng{}, 0, err
+	}
+	return geo.LatLng{Lat: resp.Lat, Lng: resp.Lng}, resp.AccuracyMeters, nil
+}
+
+// Places fetches the user's stored places.
+func (c *Client) Places() ([]PlaceWire, error) {
+	var resp DiscoverPlacesResponse
+	if err := c.authedCall(http.MethodGet, PathPlaces, nil, nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Places, nil
+}
+
+// LabelPlace tags a stored place.
+func (c *Client) LabelPlace(placeID int, label string) error {
+	return c.authedCall(http.MethodPost, PathPlacesLabel, nil, LabelRequest{PlaceID: placeID, Label: label}, nil)
+}
+
+// DiscoverRoutes offloads route extraction.
+func (c *Client) DiscoverRoutes(obs []trace.GSMObservation, visits []VisitWire) ([]RouteWire, error) {
+	var resp DiscoverRoutesResponse
+	if err := c.authedCall(http.MethodPost, PathRoutesDiscover, nil, DiscoverRoutesRequest{Observations: obs, Visits: visits}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Routes, nil
+}
+
+// Routes fetches stored routes with at least minFrequency traversals.
+func (c *Client) Routes(minFrequency int) ([]RouteWire, error) {
+	q := url.Values{}
+	if minFrequency > 0 {
+		q.Set("min_frequency", strconv.Itoa(minFrequency))
+	}
+	var resp DiscoverRoutesResponse
+	if err := c.authedCall(http.MethodGet, PathRoutes, q, nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Routes, nil
+}
+
+// RouteSimilarity compares two cell sequences on the cloud.
+func (c *Client) RouteSimilarity(a, b []world.CellID) (float64, error) {
+	var resp RouteSimilarityResponse
+	if err := c.authedCall(http.MethodPost, PathRouteSimilarity, nil, RouteSimilarityRequest{A: a, B: b}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Similarity, nil
+}
+
+// Profile fetches one day profile.
+func (c *Client) Profile(date string) (*profile.DayProfile, error) {
+	var p profile.DayProfile
+	if err := c.authedCall(http.MethodGet, PathProfiles+"/"+date, nil, nil, &p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// ProfileRange fetches day profiles between two dates (inclusive; empty
+// bounds are open).
+func (c *Client) ProfileRange(from, to string) ([]*profile.DayProfile, error) {
+	q := url.Values{}
+	if from != "" {
+		q.Set("from", from)
+	}
+	if to != "" {
+		q.Set("to", to)
+	}
+	var ps []*profile.DayProfile
+	if err := c.authedCall(http.MethodGet, PathProfiles, q, nil, &ps); err != nil {
+		return nil, err
+	}
+	return ps, nil
+}
+
+// UploadContacts appends encounters to the user's contact log.
+func (c *Client) UploadContacts(encs []profile.Encounter) error {
+	return c.authedCall(http.MethodPost, PathContacts, nil, ContactsRequest{Encounters: encs}, nil)
+}
+
+// Contacts fetches encounters, optionally filtered by place.
+func (c *Client) Contacts(placeID string) ([]profile.Encounter, error) {
+	q := url.Values{}
+	if placeID != "" {
+		q.Set("place", placeID)
+	}
+	var resp ContactsResponse
+	if err := c.authedCall(http.MethodGet, PathContacts, q, nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Encounters, nil
+}
+
+// PopularPlaces fetches the k-anonymous cross-user place aggregate.
+func (c *Client) PopularPlaces(k int, radiusM float64) (PopularPlacesResponse, error) {
+	q := url.Values{}
+	if k > 0 {
+		q.Set("k", strconv.Itoa(k))
+	}
+	if radiusM > 0 {
+		q.Set("radius", strconv.FormatFloat(radiusM, 'f', -1, 64))
+	}
+	var resp PopularPlacesResponse
+	err := c.authedCall(http.MethodGet, PathPlacesPopular, q, nil, &resp)
+	return resp, err
+}
+
+// PredictArrival asks for the user's typical arrival time-of-day at a place.
+func (c *Client) PredictArrival(placeID string) (PredictArrivalResponse, error) {
+	q := url.Values{}
+	q.Set("place", placeID)
+	var resp PredictArrivalResponse
+	err := c.authedCall(http.MethodGet, PathPredictArrival, q, nil, &resp)
+	return resp, err
+}
+
+// PredictNextVisit asks when the user will next visit the place.
+func (c *Client) PredictNextVisit(placeID string, after time.Time) (PredictNextVisitResponse, error) {
+	q := url.Values{}
+	q.Set("place", placeID)
+	q.Set("after", after.Format(time.RFC3339))
+	var resp PredictNextVisitResponse
+	err := c.authedCall(http.MethodGet, PathPredictNext, q, nil, &resp)
+	return resp, err
+}
+
+// VisitFrequency asks how often the user visits the place.
+func (c *Client) VisitFrequency(placeID string) (FrequencyResponse, error) {
+	q := url.Values{}
+	q.Set("place", placeID)
+	var resp FrequencyResponse
+	err := c.authedCall(http.MethodGet, PathStatsFrequency, q, nil, &resp)
+	return resp, err
+}
+
+// DwellStats asks for stay-duration statistics at a place.
+func (c *Client) DwellStats(placeID string) (DwellStatsResponse, error) {
+	q := url.Values{}
+	q.Set("place", placeID)
+	var resp DwellStatsResponse
+	err := c.authedCall(http.MethodGet, PathStatsDwell, q, nil, &resp)
+	return resp, err
+}
+
+// FrequencyByLabel asks how often the user visits places with a label (e.g.
+// "how frequently does the user visit shopping malls?").
+func (c *Client) FrequencyByLabel(label string) (FrequencyResponse, error) {
+	q := url.Values{}
+	q.Set("label", label)
+	var resp FrequencyResponse
+	err := c.authedCall(http.MethodGet, PathStatsFrequency, q, nil, &resp)
+	return resp, err
+}

@@ -1,0 +1,92 @@
+package cloud
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/profile"
+	"repro/internal/simclock"
+)
+
+// TestStoreConcurrentAccess hammers the store from many goroutines; run
+// with -race to validate the locking discipline.
+func TestStoreConcurrentAccess(t *testing.T) {
+	s := NewStore(fixedNow(simclock.Epoch))
+	const workers = 8
+	const iters = 50
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			uid := fmt.Sprintf("user-%d", w)
+			for i := 0; i < iters; i++ {
+				reg, err := s.Register(fmt.Sprintf("imei-%d", w), "x@y")
+				if err != nil {
+					t.Errorf("register: %v", err)
+					return
+				}
+				if _, err := s.Authenticate(reg.Token); err != nil {
+					t.Errorf("auth: %v", err)
+					return
+				}
+				s.SetPlaces(uid, []PlaceWire{{ID: i}})
+				_ = s.Places(uid)
+				s.SetRoutes(uid, []RouteWire{{ID: i}})
+				_ = s.Routes(uid, 0)
+				day := simclock.Epoch.AddDate(0, 0, i%5)
+				_ = s.PutProfile(uid, &profile.DayProfile{
+					UserID: uid,
+					Date:   day.Format(profile.DateFormat),
+					Places: []profile.PlaceVisit{{PlaceID: "p", Arrive: day.Add(time.Hour), Depart: day.Add(2 * time.Hour)}},
+				})
+				_ = s.ProfileRange(uid, "", "")
+				s.AddContacts(uid, []profile.Encounter{{ContactID: "c", Start: day, End: day.Add(time.Minute)}})
+				_ = s.Contacts(uid, "")
+			}
+		}()
+	}
+	wg.Wait()
+
+	if s.UserCount() == 0 {
+		t.Error("no users after concurrent registration")
+	}
+}
+
+// TestServerConcurrentRequests exercises the HTTP surface concurrently.
+func TestServerConcurrentRequests(t *testing.T) {
+	ts := newTestServer(t)
+	const workers = 6
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := NewClient(ts.srv.URL, fmt.Sprintf("imei-%d", w), "c@x", ts.srv.Client())
+			if err := c.Register(); err != nil {
+				t.Errorf("register: %v", err)
+				return
+			}
+			for i := 0; i < 10; i++ {
+				if _, err := c.DiscoverPlaces(oscillatingTrace()); err != nil {
+					t.Errorf("discover: %v", err)
+					return
+				}
+				if _, err := c.Places(); err != nil {
+					t.Errorf("places: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if ts.store.UserCount() != workers {
+		t.Errorf("users = %d, want %d", ts.store.UserCount(), workers)
+	}
+}

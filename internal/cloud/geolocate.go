@@ -1,0 +1,55 @@
+package cloud
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"repro/internal/geo"
+	"repro/internal/world"
+)
+
+// CellDatabase resolves Cell-IDs to approximate coordinates. It stands in
+// for the Open Cell ID / Google geolocation services the paper's geo-location
+// API wraps (Section 2.3.3): positions carry a few hundred meters of error,
+// as crowd-sourced tower databases do.
+type CellDatabase struct {
+	entries map[world.CellID]GeoCellResponse
+}
+
+// NewCellDatabase builds the database from the world's towers, applying a
+// deterministic per-cell position error to mimic crowd-sourced inaccuracy.
+func NewCellDatabase(w *world.World, meanErrorMeters float64) *CellDatabase {
+	db := &CellDatabase{entries: make(map[world.CellID]GeoCellResponse, len(w.Towers))}
+	for _, t := range w.Towers {
+		h := fnv.New64a()
+		fmt.Fprint(h, t.ID.String())
+		r := rand.New(rand.NewSource(int64(h.Sum64())))
+		err := r.Float64() * 2 * meanErrorMeters
+		pos := geo.Offset(t.Pos, r.Float64()*360, err)
+		db.entries[t.ID] = GeoCellResponse{
+			Lat:            pos.Lat,
+			Lng:            pos.Lng,
+			AccuracyMeters: t.RangeMeters,
+		}
+	}
+	return db
+}
+
+// Lookup resolves a cell. The boolean is false for unknown cells (towers the
+// crowd never mapped).
+func (db *CellDatabase) Lookup(id world.CellID) (GeoCellResponse, bool) {
+	if db == nil {
+		return GeoCellResponse{}, false
+	}
+	e, ok := db.entries[id]
+	return e, ok
+}
+
+// Size returns the number of known cells.
+func (db *CellDatabase) Size() int {
+	if db == nil {
+		return 0
+	}
+	return len(db.entries)
+}

@@ -1,0 +1,145 @@
+package cloud
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+	"repro/internal/world"
+)
+
+// TestEndToEndMobileServiceWithCloud runs the full stack: simulated world ->
+// sensors -> PMS -> HTTP -> cloud instance, and checks the cloud ends up
+// with the user's places, profiles, and predictions.
+func TestEndToEndMobileServiceWithCloud(t *testing.T) {
+	cfg := world.DefaultConfig()
+	r := rand.New(rand.NewSource(201))
+	w := world.Generate(cfg, r)
+	home := w.AddVenue("home", "Home", world.KindHome, geo.Offset(cfg.Origin, 210, 2300), true, cfg, r)
+	work := w.AddVenue("work", "Office", world.KindWorkplace, geo.Offset(cfg.Origin, 30, 2400), true, cfg, r)
+	agent := &mobility.Agent{ID: "u1", Home: home, Work: work, SpeedMPS: 7}
+	for _, v := range w.Venues {
+		if v.Kind != world.KindHome && v.Kind != world.KindWorkplace {
+			agent.Haunts = append(agent.Haunts, v)
+		}
+	}
+	it, err := mobility.BuildItinerary(agent, w, simclock.Epoch, 3, mobility.DefaultScheduleConfig(), rand.New(rand.NewSource(202)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clock := simclock.New()
+	store := NewStore(clock.Now) // cloud shares the virtual clock
+	server := NewServer(store, WithCellDatabase(NewCellDatabase(w, 150)))
+	ts := httptest.NewServer(server.Handler())
+	defer ts.Close()
+
+	client := NewClient(ts.URL, "imei-e2e", "e2e@example.com", ts.Client())
+	if err := client.Register(); err != nil {
+		t.Fatal(err)
+	}
+
+	sensors := trace.NewSensors(w, it, trace.DefaultConfig(), rand.New(rand.NewSource(203)))
+	meter := energy.NewMeter(energy.DefaultModel())
+	svc := core.NewService(core.DefaultConfig("u1"), clock, sensors, meter, client)
+	svc.Connect(
+		core.Requirement{AppID: "todo", Granularity: core.GranularityBuilding},
+		core.Filter{Actions: []string{core.ActionPlaceArrival, core.ActionNewPlace}},
+		func(core.Intent) {},
+	)
+	svc.Run(72 * time.Hour)
+
+	// The cloud must now hold the user's places.
+	places, err := client.Places()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(places) < 2 {
+		t.Fatalf("cloud has %d places, want >= 2", len(places))
+	}
+
+	// Geolocation populated place centers on the device.
+	centered := 0
+	for _, p := range svc.Places() {
+		if !p.Center.IsZero() {
+			centered++
+			if !w.Bounds.Contains(p.Center) {
+				t.Errorf("place %s geolocated outside world: %v", p.ID, p.Center)
+			}
+		}
+	}
+	if centered == 0 {
+		t.Error("no place centers geolocated despite cloud connectivity")
+	}
+
+	// Profiles synced for finished days.
+	profiles, err := client.ProfileRange("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) < 2 {
+		t.Fatalf("cloud has %d day profiles, want >= 2", len(profiles))
+	}
+	if svc.CloudSyncErrors() != 0 {
+		t.Errorf("sync errors: %d", svc.CloudSyncErrors())
+	}
+
+	// The prediction engine works over synced data: home (largest-dwell
+	// place) must have a typical arrival.
+	var topID string
+	var topDwell time.Duration
+	for _, p := range svc.Places() {
+		if p.TotalDwell() > topDwell {
+			topDwell, topID = p.TotalDwell(), p.ID
+		}
+	}
+	arr, err := client.PredictArrival(topID)
+	if err != nil {
+		t.Fatalf("PredictArrival(%s): %v", topID, err)
+	}
+	if arr.SampleCount == 0 {
+		t.Error("no arrival samples")
+	}
+	freq, err := client.VisitFrequency(topID)
+	if err != nil || freq.TotalVisits == 0 {
+		t.Errorf("frequency = %+v, %v", freq, err)
+	}
+}
+
+// TestServiceSurvivesCloudOutage verifies the on-device fallback: a dead
+// cloud endpoint must not stop discovery.
+func TestServiceSurvivesCloudOutage(t *testing.T) {
+	cfg := world.DefaultConfig()
+	r := rand.New(rand.NewSource(211))
+	w := world.Generate(cfg, r)
+	home := w.AddVenue("home", "Home", world.KindHome, geo.Offset(cfg.Origin, 210, 2300), true, cfg, r)
+	agent := &mobility.Agent{ID: "u1", Home: home, SpeedMPS: 7}
+	it, err := mobility.BuildItinerary(agent, w, simclock.Epoch, 2, mobility.DefaultScheduleConfig(), rand.New(rand.NewSource(212)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A server that immediately closes: every request fails.
+	ts := httptest.NewServer(nil)
+	ts.Close()
+	client := NewClient(ts.URL, "imei-x", "x@example.com", nil)
+
+	clock := simclock.New()
+	sensors := trace.NewSensors(w, it, trace.DefaultConfig(), rand.New(rand.NewSource(213)))
+	svc := core.NewService(core.DefaultConfig("u1"), clock, sensors, energy.NewMeter(energy.DefaultModel()), client)
+	svc.Run(48 * time.Hour)
+
+	if len(svc.Places()) == 0 {
+		t.Error("on-device fallback failed: no places despite dead cloud")
+	}
+	if svc.CloudSyncErrors() == 0 {
+		t.Error("expected sync errors against a dead cloud")
+	}
+}

@@ -1,0 +1,140 @@
+package cloud
+
+import (
+	"sort"
+
+	"repro/internal/geo"
+)
+
+// This file implements the cross-user "popular places" aggregate — an
+// implementation of the paper's future-work direction of offering mobility
+// data to third parties "while ensuring greater privacy guarantees": the
+// cloud reveals only place clusters visited by at least k distinct users
+// (k-anonymity at the place level), with counts and an optional consensus
+// label, never user identities or visit times.
+
+// PopularPlace is one k-anonymous aggregate cluster.
+type PopularPlace struct {
+	Center geo.LatLng `json:"center"`
+	// Users is how many distinct users have a discovered place here.
+	Users int `json:"users"`
+	// Label is the most common user label in the cluster, or "" when fewer
+	// than k users agree on one (so a unique label cannot identify anyone).
+	Label string `json:"label,omitempty"`
+}
+
+// PopularPlacesResponse is the endpoint payload.
+type PopularPlacesResponse struct {
+	K      int            `json:"k"`
+	Places []PopularPlace `json:"places"`
+}
+
+// PathPlacesPopular is the aggregate endpoint.
+const PathPlacesPopular = "/api/v1/places/popular"
+
+// PopularPlaces clusters every user's stored places by geolocated centroid
+// (cells resolved through the cell database, clusters within radiusM merge)
+// and returns clusters with at least k distinct users. Places whose cells
+// cannot be geolocated are skipped.
+func PopularPlaces(store *Store, cells *CellDatabase, k int, radiusM float64) []PopularPlace {
+	if k < 2 {
+		k = 2 // never allow a singleton reveal
+	}
+	type sited struct {
+		user   string
+		center geo.LatLng
+		label  string
+	}
+	var all []sited
+
+	store.mu.RLock()
+	for user, places := range store.places {
+		for _, p := range places {
+			var pts []geo.LatLng
+			for _, c := range p.Cells {
+				if e, ok := cells.Lookup(c); ok {
+					pts = append(pts, geo.LatLng{Lat: e.Lat, Lng: e.Lng})
+				}
+			}
+			if len(pts) == 0 {
+				continue
+			}
+			all = append(all, sited{user: user, center: geo.Centroid(pts), label: p.Label})
+		}
+	}
+	store.mu.RUnlock()
+
+	// Deterministic order before greedy clustering.
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].center.Lat != all[j].center.Lat {
+			return all[i].center.Lat < all[j].center.Lat
+		}
+		if all[i].center.Lng != all[j].center.Lng {
+			return all[i].center.Lng < all[j].center.Lng
+		}
+		return all[i].user < all[j].user
+	})
+
+	type cluster struct {
+		members []sited
+		center  geo.LatLng
+	}
+	var clusters []*cluster
+	for _, s := range all {
+		var best *cluster
+		bestD := radiusM
+		for _, c := range clusters {
+			if d := geo.Distance(c.center, s.center); d <= bestD {
+				best, bestD = c, d
+			}
+		}
+		if best == nil {
+			clusters = append(clusters, &cluster{members: []sited{s}, center: s.center})
+			continue
+		}
+		best.members = append(best.members, s)
+		// Recompute the running centroid.
+		pts := make([]geo.LatLng, len(best.members))
+		for i, m := range best.members {
+			pts[i] = m.center
+		}
+		best.center = geo.Centroid(pts)
+	}
+
+	var out []PopularPlace
+	for _, c := range clusters {
+		users := map[string]bool{}
+		labelVotes := map[string]int{}
+		for _, m := range c.members {
+			users[m.user] = true
+			if m.label != "" {
+				labelVotes[m.label]++
+			}
+		}
+		if len(users) < k {
+			continue
+		}
+		pp := PopularPlace{Center: c.center, Users: len(users)}
+		// Reveal a label only when at least k members carry it.
+		bestLabel, bestVotes := "", 0
+		for l, v := range labelVotes {
+			if v > bestVotes || (v == bestVotes && l < bestLabel) {
+				bestLabel, bestVotes = l, v
+			}
+		}
+		if bestVotes >= k {
+			pp.Label = bestLabel
+		}
+		out = append(out, pp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Users != out[j].Users {
+			return out[i].Users > out[j].Users
+		}
+		if out[i].Center.Lat != out[j].Center.Lat {
+			return out[i].Center.Lat < out[j].Center.Lat
+		}
+		return out[i].Center.Lng < out[j].Center.Lng
+	})
+	return out
+}

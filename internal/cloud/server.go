@@ -1,0 +1,389 @@
+package cloud
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/gsm"
+	"repro/internal/profile"
+	"repro/internal/route"
+	"repro/internal/world"
+)
+
+// Server is the PMWare Cloud Instance HTTP front end. Construct with
+// NewServer and mount via Handler().
+type Server struct {
+	store     *Store
+	analytics *Analytics
+	cells     *CellDatabase
+
+	gsmParams   gsm.Params
+	routeParams route.Params
+
+	mux *http.ServeMux
+}
+
+// ServerOption customizes a Server.
+type ServerOption func(*Server)
+
+// WithCellDatabase installs the Cell-ID geolocation database.
+func WithCellDatabase(db *CellDatabase) ServerOption {
+	return func(s *Server) { s.cells = db }
+}
+
+// WithGSMParams overrides the GCA parameters used for offloaded discovery.
+func WithGSMParams(p gsm.Params) ServerOption {
+	return func(s *Server) { s.gsmParams = p }
+}
+
+// WithRouteParams overrides route-extraction parameters.
+func WithRouteParams(p route.Params) ServerOption {
+	return func(s *Server) { s.routeParams = p }
+}
+
+// NewServer builds the cloud instance over the given store.
+func NewServer(store *Store, opts ...ServerOption) *Server {
+	s := &Server{
+		store:       store,
+		analytics:   NewAnalytics(store),
+		gsmParams:   gsm.DefaultParams(),
+		routeParams: route.DefaultParams(),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.mux = http.NewServeMux()
+	s.routesMux()
+	return s
+}
+
+// Handler returns the HTTP handler for the full API surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routesMux() {
+	s.mux.HandleFunc("POST "+PathRegister, s.handleRegister)
+	s.mux.HandleFunc("POST "+PathRefresh, s.handleRefresh)
+	s.mux.HandleFunc("POST "+PathPlacesDiscover, s.auth(s.handlePlacesDiscover))
+	s.mux.HandleFunc("GET "+PathPlaces, s.auth(s.handlePlacesGet))
+	s.mux.HandleFunc("POST "+PathPlacesLabel, s.auth(s.handlePlacesLabel))
+	s.mux.HandleFunc("POST "+PathRoutesDiscover, s.auth(s.handleRoutesDiscover))
+	s.mux.HandleFunc("GET "+PathRoutes, s.auth(s.handleRoutesGet))
+	s.mux.HandleFunc("POST "+PathRouteSimilarity, s.auth(s.handleRouteSimilarity))
+	s.mux.HandleFunc("PUT "+PathProfiles+"/{date}", s.auth(s.handleProfilePut))
+	s.mux.HandleFunc("GET "+PathProfiles+"/{date}", s.auth(s.handleProfileGet))
+	s.mux.HandleFunc("GET "+PathProfiles, s.auth(s.handleProfileRange))
+	s.mux.HandleFunc("POST "+PathContacts, s.auth(s.handleContactsPost))
+	s.mux.HandleFunc("GET "+PathContacts, s.auth(s.handleContactsGet))
+	s.mux.HandleFunc("GET "+PathPlacesPopular, s.auth(s.handlePlacesPopular))
+	s.mux.HandleFunc("GET "+PathGeoCell, s.auth(s.handleGeoCell))
+	s.mux.HandleFunc("GET "+PathPredictArrival, s.auth(s.handlePredictArrival))
+	s.mux.HandleFunc("GET "+PathPredictNext, s.auth(s.handlePredictNext))
+	s.mux.HandleFunc("GET "+PathStatsFrequency, s.auth(s.handleFrequency))
+	s.mux.HandleFunc("GET "+PathStatsDwell, s.auth(s.handleDwell))
+}
+
+// writeJSON emits a JSON body with status.
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decode parses the request body with a size cap.
+func decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, 64<<20)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(into); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+type authedHandler func(w http.ResponseWriter, r *http.Request, userID string)
+
+// auth wraps a handler with Bearer-token authentication.
+func (s *Server) auth(h authedHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		hdr := r.Header.Get("Authorization")
+		token, ok := strings.CutPrefix(hdr, "Bearer ")
+		if !ok || token == "" {
+			writeError(w, http.StatusUnauthorized, "missing bearer token")
+			return
+		}
+		uid, err := s.store.Authenticate(token)
+		if err != nil {
+			writeError(w, http.StatusUnauthorized, "invalid or expired token")
+			return
+		}
+		h(w, r, uid)
+	}
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	resp, err := s.store.Register(req.IMEI, req.Email)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	hdr := r.Header.Get("Authorization")
+	token, ok := strings.CutPrefix(hdr, "Bearer ")
+	if !ok || token == "" {
+		writeError(w, http.StatusUnauthorized, "missing bearer token")
+		return
+	}
+	resp, err := s.store.Refresh(token)
+	if err != nil {
+		writeError(w, http.StatusUnauthorized, "invalid or expired token")
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePlacesDiscover(w http.ResponseWriter, r *http.Request, uid string) {
+	var req DiscoverPlacesRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Observations) == 0 {
+		writeError(w, http.StatusBadRequest, "no observations")
+		return
+	}
+	res := gsm.Discover(req.Observations, s.gsmParams)
+	wire := make([]PlaceWire, 0, len(res.Places))
+	for _, p := range res.Places {
+		wire = append(wire, PlaceToWire(p))
+	}
+	s.store.SetPlaces(uid, wire)
+	writeJSON(w, http.StatusOK, DiscoverPlacesResponse{Places: s.store.Places(uid)})
+}
+
+func (s *Server) handlePlacesGet(w http.ResponseWriter, _ *http.Request, uid string) {
+	writeJSON(w, http.StatusOK, DiscoverPlacesResponse{Places: s.store.Places(uid)})
+}
+
+func (s *Server) handlePlacesLabel(w http.ResponseWriter, r *http.Request, uid string) {
+	var req LabelRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := s.store.LabelPlace(uid, req.PlaceID, req.Label); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+// handlePlacesPopular serves the k-anonymous cross-user place aggregate.
+func (s *Server) handlePlacesPopular(w http.ResponseWriter, r *http.Request, _ string) {
+	q := r.URL.Query()
+	k := 3
+	if v := q.Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 2 {
+			writeError(w, http.StatusBadRequest, "bad k %q (minimum 2)", v)
+			return
+		}
+		k = n
+	}
+	radius := 300.0
+	if v := q.Get("radius"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 {
+			writeError(w, http.StatusBadRequest, "bad radius %q", v)
+			return
+		}
+		radius = f
+	}
+	writeJSON(w, http.StatusOK, PopularPlacesResponse{
+		K:      k,
+		Places: PopularPlaces(s.store, s.cells, k, radius),
+	})
+}
+
+func (s *Server) handleRoutesDiscover(w http.ResponseWriter, r *http.Request, uid string) {
+	var req DiscoverRoutesRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	intervals := make([]route.Interval, 0, len(req.Visits))
+	for _, v := range req.Visits {
+		intervals = append(intervals, route.Interval{Start: v.Arrive, End: v.Depart})
+	}
+	routes := route.ExtractGSM(req.Observations, intervals, s.routeParams)
+	wire := make([]RouteWire, 0, len(routes))
+	for _, rt := range routes {
+		wire = append(wire, RouteToWire(rt))
+	}
+	s.store.SetRoutes(uid, wire)
+	writeJSON(w, http.StatusOK, DiscoverRoutesResponse{Routes: wire})
+}
+
+func (s *Server) handleRoutesGet(w http.ResponseWriter, r *http.Request, uid string) {
+	minFreq := 0
+	if v := r.URL.Query().Get("min_frequency"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad min_frequency %q", v)
+			return
+		}
+		minFreq = n
+	}
+	writeJSON(w, http.StatusOK, DiscoverRoutesResponse{Routes: s.store.Routes(uid, minFreq)})
+}
+
+func (s *Server) handleRouteSimilarity(w http.ResponseWriter, r *http.Request, _ string) {
+	var req RouteSimilarityRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	writeJSON(w, http.StatusOK, RouteSimilarityResponse{Similarity: route.SimilarityGSM(req.A, req.B)})
+}
+
+func (s *Server) handleProfilePut(w http.ResponseWriter, r *http.Request, uid string) {
+	date := r.PathValue("date")
+	if _, err := time.Parse(profile.DateFormat, date); err != nil {
+		writeError(w, http.StatusBadRequest, "bad date %q", date)
+		return
+	}
+	var p profile.DayProfile
+	if !decode(w, r, &p) {
+		return
+	}
+	p.Date = date
+	p.UserID = uid
+	if err := s.store.PutProfile(uid, &p); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Server) handleProfileGet(w http.ResponseWriter, r *http.Request, uid string) {
+	date := r.PathValue("date")
+	p, ok := s.store.Profile(uid, date)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no profile for %s", date)
+		return
+	}
+	writeJSON(w, http.StatusOK, p)
+}
+
+func (s *Server) handleProfileRange(w http.ResponseWriter, r *http.Request, uid string) {
+	q := r.URL.Query()
+	writeJSON(w, http.StatusOK, s.store.ProfileRange(uid, q.Get("from"), q.Get("to")))
+}
+
+func (s *Server) handleContactsPost(w http.ResponseWriter, r *http.Request, uid string) {
+	var req ContactsRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	s.store.AddContacts(uid, req.Encounters)
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Server) handleContactsGet(w http.ResponseWriter, r *http.Request, uid string) {
+	writeJSON(w, http.StatusOK, ContactsResponse{Encounters: s.store.Contacts(uid, r.URL.Query().Get("place"))})
+}
+
+func (s *Server) handleGeoCell(w http.ResponseWriter, r *http.Request, _ string) {
+	q := r.URL.Query()
+	var id world.CellID
+	var err error
+	parse := func(key string) int {
+		if err != nil {
+			return 0
+		}
+		n, e := strconv.Atoi(q.Get(key))
+		if e != nil {
+			err = fmt.Errorf("bad %s %q", key, q.Get(key))
+		}
+		return n
+	}
+	id.MCC, id.MNC, id.LAC, id.CID = parse("mcc"), parse("mnc"), parse("lac"), parse("cid")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	entry, ok := s.cells.Lookup(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown cell %s", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, entry)
+}
+
+func (s *Server) handlePredictArrival(w http.ResponseWriter, r *http.Request, uid string) {
+	placeID := r.URL.Query().Get("place")
+	if placeID == "" {
+		writeError(w, http.StatusBadRequest, "place parameter required")
+		return
+	}
+	sec, n := s.analytics.TypicalArrival(uid, placeID)
+	if n == 0 {
+		writeError(w, http.StatusNotFound, "no visits to %q", placeID)
+		return
+	}
+	writeJSON(w, http.StatusOK, PredictArrivalResponse{PlaceID: placeID, TypicalArrivalSec: sec, SampleCount: n})
+}
+
+func (s *Server) handlePredictNext(w http.ResponseWriter, r *http.Request, uid string) {
+	q := r.URL.Query()
+	placeID := q.Get("place")
+	if placeID == "" {
+		writeError(w, http.StatusBadRequest, "place parameter required")
+		return
+	}
+	after := time.Now()
+	if v := q.Get("after"); v != "" {
+		t, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad after %q", v)
+			return
+		}
+		after = t
+	}
+	next, confident := s.analytics.PredictNextVisit(uid, placeID, after)
+	writeJSON(w, http.StatusOK, PredictNextVisitResponse{PlaceID: placeID, NextVisit: next, Confident: confident})
+}
+
+func (s *Server) handleDwell(w http.ResponseWriter, r *http.Request, uid string) {
+	placeID := r.URL.Query().Get("place")
+	if placeID == "" {
+		writeError(w, http.StatusBadRequest, "place parameter required")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.analytics.DwellStats(uid, placeID))
+}
+
+func (s *Server) handleFrequency(w http.ResponseWriter, r *http.Request, uid string) {
+	q := r.URL.Query()
+	placeID, label := q.Get("place"), q.Get("label")
+	switch {
+	case placeID != "":
+		perWeek, total := s.analytics.VisitFrequency(uid, placeID)
+		writeJSON(w, http.StatusOK, FrequencyResponse{PlaceID: placeID, VisitsPerWeek: perWeek, TotalVisits: total})
+	case label != "":
+		perWeek, total := s.analytics.FrequencyByLabel(uid, label)
+		writeJSON(w, http.StatusOK, FrequencyResponse{PlaceID: "label:" + label, VisitsPerWeek: perWeek, TotalVisits: total})
+	default:
+		writeError(w, http.StatusBadRequest, "place or label parameter required")
+	}
+}

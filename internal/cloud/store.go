@@ -1,0 +1,329 @@
+package cloud
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/profile"
+)
+
+// TokenTTL is how long an issued token stays valid before the mobile service
+// must refresh it (Section 2.2.1: "the authentication token is refreshed
+// periodically based on its expiry time").
+const TokenTTL = 24 * time.Hour
+
+// User is a registered device/account pair.
+type User struct {
+	ID    string `json:"id"`
+	IMEI  string `json:"imei"`
+	Email string `json:"email"`
+}
+
+type tokenInfo struct {
+	UserID    string    `json:"user_id"`
+	ExpiresAt time.Time `json:"expires_at"`
+}
+
+// Store is the cloud instance's state: users, tokens, places, routes,
+// profiles, and contacts. Safe for concurrent use. Persistence is explicit
+// via Save/Load.
+type Store struct {
+	mu sync.RWMutex
+
+	users    map[string]*User     // user id -> user
+	byDevice map[string]string    // imei|email -> user id
+	tokens   map[string]tokenInfo // token -> info
+
+	places   map[string][]PlaceWire                    // user id -> places
+	routes   map[string][]RouteWire                    // user id -> routes
+	profiles map[string]map[string]*profile.DayProfile // user id -> date -> profile
+	contacts map[string][]profile.Encounter            // user id -> encounters
+
+	now func() time.Time
+}
+
+// NewStore returns an empty store using the given time source (nil means
+// time.Now; simulations inject the virtual clock).
+func NewStore(now func() time.Time) *Store {
+	if now == nil {
+		now = time.Now
+	}
+	return &Store{
+		users:    map[string]*User{},
+		byDevice: map[string]string{},
+		tokens:   map[string]tokenInfo{},
+		places:   map[string][]PlaceWire{},
+		routes:   map[string][]RouteWire{},
+		profiles: map[string]map[string]*profile.DayProfile{},
+		contacts: map[string][]profile.Encounter{},
+		now:      now,
+	}
+}
+
+func deviceKey(imei, email string) string { return imei + "|" + email }
+
+func newToken() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("cloud: token entropy unavailable: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Register creates (or finds) the user for the device and issues a fresh
+// token.
+func (s *Store) Register(imei, email string) (RegisterResponse, error) {
+	if imei == "" || email == "" {
+		return RegisterResponse{}, fmt.Errorf("cloud: imei and email are required")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	key := deviceKey(imei, email)
+	uid, ok := s.byDevice[key]
+	if !ok {
+		uid = fmt.Sprintf("user-%04d", len(s.users)+1)
+		s.users[uid] = &User{ID: uid, IMEI: imei, Email: email}
+		s.byDevice[key] = uid
+	}
+	tok := newToken()
+	exp := s.now().Add(TokenTTL)
+	s.tokens[tok] = tokenInfo{UserID: uid, ExpiresAt: exp}
+	return RegisterResponse{UserID: uid, Token: tok, ExpiresAt: exp}, nil
+}
+
+// Refresh exchanges a valid (possibly near-expiry) token for a fresh one.
+// The old token is revoked.
+func (s *Store) Refresh(token string) (RefreshResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, ok := s.tokens[token]
+	if !ok || s.now().After(info.ExpiresAt) {
+		delete(s.tokens, token)
+		return RefreshResponse{}, errUnauthorized
+	}
+	delete(s.tokens, token)
+	tok := newToken()
+	exp := s.now().Add(TokenTTL)
+	s.tokens[tok] = tokenInfo{UserID: info.UserID, ExpiresAt: exp}
+	return RefreshResponse{Token: tok, ExpiresAt: exp}, nil
+}
+
+// errUnauthorized signals an invalid/expired token.
+var errUnauthorized = fmt.Errorf("cloud: unauthorized")
+
+// Authenticate resolves a token to a user ID.
+func (s *Store) Authenticate(token string) (string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	info, ok := s.tokens[token]
+	if !ok || s.now().After(info.ExpiresAt) {
+		return "", errUnauthorized
+	}
+	return info.UserID, nil
+}
+
+// SetPlaces replaces the user's stored places (discovery is a whole-history
+// recomputation, so replacement is the right semantic).
+func (s *Store) SetPlaces(userID string, places []PlaceWire) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Carry labels from the previous generation by place ID.
+	labels := map[int]string{}
+	for _, p := range s.places[userID] {
+		if p.Label != "" {
+			labels[p.ID] = p.Label
+		}
+	}
+	for i := range places {
+		if places[i].Label == "" {
+			places[i].Label = labels[places[i].ID]
+		}
+	}
+	s.places[userID] = places
+}
+
+// Places returns the user's stored places.
+func (s *Store) Places(userID string) []PlaceWire {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]PlaceWire, len(s.places[userID]))
+	copy(out, s.places[userID])
+	return out
+}
+
+// LabelPlace tags a stored place.
+func (s *Store) LabelPlace(userID string, placeID int, label string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.places[userID] {
+		if s.places[userID][i].ID == placeID {
+			s.places[userID][i].Label = label
+			return nil
+		}
+	}
+	return fmt.Errorf("cloud: user %s has no place %d", userID, placeID)
+}
+
+// SetRoutes replaces the user's stored routes.
+func (s *Store) SetRoutes(userID string, routes []RouteWire) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.routes[userID] = routes
+}
+
+// Routes returns the user's routes with at least minFrequency traversals.
+func (s *Store) Routes(userID string, minFrequency int) []RouteWire {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []RouteWire
+	for _, r := range s.routes[userID] {
+		if len(r.Trips) >= minFrequency {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// PutProfile stores (upserts) a day profile after validation.
+func (s *Store) PutProfile(userID string, p *profile.DayProfile) error {
+	if p == nil {
+		return fmt.Errorf("cloud: nil profile")
+	}
+	if p.UserID == "" {
+		p.UserID = userID
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.profiles[userID] == nil {
+		s.profiles[userID] = map[string]*profile.DayProfile{}
+	}
+	s.profiles[userID][p.Date] = p
+	return nil
+}
+
+// Profile returns the user's profile for a date.
+func (s *Store) Profile(userID, date string) (*profile.DayProfile, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.profiles[userID][date]
+	return p, ok
+}
+
+// ProfileRange returns profiles with from <= date <= to (inclusive, date
+// strings), sorted by date. Empty bounds are open.
+func (s *Store) ProfileRange(userID, from, to string) []*profile.DayProfile {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*profile.DayProfile
+	for date, p := range s.profiles[userID] {
+		if from != "" && date < from {
+			continue
+		}
+		if to != "" && date > to {
+			continue
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Date < out[j].Date })
+	return out
+}
+
+// AddContacts appends encounters to the user's contact log.
+func (s *Store) AddContacts(userID string, encs []profile.Encounter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.contacts[userID] = append(s.contacts[userID], encs...)
+}
+
+// Contacts returns the user's encounters, optionally filtered by place.
+func (s *Store) Contacts(userID, placeID string) []profile.Encounter {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []profile.Encounter
+	for _, e := range s.contacts[userID] {
+		if placeID == "" || e.PlaceID == placeID {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// UserCount returns the number of registered users.
+func (s *Store) UserCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.users)
+}
+
+// snapshot is the persisted form.
+type snapshot struct {
+	Users    map[string]*User                          `json:"users"`
+	ByDevice map[string]string                         `json:"by_device"`
+	Places   map[string][]PlaceWire                    `json:"places"`
+	Routes   map[string][]RouteWire                    `json:"routes"`
+	Profiles map[string]map[string]*profile.DayProfile `json:"profiles"`
+	Contacts map[string][]profile.Encounter            `json:"contacts"`
+}
+
+// Save writes the store (minus live tokens) to path as JSON.
+func (s *Store) Save(path string) error {
+	s.mu.RLock()
+	snap := snapshot{
+		Users:    s.users,
+		ByDevice: s.byDevice,
+		Places:   s.places,
+		Routes:   s.routes,
+		Profiles: s.profiles,
+		Contacts: s.contacts,
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	s.mu.RUnlock()
+	if err != nil {
+		return fmt.Errorf("cloud: marshal store: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load replaces the store contents from a Save file. Tokens are not
+// restored; devices must re-register.
+func (s *Store) Load(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("cloud: read store: %w", err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("cloud: parse store: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if snap.Users != nil {
+		s.users = snap.Users
+	}
+	if snap.ByDevice != nil {
+		s.byDevice = snap.ByDevice
+	}
+	if snap.Places != nil {
+		s.places = snap.Places
+	}
+	if snap.Routes != nil {
+		s.routes = snap.Routes
+	}
+	if snap.Profiles != nil {
+		s.profiles = snap.Profiles
+	}
+	if snap.Contacts != nil {
+		s.contacts = snap.Contacts
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// Intent actions broadcast by the PMWare mobile service, mirroring the
+// Android intent/broadcast mechanism the paper's Connected Applications
+// Module uses (Section 2.2.4).
+const (
+	ActionNewPlace       = "pmware.intent.action.NEW_PLACE"
+	ActionPlaceArrival   = "pmware.intent.action.PLACE_ARRIVAL"
+	ActionPlaceDeparture = "pmware.intent.action.PLACE_DEPARTURE"
+	ActionRouteComplete  = "pmware.intent.action.ROUTE_COMPLETE"
+	ActionEncounter      = "pmware.intent.action.SOCIAL_ENCOUNTER"
+	ActionPlaceLabeled   = "pmware.intent.action.PLACE_LABELED"
+)
+
+// PlaceInfo is the place payload delivered to connected applications. Its
+// precision reflects the granularity the app is entitled to after the user's
+// privacy clamp.
+type PlaceInfo struct {
+	ID             string
+	Label          string
+	Center         geo.LatLng
+	AccuracyMeters float64
+	Granularity    Granularity
+	VisitCount     int
+}
+
+// RouteInfo is the route payload for ActionRouteComplete.
+type RouteInfo struct {
+	ID           string
+	FromPlaceID  string
+	ToPlaceID    string
+	Start        time.Time
+	End          time.Time
+	HighAccuracy bool
+	LengthMeters float64
+}
+
+// EncounterInfo is the payload for ActionEncounter.
+type EncounterInfo struct {
+	PeerID  string
+	PlaceID string
+	Start   time.Time
+	End     time.Time
+}
+
+// Intent is a broadcast message: an action plus a typed payload.
+type Intent struct {
+	Action string
+	At     time.Time
+	// Place is set for place actions, Route for route actions, Encounter
+	// for encounter actions.
+	Place     *PlaceInfo
+	Route     *RouteInfo
+	Encounter *EncounterInfo
+}
+
+// Handler receives matching intents.
+type Handler func(Intent)
+
+// Filter selects the actions a registration is interested in, like an
+// Android intent filter. An empty Actions list matches nothing.
+type Filter struct {
+	Actions []string
+}
+
+func (f Filter) matches(action string) bool {
+	for _, a := range f.Actions {
+		if a == action {
+			return true
+		}
+	}
+	return false
+}
+
+type subscription struct {
+	appID   string
+	filter  Filter
+	handler Handler
+	seq     int
+}
+
+// Bus is the intent broadcast fabric between PMS and connected applications.
+// Dispatch is synchronous and in registration order, which keeps simulations
+// deterministic. Safe for concurrent registration; Broadcast must not be
+// called concurrently with itself.
+type Bus struct {
+	mu   sync.RWMutex
+	subs map[string]*subscription
+	seq  int
+
+	delivered int
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{subs: make(map[string]*subscription)}
+}
+
+// Register installs (or replaces) the app's intent filter and handler.
+func (b *Bus) Register(appID string, filter Filter, handler Handler) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.seq++
+	b.subs[appID] = &subscription{appID: appID, filter: filter, handler: handler, seq: b.seq}
+}
+
+// Unregister removes the app's subscription. Unknown apps are a no-op.
+func (b *Bus) Unregister(appID string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.subs, appID)
+}
+
+// Subscribers returns the registered app IDs in registration order.
+func (b *Bus) Subscribers() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.ordered()
+}
+
+func (b *Bus) ordered() []string {
+	ids := make([]string, 0, len(b.subs))
+	for id := range b.subs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return b.subs[ids[i]].seq < b.subs[ids[j]].seq })
+	return ids
+}
+
+// Broadcast delivers the intent to every subscriber whose filter matches, in
+// registration order. Returns the number of deliveries.
+func (b *Bus) Broadcast(in Intent) int {
+	b.mu.RLock()
+	var targets []*subscription
+	for _, id := range b.ordered() {
+		s := b.subs[id]
+		if s.filter.matches(in.Action) {
+			targets = append(targets, s)
+		}
+	}
+	b.mu.RUnlock()
+
+	for _, s := range targets {
+		s.handler(in)
+	}
+	b.mu.Lock()
+	b.delivered += len(targets)
+	b.mu.Unlock()
+	return len(targets)
+}
+
+// Deliver sends an intent to one specific subscriber (an explicit intent in
+// Android terms). Returns false when the app is unknown or its filter does
+// not match the action.
+func (b *Bus) Deliver(appID string, in Intent) bool {
+	b.mu.RLock()
+	s, ok := b.subs[appID]
+	if ok && !s.filter.matches(in.Action) {
+		ok = false
+	}
+	b.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	s.handler(in)
+	b.mu.Lock()
+	b.delivered++
+	b.mu.Unlock()
+	return true
+}
+
+// Delivered returns the total number of intent deliveries so far.
+func (b *Bus) Delivered() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.delivered
+}

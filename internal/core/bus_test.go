@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/simclock"
+)
+
+func TestBusBroadcastFiltering(t *testing.T) {
+	b := NewBus()
+	var gotA, gotB []string
+	b.Register("a", Filter{Actions: []string{ActionPlaceArrival}}, func(in Intent) {
+		gotA = append(gotA, in.Action)
+	})
+	b.Register("b", Filter{Actions: []string{ActionPlaceArrival, ActionNewPlace}}, func(in Intent) {
+		gotB = append(gotB, in.Action)
+	})
+
+	if n := b.Broadcast(Intent{Action: ActionPlaceArrival, At: simclock.Epoch}); n != 2 {
+		t.Errorf("deliveries = %d, want 2", n)
+	}
+	if n := b.Broadcast(Intent{Action: ActionNewPlace, At: simclock.Epoch}); n != 1 {
+		t.Errorf("deliveries = %d, want 1", n)
+	}
+	if n := b.Broadcast(Intent{Action: ActionRouteComplete, At: simclock.Epoch}); n != 0 {
+		t.Errorf("deliveries = %d, want 0", n)
+	}
+	if len(gotA) != 1 || len(gotB) != 2 {
+		t.Errorf("handler counts: a=%d b=%d", len(gotA), len(gotB))
+	}
+	if b.Delivered() != 3 {
+		t.Errorf("Delivered = %d, want 3", b.Delivered())
+	}
+}
+
+func TestBusRegistrationOrder(t *testing.T) {
+	b := NewBus()
+	var order []string
+	mk := func(id string) {
+		b.Register(id, Filter{Actions: []string{ActionNewPlace}}, func(Intent) {
+			order = append(order, id)
+		})
+	}
+	mk("third")
+	mk("first")
+	mk("second")
+	b.Broadcast(Intent{Action: ActionNewPlace})
+	if len(order) != 3 || order[0] != "third" || order[1] != "first" || order[2] != "second" {
+		t.Errorf("delivery order = %v, want registration order", order)
+	}
+	if subs := b.Subscribers(); len(subs) != 3 || subs[0] != "third" {
+		t.Errorf("Subscribers = %v", subs)
+	}
+}
+
+func TestBusUnregister(t *testing.T) {
+	b := NewBus()
+	n := 0
+	b.Register("a", Filter{Actions: []string{ActionNewPlace}}, func(Intent) { n++ })
+	b.Unregister("a")
+	b.Unregister("missing") // no-op
+	if got := b.Broadcast(Intent{Action: ActionNewPlace}); got != 0 || n != 0 {
+		t.Error("unregistered app still received intents")
+	}
+}
+
+func TestBusReRegisterReplaces(t *testing.T) {
+	b := NewBus()
+	n1, n2 := 0, 0
+	b.Register("a", Filter{Actions: []string{ActionNewPlace}}, func(Intent) { n1++ })
+	b.Register("a", Filter{Actions: []string{ActionNewPlace}}, func(Intent) { n2++ })
+	b.Broadcast(Intent{Action: ActionNewPlace})
+	if n1 != 0 || n2 != 1 {
+		t.Errorf("re-register did not replace: n1=%d n2=%d", n1, n2)
+	}
+}
+
+func TestBusDeliver(t *testing.T) {
+	b := NewBus()
+	n := 0
+	b.Register("a", Filter{Actions: []string{ActionPlaceArrival}}, func(Intent) { n++ })
+
+	if !b.Deliver("a", Intent{Action: ActionPlaceArrival}) {
+		t.Error("Deliver to matching app failed")
+	}
+	if b.Deliver("a", Intent{Action: ActionRouteComplete}) {
+		t.Error("Deliver should respect the filter")
+	}
+	if b.Deliver("ghost", Intent{Action: ActionPlaceArrival}) {
+		t.Error("Deliver to unknown app should fail")
+	}
+	if n != 1 {
+		t.Errorf("handler ran %d times", n)
+	}
+}
+
+func TestEmptyFilterMatchesNothing(t *testing.T) {
+	b := NewBus()
+	b.Register("a", Filter{}, func(Intent) { t.Error("handler fired") })
+	if n := b.Broadcast(Intent{Action: ActionNewPlace}); n != 0 {
+		t.Errorf("deliveries = %d", n)
+	}
+}

@@ -1,0 +1,27 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func ExampleClamp() {
+	// An advertisement app asks for building-level places, but the user
+	// permits it only area-level information (paper Section 2.2.1).
+	effective := core.Clamp(core.GranularityBuilding, core.GranularityArea)
+	fmt.Println(effective)
+	// Output: area
+}
+
+func ExampleDegradePlace() {
+	info := core.PlaceInfo{
+		ID:          "p3",
+		Label:       "City Library",
+		Granularity: core.GranularityRoom,
+	}
+	degraded := core.DegradePlace(info, core.GranularityArea)
+	fmt.Printf("label=%q granularity=%s accuracy=%.0fm\n",
+		degraded.Label, degraded.Granularity, degraded.AccuracyMeters)
+	// Output: label="" granularity=area accuracy=750m
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/gsm"
+	"repro/internal/profile"
+	"repro/internal/trace"
+	"repro/internal/world"
+)
+
+// flakyCloud fails every call whose sequence number matches failEvery, and
+// optionally fails everything.
+type flakyCloud struct {
+	calls     int
+	failEvery int // every Nth call errors (0 = never)
+	dead      bool
+
+	discoveries int
+	syncs       int
+	geos        int
+}
+
+var _ CloudAPI = (*flakyCloud)(nil)
+
+var errFlaky = errors.New("transient cloud failure")
+
+func (f *flakyCloud) shouldFail() bool {
+	f.calls++
+	if f.dead {
+		return true
+	}
+	return f.failEvery > 0 && f.calls%f.failEvery == 0
+}
+
+func (f *flakyCloud) DiscoverPlaces(obs []trace.GSMObservation) ([]*gsm.Place, error) {
+	if f.shouldFail() {
+		return nil, errFlaky
+	}
+	f.discoveries++
+	return gsm.Discover(obs, gsm.DefaultParams()).Places, nil
+}
+
+func (f *flakyCloud) SyncProfile(p *profile.DayProfile) error {
+	if f.shouldFail() {
+		return errFlaky
+	}
+	f.syncs++
+	return nil
+}
+
+func (f *flakyCloud) GeolocateCell(id world.CellID) (geo.LatLng, float64, error) {
+	if f.shouldFail() {
+		return geo.LatLng{}, 0, errFlaky
+	}
+	f.geos++
+	return geo.LatLng{Lat: 28.6, Lng: 77.2}, 500, nil
+}
+
+func TestServiceFallsBackWhenDiscoveryOffloadFails(t *testing.T) {
+	h := newHarness(t, 120, 2)
+	dead := &flakyCloud{dead: true}
+	h.svc = NewService(DefaultConfig("u1"), h.clock, h.sensors, h.meter, dead)
+	h.svc.Run(48 * time.Hour)
+
+	// Discovery must have fallen back on-device.
+	if len(h.svc.Places()) == 0 {
+		t.Fatal("no places despite on-device fallback")
+	}
+	if dead.discoveries != 0 {
+		t.Error("dead cloud reported successful discoveries")
+	}
+	// Profile sync failures are counted, not fatal.
+	if h.svc.CloudSyncErrors() == 0 {
+		t.Error("sync errors not recorded")
+	}
+	// Local profiles still exist.
+	if len(h.svc.Profiles()) == 0 {
+		t.Error("profiles lost when cloud is dead")
+	}
+}
+
+func TestServiceToleratesIntermittentCloud(t *testing.T) {
+	h := newHarness(t, 121, 3)
+	flaky := &flakyCloud{failEvery: 3} // every 3rd call errors
+	h.svc = NewService(DefaultConfig("u1"), h.clock, h.sensors, h.meter, flaky)
+	h.svc.Run(72 * time.Hour)
+
+	if len(h.svc.Places()) == 0 {
+		t.Fatal("no places with intermittent cloud")
+	}
+	// Some operations went through.
+	if flaky.discoveries+flaky.syncs+flaky.geos == 0 {
+		t.Error("no cloud operation ever succeeded")
+	}
+	// Sync retries: a day that failed to sync is retried on a later nightly
+	// pass, so with 3 nights and 1/3 failure probability most days sync.
+	if h.svc.CloudSyncErrors() > 0 && len(h.svc.Profiles()) == 0 {
+		t.Error("profiles lost on sync failure")
+	}
+}
+
+func TestServiceRetriesFailedSyncNextNight(t *testing.T) {
+	h := newHarness(t, 122, 3)
+	// Cloud that fails all syncs on the first night, then recovers.
+	gate := &gatedCloud{}
+	h.svc = NewService(DefaultConfig("u1"), h.clock, h.sensors, h.meter, gate)
+
+	gate.syncsBlocked = true
+	h.svc.Run(30 * time.Hour) // through night 1 (03:00 on day 2)
+	if gate.synced != 0 {
+		t.Fatal("sync succeeded while blocked")
+	}
+	firstErrors := h.svc.CloudSyncErrors()
+	if firstErrors == 0 {
+		t.Fatal("no sync errors recorded while blocked")
+	}
+
+	gate.syncsBlocked = false
+	h.svc.Run(42 * time.Hour) // through later nights
+	if gate.synced == 0 {
+		t.Error("failed day never retried after cloud recovery")
+	}
+}
+
+// gatedCloud lets tests block profile syncs.
+type gatedCloud struct {
+	syncsBlocked bool
+	synced       int
+}
+
+var _ CloudAPI = (*gatedCloud)(nil)
+
+func (g *gatedCloud) DiscoverPlaces(obs []trace.GSMObservation) ([]*gsm.Place, error) {
+	return gsm.Discover(obs, gsm.DefaultParams()).Places, nil
+}
+
+func (g *gatedCloud) SyncProfile(*profile.DayProfile) error {
+	if g.syncsBlocked {
+		return errFlaky
+	}
+	g.synced++
+	return nil
+}
+
+func (g *gatedCloud) GeolocateCell(world.CellID) (geo.LatLng, float64, error) {
+	return geo.LatLng{Lat: 28.6, Lng: 77.2}, 500, nil
+}

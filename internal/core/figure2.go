@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/energy"
+)
+
+// AppClass is one row of the paper's Figure 2: a category of place-aware
+// application with the place granularity it requires.
+type AppClass struct {
+	Name        string
+	Example     string
+	Granularity Granularity
+	Routes      RouteAccuracy
+}
+
+// Figure2Classes returns the application characterization of Figure 2:
+// which application categories need room-, building-, or area-level place
+// accuracy, and which also consume routes.
+func Figure2Classes() []AppClass {
+	return []AppClass{
+		{Name: "activity tracking", Example: "Moves", Granularity: GranularityRoom, Routes: RouteHigh},
+		{Name: "indoor navigation", Example: "mall wayfinding", Granularity: GranularityRoom},
+		{Name: "geo-reminders", Example: "Place-Its, to-do alerts", Granularity: GranularityBuilding},
+		{Name: "check-ins / meetups", Example: "Foursquare, Facebook Places", Granularity: GranularityBuilding},
+		{Name: "content sharing", Example: "DTN share-on-meet", Granularity: GranularityBuilding},
+		{Name: "life logging", Example: "PlaceMap", Granularity: GranularityBuilding, Routes: RouteLow},
+		{Name: "contextual advertisements", Example: "PlaceADs, Groupon", Granularity: GranularityArea},
+		{Name: "participatory sensing", Example: "PEIR pollution exposure", Granularity: GranularityArea, Routes: RouteLow},
+		{Name: "traffic estimation", Example: "ride sharing", Granularity: GranularityArea, Routes: RouteHigh},
+	}
+}
+
+// Figure2Row is one computed row: the class, the sensing plan PMWare runs
+// for it, and the projected battery cost.
+type Figure2Row struct {
+	Class        AppClass
+	Loads        []energy.Load
+	AvgPowerMW   float64
+	BatteryHours float64
+}
+
+// Figure2 computes the characterization matrix: for every application class,
+// the sensing plan PMWare would run to serve it alone and the projected
+// battery duration. The shape to reproduce is the tiering: area-level
+// classes cost barely more than idle GSM tracking, building-level classes
+// add triggered WiFi, and room-level classes pay for GPS.
+func Figure2(m energy.Model, cfg Config) []Figure2Row {
+	classes := Figure2Classes()
+	rows := make([]Figure2Row, 0, len(classes))
+	for _, c := range classes {
+		loads := SensingPlan(c.Granularity, c.Routes, cfg)
+		hours := PlanBatteryHours(m, loads)
+		var power float64
+		if hours > 0 {
+			power = m.BatteryJoules() / (hours * 3600) * 1000
+		}
+		rows = append(rows, Figure2Row{Class: c, Loads: loads, AvgPowerMW: power, BatteryHours: hours})
+	}
+	return rows
+}
+
+// WriteFigure2 renders the characterization as an aligned text table.
+func WriteFigure2(w io.Writer, m energy.Model, cfg Config) error {
+	if _, err := fmt.Fprintf(w, "%-26s %-10s %-7s %14s %16s\n",
+		"Application class", "Place", "Routes", "AvgPower (mW)", "Battery (hours)"); err != nil {
+		return err
+	}
+	for _, r := range Figure2(m, cfg) {
+		if _, err := fmt.Fprintf(w, "%-26s %-10s %-7s %14.2f %16.1f\n",
+			r.Class.Name, r.Class.Granularity, r.Class.Routes, r.AvgPowerMW, r.BatteryHours); err != nil {
+			return err
+		}
+	}
+	return nil
+}

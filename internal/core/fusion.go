@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/gsm"
+	"repro/internal/wifi"
+)
+
+// Visit is one stay interval at a unified place.
+type Visit struct {
+	Arrive time.Time
+	Depart time.Time
+}
+
+// Duration returns the stay length.
+func (v Visit) Duration() time.Duration { return v.Depart.Sub(v.Arrive) }
+
+// UnifiedPlace is the middleware's place object: the result of fusing the
+// per-interface discovery algorithms into one identity that connected
+// applications see. Sources record which algorithms contributed.
+type UnifiedPlace struct {
+	ID     string
+	Label  string
+	Center geo.LatLng
+	Visits []Visit
+
+	GSMPlaceID  int // -1 when not derived from a GSM place
+	WiFiPlaceID int // -1 when no WiFi evidence
+}
+
+// TotalDwell sums visit durations.
+func (p *UnifiedPlace) TotalDwell() time.Duration {
+	var d time.Duration
+	for _, v := range p.Visits {
+		d += v.Duration()
+	}
+	return d
+}
+
+// fuseMinOverlap is the temporal overlap required to attribute a GSM visit
+// to a WiFi place.
+const fuseMinOverlap = 5 * time.Minute
+
+// FuseGSMWiFi produces unified places from GSM discovery augmented with
+// opportunistic WiFi sensing — the pipeline evaluated in the paper's
+// deployment study. WiFi evidence splits GSM places that merged several
+// nearby venues: if the visits of one GSM place match two different WiFi
+// signatures, they become two unified places ("most of merged places ...
+// can be easily avoided with the location interfaces such as WiFi",
+// Section 4).
+func FuseGSMWiFi(gsmPlaces []*gsm.Place, wifiPlaces []*wifi.Place) []*UnifiedPlace {
+	var out []*UnifiedPlace
+	for _, gp := range gsmPlaces {
+		// Partition this GSM place's visits by best-overlapping WiFi place.
+		groups := map[int][]Visit{} // wifi place id (-1 = none) -> visits
+		for _, v := range gp.Visits {
+			wid := bestWiFiPlace(v, wifiPlaces)
+			groups[wid] = append(groups[wid], Visit{Arrive: v.Arrive, Depart: v.Depart})
+		}
+
+		// Splitting a GSM place needs corroborated WiFi evidence: a WiFi
+		// group seen on a single visit is more likely signature drift than a
+		// distinct venue. The dominant group absorbs single-visit groups and
+		// the visits with no WiFi evidence at all (opportunistic sensing is
+		// incomplete, not contradictory).
+		dominant := -1
+		dominantDwell := time.Duration(0)
+		for wid, vs := range groups {
+			if wid == -1 {
+				continue
+			}
+			var d time.Duration
+			for _, v := range vs {
+				d += v.Duration()
+			}
+			if d > dominantDwell {
+				dominant, dominantDwell = wid, d
+			}
+		}
+		if dominant != -1 {
+			for wid, vs := range groups {
+				if wid == dominant {
+					continue
+				}
+				if wid == -1 || len(vs) < 2 {
+					groups[dominant] = append(groups[dominant], vs...)
+					delete(groups, wid)
+				}
+			}
+		}
+		wids := make([]int, 0, len(groups))
+		for wid := range groups {
+			wids = append(wids, wid)
+		}
+		sort.Ints(wids)
+
+		for _, wid := range wids {
+			vs := groups[wid]
+			sort.Slice(vs, func(i, j int) bool { return vs[i].Arrive.Before(vs[j].Arrive) })
+			out = append(out, &UnifiedPlace{
+				Visits:      vs,
+				GSMPlaceID:  gp.ID,
+				WiFiPlaceID: wid,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Visits) == 0 || len(out[j].Visits) == 0 {
+			return len(out[i].Visits) > len(out[j].Visits)
+		}
+		return out[i].Visits[0].Arrive.Before(out[j].Visits[0].Arrive)
+	})
+	for i, p := range out {
+		p.ID = fmt.Sprintf("p%d", i)
+	}
+	return out
+}
+
+func bestWiFiPlace(v gsm.Visit, wifiPlaces []*wifi.Place) int {
+	best := -1
+	var bestOv time.Duration
+	for _, wp := range wifiPlaces {
+		for _, wv := range wp.Visits {
+			ov := overlapDuration(v.Arrive, v.Depart, wv.Arrive, wv.Depart)
+			if ov > bestOv {
+				bestOv, best = ov, wp.ID
+			}
+		}
+	}
+	if bestOv < fuseMinOverlap {
+		return -1
+	}
+	return best
+}
+
+func overlapDuration(aS, aE, bS, bE time.Time) time.Duration {
+	s := aS
+	if bS.After(s) {
+		s = bS
+	}
+	e := aE
+	if bE.Before(e) {
+		e = bE
+	}
+	if e.Before(s) {
+		return 0
+	}
+	return e.Sub(s)
+}
+
+// UnifyGSM converts raw GSM places into unified places without WiFi
+// augmentation (the GSM-only ablation pipeline).
+func UnifyGSM(gsmPlaces []*gsm.Place) []*UnifiedPlace {
+	out := make([]*UnifiedPlace, 0, len(gsmPlaces))
+	for i, gp := range gsmPlaces {
+		up := &UnifiedPlace{
+			ID:          fmt.Sprintf("p%d", i),
+			GSMPlaceID:  gp.ID,
+			WiFiPlaceID: -1,
+		}
+		for _, v := range gp.Visits {
+			up.Visits = append(up.Visits, Visit{Arrive: v.Arrive, Depart: v.Depart})
+		}
+		out = append(out, up)
+	}
+	return out
+}
+
+// UnifyWiFi converts raw WiFi places into unified places (the WiFi-only
+// ablation pipeline).
+func UnifyWiFi(wifiPlaces []*wifi.Place) []*UnifiedPlace {
+	out := make([]*UnifiedPlace, 0, len(wifiPlaces))
+	for i, wp := range wifiPlaces {
+		up := &UnifiedPlace{
+			ID:          fmt.Sprintf("p%d", i),
+			GSMPlaceID:  -1,
+			WiFiPlaceID: wp.ID,
+		}
+		for _, v := range wp.Visits {
+			up.Visits = append(up.Visits, Visit{Arrive: v.Arrive, Depart: v.Depart})
+		}
+		out = append(out, up)
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/gsm"
+	"repro/internal/simclock"
+	"repro/internal/wifi"
+)
+
+func gv(startMin, endMin int) gsm.Visit {
+	return gsm.Visit{
+		Arrive: simclock.Epoch.Add(time.Duration(startMin) * time.Minute),
+		Depart: simclock.Epoch.Add(time.Duration(endMin) * time.Minute),
+	}
+}
+
+func wv(startMin, endMin int) wifi.Visit {
+	return wifi.Visit{
+		Arrive: simclock.Epoch.Add(time.Duration(startMin) * time.Minute),
+		Depart: simclock.Epoch.Add(time.Duration(endMin) * time.Minute),
+	}
+}
+
+func TestFuseSplitsMergedGSMPlace(t *testing.T) {
+	// One GSM place (library + academic building sharing towers), but WiFi
+	// saw two different signatures on repeated visits: fusion must split it.
+	gp := &gsm.Place{ID: 0, Visits: []gsm.Visit{gv(0, 60), gv(100, 160), gv(200, 260), gv(300, 360)}}
+	wifiPlaces := []*wifi.Place{
+		{ID: 0, Visits: []wifi.Visit{wv(0, 60), wv(200, 260)}},    // library
+		{ID: 1, Visits: []wifi.Visit{wv(100, 160), wv(300, 360)}}, // academic
+	}
+	fused := FuseGSMWiFi([]*gsm.Place{gp}, wifiPlaces)
+	if len(fused) != 2 {
+		t.Fatalf("fused places = %d, want 2", len(fused))
+	}
+	byWiFi := map[int]*UnifiedPlace{}
+	for _, p := range fused {
+		byWiFi[p.WiFiPlaceID] = p
+	}
+	if len(byWiFi[0].Visits) != 2 || len(byWiFi[1].Visits) != 2 {
+		t.Errorf("visit partition wrong: %d/%d", len(byWiFi[0].Visits), len(byWiFi[1].Visits))
+	}
+	for _, p := range fused {
+		if p.GSMPlaceID != 0 {
+			t.Error("fused places must remember their GSM parent")
+		}
+	}
+}
+
+func TestFuseKeepsUnsplitPlace(t *testing.T) {
+	gp := &gsm.Place{ID: 3, Visits: []gsm.Visit{gv(0, 60), gv(100, 160)}}
+	wifiPlaces := []*wifi.Place{{ID: 7, Visits: []wifi.Visit{wv(0, 60), wv(100, 160)}}}
+	fused := FuseGSMWiFi([]*gsm.Place{gp}, wifiPlaces)
+	if len(fused) != 1 {
+		t.Fatalf("fused = %d, want 1", len(fused))
+	}
+	if fused[0].WiFiPlaceID != 7 || fused[0].GSMPlaceID != 3 {
+		t.Errorf("links wrong: %+v", fused[0])
+	}
+	if fused[0].TotalDwell() != 2*time.Hour {
+		t.Errorf("dwell = %v", fused[0].TotalDwell())
+	}
+}
+
+func TestFuseNoWiFiEvidence(t *testing.T) {
+	gp := &gsm.Place{ID: 0, Visits: []gsm.Visit{gv(0, 60)}}
+	fused := FuseGSMWiFi([]*gsm.Place{gp}, nil)
+	if len(fused) != 1 {
+		t.Fatalf("fused = %d", len(fused))
+	}
+	if fused[0].WiFiPlaceID != -1 {
+		t.Errorf("WiFiPlaceID = %d, want -1", fused[0].WiFiPlaceID)
+	}
+}
+
+func TestFuseOrphanVisitsJoinDominantGroup(t *testing.T) {
+	// Three visits: two matched to WiFi place 0, one unmatched (WiFi off
+	// that day). The orphan joins the dominant group rather than becoming a
+	// separate place.
+	gp := &gsm.Place{ID: 0, Visits: []gsm.Visit{gv(0, 60), gv(100, 160), gv(200, 260)}}
+	wifiPlaces := []*wifi.Place{
+		{ID: 0, Visits: []wifi.Visit{wv(0, 60), wv(100, 160)}},
+	}
+	fused := FuseGSMWiFi([]*gsm.Place{gp}, wifiPlaces)
+	if len(fused) != 1 {
+		t.Fatalf("fused = %d, want 1 (orphan must not split)", len(fused))
+	}
+	if len(fused[0].Visits) != 3 {
+		t.Errorf("visits = %d, want 3", len(fused[0].Visits))
+	}
+}
+
+func TestFuseSingleVisitGroupAbsorbed(t *testing.T) {
+	// A WiFi group seen on only one visit is signature drift, not a second
+	// venue: it must not split the GSM place.
+	gp := &gsm.Place{ID: 0, Visits: []gsm.Visit{gv(0, 60), gv(100, 160), gv(200, 260)}}
+	wifiPlaces := []*wifi.Place{
+		{ID: 0, Visits: []wifi.Visit{wv(0, 60), wv(200, 260)}},
+		{ID: 1, Visits: []wifi.Visit{wv(100, 160)}}, // one-off signature
+	}
+	fused := FuseGSMWiFi([]*gsm.Place{gp}, wifiPlaces)
+	if len(fused) != 1 {
+		t.Fatalf("fused = %d, want 1 (uncorroborated split)", len(fused))
+	}
+	if len(fused[0].Visits) != 3 {
+		t.Errorf("visits = %d, want 3", len(fused[0].Visits))
+	}
+}
+
+func TestFuseShortOverlapIgnored(t *testing.T) {
+	// WiFi visit overlapping only 2 minutes: below fuseMinOverlap, so no
+	// attribution.
+	gp := &gsm.Place{ID: 0, Visits: []gsm.Visit{gv(0, 60)}}
+	wifiPlaces := []*wifi.Place{{ID: 0, Visits: []wifi.Visit{wv(58, 90)}}}
+	fused := FuseGSMWiFi([]*gsm.Place{gp}, wifiPlaces)
+	if fused[0].WiFiPlaceID != -1 {
+		t.Errorf("2-minute overlap attributed: WiFiPlaceID = %d", fused[0].WiFiPlaceID)
+	}
+}
+
+func TestFuseIDsStableAndOrdered(t *testing.T) {
+	g1 := &gsm.Place{ID: 0, Visits: []gsm.Visit{gv(500, 560)}}
+	g2 := &gsm.Place{ID: 1, Visits: []gsm.Visit{gv(0, 60)}}
+	fused := FuseGSMWiFi([]*gsm.Place{g1, g2}, nil)
+	if fused[0].ID != "p0" || fused[1].ID != "p1" {
+		t.Errorf("IDs = %s, %s", fused[0].ID, fused[1].ID)
+	}
+	if !fused[0].Visits[0].Arrive.Before(fused[1].Visits[0].Arrive) {
+		t.Error("places not ordered by first visit")
+	}
+}
+
+func TestUnifyGSM(t *testing.T) {
+	gp := &gsm.Place{ID: 4, Visits: []gsm.Visit{gv(0, 30)}}
+	out := UnifyGSM([]*gsm.Place{gp})
+	if len(out) != 1 || out[0].GSMPlaceID != 4 || out[0].WiFiPlaceID != -1 {
+		t.Errorf("UnifyGSM = %+v", out)
+	}
+	if out[0].Visits[0].Duration() != 30*time.Minute {
+		t.Error("visit lost")
+	}
+}
+
+func TestUnifyWiFi(t *testing.T) {
+	wp := &wifi.Place{ID: 2, Visits: []wifi.Visit{wv(0, 45)}}
+	out := UnifyWiFi([]*wifi.Place{wp})
+	if len(out) != 1 || out[0].WiFiPlaceID != 2 || out[0].GSMPlaceID != -1 {
+		t.Errorf("UnifyWiFi = %+v", out)
+	}
+}

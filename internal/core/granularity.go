@@ -1,0 +1,101 @@
+// Package core implements the PMWare Mobile Service (PMS): the middleware
+// that takes over place and route sensing for connected third-party
+// applications (paper Section 2.2). It contains the intent bus the apps talk
+// over, the connected-application registry, the user privacy preferences,
+// the triggered-sensing scheduler, and the inference engine that fuses the
+// GSM/WiFi/GPS discovery algorithms and builds mobility profiles.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+)
+
+// Granularity is the place accuracy tier an application requires or a user
+// permits (paper Figure 2 categorizes applications into these three tiers).
+// Finer granularities have larger values, so the lattice order is numeric.
+type Granularity int
+
+// Granularity tiers, coarse to fine.
+const (
+	// GranularityArea is area-level: "user is in the shopping street".
+	GranularityArea Granularity = iota + 1
+	// GranularityBuilding is building-level: "user is at the library".
+	GranularityBuilding
+	// GranularityRoom is room-level: "user is in conference room 2".
+	GranularityRoom
+)
+
+var granularityNames = map[Granularity]string{
+	GranularityArea:     "area",
+	GranularityBuilding: "building",
+	GranularityRoom:     "room",
+}
+
+// String returns the tier name.
+func (g Granularity) String() string {
+	if s, ok := granularityNames[g]; ok {
+		return s
+	}
+	return fmt.Sprintf("Granularity(%d)", int(g))
+}
+
+// Valid reports whether g is a known tier.
+func (g Granularity) Valid() bool {
+	_, ok := granularityNames[g]
+	return ok
+}
+
+// FinerThan reports whether g is strictly finer than other.
+func (g Granularity) FinerThan(other Granularity) bool { return g > other }
+
+// Clamp returns the coarser of the requested and the permitted granularity —
+// the privacy rule of the user-preference module (Section 2.2.1): an app may
+// ask for building level, but if the user permits only area level, area
+// level is what it gets.
+func Clamp(requested, permitted Granularity) Granularity {
+	if requested > permitted {
+		return permitted
+	}
+	return requested
+}
+
+// fuzzGridMeters is the coordinate snapping grid per tier; coarser tiers
+// reveal less precise positions.
+var fuzzGridMeters = map[Granularity]float64{
+	GranularityRoom:     0, // exact
+	GranularityBuilding: 150,
+	GranularityArea:     750,
+}
+
+// AccuracyMeters returns the positional uncertainty delivered at the tier.
+func (g Granularity) AccuracyMeters() float64 {
+	switch g {
+	case GranularityRoom:
+		return 15
+	case GranularityBuilding:
+		return 150
+	default:
+		return 750
+	}
+}
+
+// DegradeCoordinates snaps a position to the tier's disclosure grid, so a
+// payload delivered at area level cannot be inverted to building identity.
+func DegradeCoordinates(p geo.LatLng, g Granularity) geo.LatLng {
+	grid := fuzzGridMeters[g]
+	if grid <= 0 || p.IsZero() {
+		return p
+	}
+	// Convert the grid to degrees. The longitude step is computed at the
+	// snapped latitude so the mapping is idempotent.
+	latStep := grid / 111195.0
+	lat := math.Round(p.Lat/latStep) * latStep
+	lngStep := grid / (111195.0 * math.Cos(lat*math.Pi/180))
+	return geo.LatLng{
+		Lat: lat,
+		Lng: math.Round(p.Lng/lngStep) * lngStep,
+	}
+}

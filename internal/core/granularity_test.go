@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestGranularityOrdering(t *testing.T) {
+	if !GranularityRoom.FinerThan(GranularityBuilding) {
+		t.Error("room should be finer than building")
+	}
+	if !GranularityBuilding.FinerThan(GranularityArea) {
+		t.Error("building should be finer than area")
+	}
+	if GranularityArea.FinerThan(GranularityRoom) {
+		t.Error("area is not finer than room")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	tests := []struct {
+		requested, permitted, want Granularity
+	}{
+		{GranularityRoom, GranularityArea, GranularityArea},
+		{GranularityArea, GranularityRoom, GranularityArea},
+		{GranularityBuilding, GranularityBuilding, GranularityBuilding},
+		{GranularityRoom, GranularityRoom, GranularityRoom},
+		{GranularityBuilding, GranularityArea, GranularityArea},
+	}
+	for _, tt := range tests {
+		if got := Clamp(tt.requested, tt.permitted); got != tt.want {
+			t.Errorf("Clamp(%v, %v) = %v, want %v", tt.requested, tt.permitted, got, tt.want)
+		}
+	}
+}
+
+func TestGranularityString(t *testing.T) {
+	if GranularityRoom.String() != "room" || GranularityArea.String() != "area" {
+		t.Error("names wrong")
+	}
+	if Granularity(0).Valid() {
+		t.Error("zero granularity should be invalid")
+	}
+	if got := Granularity(42).String(); got != "Granularity(42)" {
+		t.Errorf("unknown = %q", got)
+	}
+}
+
+func TestDegradeCoordinates(t *testing.T) {
+	p := geo.LatLng{Lat: 28.613912, Lng: 77.209021}
+
+	// Room: exact.
+	if got := DegradeCoordinates(p, GranularityRoom); got != p {
+		t.Errorf("room should be exact, got %v", got)
+	}
+
+	// Building: moved at most ~ grid/√2... at most ~110 m, and snapped.
+	b := DegradeCoordinates(p, GranularityBuilding)
+	if d := geo.Distance(p, b); d > 150 {
+		t.Errorf("building fuzz moved %v m", d)
+	}
+	// Snapping is idempotent.
+	if again := DegradeCoordinates(b, GranularityBuilding); geo.Distance(again, b) > 1 {
+		t.Error("building snap not idempotent")
+	}
+
+	// Area: coarser than building.
+	a := DegradeCoordinates(p, GranularityArea)
+	if geo.Distance(p, a) > 800 {
+		t.Errorf("area fuzz moved too far: %v", geo.Distance(p, a))
+	}
+	// Points near a cell center snap to that center (non-invertibility):
+	// the snapped point is its cell's center, so a 40 m nudge stays inside.
+	q := geo.Offset(a, 90, 40)
+	if DegradeCoordinates(q, GranularityArea) != a {
+		t.Error("point 40 m from a cell center left the cell")
+	}
+
+	// Zero (unknown) coordinates pass through.
+	if got := DegradeCoordinates(geo.LatLng{}, GranularityArea); !got.IsZero() {
+		t.Errorf("zero point degraded to %v", got)
+	}
+}
+
+func TestAccuracyMonotone(t *testing.T) {
+	if !(GranularityRoom.AccuracyMeters() < GranularityBuilding.AccuracyMeters() &&
+		GranularityBuilding.AccuracyMeters() < GranularityArea.AccuracyMeters()) {
+		t.Error("accuracy radii must widen with coarser tiers")
+	}
+}

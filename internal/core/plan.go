@@ -1,0 +1,72 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/energy"
+)
+
+// SensingPlan returns the steady-state interface duty cycles PMWare runs to
+// serve a requirement tier — the closed-form counterpart of what the
+// scheduler does live, used by the Figure 2 characterization and the
+// triggered-sensing ablations.
+//
+// The plan encodes the paper's triggered-sensing policy (Section 2.2.2):
+// GSM is always sampled (cheap, modem already camped); the accelerometer
+// runs whenever triggering is needed; WiFi is scanned opportunistically at
+// building level and periodically at room level; GPS joins only for
+// room-level accuracy or high-accuracy route tracking.
+//
+// Burst activity (the scan bursts fired on movement transitions) is folded
+// into the effective WiFi period: with ~8 transitions/day of 5 scans each,
+// bursts add ~40 scans/day ≈ one scan per 36 minutes, which the effective
+// periods below already dominate.
+func SensingPlan(g Granularity, routes RouteAccuracy, cfg Config) []energy.Load {
+	loads := []energy.Load{{Interface: energy.GSM, Interval: cfg.GSMInterval}}
+
+	needTrigger := g >= GranularityBuilding || routes == RouteHigh
+	if needTrigger {
+		loads = append(loads, energy.Load{Interface: energy.Accelerometer, Interval: cfg.AccelInterval})
+	}
+	switch {
+	case g == GranularityRoom:
+		loads = append(loads,
+			energy.Load{Interface: energy.WiFi, Interval: cfg.RoomWiFiEvery},
+			energy.Load{Interface: energy.GPS, Interval: cfg.RoomGPSEvery},
+		)
+	case g == GranularityBuilding:
+		loads = append(loads, energy.Load{Interface: energy.WiFi, Interval: effectiveWiFiPeriod(cfg)})
+	}
+	if routes == RouteHigh && g != GranularityRoom {
+		// GPS runs only during trips (~2 h of 24), so the effective period
+		// is the trip-time interval diluted 12x.
+		loads = append(loads, energy.Load{Interface: energy.GPS, Interval: cfg.RouteGPSInterval * 12})
+	}
+	return loads
+}
+
+// effectiveWiFiPeriod folds transition bursts into the opportunistic period.
+func effectiveWiFiPeriod(cfg Config) time.Duration {
+	// Opportunistic rate plus ~40 burst scans/day.
+	day := 24 * time.Hour
+	opportunistic := float64(day / cfg.OpportunisticWiFiEvery)
+	burst := 40.0
+	return time.Duration(float64(day) / (opportunistic + burst))
+}
+
+// PlanBatteryHours projects battery duration under the plan.
+func PlanBatteryHours(m energy.Model, loads []energy.Load) float64 {
+	return m.BatteryLifeHoursCombined(loads)
+}
+
+// IsolatedAppsPlan models the no-middleware baseline of the paper's
+// "high redundancy" critique (Section 1.3): n applications each running
+// their own sensing stack for the same tier. Every interface load is
+// duplicated n times because the apps do not coordinate.
+func IsolatedAppsPlan(n int, g Granularity, routes RouteAccuracy, cfg Config) []energy.Load {
+	var out []energy.Load
+	for i := 0; i < n; i++ {
+		out = append(out, SensingPlan(g, routes, cfg)...)
+	}
+	return out
+}

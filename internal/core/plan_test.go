@@ -1,0 +1,114 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/energy"
+)
+
+func planHas(loads []energy.Load, iface energy.Interface) bool {
+	for _, l := range loads {
+		if l.Interface == iface {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSensingPlanTiers(t *testing.T) {
+	cfg := DefaultConfig("u")
+
+	area := SensingPlan(GranularityArea, RouteNone, cfg)
+	if !planHas(area, energy.GSM) {
+		t.Error("area plan must include GSM")
+	}
+	if planHas(area, energy.WiFi) || planHas(area, energy.GPS) || planHas(area, energy.Accelerometer) {
+		t.Error("area plan must be GSM-only")
+	}
+
+	bld := SensingPlan(GranularityBuilding, RouteNone, cfg)
+	if !planHas(bld, energy.WiFi) || !planHas(bld, energy.Accelerometer) {
+		t.Error("building plan must add accelerometer-triggered WiFi")
+	}
+	if planHas(bld, energy.GPS) {
+		t.Error("building plan must not use GPS")
+	}
+
+	room := SensingPlan(GranularityRoom, RouteNone, cfg)
+	if !planHas(room, energy.GPS) || !planHas(room, energy.WiFi) {
+		t.Error("room plan must add GPS and WiFi")
+	}
+
+	routes := SensingPlan(GranularityArea, RouteHigh, cfg)
+	if !planHas(routes, energy.GPS) {
+		t.Error("high-accuracy routes need GPS")
+	}
+}
+
+func TestPlanEnergyOrdering(t *testing.T) {
+	cfg := DefaultConfig("u")
+	m := energy.DefaultModel()
+	area := PlanBatteryHours(m, SensingPlan(GranularityArea, RouteNone, cfg))
+	bld := PlanBatteryHours(m, SensingPlan(GranularityBuilding, RouteNone, cfg))
+	room := PlanBatteryHours(m, SensingPlan(GranularityRoom, RouteNone, cfg))
+	if !(area > bld && bld > room) {
+		t.Errorf("battery ordering violated: area=%.1f building=%.1f room=%.1f", area, bld, room)
+	}
+	// Area-level service should be cheap: most of a GSM-only battery life.
+	gsmOnly := m.BatteryLifeHours(energy.GSM, cfg.GSMInterval)
+	if area < gsmOnly*0.95 {
+		t.Errorf("area plan %.1f h far below GSM-only %.1f h", area, gsmOnly)
+	}
+}
+
+func TestIsolatedAppsPlanScalesLinearly(t *testing.T) {
+	cfg := DefaultConfig("u")
+	m := energy.DefaultModel()
+	shared := PlanBatteryHours(m, SensingPlan(GranularityBuilding, RouteNone, cfg))
+	iso4 := PlanBatteryHours(m, IsolatedAppsPlan(4, GranularityBuilding, RouteNone, cfg))
+	if iso4 >= shared {
+		t.Errorf("4 isolated stacks (%.1f h) should drain faster than one shared (%.1f h)", iso4, shared)
+	}
+	iso1 := PlanBatteryHours(m, IsolatedAppsPlan(1, GranularityBuilding, RouteNone, cfg))
+	if iso1 != shared {
+		t.Errorf("1 isolated app (%.1f) should equal the shared plan (%.1f)", iso1, shared)
+	}
+}
+
+func TestFigure2ShapesAndRender(t *testing.T) {
+	cfg := DefaultConfig("u")
+	m := energy.DefaultModel()
+	rows := Figure2(m, cfg)
+	if len(rows) != len(Figure2Classes()) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Tiering: every room-level class costs more than every area-level
+	// class without routes.
+	var worstArea, bestRoom float64
+	for _, r := range rows {
+		switch {
+		case r.Class.Granularity == GranularityArea && r.Class.Routes == RouteNone:
+			if r.BatteryHours > worstArea {
+				worstArea = r.BatteryHours
+			}
+		case r.Class.Granularity == GranularityRoom:
+			if bestRoom == 0 || r.BatteryHours < bestRoom {
+				bestRoom = r.BatteryHours
+			}
+		}
+	}
+	if bestRoom >= worstArea {
+		t.Errorf("room classes (%.1f h) should cost more battery than area classes (%.1f h)", bestRoom, worstArea)
+	}
+
+	var sb strings.Builder
+	if err := WriteFigure2(&sb, m, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"contextual advertisements", "activity tracking", "geo-reminders", "room", "area"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("Figure 2 output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import "sync"
+
+// Preferences is the user-preference module (paper Section 2.2.1): per-app
+// place-granularity permissions plus the single switch that turns all
+// place-centric delivery off. Safe for concurrent use.
+type Preferences struct {
+	mu sync.RWMutex
+
+	defaultGranularity Granularity
+	perApp             map[string]Granularity
+	killSwitch         bool
+}
+
+// NewPreferences returns preferences that permit every app the given default
+// granularity until overridden.
+func NewPreferences(defaultGranularity Granularity) *Preferences {
+	if !defaultGranularity.Valid() {
+		defaultGranularity = GranularityBuilding
+	}
+	return &Preferences{
+		defaultGranularity: defaultGranularity,
+		perApp:             make(map[string]Granularity),
+	}
+}
+
+// SetAppGranularity caps what the app may receive.
+func (p *Preferences) SetAppGranularity(appID string, g Granularity) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if g.Valid() {
+		p.perApp[appID] = g
+	}
+}
+
+// ClearAppGranularity reverts the app to the default cap.
+func (p *Preferences) ClearAppGranularity(appID string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.perApp, appID)
+}
+
+// Permitted returns the finest granularity the app may receive.
+func (p *Preferences) Permitted(appID string) Granularity {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if g, ok := p.perApp[appID]; ok {
+		return g
+	}
+	return p.defaultGranularity
+}
+
+// EffectiveGranularity clamps an app's requested granularity by the user's
+// permission.
+func (p *Preferences) EffectiveGranularity(appID string, requested Granularity) Granularity {
+	return Clamp(requested, p.Permitted(appID))
+}
+
+// SetKillSwitch flips the global place-delivery switch ("a single control to
+// switch off all place-centric applications").
+func (p *Preferences) SetKillSwitch(off bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.killSwitch = off
+}
+
+// Disabled reports whether all place delivery is switched off.
+func (p *Preferences) Disabled() bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.killSwitch
+}
+
+// DegradePlace returns a copy of the place payload reduced to the given
+// granularity: coordinates snapped to the disclosure grid and accuracy
+// widened. Labels survive only at building level or finer (an area-level
+// consumer learns the neighbourhood, not the venue).
+func DegradePlace(info PlaceInfo, g Granularity) PlaceInfo {
+	out := info
+	out.Granularity = g
+	out.Center = DegradeCoordinates(info.Center, g)
+	if acc := g.AccuracyMeters(); acc > out.AccuracyMeters {
+		out.AccuracyMeters = acc
+	}
+	if g == GranularityArea {
+		out.Label = ""
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestPreferencesDefault(t *testing.T) {
+	p := NewPreferences(GranularityBuilding)
+	if got := p.Permitted("any"); got != GranularityBuilding {
+		t.Errorf("default permitted = %v", got)
+	}
+	// Invalid default falls back to building.
+	p2 := NewPreferences(Granularity(99))
+	if got := p2.Permitted("any"); got != GranularityBuilding {
+		t.Errorf("invalid default fell back to %v", got)
+	}
+}
+
+func TestPerAppOverride(t *testing.T) {
+	p := NewPreferences(GranularityRoom)
+	p.SetAppGranularity("ads", GranularityArea)
+	if got := p.Permitted("ads"); got != GranularityArea {
+		t.Errorf("ads permitted = %v", got)
+	}
+	if got := p.Permitted("other"); got != GranularityRoom {
+		t.Errorf("other permitted = %v", got)
+	}
+	// The paper's example: app wants building, user permits only area.
+	if got := p.EffectiveGranularity("ads", GranularityBuilding); got != GranularityArea {
+		t.Errorf("effective = %v, want area", got)
+	}
+	p.ClearAppGranularity("ads")
+	if got := p.Permitted("ads"); got != GranularityRoom {
+		t.Errorf("after clear = %v", got)
+	}
+	// Invalid grants are ignored.
+	p.SetAppGranularity("ads", Granularity(0))
+	if got := p.Permitted("ads"); got != GranularityRoom {
+		t.Errorf("invalid set changed permission to %v", got)
+	}
+}
+
+func TestKillSwitch(t *testing.T) {
+	p := NewPreferences(GranularityRoom)
+	if p.Disabled() {
+		t.Error("fresh prefs should not be disabled")
+	}
+	p.SetKillSwitch(true)
+	if !p.Disabled() {
+		t.Error("kill switch did not engage")
+	}
+	p.SetKillSwitch(false)
+	if p.Disabled() {
+		t.Error("kill switch did not release")
+	}
+}
+
+func TestDegradePlace(t *testing.T) {
+	info := PlaceInfo{
+		ID:             "p1",
+		Label:          "Home",
+		Center:         geo.LatLng{Lat: 28.613912, Lng: 77.209021},
+		AccuracyMeters: 15,
+		Granularity:    GranularityRoom,
+		VisitCount:     12,
+	}
+
+	room := DegradePlace(info, GranularityRoom)
+	if room.Center != info.Center || room.Label != "Home" {
+		t.Error("room degrade should be lossless")
+	}
+
+	bld := DegradePlace(info, GranularityBuilding)
+	if bld.Label != "Home" {
+		t.Error("building degrade should keep label")
+	}
+	if bld.AccuracyMeters < GranularityBuilding.AccuracyMeters() {
+		t.Errorf("building accuracy = %v", bld.AccuracyMeters)
+	}
+
+	area := DegradePlace(info, GranularityArea)
+	if area.Label != "" {
+		t.Error("area degrade must strip label")
+	}
+	if area.Granularity != GranularityArea {
+		t.Errorf("area granularity = %v", area.Granularity)
+	}
+	if area.ID != "p1" || area.VisitCount != 12 {
+		t.Error("non-sensitive fields should survive")
+	}
+	// Original untouched.
+	if info.Label != "Home" || info.Granularity != GranularityRoom {
+		t.Error("DegradePlace mutated its input")
+	}
+}

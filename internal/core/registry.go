@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// RouteAccuracy selects the route-tracking mode an application needs (paper
+// Section 2.2.2): low accuracy uses only GSM information; high accuracy uses
+// WiFi to detect departure and GPS to track the trajectory.
+type RouteAccuracy int
+
+// Route-tracking modes.
+const (
+	RouteNone RouteAccuracy = iota
+	RouteLow
+	RouteHigh
+)
+
+// String names the mode.
+func (r RouteAccuracy) String() string {
+	switch r {
+	case RouteNone:
+		return "none"
+	case RouteLow:
+		return "low"
+	case RouteHigh:
+		return "high"
+	default:
+		return fmt.Sprintf("RouteAccuracy(%d)", int(r))
+	}
+}
+
+// Requirement is what a connected application registers with PMS: the place
+// granularity it needs, an optional time-of-day tracking window, and whether
+// it needs routes or social contacts. Requirements drive the triggered-
+// sensing plan (Section 2.2.4: "requirements of the connected applications
+// influence the decision of sensing different location interfaces").
+type Requirement struct {
+	AppID       string
+	Granularity Granularity
+	// FromHour/ToHour bound tracking to a daily window, e.g. 9 and 18 for
+	// "between 9 AM and 6 PM". FromHour == ToHour means all day.
+	FromHour int
+	ToHour   int
+	// Routes selects route tracking.
+	Routes RouteAccuracy
+	// Social requests social-contact discovery. TargetPlaceIDs optionally
+	// narrows it to specific places (targeted sensing).
+	Social         bool
+	TargetPlaceIDs []string
+}
+
+// Validate rejects malformed requirements.
+func (r Requirement) Validate() error {
+	if r.AppID == "" {
+		return fmt.Errorf("core: requirement has empty app id")
+	}
+	if !r.Granularity.Valid() {
+		return fmt.Errorf("core: requirement %s has invalid granularity %d", r.AppID, r.Granularity)
+	}
+	if r.FromHour < 0 || r.FromHour > 24 || r.ToHour < 0 || r.ToHour > 24 {
+		return fmt.Errorf("core: requirement %s has hours outside [0,24]", r.AppID)
+	}
+	return nil
+}
+
+// ActiveAt reports whether the requirement's daily window covers t. Windows
+// may wrap midnight (From 22, To 6).
+func (r Requirement) ActiveAt(t time.Time) bool {
+	if r.FromHour == r.ToHour {
+		return true
+	}
+	h := t.Hour()
+	if r.FromHour < r.ToHour {
+		return h >= r.FromHour && h < r.ToHour
+	}
+	return h >= r.FromHour || h < r.ToHour
+}
+
+// Registry tracks the requirements of all connected applications. Safe for
+// concurrent use.
+type Registry struct {
+	mu   sync.RWMutex
+	reqs map[string]Requirement
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{reqs: make(map[string]Requirement)}
+}
+
+// Register installs or replaces the app's requirement.
+func (g *Registry) Register(r Requirement) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.reqs[r.AppID] = r
+	return nil
+}
+
+// Unregister removes the app's requirement.
+func (g *Registry) Unregister(appID string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.reqs, appID)
+}
+
+// Get returns the app's requirement.
+func (g *Registry) Get(appID string) (Requirement, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	r, ok := g.reqs[appID]
+	return r, ok
+}
+
+// Len returns the number of connected applications.
+func (g *Registry) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.reqs)
+}
+
+// All returns every requirement, ordered by app ID.
+func (g *Registry) All() []Requirement {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]Requirement, 0, len(g.reqs))
+	for _, r := range g.reqs {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AppID < out[j].AppID })
+	return out
+}
+
+// Demand is the aggregate sensing requirement at an instant: the union of
+// every active connected application's needs. The scheduler converts a
+// Demand into interface duty cycles.
+type Demand struct {
+	// Finest is the finest granularity any active app requires; zero when no
+	// app is active.
+	Finest Granularity
+	// AnyActive reports whether any requirement is active.
+	AnyActive bool
+	// Routes is the strongest route mode requested.
+	Routes RouteAccuracy
+	// Social reports whether any app wants social discovery, and
+	// SocialTargets the union of targeted places (empty union with a social
+	// requester that set no targets means "everywhere").
+	Social           bool
+	SocialEverywhere bool
+	SocialTargets    map[string]bool
+}
+
+// DemandAt aggregates the requirements active at time t.
+func (g *Registry) DemandAt(t time.Time) Demand {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	d := Demand{SocialTargets: map[string]bool{}}
+	for _, r := range g.reqs {
+		if !r.ActiveAt(t) {
+			continue
+		}
+		d.AnyActive = true
+		if r.Granularity > d.Finest {
+			d.Finest = r.Granularity
+		}
+		if r.Routes > d.Routes {
+			d.Routes = r.Routes
+		}
+		if r.Social {
+			d.Social = true
+			if len(r.TargetPlaceIDs) == 0 {
+				d.SocialEverywhere = true
+			}
+			for _, p := range r.TargetPlaceIDs {
+				d.SocialTargets[p] = true
+			}
+		}
+	}
+	return d
+}

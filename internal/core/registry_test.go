@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+func hourTime(h int) time.Time { return simclock.Epoch.Add(time.Duration(h) * time.Hour) }
+
+func TestRequirementValidate(t *testing.T) {
+	good := Requirement{AppID: "todo", Granularity: GranularityBuilding, FromHour: 9, ToHour: 18}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid requirement rejected: %v", err)
+	}
+	bad := []Requirement{
+		{AppID: "", Granularity: GranularityArea},
+		{AppID: "x", Granularity: Granularity(0)},
+		{AppID: "x", Granularity: GranularityArea, FromHour: -1},
+		{AppID: "x", Granularity: GranularityArea, ToHour: 25},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("bad requirement %d accepted", i)
+		}
+	}
+}
+
+func TestActiveAtWindows(t *testing.T) {
+	dayWindow := Requirement{AppID: "x", Granularity: GranularityArea, FromHour: 9, ToHour: 18}
+	if !dayWindow.ActiveAt(hourTime(12)) {
+		t.Error("noon should be active for 9-18")
+	}
+	if dayWindow.ActiveAt(hourTime(20)) {
+		t.Error("20h should be inactive for 9-18")
+	}
+	if dayWindow.ActiveAt(hourTime(18)) {
+		t.Error("ToHour is exclusive")
+	}
+	if !dayWindow.ActiveAt(hourTime(9)) {
+		t.Error("FromHour is inclusive")
+	}
+
+	allDay := Requirement{AppID: "x", Granularity: GranularityArea}
+	if !allDay.ActiveAt(hourTime(3)) {
+		t.Error("equal hours mean always active")
+	}
+
+	night := Requirement{AppID: "x", Granularity: GranularityArea, FromHour: 22, ToHour: 6}
+	if !night.ActiveAt(hourTime(23)) || !night.ActiveAt(hourTime(3)) {
+		t.Error("wrapping window broken")
+	}
+	if night.ActiveAt(hourTime(12)) {
+		t.Error("noon active for 22-6 window")
+	}
+}
+
+func TestRegistryCRUD(t *testing.T) {
+	g := NewRegistry()
+	if err := g.Register(Requirement{AppID: "a", Granularity: GranularityArea}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Register(Requirement{AppID: "", Granularity: GranularityArea}); err == nil {
+		t.Error("invalid registration accepted")
+	}
+	if g.Len() != 1 {
+		t.Errorf("len = %d", g.Len())
+	}
+	if _, ok := g.Get("a"); !ok {
+		t.Error("Get failed")
+	}
+	g.Register(Requirement{AppID: "a", Granularity: GranularityRoom}) // replace
+	if r, _ := g.Get("a"); r.Granularity != GranularityRoom {
+		t.Error("replace failed")
+	}
+	g.Unregister("a")
+	if g.Len() != 0 {
+		t.Error("unregister failed")
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	g := NewRegistry()
+	for _, id := range []string{"zeta", "alpha", "mid"} {
+		g.Register(Requirement{AppID: id, Granularity: GranularityArea})
+	}
+	all := g.All()
+	if len(all) != 3 || all[0].AppID != "alpha" || all[2].AppID != "zeta" {
+		t.Errorf("All() order: %v", all)
+	}
+}
+
+func TestDemandAggregation(t *testing.T) {
+	g := NewRegistry()
+	g.Register(Requirement{AppID: "ads", Granularity: GranularityArea})
+	g.Register(Requirement{AppID: "todo", Granularity: GranularityBuilding, FromHour: 9, ToHour: 18})
+	g.Register(Requirement{AppID: "fit", Granularity: GranularityRoom, FromHour: 6, ToHour: 8, Routes: RouteHigh})
+	g.Register(Requirement{AppID: "social", Granularity: GranularityArea, Social: true, TargetPlaceIDs: []string{"work"}})
+
+	noon := g.DemandAt(hourTime(12))
+	if noon.Finest != GranularityBuilding {
+		t.Errorf("noon finest = %v", noon.Finest)
+	}
+	if noon.Routes != RouteNone {
+		t.Errorf("noon routes = %v", noon.Routes)
+	}
+	if !noon.Social || noon.SocialEverywhere || !noon.SocialTargets["work"] {
+		t.Errorf("noon social demand wrong: %+v", noon)
+	}
+
+	dawn := g.DemandAt(hourTime(7))
+	if dawn.Finest != GranularityRoom || dawn.Routes != RouteHigh {
+		t.Errorf("dawn demand = %+v", dawn)
+	}
+
+	night := g.DemandAt(hourTime(23))
+	if night.Finest != GranularityArea {
+		t.Errorf("night finest = %v", night.Finest)
+	}
+	if !night.AnyActive {
+		t.Error("ads app is always active")
+	}
+}
+
+func TestDemandEmpty(t *testing.T) {
+	g := NewRegistry()
+	d := g.DemandAt(hourTime(12))
+	if d.AnyActive || d.Finest != 0 || d.Social {
+		t.Errorf("empty demand = %+v", d)
+	}
+}
+
+func TestSocialEverywhere(t *testing.T) {
+	g := NewRegistry()
+	g.Register(Requirement{AppID: "s", Granularity: GranularityArea, Social: true})
+	d := g.DemandAt(hourTime(12))
+	if !d.SocialEverywhere {
+		t.Error("social with no targets should mean everywhere")
+	}
+}
+
+func TestRouteAccuracyString(t *testing.T) {
+	if RouteNone.String() != "none" || RouteLow.String() != "low" || RouteHigh.String() != "high" {
+		t.Error("route accuracy names wrong")
+	}
+	if RouteAccuracy(9).String() != "RouteAccuracy(9)" {
+		t.Error("unknown route accuracy name wrong")
+	}
+}

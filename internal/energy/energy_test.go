@@ -1,0 +1,197 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBatteryJoules(t *testing.T) {
+	m := DefaultModel()
+	// 1230 mAh * 3.7 V = 4.551 Wh = 16383.6 J
+	if got := m.BatteryJoules(); math.Abs(got-16383.6) > 0.1 {
+		t.Errorf("BatteryJoules = %.1f, want 16383.6", got)
+	}
+}
+
+func TestHeadlineRatio(t *testing.T) {
+	// Paper: "battery duration is almost 11x if GSM location is sensed at
+	// every minute compared to GPS coordinates."
+	ratio := GSMToGPSRatioAtMinute(DefaultModel())
+	if ratio < 9 || ratio < 0 || ratio > 13 {
+		t.Errorf("GSM/GPS battery ratio = %.2f, want ~11 (9-13 band)", ratio)
+	}
+}
+
+func TestInterfaceOrdering(t *testing.T) {
+	// At every interval: GSM outlasts WiFi outlasts GPS.
+	m := DefaultModel()
+	for _, interval := range Figure1Intervals() {
+		gps := m.BatteryLifeHours(GPS, interval)
+		wifi := m.BatteryLifeHours(WiFi, interval)
+		gsm := m.BatteryLifeHours(GSM, interval)
+		if !(gsm > wifi && wifi > gps) {
+			t.Errorf("interval %v: ordering violated gsm=%.1f wifi=%.1f gps=%.1f",
+				interval, gsm, wifi, gps)
+		}
+	}
+}
+
+func TestLifeMonotoneInInterval(t *testing.T) {
+	// Slower sampling always extends battery life.
+	m := DefaultModel()
+	for _, iface := range Figure1Interfaces() {
+		prev := 0.0
+		for _, interval := range Figure1Intervals() {
+			life := m.BatteryLifeHours(iface, interval)
+			if life <= prev {
+				t.Errorf("%v: life not increasing at %v", iface, interval)
+			}
+			prev = life
+		}
+	}
+}
+
+func TestAveragePowerFloorsAtIdle(t *testing.T) {
+	m := DefaultModel()
+	f := func(secs uint16) bool {
+		interval := time.Duration(secs+1) * time.Second
+		for _, iface := range AllInterfaces() {
+			if m.AveragePowerW(iface, interval) < m.IdleFloorW {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAveragePowerZeroIntervalClamps(t *testing.T) {
+	m := DefaultModel()
+	if p := m.AveragePowerW(GPS, 0); math.IsInf(p, 1) || p <= 0 {
+		t.Errorf("zero interval power = %v", p)
+	}
+}
+
+func TestCombinedLoadShorterThanSingle(t *testing.T) {
+	m := DefaultModel()
+	single := m.BatteryLifeHours(GSM, time.Minute)
+	combined := m.BatteryLifeHoursCombined([]Load{
+		{GSM, time.Minute},
+		{WiFi, 5 * time.Minute},
+	})
+	if combined >= single {
+		t.Errorf("adding WiFi load should shorten life: %.1f vs %.1f", combined, single)
+	}
+	// Zero-interval loads are skipped, not infinite.
+	same := m.BatteryLifeHoursCombined([]Load{{GSM, time.Minute}, {WiFi, 0}})
+	if math.Abs(same-single) > 1e-9 {
+		t.Errorf("zero-interval load should be ignored: %.3f vs %.3f", same, single)
+	}
+}
+
+func TestCombinedMatchesSingle(t *testing.T) {
+	m := DefaultModel()
+	a := m.BatteryLifeHours(WiFi, 30*time.Second)
+	b := m.BatteryLifeHoursCombined([]Load{{WiFi, 30 * time.Second}})
+	if math.Abs(a-b) > 1e-9 {
+		t.Errorf("combined single load mismatch: %.6f vs %.6f", a, b)
+	}
+}
+
+func TestMeterAccounting(t *testing.T) {
+	m := DefaultModel()
+	mt := NewMeter(m)
+	mt.Charge(GPS, 10)
+	mt.Charge(GSM, 100)
+	mt.Charge(GPS, 5)
+	mt.Charge(WiFi, -3) // ignored
+
+	if got := mt.Samples(GPS); got != 15 {
+		t.Errorf("GPS samples = %d, want 15", got)
+	}
+	if got := mt.Samples(WiFi); got != 0 {
+		t.Errorf("negative charge should be ignored, got %d", got)
+	}
+	if got := mt.TotalSamples(); got != 115 {
+		t.Errorf("total = %d, want 115", got)
+	}
+	wantJ := 15*m.SampleCostJ[GPS] + 100*m.SampleCostJ[GSM]
+	elapsed := time.Hour
+	if got := mt.ConsumedJoules(elapsed); math.Abs(got-(wantJ+m.IdleFloorW*3600)) > 1e-9 {
+		t.Errorf("ConsumedJoules = %.3f", got)
+	}
+}
+
+func TestMeterProjection(t *testing.T) {
+	m := DefaultModel()
+	mt := NewMeter(m)
+	// One day of GSM-per-minute sampling.
+	mt.Charge(GSM, 24*60)
+	day := 24 * time.Hour
+	proj := mt.ProjectedLifeHours(day)
+	closed := m.BatteryLifeHours(GSM, time.Minute)
+	if math.Abs(proj-closed) > 0.5 {
+		t.Errorf("meter projection %.1f disagrees with closed form %.1f", proj, closed)
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	mt := NewMeter(DefaultModel())
+	mt.Charge(GPS, 5)
+	mt.Reset()
+	if mt.TotalSamples() != 0 {
+		t.Error("reset did not clear samples")
+	}
+	if mt.ConsumedJoules(0) != 0 {
+		t.Error("reset did not clear consumption")
+	}
+}
+
+func TestMeterZeroElapsed(t *testing.T) {
+	mt := NewMeter(DefaultModel())
+	if p := mt.AveragePowerW(0); p != DefaultModel().IdleFloorW {
+		t.Errorf("zero-elapsed power = %v", p)
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	rows := Figure1(DefaultModel())
+	if len(rows) != len(Figure1Interfaces())*len(Figure1Intervals()) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.LifeHours <= 0 || r.AvgPowerMW <= 0 {
+			t.Errorf("non-positive row %+v", r)
+		}
+	}
+}
+
+func TestWriteFigure1(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteFigure1(&sb, DefaultModel()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"GPS", "WiFi", "GSM", "ratio", "Battery"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInterfaceString(t *testing.T) {
+	if GPS.String() != "GPS" || Accelerometer.String() != "Accelerometer" {
+		t.Error("interface names wrong")
+	}
+	if got := Interface(42).String(); got != "Interface(42)" {
+		t.Errorf("unknown interface = %q", got)
+	}
+	if len(AllInterfaces()) != 5 {
+		t.Error("AllInterfaces should list 5")
+	}
+}

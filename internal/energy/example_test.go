@@ -1,0 +1,19 @@
+package energy_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/energy"
+)
+
+func ExampleModel_BatteryLifeHours() {
+	m := energy.DefaultModel()
+	gps := m.BatteryLifeHours(energy.GPS, time.Minute)
+	gsm := m.BatteryLifeHours(energy.GSM, time.Minute)
+	fmt.Printf("GPS every minute: %.0f h\n", gps)
+	fmt.Printf("GSM every minute: %.0f h (%.1fx)\n", gsm, gsm/gps)
+	// Output:
+	// GPS every minute: 60 h
+	// GSM every minute: 666 h (11.1x)
+}

@@ -1,0 +1,72 @@
+package energy
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Figure1Row is one point of the paper's Figure 1: projected battery
+// duration for one interface sampled continuously at one interval.
+type Figure1Row struct {
+	Interface  Interface
+	Interval   time.Duration
+	AvgPowerMW float64
+	LifeHours  float64
+}
+
+// Figure1Intervals are the sampling intervals swept in the reproduction of
+// Figure 1.
+func Figure1Intervals() []time.Duration {
+	return []time.Duration{
+		10 * time.Second,
+		30 * time.Second,
+		time.Minute,
+		2 * time.Minute,
+		5 * time.Minute,
+	}
+}
+
+// Figure1Interfaces are the location interfaces plotted in Figure 1.
+func Figure1Interfaces() []Interface {
+	return []Interface{GPS, WiFi, GSM}
+}
+
+// Figure1 computes the battery-duration matrix of the paper's Figure 1.
+func Figure1(m Model) []Figure1Row {
+	var rows []Figure1Row
+	for _, iface := range Figure1Interfaces() {
+		for _, interval := range Figure1Intervals() {
+			rows = append(rows, Figure1Row{
+				Interface:  iface,
+				Interval:   interval,
+				AvgPowerMW: m.AveragePowerW(iface, interval) * 1000,
+				LifeHours:  m.BatteryLifeHours(iface, interval),
+			})
+		}
+	}
+	return rows
+}
+
+// GSMToGPSRatioAtMinute returns the headline Figure 1 ratio: battery
+// duration sensing GSM every minute over battery duration sensing GPS every
+// minute. The paper reports "almost 11x".
+func GSMToGPSRatioAtMinute(m Model) float64 {
+	return m.BatteryLifeHours(GSM, time.Minute) / m.BatteryLifeHours(GPS, time.Minute)
+}
+
+// WriteFigure1 renders the Figure 1 matrix as an aligned text table.
+func WriteFigure1(w io.Writer, m Model) error {
+	rows := Figure1(m)
+	if _, err := fmt.Fprintf(w, "%-14s %-10s %14s %16s\n", "Interface", "Interval", "AvgPower (mW)", "Battery (hours)"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-14s %-10s %14.2f %16.1f\n",
+			r.Interface, r.Interval, r.AvgPowerMW, r.LifeHours); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "\nGSM@1min / GPS@1min battery ratio: %.1fx (paper: ~11x)\n", GSMToGPSRatioAtMinute(m))
+	return err
+}

@@ -1,0 +1,259 @@
+// Package eval scores discovered places against ground truth using the
+// methodology of the paper's deployment study (Section 4): each evaluable
+// ground-truth place is classified as correctly discovered, merged (lumped
+// into a discovered place together with other true places), or divided
+// (split across several discovered places). The paper reports 79.03%
+// correct, 14.52% merged, and 6.45% divided for GSM discovery augmented with
+// opportunistic WiFi.
+package eval
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Interval is a time span.
+type Interval struct {
+	Start time.Time
+	End   time.Time
+}
+
+// overlap returns the length of the intersection of two intervals.
+func overlap(a, b Interval) time.Duration {
+	s := a.Start
+	if b.Start.After(s) {
+		s = b.Start
+	}
+	e := a.End
+	if b.End.Before(e) {
+		e = b.End
+	}
+	if e.Before(s) {
+		return 0
+	}
+	return e.Sub(s)
+}
+
+// DiscoveredPlace is an algorithm output: an opaque ID plus visit intervals.
+type DiscoveredPlace struct {
+	ID     string
+	Visits []Interval
+}
+
+// TruthVisit is one diary-logged ground-truth stay.
+type TruthVisit struct {
+	VenueID string
+	Start   time.Time
+	End     time.Time
+}
+
+// Outcome classifies one ground-truth venue.
+type Outcome int
+
+// Venue outcomes.
+const (
+	Correct Outcome = iota + 1
+	Merged
+	Divided
+	Missed
+)
+
+// String returns the outcome name.
+func (o Outcome) String() string {
+	switch o {
+	case Correct:
+		return "correct"
+	case Merged:
+		return "merged"
+	case Divided:
+		return "divided"
+	case Missed:
+		return "missed"
+	default:
+		return "unknown"
+	}
+}
+
+// Report summarizes an evaluation.
+type Report struct {
+	PerVenue map[string]Outcome
+
+	Correct int
+	Merged  int
+	Divided int
+	Missed  int
+}
+
+// Evaluable returns the number of venues that were discovered at all
+// (correct + merged + divided) — the denominator the paper uses (its 62
+// places "with departure information").
+func (r *Report) Evaluable() int { return r.Correct + r.Merged + r.Divided }
+
+// Rates returns the correct/merged/divided fractions over evaluable venues.
+// All zeros when nothing was evaluable.
+func (r *Report) Rates() (correct, merged, divided float64) {
+	n := float64(r.Evaluable())
+	if n == 0 {
+		return 0, 0, 0
+	}
+	return float64(r.Correct) / n, float64(r.Merged) / n, float64(r.Divided) / n
+}
+
+// Evaluate attributes each discovered-place visit to the ground-truth venue
+// it overlaps most (requiring at least minOverlap), then classifies every
+// ground-truth venue:
+//
+//   - Correct: exactly one discovered place covers the venue, and that place
+//     covers no other venue;
+//   - Merged: the discovered place covering the venue also covers others;
+//   - Divided: the venue's visits are spread over several discovered places;
+//   - Missed: no discovered place covers the venue.
+//
+// Venues that never appear in truth are ignored; discovered places with no
+// attributable visit contribute nothing.
+func Evaluate(discovered []DiscoveredPlace, truth []TruthVisit, minOverlap time.Duration) *Report {
+	// venue -> set of discovered place ids covering it
+	venueToPlaces := map[string]map[string]bool{}
+	// discovered id -> set of venues it covers
+	placeToVenues := map[string]map[string]bool{}
+
+	venues := map[string]bool{}
+	for _, tv := range truth {
+		venues[tv.VenueID] = true
+	}
+
+	for _, dp := range discovered {
+		for _, visit := range dp.Visits {
+			bestVenue := ""
+			var bestOv time.Duration
+			for _, tv := range truth {
+				ov := overlap(visit, Interval{Start: tv.Start, End: tv.End})
+				if ov > bestOv {
+					bestOv, bestVenue = ov, tv.VenueID
+				}
+			}
+			if bestVenue == "" || bestOv < minOverlap {
+				continue
+			}
+			if venueToPlaces[bestVenue] == nil {
+				venueToPlaces[bestVenue] = map[string]bool{}
+			}
+			venueToPlaces[bestVenue][dp.ID] = true
+			if placeToVenues[dp.ID] == nil {
+				placeToVenues[dp.ID] = map[string]bool{}
+			}
+			placeToVenues[dp.ID][bestVenue] = true
+		}
+	}
+
+	rep := &Report{PerVenue: make(map[string]Outcome, len(venues))}
+	for v := range venues {
+		places := venueToPlaces[v]
+		var outcome Outcome
+		switch {
+		case len(places) == 0:
+			outcome = Missed
+		case len(places) > 1:
+			outcome = Divided
+		default:
+			var only string
+			for id := range places {
+				only = id
+			}
+			if len(placeToVenues[only]) > 1 {
+				outcome = Merged
+			} else {
+				outcome = Correct
+			}
+		}
+		rep.PerVenue[v] = outcome
+		switch outcome {
+		case Correct:
+			rep.Correct++
+		case Merged:
+			rep.Merged++
+		case Divided:
+			rep.Divided++
+		case Missed:
+			rep.Missed++
+		}
+	}
+	return rep
+}
+
+// Merge combines per-participant reports into a study-wide report (venue
+// keys are expected to be globally unique, e.g. "user3/home").
+func Merge(reports ...*Report) *Report {
+	out := &Report{PerVenue: map[string]Outcome{}}
+	for _, r := range reports {
+		if r == nil {
+			continue
+		}
+		for v, o := range r.PerVenue {
+			out.PerVenue[v] = o
+		}
+		out.Correct += r.Correct
+		out.Merged += r.Merged
+		out.Divided += r.Divided
+		out.Missed += r.Missed
+	}
+	return out
+}
+
+// Write renders the report in the style of the paper's Section 4 prose.
+func (r *Report) Write(w io.Writer) error {
+	c, m, d := r.Rates()
+	_, err := fmt.Fprintf(w,
+		"evaluable places: %d\ncorrect: %d (%.2f%%)\nmerged: %d (%.2f%%)\ndivided: %d (%.2f%%)\nmissed: %d\n",
+		r.Evaluable(), r.Correct, c*100, r.Merged, m*100, r.Divided, d*100, r.Missed)
+	return err
+}
+
+// TimingError reports the mean absolute arrival and departure error between
+// discovered visits and the ground-truth visits they overlap. It quantifies
+// how tightly arrival/departure tracking follows the diary.
+func TimingError(discovered []DiscoveredPlace, truth []TruthVisit, minOverlap time.Duration) (arrive, depart time.Duration, n int) {
+	var sumA, sumD time.Duration
+	for _, dp := range discovered {
+		for _, visit := range dp.Visits {
+			var best *TruthVisit
+			var bestOv time.Duration
+			for i := range truth {
+				ov := overlap(visit, Interval{Start: truth[i].Start, End: truth[i].End})
+				if ov > bestOv {
+					bestOv, best = ov, &truth[i]
+				}
+			}
+			if best == nil || bestOv < minOverlap {
+				continue
+			}
+			sumA += absDuration(visit.Start.Sub(best.Start))
+			sumD += absDuration(visit.End.Sub(best.End))
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0, 0
+	}
+	return sumA / time.Duration(n), sumD / time.Duration(n), n
+}
+
+func absDuration(d time.Duration) time.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// SortedVenues returns the report's venue keys sorted, for deterministic
+// output.
+func (r *Report) SortedVenues() []string {
+	out := make([]string, 0, len(r.PerVenue))
+	for v := range r.PerVenue {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}

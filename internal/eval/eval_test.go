@@ -1,0 +1,196 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+func iv(startMin, endMin int) Interval {
+	return Interval{
+		Start: simclock.Epoch.Add(time.Duration(startMin) * time.Minute),
+		End:   simclock.Epoch.Add(time.Duration(endMin) * time.Minute),
+	}
+}
+
+func tv(venue string, startMin, endMin int) TruthVisit {
+	i := iv(startMin, endMin)
+	return TruthVisit{VenueID: venue, Start: i.Start, End: i.End}
+}
+
+const minOv = 5 * time.Minute
+
+func TestOverlap(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Interval
+		want time.Duration
+	}{
+		{"disjoint", iv(0, 10), iv(20, 30), 0},
+		{"touching", iv(0, 10), iv(10, 20), 0},
+		{"nested", iv(0, 60), iv(10, 20), 10 * time.Minute},
+		{"partial", iv(0, 30), iv(20, 50), 10 * time.Minute},
+		{"identical", iv(5, 15), iv(5, 15), 10 * time.Minute},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := overlap(tt.a, tt.b); got != tt.want {
+				t.Errorf("overlap = %v, want %v", got, tt.want)
+			}
+			if got := overlap(tt.b, tt.a); got != tt.want {
+				t.Errorf("overlap not symmetric")
+			}
+		})
+	}
+}
+
+func TestCorrectClassification(t *testing.T) {
+	discovered := []DiscoveredPlace{
+		{ID: "d0", Visits: []Interval{iv(0, 60), iv(200, 260)}},
+		{ID: "d1", Visits: []Interval{iv(100, 160)}},
+	}
+	truth := []TruthVisit{
+		tv("home", 0, 60), tv("home", 200, 260),
+		tv("work", 100, 160),
+	}
+	rep := Evaluate(discovered, truth, minOv)
+	if rep.Correct != 2 || rep.Merged != 0 || rep.Divided != 0 || rep.Missed != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.PerVenue["home"] != Correct {
+		t.Error("home not correct")
+	}
+	c, m, d := rep.Rates()
+	if c != 1 || m != 0 || d != 0 {
+		t.Errorf("rates = %v %v %v", c, m, d)
+	}
+}
+
+func TestMergedClassification(t *testing.T) {
+	// One discovered place covers both library and academic building —
+	// the paper's canonical merge example.
+	discovered := []DiscoveredPlace{
+		{ID: "d0", Visits: []Interval{iv(0, 60), iv(100, 160)}},
+	}
+	truth := []TruthVisit{
+		tv("library", 0, 60),
+		tv("academic", 100, 160),
+	}
+	rep := Evaluate(discovered, truth, minOv)
+	if rep.Merged != 2 || rep.Correct != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.PerVenue["library"] != Merged || rep.PerVenue["academic"] != Merged {
+		t.Error("both venues should be merged")
+	}
+}
+
+func TestDividedClassification(t *testing.T) {
+	// Two discovered places both cover home: home is divided.
+	discovered := []DiscoveredPlace{
+		{ID: "d0", Visits: []Interval{iv(0, 60)}},
+		{ID: "d1", Visits: []Interval{iv(200, 260)}},
+	}
+	truth := []TruthVisit{
+		tv("home", 0, 60), tv("home", 200, 260),
+	}
+	rep := Evaluate(discovered, truth, minOv)
+	if rep.Divided != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestMissedClassification(t *testing.T) {
+	truth := []TruthVisit{tv("gym", 0, 60)}
+	rep := Evaluate(nil, truth, minOv)
+	if rep.Missed != 1 || rep.Evaluable() != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if c, m, d := rep.Rates(); c != 0 || m != 0 || d != 0 {
+		t.Error("rates of empty evaluable set must be zero")
+	}
+}
+
+func TestMinOverlapThreshold(t *testing.T) {
+	// Only 2 minutes of overlap: below the 5-minute attribution floor.
+	discovered := []DiscoveredPlace{{ID: "d0", Visits: []Interval{iv(58, 90)}}}
+	truth := []TruthVisit{tv("home", 0, 60)}
+	rep := Evaluate(discovered, truth, minOv)
+	if rep.PerVenue["home"] != Missed {
+		t.Errorf("home = %v, want missed (overlap below floor)", rep.PerVenue["home"])
+	}
+}
+
+func TestVisitAttributedToBestVenue(t *testing.T) {
+	// Discovered visit overlaps home 10 min and work 40 min: goes to work.
+	discovered := []DiscoveredPlace{{ID: "d0", Visits: []Interval{iv(50, 100)}}}
+	truth := []TruthVisit{tv("home", 0, 60), tv("work", 60, 120)}
+	rep := Evaluate(discovered, truth, minOv)
+	if rep.PerVenue["work"] != Correct {
+		t.Errorf("work = %v", rep.PerVenue["work"])
+	}
+	if rep.PerVenue["home"] != Missed {
+		t.Errorf("home = %v, want missed", rep.PerVenue["home"])
+	}
+}
+
+func TestMergeReports(t *testing.T) {
+	r1 := Evaluate(
+		[]DiscoveredPlace{{ID: "d0", Visits: []Interval{iv(0, 60)}}},
+		[]TruthVisit{tv("u1/home", 0, 60)}, minOv)
+	r2 := Evaluate(
+		[]DiscoveredPlace{{ID: "d0", Visits: []Interval{iv(0, 60), iv(100, 160)}}},
+		[]TruthVisit{tv("u2/a", 0, 60), tv("u2/b", 100, 160)}, minOv)
+	merged := Merge(r1, r2, nil)
+	if merged.Correct != 1 || merged.Merged != 2 {
+		t.Fatalf("merged = %+v", merged)
+	}
+	if len(merged.PerVenue) != 3 {
+		t.Errorf("venues = %d", len(merged.PerVenue))
+	}
+	if got := merged.SortedVenues(); len(got) != 3 || got[0] != "u1/home" {
+		t.Errorf("SortedVenues = %v", got)
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	rep := &Report{Correct: 49, Merged: 9, Divided: 4, PerVenue: map[string]Outcome{}}
+	var sb strings.Builder
+	if err := rep.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"62", "79.03", "14.52", "6.45"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTimingError(t *testing.T) {
+	discovered := []DiscoveredPlace{{ID: "d0", Visits: []Interval{iv(2, 58)}}}
+	truth := []TruthVisit{tv("home", 0, 60)}
+	arr, dep, n := TimingError(discovered, truth, minOv)
+	if n != 1 {
+		t.Fatalf("n = %d", n)
+	}
+	if arr != 2*time.Minute || dep != 2*time.Minute {
+		t.Errorf("arr = %v, dep = %v", arr, dep)
+	}
+	// Empty case.
+	if _, _, n := TimingError(nil, truth, minOv); n != 0 {
+		t.Error("empty discovered should give n=0")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for o, want := range map[Outcome]string{
+		Correct: "correct", Merged: "merged", Divided: "divided", Missed: "missed", Outcome(0): "unknown",
+	} {
+		if got := o.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", o, got, want)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package eval_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/simclock"
+)
+
+func ExampleEvaluate() {
+	t0 := simclock.Epoch
+	// One discovered place covers both the library and the adjacent
+	// academic building — the paper's canonical merge.
+	discovered := []eval.DiscoveredPlace{{
+		ID: "d0",
+		Visits: []eval.Interval{
+			{Start: t0, End: t0.Add(time.Hour)},
+			{Start: t0.Add(2 * time.Hour), End: t0.Add(3 * time.Hour)},
+		},
+	}}
+	truth := []eval.TruthVisit{
+		{VenueID: "library", Start: t0, End: t0.Add(time.Hour)},
+		{VenueID: "academic", Start: t0.Add(2 * time.Hour), End: t0.Add(3 * time.Hour)},
+	}
+	rep := eval.Evaluate(discovered, truth, 5*time.Minute)
+	fmt.Printf("library: %s\n", rep.PerVenue["library"])
+	fmt.Printf("academic: %s\n", rep.PerVenue["academic"])
+	// Output:
+	// library: merged
+	// academic: merged
+}

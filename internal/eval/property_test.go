@@ -1,0 +1,152 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// genScenario builds a random but well-formed discovery scenario from a
+// seed: some venues with visits, and discovered places derived from them
+// with random noise (merging, splitting, missing).
+func genScenario(seed int64) (discovered []DiscoveredPlace, truth []TruthVisit) {
+	r := rand.New(rand.NewSource(seed))
+	nVenues := 1 + r.Intn(8)
+	t0 := simclock.Epoch
+
+	cursor := t0
+	for v := 0; v < nVenues; v++ {
+		venue := string(rune('A' + v))
+		visits := 1 + r.Intn(4)
+		for k := 0; k < visits; k++ {
+			start := cursor.Add(time.Duration(r.Intn(120)) * time.Minute)
+			end := start.Add(time.Duration(20+r.Intn(120)) * time.Minute)
+			truth = append(truth, TruthVisit{VenueID: venue, Start: start, End: end})
+			cursor = end.Add(time.Duration(10+r.Intn(60)) * time.Minute)
+		}
+	}
+
+	// Discovered places: each venue is (a) correct, (b) split into 2, (c)
+	// merged with the next venue, or (d) missed.
+	mode := make([]int, nVenues)
+	for v := range mode {
+		mode[v] = r.Intn(4)
+	}
+	idx := 0
+	byVenue := map[string][]Interval{}
+	for _, tv := range truth {
+		byVenue[tv.VenueID] = append(byVenue[tv.VenueID], Interval{Start: tv.Start, End: tv.End})
+	}
+	for v := 0; v < nVenues; v++ {
+		venue := string(rune('A' + v))
+		ivs := byVenue[venue]
+		switch mode[v] {
+		case 0: // correct
+			discovered = append(discovered, DiscoveredPlace{ID: id(&idx), Visits: ivs})
+		case 1: // divided
+			if len(ivs) >= 2 {
+				discovered = append(discovered,
+					DiscoveredPlace{ID: id(&idx), Visits: ivs[:1]},
+					DiscoveredPlace{ID: id(&idx), Visits: ivs[1:]})
+			} else {
+				discovered = append(discovered, DiscoveredPlace{ID: id(&idx), Visits: ivs})
+			}
+		case 2: // merged with next venue (if any)
+			next := string(rune('A' + (v+1)%nVenues))
+			merged := append(append([]Interval{}, ivs...), byVenue[next]...)
+			discovered = append(discovered, DiscoveredPlace{ID: id(&idx), Visits: merged})
+		case 3: // missed
+		}
+	}
+	return discovered, truth
+}
+
+func id(i *int) string {
+	*i++
+	return "d" + string(rune('0'+*i%10)) + string(rune('a'+*i/10))
+}
+
+func TestEvaluatePartitionInvariant(t *testing.T) {
+	// Every truth venue receives exactly one outcome, and the counters sum
+	// to the venue count — for any scenario.
+	f := func(seed int64) bool {
+		discovered, truth := genScenario(seed)
+		rep := Evaluate(discovered, truth, 5*time.Minute)
+
+		venues := map[string]bool{}
+		for _, tv := range truth {
+			venues[tv.VenueID] = true
+		}
+		if len(rep.PerVenue) != len(venues) {
+			return false
+		}
+		return rep.Correct+rep.Merged+rep.Divided+rep.Missed == len(venues)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvaluateRatesSumToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		discovered, truth := genScenario(seed)
+		rep := Evaluate(discovered, truth, 5*time.Minute)
+		if rep.Evaluable() == 0 {
+			c, m, d := rep.Rates()
+			return c == 0 && m == 0 && d == 0
+		}
+		c, m, d := rep.Rates()
+		sum := c + m + d
+		return sum > 0.999999 && sum < 1.000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvaluateEmptyDiscoveredAllMissed(t *testing.T) {
+	f := func(seed int64) bool {
+		_, truth := genScenario(seed)
+		rep := Evaluate(nil, truth, 5*time.Minute)
+		return rep.Correct == 0 && rep.Merged == 0 && rep.Divided == 0 &&
+			rep.Missed == len(rep.PerVenue)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeIsAdditive(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		dA, tA := genScenario(seedA)
+		dB, tB := genScenario(seedB)
+		rA := Evaluate(dA, tA, 5*time.Minute)
+		rB := Evaluate(dB, tB, 5*time.Minute)
+		// Prefix venue keys to keep them distinct.
+		pa := prefix(rA, "a/")
+		pb := prefix(rB, "b/")
+		m := Merge(pa, pb)
+		return m.Correct == rA.Correct+rB.Correct &&
+			m.Merged == rA.Merged+rB.Merged &&
+			m.Divided == rA.Divided+rB.Divided &&
+			m.Missed == rA.Missed+rB.Missed &&
+			len(m.PerVenue) == len(rA.PerVenue)+len(rB.PerVenue)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func prefix(r *Report, p string) *Report {
+	out := &Report{
+		PerVenue: map[string]Outcome{},
+		Correct:  r.Correct, Merged: r.Merged, Divided: r.Divided, Missed: r.Missed,
+	}
+	for v, o := range r.PerVenue {
+		out.PerVenue[p+v] = o
+	}
+	return out
+}

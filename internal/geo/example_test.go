@@ -1,0 +1,25 @@
+package geo_test
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+)
+
+func ExampleDistance() {
+	connaughtPlace := geo.LatLng{Lat: 28.6315, Lng: 77.2167}
+	indiaGate := geo.LatLng{Lat: 28.6129, Lng: 77.2295}
+	fmt.Printf("%.0f m\n", geo.Distance(connaughtPlace, indiaGate))
+	// Output: 2416 m
+}
+
+func ExamplePolyline_Length() {
+	start := geo.LatLng{Lat: 28.6, Lng: 77.2}
+	pl := geo.Polyline{
+		start,
+		geo.Offset(start, 90, 1000), // 1 km east
+		geo.Offset(geo.Offset(start, 90, 1000), 0, 500), // then 500 m north
+	}
+	fmt.Printf("%.0f m\n", pl.Length())
+	// Output: 1500 m
+}

@@ -1,0 +1,127 @@
+package geo
+
+import "sort"
+
+// Polyline is an ordered sequence of points describing a path.
+type Polyline []LatLng
+
+// Length returns the total great-circle length of the polyline in meters.
+func (pl Polyline) Length() float64 {
+	var total float64
+	for i := 1; i < len(pl); i++ {
+		total += Distance(pl[i-1], pl[i])
+	}
+	return total
+}
+
+// PointAt returns the point a given distance (meters) along the polyline,
+// interpolating between vertices. Distances beyond either end clamp to the
+// endpoints. Returns the zero value for an empty polyline.
+func (pl Polyline) PointAt(distanceMeters float64) LatLng {
+	if len(pl) == 0 {
+		return LatLng{}
+	}
+	if distanceMeters <= 0 {
+		return pl[0]
+	}
+	remaining := distanceMeters
+	for i := 1; i < len(pl); i++ {
+		seg := Distance(pl[i-1], pl[i])
+		if remaining <= seg {
+			if seg == 0 {
+				return pl[i]
+			}
+			return Interpolate(pl[i-1], pl[i], remaining/seg)
+		}
+		remaining -= seg
+	}
+	return pl[len(pl)-1]
+}
+
+// Resample returns the polyline re-sampled at a fixed spacing (meters),
+// always including both endpoints. A spacing <= 0 returns a copy.
+func (pl Polyline) Resample(spacingMeters float64) Polyline {
+	if len(pl) == 0 {
+		return nil
+	}
+	if spacingMeters <= 0 || len(pl) == 1 {
+		out := make(Polyline, len(pl))
+		copy(out, pl)
+		return out
+	}
+	total := pl.Length()
+	out := Polyline{pl[0]}
+	for d := spacingMeters; d < total; d += spacingMeters {
+		out = append(out, pl.PointAt(d))
+	}
+	out = append(out, pl[len(pl)-1])
+	return out
+}
+
+// DistanceToPoint returns the minimum distance in meters from p to any vertex
+// of the polyline (vertex approximation; adequate for densely sampled paths).
+func (pl Polyline) DistanceToPoint(p LatLng) float64 {
+	if len(pl) == 0 {
+		return 0
+	}
+	best := Distance(pl[0], p)
+	for _, v := range pl[1:] {
+		if d := Distance(v, p); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Simplify returns the polyline with consecutive vertices closer than
+// toleranceMeters collapsed, always keeping the endpoints.
+func (pl Polyline) Simplify(toleranceMeters float64) Polyline {
+	if len(pl) <= 2 {
+		out := make(Polyline, len(pl))
+		copy(out, pl)
+		return out
+	}
+	out := Polyline{pl[0]}
+	for i := 1; i < len(pl)-1; i++ {
+		if Distance(out[len(out)-1], pl[i]) >= toleranceMeters {
+			out = append(out, pl[i])
+		}
+	}
+	out = append(out, pl[len(pl)-1])
+	return out
+}
+
+// HausdorffDistance returns the (symmetric, vertex-sampled) Hausdorff
+// distance in meters between two polylines: the largest distance from a
+// vertex of either line to the nearest vertex of the other. It is the route
+// dissimilarity measure used by the cloud route-similarity service.
+func HausdorffDistance(a, b Polyline) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	directed := func(from, to Polyline) float64 {
+		var worst float64
+		for _, p := range from {
+			if d := to.DistanceToPoint(p); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+	return max(directed(a, b), directed(b, a))
+}
+
+// MedianNeighborSpacing returns the median distance between consecutive
+// vertices, used to sanity-check sampled trajectories. Returns 0 for
+// polylines with fewer than two points.
+func (pl Polyline) MedianNeighborSpacing() float64 {
+	if len(pl) < 2 {
+		return 0
+	}
+	gaps := make([]float64, 0, len(pl)-1)
+	for i := 1; i < len(pl); i++ {
+		gaps = append(gaps, Distance(pl[i-1], pl[i]))
+	}
+	sort.Float64s(gaps)
+	return gaps[len(gaps)/2]
+}

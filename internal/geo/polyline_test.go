@@ -1,0 +1,161 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func line(points ...LatLng) Polyline { return Polyline(points) }
+
+func TestPolylineLength(t *testing.T) {
+	if got := line().Length(); got != 0 {
+		t.Errorf("empty length = %v, want 0", got)
+	}
+	if got := line(LatLng{28.6, 77.2}).Length(); got != 0 {
+		t.Errorf("single-point length = %v, want 0", got)
+	}
+	a := LatLng{28.6, 77.2}
+	b := Offset(a, 90, 1000)
+	c := Offset(b, 0, 500)
+	pl := line(a, b, c)
+	if got := pl.Length(); math.Abs(got-1500) > 1 {
+		t.Errorf("length = %.3f, want ~1500", got)
+	}
+}
+
+func TestPointAt(t *testing.T) {
+	a := LatLng{28.6, 77.2}
+	b := Offset(a, 90, 1000)
+	pl := line(a, b)
+
+	if got := pl.PointAt(-5); got != a {
+		t.Errorf("negative distance should clamp to start, got %v", got)
+	}
+	if got := pl.PointAt(5000); got != b {
+		t.Errorf("overshoot should clamp to end, got %v", got)
+	}
+	mid := pl.PointAt(500)
+	if d := Distance(a, mid); math.Abs(d-500) > 1 {
+		t.Errorf("PointAt(500) is %.3f m from start, want ~500", d)
+	}
+	if got := Polyline(nil).PointAt(10); !got.IsZero() {
+		t.Errorf("empty polyline PointAt = %v, want zero", got)
+	}
+}
+
+func TestResample(t *testing.T) {
+	a := LatLng{28.6, 77.2}
+	b := Offset(a, 90, 1000)
+	pl := line(a, b)
+
+	rs := pl.Resample(100)
+	if len(rs) < 10 {
+		t.Fatalf("resample too sparse: %d points", len(rs))
+	}
+	if rs[0] != a || rs[len(rs)-1] != b {
+		t.Error("resample must keep endpoints")
+	}
+	med := rs.MedianNeighborSpacing()
+	if math.Abs(med-100) > 5 {
+		t.Errorf("median spacing = %.3f, want ~100", med)
+	}
+	// Length must be preserved (within interpolation error).
+	if got := rs.Length(); math.Abs(got-pl.Length()) > 5 {
+		t.Errorf("resample changed length: %.3f vs %.3f", got, pl.Length())
+	}
+	// Degenerate spacings return a copy.
+	cp := pl.Resample(0)
+	if len(cp) != len(pl) {
+		t.Errorf("Resample(0) len = %d, want %d", len(cp), len(pl))
+	}
+	if Polyline(nil).Resample(10) != nil {
+		t.Error("Resample of nil should be nil")
+	}
+}
+
+func TestSimplify(t *testing.T) {
+	a := LatLng{28.6, 77.2}
+	b := Offset(a, 90, 1000)
+	dense := line(a, b).Resample(10) // ~100 points
+	sparse := dense.Simplify(100)
+	if len(sparse) >= len(dense) {
+		t.Errorf("simplify did not reduce: %d -> %d", len(dense), len(sparse))
+	}
+	if sparse[0] != dense[0] || sparse[len(sparse)-1] != dense[len(dense)-1] {
+		t.Error("simplify must keep endpoints")
+	}
+	// Short polylines are returned as copies.
+	two := line(a, b)
+	if got := two.Simplify(1e9); len(got) != 2 {
+		t.Errorf("Simplify on 2-point line returned %d points", len(got))
+	}
+}
+
+func TestHausdorffDistance(t *testing.T) {
+	a := LatLng{28.6, 77.2}
+	b := Offset(a, 90, 2000)
+	pl1 := line(a, b).Resample(50)
+
+	// Identical lines: distance 0.
+	if got := HausdorffDistance(pl1, pl1); got != 0 {
+		t.Errorf("self distance = %.3f, want 0", got)
+	}
+	// Parallel line 300 m north: distance ~300.
+	pl2 := make(Polyline, len(pl1))
+	for i, p := range pl1 {
+		pl2[i] = Offset(p, 0, 300)
+	}
+	if got := HausdorffDistance(pl1, pl2); math.Abs(got-300) > 10 {
+		t.Errorf("parallel distance = %.3f, want ~300", got)
+	}
+	// Symmetry.
+	if d1, d2 := HausdorffDistance(pl1, pl2), HausdorffDistance(pl2, pl1); d1 != d2 {
+		t.Errorf("not symmetric: %.3f vs %.3f", d1, d2)
+	}
+	// Empty handling.
+	if got := HausdorffDistance(nil, pl1); got != 0 {
+		t.Errorf("empty vs non-empty = %.3f, want 0", got)
+	}
+}
+
+func TestHausdorffMonotoneInOffset(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	a := LatLng{28.6, 77.2}
+	b := Offset(a, r.Float64()*360, 3000)
+	base := line(a, b).Resample(100)
+	prev := -1.0
+	for _, off := range []float64{50, 150, 400, 900} {
+		shifted := make(Polyline, len(base))
+		for i, p := range base {
+			shifted[i] = Offset(p, 45, off)
+		}
+		d := HausdorffDistance(base, shifted)
+		if d <= prev {
+			t.Fatalf("Hausdorff not increasing with offset: %.3f after %.3f", d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestDistanceToPoint(t *testing.T) {
+	a := LatLng{28.6, 77.2}
+	b := Offset(a, 90, 1000)
+	pl := line(a, b).Resample(20)
+	p := Offset(pl.PointAt(500), 0, 123)
+	if got := pl.DistanceToPoint(p); math.Abs(got-123) > 15 {
+		t.Errorf("DistanceToPoint = %.3f, want ~123", got)
+	}
+	if got := Polyline(nil).DistanceToPoint(p); got != 0 {
+		t.Errorf("empty DistanceToPoint = %.3f, want 0", got)
+	}
+}
+
+func TestMedianNeighborSpacingShort(t *testing.T) {
+	if got := Polyline(nil).MedianNeighborSpacing(); got != 0 {
+		t.Errorf("nil spacing = %v", got)
+	}
+	if got := line(LatLng{1, 1}).MedianNeighborSpacing(); got != 0 {
+		t.Errorf("single spacing = %v", got)
+	}
+}

@@ -1,0 +1,237 @@
+// Package gpsplace implements the Kang et al. time-space clustering
+// algorithm ("Extracting places from traces of locations", WMASH 2004) that
+// PMWare uses for GPS-based place discovery (paper Section 2.2.2): GPS
+// coordinates are clustered incrementally along time, and clusters that
+// persist past a stay threshold within a distance threshold become places.
+package gpsplace
+
+import (
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/trace"
+)
+
+// Params tunes the clusterer. Zero value is not useful; start from
+// DefaultParams.
+type Params struct {
+	// ClusterRadiusM is the distance threshold: a fix within this radius of
+	// the running cluster centroid extends the cluster.
+	ClusterRadiusM float64
+	// MinStay is the temporal threshold for a cluster to become a place
+	// visit.
+	MinStay time.Duration
+	// OutlierTolerance is how many consecutive far fixes are absorbed (GPS
+	// glitches) before the cluster closes.
+	OutlierTolerance int
+	// MergeRadiusM is the distance at which a new cluster is recognized as
+	// an existing place.
+	MergeRadiusM float64
+}
+
+// DefaultParams returns the parameters used by the deployment study.
+func DefaultParams() Params {
+	return Params{
+		ClusterRadiusM:   120,
+		MinStay:          10 * time.Minute,
+		OutlierTolerance: 3,
+		MergeRadiusM:     150,
+	}
+}
+
+// Visit is one stay interval at a GPS place.
+type Visit struct {
+	Arrive time.Time
+	Depart time.Time
+}
+
+// Duration returns the visit length.
+func (v Visit) Duration() time.Duration { return v.Depart.Sub(v.Arrive) }
+
+// Place is a discovered GPS place: the P_i = {latitude, longitude} signature
+// of paper Section 2.1.1.
+type Place struct {
+	ID     int
+	Center geo.LatLng
+	Visits []Visit
+
+	fixCount int
+}
+
+// TotalDwell sums visit durations.
+func (p *Place) TotalDwell() time.Duration {
+	var d time.Duration
+	for _, v := range p.Visits {
+		d += v.Duration()
+	}
+	return d
+}
+
+// EventKind distinguishes clusterer events.
+type EventKind int
+
+// Clusterer event kinds.
+const (
+	Arrival EventKind = iota + 1
+	Departure
+)
+
+// Event is an online place event. Arrival events are emitted retroactively —
+// once the stay threshold is crossed — with At set to the true cluster start.
+type Event struct {
+	Kind    EventKind
+	PlaceID int
+	At      time.Time
+}
+
+// Clusterer is the online Kang state machine. Not safe for concurrent use.
+type Clusterer struct {
+	params Params
+	places []*Place
+
+	// running cluster
+	pts      []geo.LatLng
+	centroid geo.LatLng
+	start    time.Time
+	last     time.Time
+	outliers []trace.GPSFix
+
+	// currentPlace is set once the running cluster has crossed MinStay and
+	// been promoted/matched.
+	currentPlace *Place
+}
+
+// NewClusterer returns an empty clusterer.
+func NewClusterer(p Params) *Clusterer { return &Clusterer{params: p} }
+
+// Places returns the places discovered so far.
+func (c *Clusterer) Places() []*Place { return c.places }
+
+// Current returns the place the user is currently staying at, or nil.
+func (c *Clusterer) Current() *Place { return c.currentPlace }
+
+// Observe consumes one valid GPS fix in time order and returns any events.
+func (c *Clusterer) Observe(fix trace.GPSFix) []Event {
+	if !fix.Valid {
+		return nil
+	}
+	if len(c.pts) == 0 {
+		c.open(fix)
+		return nil
+	}
+	if geo.Distance(c.centroid, fix.Pos) <= c.params.ClusterRadiusM {
+		c.outliers = nil
+		c.extend(fix)
+		return c.maybePromote(fix.At)
+	}
+	// Far fix: tolerate a few (GPS glitches), then close the cluster.
+	c.outliers = append(c.outliers, fix)
+	if len(c.outliers) < c.params.OutlierTolerance {
+		return nil
+	}
+	events := c.close()
+	// Re-open from the buffered outliers (they are the new location).
+	outliers := c.outliers
+	c.outliers = nil
+	c.open(outliers[0])
+	for _, o := range outliers[1:] {
+		if geo.Distance(c.centroid, o.Pos) <= c.params.ClusterRadiusM {
+			c.extend(o)
+		}
+	}
+	return events
+}
+
+func (c *Clusterer) open(fix trace.GPSFix) {
+	c.pts = c.pts[:0]
+	c.pts = append(c.pts, fix.Pos)
+	c.centroid = fix.Pos
+	c.start = fix.At
+	c.last = fix.At
+	c.currentPlace = nil
+}
+
+func (c *Clusterer) extend(fix trace.GPSFix) {
+	c.pts = append(c.pts, fix.Pos)
+	c.last = fix.At
+	// Incremental centroid.
+	n := float64(len(c.pts))
+	c.centroid.Lat += (fix.Pos.Lat - c.centroid.Lat) / n
+	c.centroid.Lng += (fix.Pos.Lng - c.centroid.Lng) / n
+	if c.currentPlace != nil {
+		// Refine the place centroid while dwelling.
+		c.currentPlace.fixCount++
+		k := float64(c.currentPlace.fixCount)
+		c.currentPlace.Center.Lat += (fix.Pos.Lat - c.currentPlace.Center.Lat) / k
+		c.currentPlace.Center.Lng += (fix.Pos.Lng - c.currentPlace.Center.Lng) / k
+	}
+}
+
+// maybePromote turns the running cluster into a place visit once it crosses
+// the stay threshold.
+func (c *Clusterer) maybePromote(now time.Time) []Event {
+	if c.currentPlace != nil || now.Sub(c.start) < c.params.MinStay {
+		return nil
+	}
+	place := c.match(c.centroid)
+	if place == nil {
+		place = &Place{ID: len(c.places), Center: c.centroid, fixCount: len(c.pts)}
+		c.places = append(c.places, place)
+	}
+	c.currentPlace = place
+	return []Event{{Kind: Arrival, PlaceID: place.ID, At: c.start}}
+}
+
+// close ends the running cluster, recording the visit if it was promoted.
+func (c *Clusterer) close() []Event {
+	var events []Event
+	if c.currentPlace != nil {
+		c.currentPlace.Visits = append(c.currentPlace.Visits, Visit{Arrive: c.start, Depart: c.last})
+		events = append(events, Event{Kind: Departure, PlaceID: c.currentPlace.ID, At: c.last})
+		c.currentPlace = nil
+	}
+	c.pts = c.pts[:0]
+	return events
+}
+
+// match finds an existing place within MergeRadiusM of the centroid.
+func (c *Clusterer) match(p geo.LatLng) *Place {
+	var best *Place
+	bestD := c.params.MergeRadiusM
+	for _, pl := range c.places {
+		if d := geo.Distance(pl.Center, p); d <= bestD {
+			best, bestD = pl, d
+		}
+	}
+	return best
+}
+
+// Flush closes any open cluster at trace end and returns final events.
+func (c *Clusterer) Flush() []Event { return c.close() }
+
+// Result is the output of offline discovery.
+type Result struct {
+	Places []*Place
+	Events []Event
+}
+
+// Discover runs the clusterer over a full fix trace.
+func Discover(fixes []trace.GPSFix, p Params) *Result {
+	c := NewClusterer(p)
+	var events []Event
+	for _, f := range fixes {
+		events = append(events, c.Observe(f)...)
+	}
+	events = append(events, c.Flush()...)
+
+	// Keep only places that retained at least one visit. IDs are preserved
+	// (possibly with gaps) so events keep referring to the right place.
+	var places []*Place
+	for _, pl := range c.places {
+		if len(pl.Visits) == 0 {
+			continue
+		}
+		places = append(places, pl)
+	}
+	return &Result{Places: places, Events: events}
+}

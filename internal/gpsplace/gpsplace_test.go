@@ -1,0 +1,248 @@
+package gpsplace
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+	"repro/internal/world"
+)
+
+var origin = geo.LatLng{Lat: 28.6139, Lng: 77.2090}
+
+// fixSeq builds one fix per minute at the given positions.
+func fixSeq(start time.Time, positions ...geo.LatLng) []trace.GPSFix {
+	out := make([]trace.GPSFix, len(positions))
+	for i, p := range positions {
+		out[i] = trace.GPSFix{At: start.Add(time.Duration(i) * time.Minute), Pos: p, AccuracyMeters: 10, Valid: true}
+	}
+	return out
+}
+
+// jitterAround returns n positions within radius meters of center.
+func jitterAround(center geo.LatLng, radius float64, n int, r *rand.Rand) []geo.LatLng {
+	out := make([]geo.LatLng, n)
+	for i := range out {
+		out[i] = geo.Offset(center, r.Float64()*360, r.Float64()*radius)
+	}
+	return out
+}
+
+// walkBetween returns positions walking from a to b in n steps.
+func walkBetween(a, b geo.LatLng, n int) []geo.LatLng {
+	out := make([]geo.LatLng, n)
+	for i := range out {
+		out[i] = geo.Interpolate(a, b, float64(i+1)/float64(n+1))
+	}
+	return out
+}
+
+func TestDiscoverSingleStay(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	pos := jitterAround(origin, 40, 30, r) // 30 min within 40 m
+	res := Discover(fixSeq(simclock.Epoch, pos...), DefaultParams())
+	if len(res.Places) != 1 {
+		t.Fatalf("places = %d, want 1", len(res.Places))
+	}
+	p := res.Places[0]
+	if d := geo.Distance(p.Center, origin); d > 60 {
+		t.Errorf("centroid %.1f m from truth", d)
+	}
+	if len(p.Visits) != 1 {
+		t.Errorf("visits = %d, want 1", len(p.Visits))
+	}
+	if p.TotalDwell() < 25*time.Minute {
+		t.Errorf("dwell = %v", p.TotalDwell())
+	}
+}
+
+func TestDiscoverTwoPlacesWithTravel(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	b := geo.Offset(origin, 90, 2000)
+	var pos []geo.LatLng
+	pos = append(pos, jitterAround(origin, 40, 20, r)...)
+	pos = append(pos, walkBetween(origin, b, 10)...)
+	pos = append(pos, jitterAround(b, 40, 20, r)...)
+	res := Discover(fixSeq(simclock.Epoch, pos...), DefaultParams())
+	if len(res.Places) != 2 {
+		t.Fatalf("places = %d, want 2", len(res.Places))
+	}
+	// Arrival before departure, alternating, consistent IDs.
+	if len(res.Events) != 4 {
+		t.Fatalf("events = %d, want 4 (2 arrivals + 2 departures)", len(res.Events))
+	}
+	if res.Events[0].Kind != Arrival || res.Events[1].Kind != Departure {
+		t.Error("event order wrong")
+	}
+	if res.Events[0].PlaceID != res.Events[1].PlaceID {
+		t.Error("arrival/departure place mismatch")
+	}
+}
+
+func TestRevisitMergesIntoSamePlace(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	b := geo.Offset(origin, 90, 1500)
+	var pos []geo.LatLng
+	pos = append(pos, jitterAround(origin, 40, 15, r)...)
+	pos = append(pos, walkBetween(origin, b, 8)...)
+	pos = append(pos, jitterAround(b, 40, 15, r)...)
+	pos = append(pos, walkBetween(b, origin, 8)...)
+	pos = append(pos, jitterAround(origin, 40, 15, r)...)
+	res := Discover(fixSeq(simclock.Epoch, pos...), DefaultParams())
+	if len(res.Places) != 2 {
+		t.Fatalf("places = %d, want 2 (revisit must merge)", len(res.Places))
+	}
+	var first *Place
+	for _, p := range res.Places {
+		if geo.Distance(p.Center, origin) < 100 {
+			first = p
+		}
+	}
+	if first == nil {
+		t.Fatal("origin place missing")
+	}
+	if len(first.Visits) != 2 {
+		t.Errorf("origin visits = %d, want 2", len(first.Visits))
+	}
+}
+
+func TestShortStopIgnored(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	b := geo.Offset(origin, 90, 1500)
+	c := geo.Offset(origin, 90, 3000)
+	var pos []geo.LatLng
+	pos = append(pos, jitterAround(origin, 40, 15, r)...)
+	pos = append(pos, walkBetween(origin, b, 5)...)
+	pos = append(pos, jitterAround(b, 40, 5, r)...) // 5 min: below MinStay
+	pos = append(pos, walkBetween(b, c, 5)...)
+	pos = append(pos, jitterAround(c, 40, 15, r)...)
+	res := Discover(fixSeq(simclock.Epoch, pos...), DefaultParams())
+	for _, p := range res.Places {
+		if geo.Distance(p.Center, b) < 200 {
+			t.Errorf("short stop at %v became a place", b)
+		}
+	}
+	if len(res.Places) != 2 {
+		t.Errorf("places = %d, want 2", len(res.Places))
+	}
+}
+
+func TestOutlierGlitchAbsorbed(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	pos := jitterAround(origin, 30, 15, r)
+	// One wild glitch mid-dwell.
+	glitch := geo.Offset(origin, 45, 900)
+	pos = append(pos[:8], append([]geo.LatLng{glitch}, pos[8:]...)...)
+	res := Discover(fixSeq(simclock.Epoch, pos...), DefaultParams())
+	if len(res.Places) != 1 {
+		t.Fatalf("places = %d, want 1 (glitch split the cluster)", len(res.Places))
+	}
+	if len(res.Places[0].Visits) != 1 {
+		t.Errorf("visits = %d, want 1", len(res.Places[0].Visits))
+	}
+}
+
+func TestInvalidFixesSkipped(t *testing.T) {
+	c := NewClusterer(DefaultParams())
+	if ev := c.Observe(trace.GPSFix{At: simclock.Epoch, Valid: false}); len(ev) != 0 {
+		t.Error("invalid fix produced events")
+	}
+	if len(c.Places()) != 0 {
+		t.Error("invalid fix created state")
+	}
+}
+
+func TestArrivalBackdated(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	pos := jitterAround(origin, 30, 30, r)
+	c := NewClusterer(DefaultParams())
+	var arrival *Event
+	for i, f := range fixSeq(simclock.Epoch, pos...) {
+		for _, e := range c.Observe(f) {
+			if e.Kind == Arrival {
+				e := e
+				arrival = &e
+				// Arrival should not fire before MinStay has elapsed...
+				if elapsed := f.At.Sub(simclock.Epoch); elapsed < DefaultParams().MinStay {
+					t.Errorf("arrival fired after only %v (fix %d)", elapsed, i)
+				}
+			}
+		}
+	}
+	if arrival == nil {
+		t.Fatal("no arrival")
+	}
+	// ...but its timestamp is the true cluster start.
+	if !arrival.At.Equal(simclock.Epoch) {
+		t.Errorf("arrival At = %v, want cluster start %v", arrival.At, simclock.Epoch)
+	}
+}
+
+func TestCurrentTracksDwell(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	c := NewClusterer(DefaultParams())
+	for _, f := range fixSeq(simclock.Epoch, jitterAround(origin, 30, 15, r)...) {
+		c.Observe(f)
+	}
+	if c.Current() == nil {
+		t.Fatal("Current nil during a 15-min dwell")
+	}
+	c.Flush()
+	if c.Current() != nil {
+		t.Error("Current survives Flush")
+	}
+}
+
+func TestFlushClosesOpenVisit(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	c := NewClusterer(DefaultParams())
+	for _, f := range fixSeq(simclock.Epoch, jitterAround(origin, 30, 20, r)...) {
+		c.Observe(f)
+	}
+	events := c.Flush()
+	if len(events) != 1 || events[0].Kind != Departure {
+		t.Fatalf("flush events = %v, want one departure", events)
+	}
+	if len(c.Places()[0].Visits) != 1 {
+		t.Error("flush did not record the visit")
+	}
+}
+
+func TestDiscoverOnSimulatedDay(t *testing.T) {
+	cfg := world.DefaultConfig()
+	r := rand.New(rand.NewSource(51))
+	w := world.Generate(cfg, r)
+	home := w.AddVenue("home", "Home", world.KindHome, geo.Offset(cfg.Origin, 210, 2300), true, cfg, r)
+	work := w.AddVenue("work", "Office", world.KindWorkplace, geo.Offset(cfg.Origin, 30, 2400), true, cfg, r)
+	a := &mobility.Agent{ID: "u1", Home: home, Work: work, SpeedMPS: 7}
+	it, err := mobility.BuildItinerary(a, w, simclock.Epoch, 2, mobility.DefaultScheduleConfig(), rand.New(rand.NewSource(52)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := trace.NewSensors(w, it, trace.DefaultConfig(), rand.New(rand.NewSource(53)))
+	fixes := s.CollectGPS(it.Start, it.End, time.Minute)
+	res := Discover(fixes, DefaultParams())
+
+	if len(res.Places) < 2 {
+		t.Fatalf("places = %d, want >= 2 (home and work)", len(res.Places))
+	}
+	// Home and work centroids must be recovered.
+	near := func(target geo.LatLng) bool {
+		for _, p := range res.Places {
+			if geo.Distance(p.Center, target) < 150 {
+				return true
+			}
+		}
+		return false
+	}
+	if !near(home.Center) {
+		t.Error("home not recovered from GPS trace")
+	}
+	if !near(work.Center) {
+		t.Error("work not recovered from GPS trace")
+	}
+}

@@ -1,0 +1,264 @@
+package gsm
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/world"
+)
+
+// Visit is one arrival/departure interval at a discovered place.
+type Visit struct {
+	Arrive time.Time
+	Depart time.Time
+}
+
+// Duration returns the visit length.
+func (v Visit) Duration() time.Duration { return v.Depart.Sub(v.Arrive) }
+
+// Place is a discovered place: a Cell-ID signature plus the visits observed.
+type Place struct {
+	ID int
+	// Signature is the top cells (by dwell) identifying the place, the
+	// P_i = {c1..c5} of paper Section 2.1.1.
+	Signature []world.CellID
+	// AllCells is the full cell set observed across visits.
+	AllCells map[world.CellID]struct{}
+	Visits   []Visit
+}
+
+// TotalDwell sums all visit durations.
+func (p *Place) TotalDwell() time.Duration {
+	var d time.Duration
+	for _, v := range p.Visits {
+		d += v.Duration()
+	}
+	return d
+}
+
+// HasCell reports whether the cell belongs to the place's observed set.
+func (p *Place) HasCell(c world.CellID) bool {
+	_, ok := p.AllCells[c]
+	return ok
+}
+
+// Segment is a maximal stationary run in the trace: one candidate place
+// visit before merging.
+type Segment struct {
+	Start, End time.Time
+	Cells      map[world.CellID]struct{}
+	dwellBy    map[world.CellID]int
+}
+
+// Result is the output of GCA discovery.
+type Result struct {
+	Places   []*Place
+	Segments []Segment
+	Graph    *Graph
+}
+
+// Discover runs GCA offline over a time-ordered GSM trace: stationarity
+// segmentation by cell diversity, then segment merging via oscillation-
+// expanded signature overlap. This is the computation the mobile service
+// offloads to the cloud instance (paper Section 2.3.1).
+func Discover(obs []trace.GSMObservation, p Params) *Result {
+	g := BuildGraph(obs, p)
+	segs := segmentStays(obs, p)
+	places := mergeSegments(segs, g, p)
+	return &Result{Places: places, Segments: segs, Graph: g}
+}
+
+// segmentStays finds maximal runs where the user's cell diversity within the
+// look-back window stays at or below the stationarity bound, and keeps those
+// lasting at least MinStay.
+func segmentStays(obs []trace.GSMObservation, p Params) []Segment {
+	if len(obs) == 0 {
+		return nil
+	}
+	stationary := make([]bool, len(obs))
+	j := 0
+	counts := map[world.CellID]int{}
+	for i, o := range obs {
+		counts[o.Cell]++
+		for obs[j].At.Before(o.At.Add(-p.Window)) {
+			counts[obs[j].Cell]--
+			if counts[obs[j].Cell] == 0 {
+				delete(counts, obs[j].Cell)
+			}
+			j++
+		}
+		stationary[i] = len(counts) <= p.MaxCellsInWindow
+	}
+
+	var segs []Segment
+	i := 0
+	for i < len(obs) {
+		if !stationary[i] {
+			i++
+			continue
+		}
+		k := i
+		for k+1 < len(obs) && stationary[k+1] {
+			k++
+		}
+		// The window lags the true arrival: by the time diversity drops, the
+		// user has already dwelt ~Window at the place. Pull the start back.
+		start := obs[i].At.Add(-p.Window / 2)
+		if start.Before(obs[0].At) {
+			start = obs[0].At
+		}
+		end := obs[k].At
+		if end.Sub(start) >= p.MinStay {
+			seg := Segment{
+				Start: start, End: end,
+				Cells:   map[world.CellID]struct{}{},
+				dwellBy: map[world.CellID]int{},
+			}
+			for m := i; m <= k; m++ {
+				seg.Cells[obs[m].Cell] = struct{}{}
+				seg.dwellBy[obs[m].Cell]++
+			}
+			segs = append(segs, seg)
+		}
+		i = k + 1
+	}
+	return segs
+}
+
+// expandedWeights returns the segment's dwell-weighted cell vector grown by
+// oscillation partners at a discounted weight. The expansion canonicalizes
+// signatures across visits that happened to camp on different layer/operator
+// cells of the same place; the dwell weighting keeps the comparison anchored
+// on each place's dominant serving cells.
+func expandedWeights(seg Segment, g *Graph, p Params) map[world.CellID]float64 {
+	out := make(map[world.CellID]float64, len(seg.dwellBy)*2)
+	for c, d := range seg.dwellBy {
+		out[c] += float64(d)
+		for _, partner := range g.OscillationPartners(c, p.MinBounceWeight) {
+			out[partner] += float64(d) * 0.6
+		}
+	}
+	return out
+}
+
+// cosine returns the cosine similarity of two weighted cell vectors.
+func cosine(a, b map[world.CellID]float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	var dot, na, nb float64
+	for _, w := range a {
+		na += w * w
+	}
+	for _, w := range b {
+		nb += w * w
+	}
+	for c, wa := range a {
+		if wb, ok := b[c]; ok {
+			dot += wa * wb
+		}
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// mergeSegments unions stay segments whose oscillation-expanded dwell
+// vectors are similar, producing one Place per union class.
+func mergeSegments(segs []Segment, g *Graph, p Params) []*Place {
+	n := len(segs)
+	if n == 0 {
+		return nil
+	}
+	expanded := make([]map[world.CellID]float64, n)
+	for i, s := range segs {
+		expanded[i] = expandedWeights(s, g, p)
+	}
+
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	for i := 0; i < n; i++ {
+		for k := i + 1; k < n; k++ {
+			if find(i) == find(k) {
+				continue
+			}
+			if cosine(expanded[i], expanded[k]) >= p.MergeOverlap {
+				union(i, k)
+			}
+		}
+	}
+
+	groups := map[int][]int{}
+	for i := range segs {
+		root := find(i)
+		groups[root] = append(groups[root], i)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	// Order places by first visit for stable IDs.
+	sort.Slice(roots, func(a, b int) bool {
+		return segs[groups[roots[a]][0]].Start.Before(segs[groups[roots[b]][0]].Start)
+	})
+
+	var places []*Place
+	for id, root := range roots {
+		members := groups[root]
+		pl := &Place{ID: id, AllCells: map[world.CellID]struct{}{}}
+		dwell := map[world.CellID]int{}
+		for _, m := range members {
+			seg := segs[m]
+			pl.Visits = append(pl.Visits, Visit{Arrive: seg.Start, Depart: seg.End})
+			for c := range seg.Cells {
+				pl.AllCells[c] = struct{}{}
+			}
+			for c, d := range seg.dwellBy {
+				dwell[c] += d
+			}
+		}
+		sort.Slice(pl.Visits, func(a, b int) bool { return pl.Visits[a].Arrive.Before(pl.Visits[b].Arrive) })
+		pl.Signature = topCells(dwell, p.SignatureSize)
+		places = append(places, pl)
+	}
+	return places
+}
+
+func topCells(dwell map[world.CellID]int, k int) []world.CellID {
+	type cd struct {
+		c world.CellID
+		d int
+	}
+	all := make([]cd, 0, len(dwell))
+	for c, d := range dwell {
+		all = append(all, cd{c, d})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].d != all[j].d {
+			return all[i].d > all[j].d
+		}
+		return all[i].c.String() < all[j].c.String()
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]world.CellID, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].c
+	}
+	return out
+}

@@ -1,0 +1,361 @@
+package gsm
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+	"repro/internal/world"
+)
+
+func cell(cid int) world.CellID {
+	return world.CellID{MCC: 404, MNC: 10, LAC: 1, CID: cid}
+}
+
+// mkTrace builds one observation per minute from the given cell ids.
+func mkTrace(cids ...int) []trace.GSMObservation {
+	obs := make([]trace.GSMObservation, len(cids))
+	for i, c := range cids {
+		obs[i] = trace.GSMObservation{
+			At:   simclock.Epoch.Add(time.Duration(i) * time.Minute),
+			Cell: cell(c),
+		}
+	}
+	return obs
+}
+
+// repeat returns n copies of the pattern.
+func repeat(pattern []int, n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, pattern...)
+	}
+	return out
+}
+
+func TestBuildGraphCounts(t *testing.T) {
+	obs := mkTrace(1, 2, 1, 2, 1, 3)
+	g := BuildGraph(obs, DefaultParams())
+	if g.NumNodes() != 3 {
+		t.Errorf("nodes = %d, want 3", g.NumNodes())
+	}
+	if got := g.EdgeWeight(cell(1), cell(2)); got != 4 {
+		t.Errorf("edge(1,2) = %d, want 4", got)
+	}
+	if g.EdgeWeight(cell(1), cell(2)) != g.EdgeWeight(cell(2), cell(1)) {
+		t.Error("edge weights not symmetric")
+	}
+	if got := g.EdgeWeight(cell(2), cell(3)); got != 0 {
+		t.Errorf("edge(2,3) = %d, want 0", got)
+	}
+	if got := g.Dwell(cell(1)); got != 3 {
+		t.Errorf("dwell(1) = %d, want 3", got)
+	}
+	if got := g.Degree(cell(1)); got != 2 {
+		t.Errorf("degree(1) = %d, want 2", got)
+	}
+	// Bounces: 1-2-1 at idx 0..2, 2-1-2 at 1..3, 1-2-1 at 2..4 => (1,2) has 3.
+	if got := g.BounceWeight(cell(1), cell(2)); got != 3 {
+		t.Errorf("bounce(1,2) = %d, want 3", got)
+	}
+	if g.NumTransitions() != 5 {
+		t.Errorf("transitions = %d, want 5", g.NumTransitions())
+	}
+}
+
+func TestBounceWindowExcludesSlowReturns(t *testing.T) {
+	// 1 ... 2 (20 min later) ... 1 (20 min later): a commute, not a bounce.
+	obs := []trace.GSMObservation{
+		{At: simclock.Epoch, Cell: cell(1)},
+		{At: simclock.Epoch.Add(20 * time.Minute), Cell: cell(2)},
+		{At: simclock.Epoch.Add(40 * time.Minute), Cell: cell(1)},
+	}
+	g := BuildGraph(obs, DefaultParams())
+	if got := g.BounceWeight(cell(1), cell(2)); got != 0 {
+		t.Errorf("slow return counted as bounce: %d", got)
+	}
+}
+
+func TestOscillationPartners(t *testing.T) {
+	obs := mkTrace(repeat([]int{1, 2}, 10)...)
+	g := BuildGraph(obs, DefaultParams())
+	partners := g.OscillationPartners(cell(1), 3)
+	if len(partners) != 1 || partners[0] != cell(2) {
+		t.Errorf("partners = %v, want [cell 2]", partners)
+	}
+	if got := g.OscillationPartners(cell(99), 1); got != nil {
+		t.Errorf("partners of unknown cell = %v", got)
+	}
+}
+
+func TestSegmentStaysBasic(t *testing.T) {
+	// 40 min oscillating at {1,2}, 15 min of fresh cells (movement),
+	// 40 min oscillating at {7,8}.
+	cids := repeat([]int{1, 2}, 20)
+	for c := 10; c < 25; c++ {
+		cids = append(cids, c)
+	}
+	cids = append(cids, repeat([]int{7, 8}, 20)...)
+	segs := segmentStays(mkTrace(cids...), DefaultParams())
+	if len(segs) != 2 {
+		t.Fatalf("segments = %d, want 2", len(segs))
+	}
+	if _, ok := segs[0].Cells[cell(1)]; !ok {
+		t.Error("segment 0 missing cell 1")
+	}
+	if _, ok := segs[1].Cells[cell(7)]; !ok {
+		t.Error("segment 1 missing cell 7")
+	}
+	if !segs[0].End.Before(segs[1].Start) {
+		t.Error("segments out of order")
+	}
+}
+
+func TestSegmentStaysShortStopIgnored(t *testing.T) {
+	// 5 minutes at a spot is below MinStay: no place visit.
+	cids := []int{}
+	for c := 10; c < 40; c++ { // movement
+		cids = append(cids, c)
+	}
+	cids = append(cids, repeat([]int{50}, 5)...) // 5 min stop
+	for c := 60; c < 90; c++ {                   // movement
+		cids = append(cids, c)
+	}
+	segs := segmentStays(mkTrace(cids...), DefaultParams())
+	for _, s := range segs {
+		if _, ok := s.Cells[cell(50)]; ok && s.End.Sub(s.Start) < DefaultParams().MinStay {
+			t.Error("short stop produced an undersized segment")
+		}
+	}
+}
+
+func TestSegmentStaysEmpty(t *testing.T) {
+	if segs := segmentStays(nil, DefaultParams()); segs != nil {
+		t.Errorf("empty trace segments = %v", segs)
+	}
+}
+
+func TestDiscoverMergesRepeatVisits(t *testing.T) {
+	// Two 40-min visits to the same cell neighbourhood separated by travel:
+	// must merge into one place with two visits.
+	cids := repeat([]int{1, 2}, 20)
+	for c := 10; c < 30; c++ {
+		cids = append(cids, c)
+	}
+	cids = append(cids, repeat([]int{2, 1}, 20)...)
+	res := Discover(mkTrace(cids...), DefaultParams())
+	if len(res.Places) != 1 {
+		t.Fatalf("places = %d, want 1 (merge failed)", len(res.Places))
+	}
+	if got := len(res.Places[0].Visits); got != 2 {
+		t.Errorf("visits = %d, want 2", got)
+	}
+}
+
+func TestDiscoverKeepsDistinctPlacesApart(t *testing.T) {
+	cids := repeat([]int{1, 2}, 20)
+	for c := 10; c < 30; c++ {
+		cids = append(cids, c)
+	}
+	cids = append(cids, repeat([]int{7, 8}, 20)...)
+	res := Discover(mkTrace(cids...), DefaultParams())
+	if len(res.Places) != 2 {
+		t.Fatalf("places = %d, want 2", len(res.Places))
+	}
+}
+
+func TestDiscoverOscillationExpansionMerges(t *testing.T) {
+	// Visit 1 camps on {1,2}; visit 2 camps on {2,3}. Bounces 1<->2 and
+	// 2<->3 mark all three as partners, so the visits merge even though the
+	// raw sets differ.
+	cids := repeat([]int{1, 2}, 20)
+	for c := 10; c < 30; c++ {
+		cids = append(cids, c)
+	}
+	cids = append(cids, repeat([]int{2, 3}, 20)...)
+	res := Discover(mkTrace(cids...), DefaultParams())
+	if len(res.Places) != 1 {
+		t.Fatalf("places = %d, want 1", len(res.Places))
+	}
+}
+
+func TestPlaceInvariants(t *testing.T) {
+	cids := repeat([]int{1, 2, 3}, 15)
+	for c := 10; c < 30; c++ {
+		cids = append(cids, c)
+	}
+	cids = append(cids, repeat([]int{7, 8}, 20)...)
+	res := Discover(mkTrace(cids...), DefaultParams())
+
+	totalVisits := 0
+	for _, p := range res.Places {
+		totalVisits += len(p.Visits)
+		if len(p.Signature) == 0 || len(p.Signature) > DefaultParams().SignatureSize {
+			t.Errorf("place %d signature size %d", p.ID, len(p.Signature))
+		}
+		for _, c := range p.Signature {
+			if !p.HasCell(c) {
+				t.Errorf("signature cell %v not in AllCells", c)
+			}
+		}
+		for i := 1; i < len(p.Visits); i++ {
+			if p.Visits[i].Arrive.Before(p.Visits[i-1].Arrive) {
+				t.Errorf("place %d visits unsorted", p.ID)
+			}
+		}
+		if p.TotalDwell() < DefaultParams().MinStay {
+			t.Errorf("place %d dwell %v below MinStay", p.ID, p.TotalDwell())
+		}
+	}
+	if totalVisits != len(res.Segments) {
+		t.Errorf("visits %d != segments %d: a segment was lost or duplicated", totalVisits, len(res.Segments))
+	}
+}
+
+func TestDiscoverDeterministic(t *testing.T) {
+	cids := repeat([]int{1, 2}, 30)
+	for c := 10; c < 40; c++ {
+		cids = append(cids, c)
+	}
+	cids = append(cids, repeat([]int{7, 8, 9}, 15)...)
+	r1 := Discover(mkTrace(cids...), DefaultParams())
+	r2 := Discover(mkTrace(cids...), DefaultParams())
+	if len(r1.Places) != len(r2.Places) {
+		t.Fatal("non-deterministic place count")
+	}
+	for i := range r1.Places {
+		if r1.Places[i].ID != r2.Places[i].ID || len(r1.Places[i].Signature) != len(r2.Places[i].Signature) {
+			t.Fatal("non-deterministic place output")
+		}
+	}
+}
+
+// --- end-to-end against the simulator ---
+
+type simFixture struct {
+	w  *world.World
+	a  *mobility.Agent
+	it *mobility.Itinerary
+}
+
+func simTrace(t *testing.T, seed int64, days int) (*simFixture, []trace.GSMObservation) {
+	t.Helper()
+	cfg := world.DefaultConfig()
+	r := rand.New(rand.NewSource(seed))
+	w := world.Generate(cfg, r)
+	home := w.AddVenue("home", "Home", world.KindHome, geo.Offset(cfg.Origin, 210, 2300), true, cfg, r)
+	work := w.AddVenue("work", "Office", world.KindWorkplace, geo.Offset(cfg.Origin, 30, 2400), true, cfg, r)
+	a := &mobility.Agent{ID: "u1", Home: home, Work: work, SpeedMPS: 7}
+	for _, v := range w.Venues {
+		if v.Kind != world.KindHome && v.Kind != world.KindWorkplace {
+			a.Haunts = append(a.Haunts, v)
+		}
+	}
+	it, err := mobility.BuildItinerary(a, w, simclock.Epoch, days, mobility.DefaultScheduleConfig(), rand.New(rand.NewSource(seed+1)))
+	if err != nil {
+		t.Fatalf("BuildItinerary: %v", err)
+	}
+	s := trace.NewSensors(w, it, trace.DefaultConfig(), rand.New(rand.NewSource(seed+2)))
+	return &simFixture{w, a, it}, s.CollectGSM(it.Start, it.End, time.Minute)
+}
+
+func TestDiscoverOnSimulatedWeek(t *testing.T) {
+	fx, obs := simTrace(t, 31, 7)
+	res := Discover(obs, DefaultParams())
+
+	truth := fx.it.VisitedVenueIDs(10 * time.Minute)
+	if len(res.Places) == 0 {
+		t.Fatal("no places discovered from a week of life")
+	}
+	// GSM granularity cannot exceed ground truth by much, nor collapse
+	// everything: the discovered count should be within a reasonable band of
+	// the true venue count.
+	if len(res.Places) < len(truth)/3 || len(res.Places) > len(truth)*3 {
+		t.Errorf("discovered %d places for %d true venues", len(res.Places), len(truth))
+	}
+
+	// Home and work dominate dwell time: the two places with the largest
+	// dwell must correspond to distinct true venues near home and work.
+	byDwell := make([]*Place, len(res.Places))
+	copy(byDwell, res.Places)
+	for i := 0; i < len(byDwell); i++ {
+		for j := i + 1; j < len(byDwell); j++ {
+			if byDwell[j].TotalDwell() > byDwell[i].TotalDwell() {
+				byDwell[i], byDwell[j] = byDwell[j], byDwell[i]
+			}
+		}
+	}
+	if len(byDwell) < 2 {
+		t.Fatal("expected at least home and work discovered")
+	}
+	if byDwell[0].TotalDwell() < 24*time.Hour {
+		t.Errorf("top place dwell %v too small for a week of nights", byDwell[0].TotalDwell())
+	}
+}
+
+func TestTrackerRecognizesVisits(t *testing.T) {
+	fx, obs := simTrace(t, 37, 8)
+	// Discover on the first 7 days, track on day 8.
+	var trainEnd int
+	day8 := simclock.Epoch.AddDate(0, 0, 7)
+	for i, o := range obs {
+		if o.At.Before(day8) {
+			trainEnd = i
+		}
+	}
+	res := Discover(obs[:trainEnd+1], DefaultParams())
+	tr := NewTracker(res.Places)
+
+	var events []Event
+	for _, o := range obs[trainEnd+1:] {
+		events = append(events, tr.Observe(o)...)
+	}
+	if len(events) == 0 {
+		t.Fatal("tracker produced no events on a full day")
+	}
+	// Arrival/departure alternation per place.
+	open := map[int]bool{}
+	for _, e := range events {
+		switch e.Kind {
+		case Arrival:
+			if open[e.PlaceID] {
+				t.Fatalf("double arrival at place %d", e.PlaceID)
+			}
+			open[e.PlaceID] = true
+		case Departure:
+			if !open[e.PlaceID] {
+				t.Fatalf("departure without arrival at place %d", e.PlaceID)
+			}
+			open[e.PlaceID] = false
+		}
+	}
+	// Events must be time-ordered.
+	for i := 1; i < len(events); i++ {
+		if events[i].At.Before(events[i-1].At) {
+			t.Fatal("events out of order")
+		}
+	}
+	_ = fx
+}
+
+func TestEventKindString(t *testing.T) {
+	if Arrival.String() != "arrival" || Departure.String() != "departure" || EventKind(9).String() != "unknown" {
+		t.Error("event kind names wrong")
+	}
+}
+
+func TestTrackerEmptyPlaces(t *testing.T) {
+	tr := NewTracker(nil)
+	for i := 0; i < 20; i++ {
+		if ev := tr.Observe(trace.GSMObservation{At: simclock.Epoch.Add(time.Duration(i) * time.Minute), Cell: cell(1)}); len(ev) != 0 {
+			t.Fatal("tracker with no places emitted events")
+		}
+	}
+	if tr.Current() != -1 {
+		t.Error("tracker with no places should be at no place")
+	}
+}

@@ -1,0 +1,169 @@
+package gsm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+	"repro/internal/world"
+)
+
+// genTrace builds a random but structured trace: alternating stays (small
+// oscillation sets) and moves (fresh cell runs).
+func genTrace(seed int64) []trace.GSMObservation {
+	r := rand.New(rand.NewSource(seed))
+	var cids []int
+	nextCell := 1000
+	stays := 1 + r.Intn(5)
+	for s := 0; s < stays; s++ {
+		// Stay: oscillate among 1-3 cells for 15-90 minutes.
+		setSize := 1 + r.Intn(3)
+		set := make([]int, setSize)
+		for i := range set {
+			nextCell++
+			set[i] = nextCell
+		}
+		for m := 0; m < 15+r.Intn(75); m++ {
+			cids = append(cids, set[r.Intn(setSize)])
+		}
+		// Move: 10-30 fresh cells.
+		for m := 0; m < 10+r.Intn(20); m++ {
+			nextCell++
+			cids = append(cids, nextCell)
+		}
+	}
+	return mkTrace(cids...)
+}
+
+func TestDiscoverInvariants(t *testing.T) {
+	p := DefaultParams()
+	f := func(seed int64) bool {
+		res := Discover(genTrace(seed), p)
+		total := 0
+		for _, pl := range res.Places {
+			total += len(pl.Visits)
+			// Visits sorted, positive, at least MinStay dwell overall.
+			for i, v := range pl.Visits {
+				if !v.Depart.After(v.Arrive) {
+					return false
+				}
+				if i > 0 && v.Arrive.Before(pl.Visits[i-1].Arrive) {
+					return false
+				}
+			}
+			// Signature drawn from observed cells.
+			for _, c := range pl.Signature {
+				if !pl.HasCell(c) {
+					return false
+				}
+			}
+			if len(pl.Signature) > p.SignatureSize {
+				return false
+			}
+		}
+		// Every segment is assigned to exactly one place.
+		return total == len(res.Segments)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentsWithinTraceSpan(t *testing.T) {
+	p := DefaultParams()
+	f := func(seed int64) bool {
+		obs := genTrace(seed)
+		if len(obs) == 0 {
+			return true
+		}
+		segs := segmentStays(obs, p)
+		for _, s := range segs {
+			if s.Start.Before(obs[0].At) || s.End.After(obs[len(obs)-1].At) {
+				return false
+			}
+			if s.End.Sub(s.Start) < p.MinStay {
+				return false
+			}
+			if len(s.Cells) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCosineProperties(t *testing.T) {
+	f := func(w1, w2, w3 uint8) bool {
+		x := map[world.CellID]float64{cell(1): float64(w1%50) + 1, cell(2): float64(w2 % 50)}
+		y := map[world.CellID]float64{cell(2): float64(w3%50) + 1, cell(3): 5}
+		s1 := cosine(x, y)
+		s2 := cosine(y, x)
+		if s1 != s2 {
+			return false
+		}
+		if s1 < 0 || s1 > 1.0000001 {
+			return false
+		}
+		// Self-similarity is 1.
+		return cosine(x, x) > 0.999999
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGraphSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		obs := genTrace(seed)
+		g := BuildGraph(obs, DefaultParams())
+		for _, a := range g.Cells() {
+			for _, b := range g.Cells() {
+				if g.EdgeWeight(a, b) != g.EdgeWeight(b, a) {
+					return false
+				}
+				if g.BounceWeight(a, b) != g.BounceWeight(b, a) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrackerNeverPanicsOnArbitraryStream(t *testing.T) {
+	// Feed the tracker random observations against places from a different
+	// trace: no panics, alternation preserved.
+	f := func(seedA, seedB int64) bool {
+		res := Discover(genTrace(seedA), DefaultParams())
+		tr := NewTracker(res.Places)
+		open := map[int]bool{}
+		for i, o := range genTrace(seedB) {
+			_ = i
+			for _, ev := range tr.Observe(o) {
+				switch ev.Kind {
+				case Arrival:
+					if open[ev.PlaceID] {
+						return false
+					}
+					open[ev.PlaceID] = true
+				case Departure:
+					if !open[ev.PlaceID] {
+						return false
+					}
+					open[ev.PlaceID] = false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,124 @@
+package gsm
+
+import (
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/world"
+)
+
+// EventKind distinguishes arrival from departure events.
+type EventKind int
+
+// Tracker event kinds.
+const (
+	Arrival EventKind = iota + 1
+	Departure
+)
+
+// String returns "arrival" or "departure".
+func (k EventKind) String() string {
+	switch k {
+	case Arrival:
+		return "arrival"
+	case Departure:
+		return "departure"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is an arrival at or departure from a known place, as detected
+// online.
+type Event struct {
+	Kind    EventKind
+	PlaceID int
+	At      time.Time
+}
+
+// Tracker recognizes visits to already-discovered places from a live GSM
+// stream. After GCA discovery runs once (possibly on the cloud), "mobile
+// service can track user's visit in those places" (paper Section 2.3.1) —
+// this is that tracking.
+//
+// Recognition uses a sliding window of recent serving cells with hysteresis:
+// a place is entered when most of the window matches its cell set, and left
+// when almost none does.
+type Tracker struct {
+	placeCells map[int]map[world.CellID]struct{}
+
+	windowSize   int
+	enterMatches int
+	exitMatches  int
+
+	window  []trace.GSMObservation
+	current int // -1 when at no known place
+}
+
+// NewTracker builds a tracker over the discovered places.
+func NewTracker(places []*Place) *Tracker {
+	t := &Tracker{
+		placeCells:   make(map[int]map[world.CellID]struct{}, len(places)),
+		windowSize:   8,
+		enterMatches: 6,
+		exitMatches:  2,
+		current:      -1,
+	}
+	for _, p := range places {
+		t.placeCells[p.ID] = p.AllCells
+	}
+	return t
+}
+
+// Current returns the place the tracker believes the user is at, or -1.
+func (t *Tracker) Current() int { return t.current }
+
+// Observe feeds one observation and returns any arrival/departure events it
+// triggers (0, 1, or 2 — a direct place-to-place transition yields both).
+func (t *Tracker) Observe(o trace.GSMObservation) []Event {
+	t.window = append(t.window, o)
+	if len(t.window) > t.windowSize {
+		t.window = t.window[1:]
+	}
+	if len(t.window) < t.windowSize {
+		return nil
+	}
+
+	matches := func(placeID int) int {
+		cells := t.placeCells[placeID]
+		n := 0
+		for _, w := range t.window {
+			if _, ok := cells[w.Cell]; ok {
+				n++
+			}
+		}
+		return n
+	}
+
+	var events []Event
+
+	// Departure check first.
+	if t.current >= 0 && matches(t.current) <= t.exitMatches {
+		events = append(events, Event{Kind: Departure, PlaceID: t.current, At: o.At})
+		t.current = -1
+	}
+
+	// Arrival check: best-matching place above the enter bound.
+	best, bestMatches := -1, 0
+	for id := range t.placeCells {
+		if id == t.current {
+			continue
+		}
+		if m := matches(id); m > bestMatches || (m == bestMatches && best >= 0 && id < best) {
+			best, bestMatches = id, m
+		}
+	}
+	if best >= 0 && bestMatches >= t.enterMatches && best != t.current {
+		if t.current >= 0 {
+			events = append(events, Event{Kind: Departure, PlaceID: t.current, At: o.At})
+		}
+		events = append(events, Event{Kind: Arrival, PlaceID: best, At: o.At})
+		t.current = best
+	}
+	return events
+}

@@ -1,0 +1,22 @@
+package profile_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/profile"
+	"repro/internal/simclock"
+)
+
+func ExampleBuilder() {
+	b := profile.NewBuilder("alice")
+	day := simclock.Epoch
+	// An overnight stay splits at midnight into two day profiles.
+	b.AddVisit("home", "Home", day.Add(20*time.Hour), day.Add(32*time.Hour))
+	for _, d := range b.Days() {
+		fmt.Printf("%s: %d visit(s), dwell %s\n", d.Date, len(d.Places), d.TotalDwell())
+	}
+	// Output:
+	// 2014-09-01: 1 visit(s), dwell 4h0m0s
+	// 2014-09-02: 1 visit(s), dwell 8h0m0s
+}

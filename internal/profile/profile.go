@@ -1,0 +1,247 @@
+// Package profile implements PMWare's mobility-profile representation
+// (paper Section 2.1.3): a day-specific spatio-temporal record
+//
+//	M_X = (P_1,a_1,d_1)...(P_n,a_n,d_n)  place visits with arrival/departure
+//	    ∪ (R_1,s_1,e_1)...(R_m,s_m,e_m)  route uses with start/end
+//	    ∪ (H_1,s_1,e_1)...(H_k,s_k,e_k)  social encounters with start/end
+//
+// The mobile service builds one profile per day and syncs it to the cloud
+// instance, where long-term patterns feed the analytics and prediction
+// engine.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// DateFormat is the canonical day key, e.g. "2014-09-01".
+const DateFormat = "2006-01-02"
+
+// PlaceVisit is one (P, a, d) entry.
+type PlaceVisit struct {
+	PlaceID string    `json:"place_id"`
+	Label   string    `json:"label,omitempty"`
+	Arrive  time.Time `json:"arrive"`
+	Depart  time.Time `json:"depart"`
+}
+
+// Duration returns the stay length.
+func (v PlaceVisit) Duration() time.Duration { return v.Depart.Sub(v.Arrive) }
+
+// RouteUse is one (R, s, e) entry.
+type RouteUse struct {
+	RouteID string    `json:"route_id"`
+	Start   time.Time `json:"start"`
+	End     time.Time `json:"end"`
+}
+
+// Encounter is one (H, s, e) entry: a social contact met at a place.
+type Encounter struct {
+	ContactID string    `json:"contact_id"`
+	PlaceID   string    `json:"place_id,omitempty"`
+	Start     time.Time `json:"start"`
+	End       time.Time `json:"end"`
+}
+
+// ActivitySummary aggregates the day's accelerometer-derived activity — the
+// paper's future-work integration of "other contextual information such as
+// activity tracking" into the mobility profile.
+type ActivitySummary struct {
+	MovingMinutes int `json:"moving_minutes"`
+	StillMinutes  int `json:"still_minutes"`
+}
+
+// Total returns the classified minutes.
+func (a ActivitySummary) Total() int { return a.MovingMinutes + a.StillMinutes }
+
+// DayProfile is the mobility profile of one user for one day.
+type DayProfile struct {
+	UserID   string           `json:"user_id"`
+	Date     string           `json:"date"`
+	Places   []PlaceVisit     `json:"places,omitempty"`
+	Routes   []RouteUse       `json:"routes,omitempty"`
+	Contacts []Encounter      `json:"contacts,omitempty"`
+	Activity *ActivitySummary `json:"activity,omitempty"`
+}
+
+// Validate checks structural invariants: day key well-formed, entries inside
+// the day, intervals positive, entries time-ordered, IDs non-empty.
+func (p *DayProfile) Validate() error {
+	day, err := time.Parse(DateFormat, p.Date)
+	if err != nil {
+		return fmt.Errorf("profile: bad date %q: %w", p.Date, err)
+	}
+	dayEnd := day.AddDate(0, 0, 1)
+	if p.UserID == "" {
+		return fmt.Errorf("profile: empty user id")
+	}
+	for i, v := range p.Places {
+		if v.PlaceID == "" {
+			return fmt.Errorf("profile: place %d has empty id", i)
+		}
+		if !v.Depart.After(v.Arrive) {
+			return fmt.Errorf("profile: place %d has non-positive stay", i)
+		}
+		if v.Arrive.Before(day) || v.Depart.After(dayEnd) {
+			return fmt.Errorf("profile: place %d outside day %s", i, p.Date)
+		}
+		if i > 0 && v.Arrive.Before(p.Places[i-1].Arrive) {
+			return fmt.Errorf("profile: places not time-ordered at %d", i)
+		}
+	}
+	for i, r := range p.Routes {
+		if r.RouteID == "" {
+			return fmt.Errorf("profile: route %d has empty id", i)
+		}
+		if !r.End.After(r.Start) {
+			return fmt.Errorf("profile: route %d has non-positive duration", i)
+		}
+		if i > 0 && r.Start.Before(p.Routes[i-1].Start) {
+			return fmt.Errorf("profile: routes not time-ordered at %d", i)
+		}
+	}
+	for i, e := range p.Contacts {
+		if e.ContactID == "" {
+			return fmt.Errorf("profile: contact %d has empty id", i)
+		}
+		if !e.End.After(e.Start) {
+			return fmt.Errorf("profile: contact %d has non-positive duration", i)
+		}
+	}
+	if a := p.Activity; a != nil {
+		if a.MovingMinutes < 0 || a.StillMinutes < 0 {
+			return fmt.Errorf("profile: negative activity minutes")
+		}
+		if a.Total() > 24*60 {
+			return fmt.Errorf("profile: activity exceeds the day (%d min)", a.Total())
+		}
+	}
+	return nil
+}
+
+// TotalDwell sums the place-visit durations.
+func (p *DayProfile) TotalDwell() time.Duration {
+	var d time.Duration
+	for _, v := range p.Places {
+		d += v.Duration()
+	}
+	return d
+}
+
+// DistinctPlaces returns the distinct place IDs visited, in first-visit
+// order.
+func (p *DayProfile) DistinctPlaces() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, v := range p.Places {
+		if !seen[v.PlaceID] {
+			seen[v.PlaceID] = true
+			out = append(out, v.PlaceID)
+		}
+	}
+	return out
+}
+
+// MarshalJSON is the wire form used by the cloud sync API.
+func (p *DayProfile) MarshalJSON() ([]byte, error) {
+	type alias DayProfile
+	return json.Marshal((*alias)(p))
+}
+
+// Builder accumulates visits, routes and encounters and splits them into
+// day-specific profiles (entries spanning midnight are divided at the day
+// boundary, so every profile is self-contained).
+type Builder struct {
+	userID string
+	days   map[string]*DayProfile
+}
+
+// NewBuilder returns a builder for the user.
+func NewBuilder(userID string) *Builder {
+	return &Builder{userID: userID, days: make(map[string]*DayProfile)}
+}
+
+func (b *Builder) day(t time.Time) *DayProfile {
+	key := t.Format(DateFormat)
+	d, ok := b.days[key]
+	if !ok {
+		d = &DayProfile{UserID: b.userID, Date: key}
+		b.days[key] = d
+	}
+	return d
+}
+
+// splitByDay invokes fn once per (start, end) sub-interval per day touched.
+func splitByDay(start, end time.Time, fn func(s, e time.Time)) {
+	for start.Before(end) {
+		dayEnd := time.Date(start.Year(), start.Month(), start.Day(), 0, 0, 0, 0, start.Location()).AddDate(0, 0, 1)
+		e := end
+		if dayEnd.Before(e) {
+			e = dayEnd
+		}
+		if e.After(start) {
+			fn(start, e)
+		}
+		start = e
+	}
+}
+
+// AddVisit records a place visit, splitting at midnight.
+func (b *Builder) AddVisit(placeID, label string, arrive, depart time.Time) {
+	splitByDay(arrive, depart, func(s, e time.Time) {
+		d := b.day(s)
+		d.Places = append(d.Places, PlaceVisit{PlaceID: placeID, Label: label, Arrive: s, Depart: e})
+	})
+}
+
+// AddRoute records a route traversal, splitting at midnight.
+func (b *Builder) AddRoute(routeID string, start, end time.Time) {
+	splitByDay(start, end, func(s, e time.Time) {
+		d := b.day(s)
+		d.Routes = append(d.Routes, RouteUse{RouteID: routeID, Start: s, End: e})
+	})
+}
+
+// AddActivity accumulates one classified accelerometer minute into the
+// day's activity summary.
+func (b *Builder) AddActivity(at time.Time, moving bool) {
+	d := b.day(at)
+	if d.Activity == nil {
+		d.Activity = &ActivitySummary{}
+	}
+	if moving {
+		d.Activity.MovingMinutes++
+	} else {
+		d.Activity.StillMinutes++
+	}
+}
+
+// AddEncounter records a social encounter, splitting at midnight.
+func (b *Builder) AddEncounter(contactID, placeID string, start, end time.Time) {
+	splitByDay(start, end, func(s, e time.Time) {
+		d := b.day(s)
+		d.Contacts = append(d.Contacts, Encounter{ContactID: contactID, PlaceID: placeID, Start: s, End: e})
+	})
+}
+
+// Days returns the accumulated day profiles in date order, with entries
+// sorted by time.
+func (b *Builder) Days() []*DayProfile {
+	keys := make([]string, 0, len(b.days))
+	for k := range b.days {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*DayProfile, 0, len(keys))
+	for _, k := range keys {
+		d := b.days[k]
+		sort.Slice(d.Places, func(i, j int) bool { return d.Places[i].Arrive.Before(d.Places[j].Arrive) })
+		sort.Slice(d.Routes, func(i, j int) bool { return d.Routes[i].Start.Before(d.Routes[j].Start) })
+		sort.Slice(d.Contacts, func(i, j int) bool { return d.Contacts[i].Start.Before(d.Contacts[j].Start) })
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+package profile
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+func at(h, m int) time.Time {
+	return simclock.Epoch.Add(time.Duration(h)*time.Hour + time.Duration(m)*time.Minute)
+}
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder("u1")
+	b.AddVisit("p1", "home", at(0, 0), at(8, 30))
+	b.AddRoute("r1", at(8, 30), at(9, 0))
+	b.AddVisit("p2", "work", at(9, 0), at(18, 0))
+	b.AddEncounter("u2", "p2", at(10, 0), at(11, 0))
+
+	days := b.Days()
+	if len(days) != 1 {
+		t.Fatalf("days = %d, want 1", len(days))
+	}
+	d := days[0]
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(d.Places) != 2 || len(d.Routes) != 1 || len(d.Contacts) != 1 {
+		t.Errorf("counts: %d places, %d routes, %d contacts", len(d.Places), len(d.Routes), len(d.Contacts))
+	}
+	if d.TotalDwell() != 17*time.Hour+30*time.Minute {
+		t.Errorf("TotalDwell = %v", d.TotalDwell())
+	}
+	if got := d.DistinctPlaces(); len(got) != 2 || got[0] != "p1" {
+		t.Errorf("DistinctPlaces = %v", got)
+	}
+}
+
+func TestMidnightSplit(t *testing.T) {
+	b := NewBuilder("u1")
+	// Overnight stay: 20:00 day0 to 08:00 day1.
+	b.AddVisit("home", "home", at(20, 0), at(32, 0))
+	days := b.Days()
+	if len(days) != 2 {
+		t.Fatalf("days = %d, want 2", len(days))
+	}
+	d0, d1 := days[0], days[1]
+	if len(d0.Places) != 1 || len(d1.Places) != 1 {
+		t.Fatal("visit not split across days")
+	}
+	if d0.Places[0].Duration() != 4*time.Hour {
+		t.Errorf("day0 portion = %v, want 4h", d0.Places[0].Duration())
+	}
+	if d1.Places[0].Duration() != 8*time.Hour {
+		t.Errorf("day1 portion = %v, want 8h", d1.Places[0].Duration())
+	}
+	if !d1.Places[0].Arrive.Equal(simclock.Epoch.AddDate(0, 0, 1)) {
+		t.Errorf("day1 arrive = %v, want midnight", d1.Places[0].Arrive)
+	}
+	for _, d := range days {
+		if err := d.Validate(); err != nil {
+			t.Errorf("split day invalid: %v", err)
+		}
+	}
+}
+
+func TestMultiDaySpan(t *testing.T) {
+	b := NewBuilder("u1")
+	// A 3-day stay splits into 3 day entries.
+	b.AddVisit("home", "", at(12, 0), at(60, 0))
+	if days := b.Days(); len(days) != 3 {
+		t.Fatalf("days = %d, want 3", len(days))
+	}
+}
+
+func TestDaysSortedAndEntriesOrdered(t *testing.T) {
+	b := NewBuilder("u1")
+	b.AddVisit("p2", "", at(30, 0), at(31, 0)) // day 1
+	b.AddVisit("p1", "", at(5, 0), at(6, 0))   // day 0
+	b.AddVisit("p0", "", at(1, 0), at(2, 0))   // day 0, earlier
+	days := b.Days()
+	if len(days) != 2 {
+		t.Fatalf("days = %d", len(days))
+	}
+	if days[0].Date >= days[1].Date {
+		t.Error("days unsorted")
+	}
+	if days[0].Places[0].PlaceID != "p0" {
+		t.Error("places within day unsorted")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	good := func() *DayProfile {
+		return &DayProfile{
+			UserID: "u1",
+			Date:   "2014-09-01",
+			Places: []PlaceVisit{{PlaceID: "p", Arrive: at(1, 0), Depart: at(2, 0)}},
+			Routes: []RouteUse{{RouteID: "r", Start: at(2, 0), End: at(3, 0)}},
+		}
+	}
+	tests := []struct {
+		name   string
+		mutate func(*DayProfile)
+	}{
+		{"bad date", func(p *DayProfile) { p.Date = "nope" }},
+		{"empty user", func(p *DayProfile) { p.UserID = "" }},
+		{"empty place id", func(p *DayProfile) { p.Places[0].PlaceID = "" }},
+		{"negative stay", func(p *DayProfile) { p.Places[0].Depart = p.Places[0].Arrive }},
+		{"outside day", func(p *DayProfile) { p.Places[0].Depart = at(30, 0) }},
+		{"unordered places", func(p *DayProfile) {
+			p.Places = append(p.Places, PlaceVisit{PlaceID: "q", Arrive: at(0, 30), Depart: at(0, 45)})
+		}},
+		{"empty route id", func(p *DayProfile) { p.Routes[0].RouteID = "" }},
+		{"negative route", func(p *DayProfile) { p.Routes[0].End = p.Routes[0].Start }},
+		{"bad contact", func(p *DayProfile) {
+			p.Contacts = []Encounter{{ContactID: "", Start: at(1, 0), End: at(2, 0)}}
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := good()
+			if err := p.Validate(); err != nil {
+				t.Fatalf("baseline invalid: %v", err)
+			}
+			tt.mutate(p)
+			if err := p.Validate(); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	b := NewBuilder("u7")
+	b.AddVisit("p1", "home", at(0, 0), at(8, 0))
+	b.AddRoute("r1", at(8, 0), at(8, 30))
+	b.AddEncounter("u9", "p1", at(7, 0), at(7, 30))
+	orig := b.Days()[0]
+
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got DayProfile
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.UserID != orig.UserID || got.Date != orig.Date {
+		t.Error("identity fields lost")
+	}
+	if len(got.Places) != 1 || !got.Places[0].Arrive.Equal(orig.Places[0].Arrive) {
+		t.Error("places lost in round trip")
+	}
+	if len(got.Routes) != 1 || len(got.Contacts) != 1 {
+		t.Error("routes/contacts lost")
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("round-tripped profile invalid: %v", err)
+	}
+}
+
+func TestZeroLengthIntervalIgnored(t *testing.T) {
+	b := NewBuilder("u1")
+	b.AddVisit("p", "", at(5, 0), at(5, 0)) // zero length
+	if days := b.Days(); len(days) != 0 {
+		t.Errorf("zero-length visit created %d days", len(days))
+	}
+}
+
+func TestExactMidnightBoundary(t *testing.T) {
+	b := NewBuilder("u1")
+	// Ends exactly at midnight: single day entry.
+	b.AddVisit("p", "", at(22, 0), at(24, 0))
+	days := b.Days()
+	if len(days) != 1 {
+		t.Fatalf("days = %d, want 1", len(days))
+	}
+	if days[0].Places[0].Duration() != 2*time.Hour {
+		t.Error("boundary visit truncated")
+	}
+}
+
+func TestActivitySummary(t *testing.T) {
+	b := NewBuilder("u1")
+	// 30 moving minutes, 60 still minutes on day 0; 10 moving on day 1.
+	for i := 0; i < 30; i++ {
+		b.AddActivity(at(8, i), true)
+	}
+	for i := 0; i < 60; i++ {
+		b.AddActivity(at(10, i), false)
+	}
+	for i := 0; i < 10; i++ {
+		b.AddActivity(at(25, i), true)
+	}
+	days := b.Days()
+	if len(days) != 2 {
+		t.Fatalf("days = %d", len(days))
+	}
+	a0 := days[0].Activity
+	if a0 == nil || a0.MovingMinutes != 30 || a0.StillMinutes != 60 {
+		t.Errorf("day0 activity = %+v", a0)
+	}
+	if a0.Total() != 90 {
+		t.Errorf("total = %d", a0.Total())
+	}
+	if days[1].Activity == nil || days[1].Activity.MovingMinutes != 10 {
+		t.Errorf("day1 activity = %+v", days[1].Activity)
+	}
+}
+
+func TestValidateActivity(t *testing.T) {
+	day := "2014-09-01"
+	p := &DayProfile{UserID: "u", Date: day, Activity: &ActivitySummary{MovingMinutes: -1}}
+	if err := p.Validate(); err == nil {
+		t.Error("negative activity accepted")
+	}
+	p.Activity = &ActivitySummary{MovingMinutes: 1000, StillMinutes: 1000}
+	if err := p.Validate(); err == nil {
+		t.Error("super-day activity accepted")
+	}
+	p.Activity = &ActivitySummary{MovingMinutes: 100, StillMinutes: 500}
+	if err := p.Validate(); err != nil {
+		t.Errorf("valid activity rejected: %v", err)
+	}
+}
+
+func TestActivityJSONRoundTrip(t *testing.T) {
+	b := NewBuilder("u1")
+	b.AddVisit("p", "", at(1, 0), at(2, 0))
+	b.AddActivity(at(1, 30), true)
+	orig := b.Days()[0]
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got DayProfile
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Activity == nil || got.Activity.MovingMinutes != 1 {
+		t.Errorf("activity lost: %+v", got.Activity)
+	}
+}

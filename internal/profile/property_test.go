@@ -1,0 +1,108 @@
+package profile
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// TestSplitPreservesDuration: splitting any interval at midnight never
+// gains or loses time, and every produced day validates.
+func TestSplitPreservesDuration(t *testing.T) {
+	f := func(startMin uint16, durMin uint16) bool {
+		start := simclock.Epoch.Add(time.Duration(startMin) * time.Minute)
+		dur := time.Duration(durMin%(5*24*60)) * time.Minute
+		end := start.Add(dur)
+
+		b := NewBuilder("u")
+		b.AddVisit("p", "", start, end)
+		var total time.Duration
+		for _, d := range b.Days() {
+			if err := d.Validate(); err != nil {
+				return false
+			}
+			total += d.TotalDwell()
+		}
+		return total == dur
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSplitPiecesAreContiguous: the split pieces chain exactly: each piece
+// ends where the next begins, first begins at start, last ends at end.
+func TestSplitPiecesAreContiguous(t *testing.T) {
+	f := func(startMin uint16, durMin uint16) bool {
+		start := simclock.Epoch.Add(time.Duration(startMin) * time.Minute)
+		dur := time.Duration(1+durMin%(4*24*60)) * time.Minute
+		end := start.Add(dur)
+
+		b := NewBuilder("u")
+		b.AddVisit("p", "", start, end)
+		days := b.Days()
+		if len(days) == 0 {
+			return false
+		}
+		var pieces []PlaceVisit
+		for _, d := range days {
+			pieces = append(pieces, d.Places...)
+		}
+		if !pieces[0].Arrive.Equal(start) || !pieces[len(pieces)-1].Depart.Equal(end) {
+			return false
+		}
+		for i := 1; i < len(pieces); i++ {
+			if !pieces[i].Arrive.Equal(pieces[i-1].Depart) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRouteSplitPreservesDuration does the same for route uses.
+func TestRouteSplitPreservesDuration(t *testing.T) {
+	f := func(startMin uint16, durMin uint16) bool {
+		start := simclock.Epoch.Add(time.Duration(startMin) * time.Minute)
+		dur := time.Duration(durMin%(48*60)) * time.Minute
+		b := NewBuilder("u")
+		b.AddRoute("r", start, start.Add(dur))
+		var total time.Duration
+		for _, d := range b.Days() {
+			for _, r := range d.Routes {
+				total += r.End.Sub(r.Start)
+			}
+		}
+		return total == dur
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestActivityMinutesConserved: every AddActivity call lands in exactly one
+// day bucket.
+func TestActivityMinutesConserved(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		b := NewBuilder("u")
+		for _, off := range offsets {
+			at := simclock.Epoch.Add(time.Duration(off%(7*24*60)) * time.Minute)
+			b.AddActivity(at, off%2 == 0)
+		}
+		total := 0
+		for _, d := range b.Days() {
+			if d.Activity != nil {
+				total += d.Activity.Total()
+			}
+		}
+		return total == len(offsets)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,228 @@
+// Package route implements PMWare's route discovery and similarity services
+// (paper Sections 2.1.2, 2.2.2, 2.3.1). The path between two places is a
+// route; in low accuracy mode it is the time-ordered Cell-ID sequence
+// observed in transit (R_i = {c1..c10}), in high accuracy mode the GPS
+// trajectory (R_i = {g1..g15}). Recurring trips over the same streets are
+// merged into one route.
+package route
+
+import (
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/trace"
+	"repro/internal/world"
+)
+
+// Params tunes route extraction and matching.
+type Params struct {
+	// MinTripDuration / MaxTripDuration bound plausible inter-place trips;
+	// gaps outside the band are ignored (tracking glitches, overnight gaps).
+	MinTripDuration time.Duration
+	MaxTripDuration time.Duration
+	// MinCells is the minimum compressed cell-sequence length for a GSM
+	// route (shorter transits are noise).
+	MinCells int
+	// GSMMatchRatio is the normalized LCS ratio above which two cell
+	// sequences are the same route.
+	GSMMatchRatio float64
+	// GPSMatchDistanceM is the Hausdorff distance below which two
+	// trajectories are the same route.
+	GPSMatchDistanceM float64
+	// ResampleM is the vertex spacing for stored GPS trajectories.
+	ResampleM float64
+}
+
+// DefaultParams returns the parameters used by the deployment study.
+func DefaultParams() Params {
+	return Params{
+		MinTripDuration:   3 * time.Minute,
+		MaxTripDuration:   3 * time.Hour,
+		MinCells:          3,
+		GSMMatchRatio:     0.55,
+		GPSMatchDistanceM: 300,
+		ResampleM:         50,
+	}
+}
+
+// Interval is a place-visit interval; the gaps between consecutive intervals
+// are the trips routes are extracted from.
+type Interval struct {
+	Start time.Time
+	End   time.Time
+}
+
+// Trip is one traversal of a route.
+type Trip struct {
+	Start time.Time
+	End   time.Time
+}
+
+// Duration returns the traversal time.
+func (t Trip) Duration() time.Duration { return t.End.Sub(t.Start) }
+
+// GSMRoute is a low-accuracy route: a canonical Cell-ID sequence plus every
+// traversal matched to it.
+type GSMRoute struct {
+	ID    int
+	Cells []world.CellID
+	Trips []Trip
+}
+
+// Frequency returns how many times the route was traversed.
+func (r *GSMRoute) Frequency() int { return len(r.Trips) }
+
+// GPSRoute is a high-accuracy route: a canonical trajectory plus traversals.
+type GPSRoute struct {
+	ID    int
+	Path  geo.Polyline
+	Trips []Trip
+}
+
+// Frequency returns how many times the route was traversed.
+func (r *GPSRoute) Frequency() int { return len(r.Trips) }
+
+// gaps returns the inter-visit intervals within the duration band. Visits
+// must be time-ordered.
+func gaps(visits []Interval, p Params) []Interval {
+	var out []Interval
+	for i := 1; i < len(visits); i++ {
+		g := Interval{Start: visits[i-1].End, End: visits[i].Start}
+		d := g.End.Sub(g.Start)
+		if d >= p.MinTripDuration && d <= p.MaxTripDuration {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// compressCells collapses consecutive duplicate serving cells into the
+// distinct transition sequence.
+func compressCells(obs []trace.GSMObservation) []world.CellID {
+	var out []world.CellID
+	for _, o := range obs {
+		if len(out) == 0 || out[len(out)-1] != o.Cell {
+			out = append(out, o.Cell)
+		}
+	}
+	return out
+}
+
+// lcsRatio returns len(LCS(a, b)) / max(len(a), len(b)).
+func lcsRatio(a, b []world.CellID) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	// Classic DP, O(len(a)*len(b)); trip sequences are tens of cells.
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	lcs := prev[len(b)]
+	den := len(a)
+	if len(b) > den {
+		den = len(b)
+	}
+	return float64(lcs) / float64(den)
+}
+
+// ExtractGSM extracts low-accuracy routes: for every inter-visit gap, the
+// compressed serving-cell sequence becomes a traversal, merged into an
+// existing route when the LCS ratio clears GSMMatchRatio.
+func ExtractGSM(obs []trace.GSMObservation, visits []Interval, p Params) []*GSMRoute {
+	var routes []*GSMRoute
+	for _, g := range gaps(visits, p) {
+		var seg []trace.GSMObservation
+		for _, o := range obs {
+			if !o.At.Before(g.Start) && !o.At.After(g.End) {
+				seg = append(seg, o)
+			}
+		}
+		cells := compressCells(seg)
+		if len(cells) < p.MinCells {
+			continue
+		}
+		trip := Trip{Start: g.Start, End: g.End}
+
+		var best *GSMRoute
+		bestRatio := p.GSMMatchRatio
+		for _, r := range routes {
+			if ratio := lcsRatio(r.Cells, cells); ratio >= bestRatio {
+				best, bestRatio = r, ratio
+			}
+		}
+		if best == nil {
+			routes = append(routes, &GSMRoute{ID: len(routes), Cells: cells, Trips: []Trip{trip}})
+		} else {
+			best.Trips = append(best.Trips, trip)
+			// Keep the longer sequence as canonical (richer signature).
+			if len(cells) > len(best.Cells) {
+				best.Cells = cells
+			}
+		}
+	}
+	return routes
+}
+
+// ExtractGPS extracts high-accuracy routes from GPS fixes: the trajectory in
+// each inter-visit gap becomes a traversal, merged by Hausdorff distance.
+// This is the paper's high accuracy mode, where WiFi detects the departure
+// and GPS tracks the route.
+func ExtractGPS(fixes []trace.GPSFix, visits []Interval, p Params) []*GPSRoute {
+	var routes []*GPSRoute
+	for _, g := range gaps(visits, p) {
+		var path geo.Polyline
+		for _, f := range fixes {
+			if f.Valid && !f.At.Before(g.Start) && !f.At.After(g.End) {
+				path = append(path, f.Pos)
+			}
+		}
+		if len(path) < 2 {
+			continue
+		}
+		path = path.Resample(p.ResampleM)
+		trip := Trip{Start: g.Start, End: g.End}
+
+		var best *GPSRoute
+		bestD := p.GPSMatchDistanceM
+		for _, r := range routes {
+			if d := geo.HausdorffDistance(r.Path, path); d <= bestD {
+				best, bestD = r, d
+			}
+		}
+		if best == nil {
+			routes = append(routes, &GPSRoute{ID: len(routes), Path: path, Trips: []Trip{trip}})
+		} else {
+			best.Trips = append(best.Trips, trip)
+		}
+	}
+	return routes
+}
+
+// SimilarityGSM returns the normalized LCS similarity between two cell
+// sequences — the cloud instance's route-similarity service for low-accuracy
+// routes.
+func SimilarityGSM(a, b []world.CellID) float64 { return lcsRatio(a, b) }
+
+// SimilarityGPS returns a [0,1] similarity between two trajectories derived
+// from their Hausdorff distance with scale (1 at 0 m, 0 at >= scaleM).
+func SimilarityGPS(a, b geo.Polyline, scaleM float64) float64 {
+	if scaleM <= 0 || len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	d := geo.HausdorffDistance(a, b)
+	if d >= scaleM {
+		return 0
+	}
+	return 1 - d/scaleM
+}

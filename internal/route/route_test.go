@@ -1,0 +1,260 @@
+package route
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+	"repro/internal/world"
+)
+
+func cid(c int) world.CellID { return world.CellID{MCC: 404, MNC: 10, LAC: 1, CID: c} }
+
+func cells(ids ...int) []world.CellID {
+	out := make([]world.CellID, len(ids))
+	for i, c := range ids {
+		out[i] = cid(c)
+	}
+	return out
+}
+
+func TestLCSRatio(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []world.CellID
+		want float64
+	}{
+		{"identical", cells(1, 2, 3), cells(1, 2, 3), 1},
+		{"disjoint", cells(1, 2, 3), cells(4, 5, 6), 0},
+		{"subsequence", cells(1, 2, 3, 4), cells(1, 3), 0.5},
+		{"empty", nil, cells(1), 0},
+		{"reordered", cells(1, 2, 3), cells(3, 2, 1), 1.0 / 3.0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := lcsRatio(tt.a, tt.b); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("lcsRatio = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLCSSymmetric(t *testing.T) {
+	a, b := cells(1, 2, 3, 4, 5, 6), cells(2, 4, 9, 6, 7)
+	if lcsRatio(a, b) != lcsRatio(b, a) {
+		t.Error("lcsRatio not symmetric")
+	}
+}
+
+func TestCompressCells(t *testing.T) {
+	obs := []trace.GSMObservation{
+		{Cell: cid(1)}, {Cell: cid(1)}, {Cell: cid(2)}, {Cell: cid(2)}, {Cell: cid(1)}, {Cell: cid(3)},
+	}
+	got := compressCells(obs)
+	want := cells(1, 2, 1, 3)
+	if len(got) != len(want) {
+		t.Fatalf("compress = %v", got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("compress = %v, want %v", got, want)
+		}
+	}
+	if compressCells(nil) != nil {
+		t.Error("empty compress should be nil")
+	}
+}
+
+func mkVisits(times ...int) []Interval {
+	// times are pairs of minutes: start0, end0, start1, end1, ...
+	var out []Interval
+	for i := 0; i+1 < len(times); i += 2 {
+		out = append(out, Interval{
+			Start: simclock.Epoch.Add(time.Duration(times[i]) * time.Minute),
+			End:   simclock.Epoch.Add(time.Duration(times[i+1]) * time.Minute),
+		})
+	}
+	return out
+}
+
+func TestGapsBand(t *testing.T) {
+	p := DefaultParams()
+	// Gap of 20 min (ok), gap of 1 min (too short), gap of 5 h (too long).
+	visits := mkVisits(0, 60, 80, 100, 101, 200, 500, 600)
+	got := gaps(visits, p)
+	if len(got) != 1 {
+		t.Fatalf("gaps = %d, want 1", len(got))
+	}
+	if got[0].Start != simclock.Epoch.Add(60*time.Minute) {
+		t.Errorf("gap start = %v", got[0].Start)
+	}
+}
+
+// obsOverGap lays down one observation per minute with the given cells
+// across [startMin, startMin+len).
+func obsOverGap(startMin int, cs []world.CellID) []trace.GSMObservation {
+	out := make([]trace.GSMObservation, len(cs))
+	for i, c := range cs {
+		out[i] = trace.GSMObservation{At: simclock.Epoch.Add(time.Duration(startMin+i) * time.Minute), Cell: c}
+	}
+	return out
+}
+
+func TestExtractGSMMergesRecurringTrips(t *testing.T) {
+	p := DefaultParams()
+	// Two commutes over the same cells, one different errand.
+	var obs []trace.GSMObservation
+	obs = append(obs, obsOverGap(60, cells(1, 2, 3, 4, 5))...)      // commute A
+	obs = append(obs, obsOverGap(200, cells(1, 2, 3, 4, 5))...)     // commute A again
+	obs = append(obs, obsOverGap(340, cells(9, 10, 11, 12, 13))...) // errand B
+	visits := mkVisits(0, 60, 65, 200, 205, 340, 345, 400)
+	routes := ExtractGSM(obs, visits, p)
+	if len(routes) != 2 {
+		t.Fatalf("routes = %d, want 2", len(routes))
+	}
+	var commute *GSMRoute
+	for _, r := range routes {
+		if r.Frequency() == 2 {
+			commute = r
+		}
+	}
+	if commute == nil {
+		t.Fatal("recurring commute not merged (no route with frequency 2)")
+	}
+}
+
+func TestExtractGSMMinCells(t *testing.T) {
+	p := DefaultParams()
+	obs := obsOverGap(60, cells(1, 1, 1)) // compresses to 1 cell
+	visits := mkVisits(0, 60, 63, 120)
+	if routes := ExtractGSM(obs, visits, p); len(routes) != 0 {
+		t.Errorf("degenerate transit produced %d routes", len(routes))
+	}
+}
+
+func TestExtractGPSMergesByGeometry(t *testing.T) {
+	p := DefaultParams()
+	origin := geo.LatLng{Lat: 28.6139, Lng: 77.2090}
+	dest := geo.Offset(origin, 90, 2000)
+	path := geo.Polyline{origin, dest}.Resample(100)
+
+	fixAlong := func(startMin int, pl geo.Polyline, offsetM float64) []trace.GPSFix {
+		out := make([]trace.GPSFix, len(pl))
+		for i, pt := range pl {
+			if offsetM > 0 {
+				pt = geo.Offset(pt, 0, offsetM)
+			}
+			out[i] = trace.GPSFix{At: simclock.Epoch.Add(time.Duration(startMin) * time.Minute).Add(time.Duration(i) * 20 * time.Second), Pos: pt, Valid: true}
+		}
+		return out
+	}
+
+	var fixes []trace.GPSFix
+	fixes = append(fixes, fixAlong(60, path, 0)...)   // trip 1
+	fixes = append(fixes, fixAlong(200, path, 30)...) // trip 2, 30 m offset: same route
+	// trip 3: far parallel road, 800 m away: distinct route.
+	fixes = append(fixes, fixAlong(340, path, 800)...)
+
+	visits := mkVisits(0, 60, 68, 200, 208, 340, 348, 420)
+	routes := ExtractGPS(fixes, visits, p)
+	if len(routes) != 2 {
+		t.Fatalf("routes = %d, want 2", len(routes))
+	}
+	var main *GPSRoute
+	for _, r := range routes {
+		if r.Frequency() == 2 {
+			main = r
+		}
+	}
+	if main == nil {
+		t.Fatal("same-street trips not merged")
+	}
+}
+
+func TestExtractGPSSkipsSparseTrips(t *testing.T) {
+	p := DefaultParams()
+	fixes := []trace.GPSFix{{At: simclock.Epoch.Add(61 * time.Minute), Pos: geo.LatLng{Lat: 28.6, Lng: 77.2}, Valid: true}}
+	visits := mkVisits(0, 60, 70, 120)
+	if routes := ExtractGPS(fixes, visits, p); len(routes) != 0 {
+		t.Errorf("single-fix trip produced %d routes", len(routes))
+	}
+}
+
+func TestSimilarityGPS(t *testing.T) {
+	origin := geo.LatLng{Lat: 28.6139, Lng: 77.2090}
+	a := geo.Polyline{origin, geo.Offset(origin, 90, 1000)}.Resample(50)
+	b := make(geo.Polyline, len(a))
+	for i, p := range a {
+		b[i] = geo.Offset(p, 0, 100)
+	}
+	got := SimilarityGPS(a, b, 400)
+	if got < 0.6 || got > 0.85 {
+		t.Errorf("similarity = %v, want ~0.75 for 100 m offset at 400 m scale", got)
+	}
+	if SimilarityGPS(a, a, 400) != 1 {
+		t.Error("self similarity != 1")
+	}
+	if SimilarityGPS(a, b, 0) != 0 {
+		t.Error("zero scale should be 0")
+	}
+	if SimilarityGPS(nil, b, 400) != 0 {
+		t.Error("empty polyline should be 0")
+	}
+	far := make(geo.Polyline, len(a))
+	for i, p := range a {
+		far[i] = geo.Offset(p, 0, 5000)
+	}
+	if SimilarityGPS(a, far, 400) != 0 {
+		t.Error("far route similarity should clamp to 0")
+	}
+}
+
+func TestEndToEndCommuteRoutes(t *testing.T) {
+	// A week of simulated life: the home<->work commute must emerge as a
+	// recurring GSM route.
+	cfg := world.DefaultConfig()
+	cfg.TowerGridMeters = 500
+	cfg.TowerRangeMeters = 800
+	r := rand.New(rand.NewSource(61))
+	w := world.Generate(cfg, r)
+	home := w.AddVenue("home", "Home", world.KindHome, geo.Offset(cfg.Origin, 210, 2300), true, cfg, r)
+	work := w.AddVenue("work", "Office", world.KindWorkplace, geo.Offset(cfg.Origin, 30, 2400), true, cfg, r)
+	a := &mobility.Agent{ID: "u1", Home: home, Work: work, SpeedMPS: 7}
+	it, err := mobility.BuildItinerary(a, w, simclock.Epoch, 7, mobility.DefaultScheduleConfig(), rand.New(rand.NewSource(62)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := trace.NewSensors(w, it, trace.DefaultConfig(), rand.New(rand.NewSource(63)))
+	obs := s.CollectGSM(it.Start, it.End, time.Minute)
+
+	// Ground-truth visits as intervals.
+	var visits []Interval
+	for _, v := range it.SignificantVisits(10 * time.Minute) {
+		visits = append(visits, Interval{Start: v.Arrive, End: v.Depart})
+	}
+	routes := ExtractGSM(obs, visits, DefaultParams())
+	if len(routes) == 0 {
+		t.Fatal("no routes from a commuting week")
+	}
+	maxFreq := 0
+	for _, rt := range routes {
+		if rt.Frequency() > maxFreq {
+			maxFreq = rt.Frequency()
+		}
+	}
+	if maxFreq < 3 {
+		t.Errorf("most frequent route traversed %d times; commute should recur >= 3 in a week", maxFreq)
+	}
+}
+
+func TestTripDuration(t *testing.T) {
+	tr := Trip{Start: simclock.Epoch, End: simclock.Epoch.Add(25 * time.Minute)}
+	if tr.Duration() != 25*time.Minute {
+		t.Errorf("duration = %v", tr.Duration())
+	}
+}

@@ -1,0 +1,175 @@
+// Package simclock provides a deterministic virtual clock and event queue.
+//
+// Every time-dependent component of the PMWare reproduction (sensor sampling,
+// duty cycling, token expiry, agent movement) is driven from a *Clock rather
+// than the wall clock, which makes simulations reproducible and lets a
+// two-week deployment study run in milliseconds.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Epoch is the instant at which every simulation starts: a Monday at
+// midnight, so weekday-based schedules line up across runs.
+var Epoch = time.Date(2014, time.September, 1, 0, 0, 0, 0, time.UTC)
+
+// Clock is a virtual clock with an ordered event queue. The zero value is not
+// usable; construct with New. Clock is not safe for concurrent use: the
+// simulation is single-threaded by design (determinism).
+type Clock struct {
+	now    time.Time
+	queue  eventQueue
+	nextID int64
+}
+
+// New returns a clock set to Epoch.
+func New() *Clock { return NewAt(Epoch) }
+
+// NewAt returns a clock set to the given start time.
+func NewAt(start time.Time) *Clock {
+	return &Clock{now: start}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time { return c.now }
+
+// Since returns the elapsed virtual time since t.
+func (c *Clock) Since(t time.Time) time.Duration { return c.now.Sub(t) }
+
+// Event is a scheduled callback. The callback receives the clock so it can
+// schedule follow-up events.
+type Event struct {
+	At   time.Time
+	Run  func(c *Clock)
+	id   int64 // tie-break for deterministic ordering
+	idx  int   // heap index
+	dead bool
+}
+
+// Cancel marks the event so it will be skipped when its time comes. Safe to
+// call multiple times.
+func (e *Event) Cancel() { e.dead = true }
+
+// Schedule enqueues fn to run at time at. Events scheduled in the past run
+// immediately on the next Step/RunUntil. Returns a handle for cancellation.
+func (c *Clock) Schedule(at time.Time, fn func(*Clock)) *Event {
+	c.nextID++
+	ev := &Event{At: at, Run: fn, id: c.nextID}
+	heap.Push(&c.queue, ev)
+	return ev
+}
+
+// After enqueues fn to run d after the current time.
+func (c *Clock) After(d time.Duration, fn func(*Clock)) *Event {
+	return c.Schedule(c.now.Add(d), fn)
+}
+
+// Every schedules fn to run at the given period, first firing one period from
+// now, until the returned event is cancelled. fn runs once per tick.
+func (c *Clock) Every(period time.Duration, fn func(*Clock)) *Event {
+	if period <= 0 {
+		panic(fmt.Sprintf("simclock: non-positive period %v", period))
+	}
+	// The handle we return proxies cancellation to the currently scheduled
+	// occurrence.
+	handle := &Event{}
+	var tick func(*Clock)
+	var current *Event
+	tick = func(cl *Clock) {
+		if handle.dead {
+			return
+		}
+		fn(cl)
+		if handle.dead { // fn may cancel its own ticker
+			return
+		}
+		current = cl.After(period, tick)
+		handle.At = current.At
+	}
+	current = c.After(period, tick)
+	handle.At = current.At
+	return handle
+}
+
+// Pending returns the number of undelivered events (including cancelled ones
+// that have not yet been drained).
+func (c *Clock) Pending() int { return c.queue.Len() }
+
+// Step runs the next scheduled event, advancing the clock to its time.
+// It returns false if the queue is empty.
+func (c *Clock) Step() bool {
+	for c.queue.Len() > 0 {
+		ev := heap.Pop(&c.queue).(*Event)
+		if ev.dead {
+			continue
+		}
+		if ev.At.After(c.now) {
+			c.now = ev.At
+		}
+		ev.Run(c)
+		return true
+	}
+	return false
+}
+
+// RunUntil processes events in order until the queue is exhausted or the next
+// event is after deadline. The clock finishes exactly at deadline.
+func (c *Clock) RunUntil(deadline time.Time) {
+	for c.queue.Len() > 0 {
+		ev := c.queue[0]
+		if ev.dead {
+			heap.Pop(&c.queue)
+			continue
+		}
+		if ev.At.After(deadline) {
+			break
+		}
+		heap.Pop(&c.queue)
+		if ev.At.After(c.now) {
+			c.now = ev.At
+		}
+		ev.Run(c)
+	}
+	if deadline.After(c.now) {
+		c.now = deadline
+	}
+}
+
+// RunFor processes events for the given duration from the current time.
+func (c *Clock) RunFor(d time.Duration) { c.RunUntil(c.now.Add(d)) }
+
+// eventQueue is a min-heap ordered by (At, id).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].At.Equal(q[j].At) {
+		return q[i].At.Before(q[j].At)
+	}
+	return q[i].id < q[j].id
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,195 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNowAndSince(t *testing.T) {
+	c := New()
+	if !c.Now().Equal(Epoch) {
+		t.Fatalf("Now = %v, want Epoch", c.Now())
+	}
+	start := c.Now()
+	c.RunFor(90 * time.Minute)
+	if got := c.Since(start); got != 90*time.Minute {
+		t.Errorf("Since = %v, want 90m", got)
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	c := New()
+	var order []int
+	c.After(3*time.Minute, func(*Clock) { order = append(order, 3) })
+	c.After(1*time.Minute, func(*Clock) { order = append(order, 1) })
+	c.After(2*time.Minute, func(*Clock) { order = append(order, 2) })
+	c.RunFor(time.Hour)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	c := New()
+	var order []int
+	at := c.Now().Add(time.Minute)
+	for i := 0; i < 10; i++ {
+		i := i
+		c.Schedule(at, func(*Clock) { order = append(order, i) })
+	}
+	c.RunFor(time.Hour)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestRunUntilAdvancesToDeadline(t *testing.T) {
+	c := New()
+	deadline := c.Now().Add(2 * time.Hour)
+	c.After(30*time.Minute, func(*Clock) {})
+	c.RunUntil(deadline)
+	if !c.Now().Equal(deadline) {
+		t.Errorf("clock at %v, want %v", c.Now(), deadline)
+	}
+}
+
+func TestRunUntilDoesNotOvershoot(t *testing.T) {
+	c := New()
+	fired := false
+	c.After(3*time.Hour, func(*Clock) { fired = true })
+	c.RunFor(time.Hour)
+	if fired {
+		t.Error("event beyond deadline fired")
+	}
+	if c.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", c.Pending())
+	}
+	c.RunFor(3 * time.Hour)
+	if !fired {
+		t.Error("event not fired after extending run")
+	}
+}
+
+func TestStep(t *testing.T) {
+	c := New()
+	n := 0
+	c.After(time.Minute, func(*Clock) { n++ })
+	c.After(2*time.Minute, func(*Clock) { n++ })
+	if !c.Step() {
+		t.Fatal("Step returned false with pending events")
+	}
+	if n != 1 {
+		t.Fatalf("n = %d after one step", n)
+	}
+	if !c.Now().Equal(Epoch.Add(time.Minute)) {
+		t.Errorf("clock did not advance to event time: %v", c.Now())
+	}
+	c.Step()
+	if c.Step() {
+		t.Error("Step returned true on empty queue")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	c := New()
+	fired := false
+	ev := c.After(time.Minute, func(*Clock) { fired = true })
+	ev.Cancel()
+	ev.Cancel() // idempotent
+	c.RunFor(time.Hour)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestEvery(t *testing.T) {
+	c := New()
+	count := 0
+	handle := c.Every(10*time.Minute, func(*Clock) { count++ })
+	c.RunFor(time.Hour)
+	if count != 6 {
+		t.Errorf("ticks = %d, want 6", count)
+	}
+	handle.Cancel()
+	c.RunFor(time.Hour)
+	if count != 6 {
+		t.Errorf("ticker fired after cancel: %d", count)
+	}
+}
+
+func TestEverySelfCancel(t *testing.T) {
+	c := New()
+	count := 0
+	var handle *Event
+	handle = c.Every(time.Minute, func(*Clock) {
+		count++
+		if count == 3 {
+			handle.Cancel()
+		}
+	})
+	c.RunFor(time.Hour)
+	if count != 3 {
+		t.Errorf("self-cancelling ticker fired %d times, want 3", count)
+	}
+}
+
+func TestEveryPanicsOnNonPositivePeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero period")
+		}
+	}()
+	New().Every(0, func(*Clock) {})
+}
+
+func TestNestedScheduling(t *testing.T) {
+	c := New()
+	var times []time.Duration
+	c.After(time.Minute, func(cl *Clock) {
+		times = append(times, cl.Since(Epoch))
+		cl.After(time.Minute, func(cl2 *Clock) {
+			times = append(times, cl2.Since(Epoch))
+		})
+	})
+	c.RunFor(time.Hour)
+	if len(times) != 2 || times[0] != time.Minute || times[1] != 2*time.Minute {
+		t.Errorf("nested times = %v", times)
+	}
+}
+
+func TestSchedulePastEventRunsImmediately(t *testing.T) {
+	c := New()
+	c.RunFor(time.Hour)
+	fired := false
+	c.Schedule(Epoch, func(*Clock) { fired = true }) // in the past
+	before := c.Now()
+	c.RunFor(time.Minute)
+	if !fired {
+		t.Error("past event did not fire")
+	}
+	if c.Now().Before(before) {
+		t.Error("clock moved backwards")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		c := New()
+		var out []time.Duration
+		c.Every(7*time.Minute, func(cl *Clock) { out = append(out, cl.Since(Epoch)) })
+		c.Every(13*time.Minute, func(cl *Clock) { out = append(out, cl.Since(Epoch)) })
+		c.RunFor(6 * time.Hour)
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package social implements PMWare's social discovery module (paper Section
+// 2.2.2): detecting physical proximity amongst users via their Bluetooth or
+// WiFi radios, coalescing repeated sightings into encounters with start and
+// end times, and supporting targeted sensing ("monitoring contacts only at
+// the user's workplace").
+package social
+
+import (
+	"sort"
+	"time"
+)
+
+// Sighting is one proximity scan result: the peers discoverable at an
+// instant, plus the place the user was at (empty while in transit).
+type Sighting struct {
+	At      time.Time
+	PeerIDs []string
+	PlaceID string
+}
+
+// Encounter is one (H, s, e) social-contact record of the mobility profile.
+type Encounter struct {
+	PeerID  string
+	PlaceID string
+	Start   time.Time
+	End     time.Time
+}
+
+// Duration returns the encounter length.
+func (e Encounter) Duration() time.Duration { return e.End.Sub(e.Start) }
+
+// Params tunes encounter detection.
+type Params struct {
+	// GapTolerance merges sightings of the same peer separated by at most
+	// this much (Bluetooth inquiry is lossy).
+	GapTolerance time.Duration
+	// MinDuration drops fleeting contacts (passing someone on the street).
+	MinDuration time.Duration
+	// TargetPlaces, when non-empty, restricts detection to these places —
+	// PMWare's targeted sensing of social contacts. Nil/empty means all
+	// places (but never transit).
+	TargetPlaces map[string]bool
+}
+
+// DefaultParams returns the parameters used by the deployment study.
+func DefaultParams() Params {
+	return Params{
+		GapTolerance: 5 * time.Minute,
+		MinDuration:  5 * time.Minute,
+	}
+}
+
+// open tracks an in-progress encounter.
+type open struct {
+	placeID  string
+	start    time.Time
+	lastSeen time.Time
+}
+
+// Detector coalesces sightings into encounters online. Not safe for
+// concurrent use.
+type Detector struct {
+	params Params
+	opens  map[string]*open // peer -> open encounter
+}
+
+// NewDetector returns an empty detector.
+func NewDetector(p Params) *Detector {
+	return &Detector{params: p, opens: make(map[string]*open)}
+}
+
+// wanted reports whether encounters at the place should be recorded.
+func (d *Detector) wanted(placeID string) bool {
+	if placeID == "" {
+		return false // transit: place-specific contacts only (Section 2.1.3)
+	}
+	if len(d.params.TargetPlaces) == 0 {
+		return true
+	}
+	return d.params.TargetPlaces[placeID]
+}
+
+// Observe consumes one sighting and returns encounters that closed (a peer
+// unseen past GapTolerance, or the user moved to an untracked place).
+func (d *Detector) Observe(s Sighting) []Encounter {
+	now := s.At
+	seen := map[string]bool{}
+	if d.wanted(s.PlaceID) {
+		for _, peer := range s.PeerIDs {
+			seen[peer] = true
+			if o, ok := d.opens[peer]; ok && o.placeID == s.PlaceID {
+				o.lastSeen = now
+				continue
+			}
+			// New encounter (or the peer followed the user to a different
+			// place: close the old one below, open a new one here).
+			if o, ok := d.opens[peer]; ok && o.placeID != s.PlaceID {
+				// keep o for closing in the sweep; mark unseen
+				seen[peer] = false
+				continue
+			}
+			d.opens[peer] = &open{placeID: s.PlaceID, start: now, lastSeen: now}
+		}
+	}
+
+	var closed []Encounter
+	for peer, o := range d.opens {
+		if seen[peer] {
+			continue
+		}
+		if now.Sub(o.lastSeen) > d.params.GapTolerance || (d.wanted(s.PlaceID) && containsPeer(s.PeerIDs, peer) && o.placeID != s.PlaceID) {
+			if enc, ok := d.finish(peer, o); ok {
+				closed = append(closed, enc)
+			} else {
+				delete(d.opens, peer)
+			}
+		}
+	}
+	sortEncounters(closed)
+	return closed
+}
+
+func containsPeer(peers []string, p string) bool {
+	for _, x := range peers {
+		if x == p {
+			return true
+		}
+	}
+	return false
+}
+
+// finish closes the open encounter, applying the minimum-duration filter.
+func (d *Detector) finish(peer string, o *open) (Encounter, bool) {
+	delete(d.opens, peer)
+	enc := Encounter{PeerID: peer, PlaceID: o.placeID, Start: o.start, End: o.lastSeen}
+	if enc.Duration() < d.params.MinDuration {
+		return Encounter{}, false
+	}
+	return enc, true
+}
+
+// Flush closes all open encounters at trace end.
+func (d *Detector) Flush() []Encounter {
+	var out []Encounter
+	for peer, o := range d.opens {
+		if enc, ok := d.finish(peer, o); ok {
+			out = append(out, enc)
+		}
+	}
+	sortEncounters(out)
+	return out
+}
+
+func sortEncounters(encs []Encounter) {
+	sort.Slice(encs, func(i, j int) bool {
+		if !encs[i].Start.Equal(encs[j].Start) {
+			return encs[i].Start.Before(encs[j].Start)
+		}
+		return encs[i].PeerID < encs[j].PeerID
+	})
+}
+
+// Coalesce runs the detector over a complete sighting trace.
+func Coalesce(sightings []Sighting, p Params) []Encounter {
+	d := NewDetector(p)
+	var out []Encounter
+	for _, s := range sightings {
+		out = append(out, d.Observe(s)...)
+	}
+	out = append(out, d.Flush()...)
+	sortEncounters(out)
+	return out
+}

@@ -1,0 +1,163 @@
+package social
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+func sighting(minute int, place string, peers ...string) Sighting {
+	return Sighting{
+		At:      simclock.Epoch.Add(time.Duration(minute) * time.Minute),
+		PeerIDs: peers,
+		PlaceID: place,
+	}
+}
+
+func TestBasicEncounter(t *testing.T) {
+	var sightings []Sighting
+	for i := 0; i < 30; i++ {
+		sightings = append(sightings, sighting(i, "work", "bob"))
+	}
+	encs := Coalesce(sightings, DefaultParams())
+	if len(encs) != 1 {
+		t.Fatalf("encounters = %d, want 1", len(encs))
+	}
+	e := encs[0]
+	if e.PeerID != "bob" || e.PlaceID != "work" {
+		t.Errorf("encounter = %+v", e)
+	}
+	if e.Duration() != 29*time.Minute {
+		t.Errorf("duration = %v, want 29m", e.Duration())
+	}
+}
+
+func TestGapToleranceMerges(t *testing.T) {
+	var sightings []Sighting
+	for i := 0; i < 30; i++ {
+		if i >= 10 && i < 14 {
+			// Bluetooth missed bob for 4 minutes (< 5m tolerance).
+			sightings = append(sightings, sighting(i, "work"))
+			continue
+		}
+		sightings = append(sightings, sighting(i, "work", "bob"))
+	}
+	encs := Coalesce(sightings, DefaultParams())
+	if len(encs) != 1 {
+		t.Fatalf("encounters = %d, want 1 (gap should merge)", len(encs))
+	}
+}
+
+func TestLongGapSplits(t *testing.T) {
+	var sightings []Sighting
+	for i := 0; i < 10; i++ {
+		sightings = append(sightings, sighting(i, "work", "bob"))
+	}
+	for i := 10; i < 30; i++ {
+		sightings = append(sightings, sighting(i, "work"))
+	}
+	for i := 30; i < 40; i++ {
+		sightings = append(sightings, sighting(i, "work", "bob"))
+	}
+	encs := Coalesce(sightings, DefaultParams())
+	if len(encs) != 2 {
+		t.Fatalf("encounters = %d, want 2 (20-min gap must split)", len(encs))
+	}
+}
+
+func TestMinDurationFilter(t *testing.T) {
+	var sightings []Sighting
+	// 2-minute brush past someone.
+	for i := 0; i < 3; i++ {
+		sightings = append(sightings, sighting(i, "market", "stranger"))
+	}
+	for i := 3; i < 30; i++ {
+		sightings = append(sightings, sighting(i, "market"))
+	}
+	if encs := Coalesce(sightings, DefaultParams()); len(encs) != 0 {
+		t.Errorf("fleeting contact recorded: %v", encs)
+	}
+}
+
+func TestTransitIgnored(t *testing.T) {
+	var sightings []Sighting
+	for i := 0; i < 30; i++ {
+		sightings = append(sightings, sighting(i, "", "fellow-commuter"))
+	}
+	if encs := Coalesce(sightings, DefaultParams()); len(encs) != 0 {
+		t.Errorf("transit contact recorded: %v", encs)
+	}
+}
+
+func TestTargetedSensing(t *testing.T) {
+	p := DefaultParams()
+	p.TargetPlaces = map[string]bool{"work": true}
+	var sightings []Sighting
+	for i := 0; i < 20; i++ {
+		sightings = append(sightings, sighting(i, "home", "alice"))
+	}
+	for i := 20; i < 40; i++ {
+		sightings = append(sightings, sighting(i, "work", "bob"))
+	}
+	encs := Coalesce(sightings, p)
+	if len(encs) != 1 || encs[0].PeerID != "bob" {
+		t.Fatalf("targeted sensing failed: %v", encs)
+	}
+}
+
+func TestMultiplePeers(t *testing.T) {
+	var sightings []Sighting
+	for i := 0; i < 30; i++ {
+		sightings = append(sightings, sighting(i, "work", "alice", "bob"))
+	}
+	encs := Coalesce(sightings, DefaultParams())
+	if len(encs) != 2 {
+		t.Fatalf("encounters = %d, want 2", len(encs))
+	}
+	// Sorted by start then peer.
+	if encs[0].PeerID != "alice" || encs[1].PeerID != "bob" {
+		t.Errorf("ordering: %v, %v", encs[0].PeerID, encs[1].PeerID)
+	}
+}
+
+func TestPeerFollowsAcrossPlaces(t *testing.T) {
+	var sightings []Sighting
+	for i := 0; i < 20; i++ {
+		sightings = append(sightings, sighting(i, "work", "bob"))
+	}
+	for i := 20; i < 40; i++ {
+		sightings = append(sightings, sighting(i, "cafe", "bob"))
+	}
+	encs := Coalesce(sightings, DefaultParams())
+	if len(encs) != 2 {
+		t.Fatalf("encounters = %d, want 2 (split by place)", len(encs))
+	}
+	places := map[string]bool{}
+	for _, e := range encs {
+		places[e.PlaceID] = true
+	}
+	if !places["work"] || !places["cafe"] {
+		t.Errorf("places = %v", places)
+	}
+}
+
+func TestFlushClosesOpen(t *testing.T) {
+	d := NewDetector(DefaultParams())
+	for i := 0; i < 15; i++ {
+		d.Observe(sighting(i, "work", "bob"))
+	}
+	encs := d.Flush()
+	if len(encs) != 1 {
+		t.Fatalf("flush encounters = %d, want 1", len(encs))
+	}
+	if again := d.Flush(); len(again) != 0 {
+		t.Error("second flush returned encounters")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	if encs := Coalesce(nil, DefaultParams()); len(encs) != 0 {
+		t.Errorf("empty trace encounters = %v", encs)
+	}
+}

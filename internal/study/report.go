@@ -1,0 +1,65 @@
+package study
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteReport renders the study outcome in the shape of the paper's
+// Section 4, with the paper's own numbers alongside for comparison.
+func WriteReport(w io.Writer, res *Result) error {
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("PMWare deployment study: %d participants, %d days\n\n",
+		len(res.Participants), res.Config.Days); err != nil {
+		return err
+	}
+	_ = p("places discovered: %-4d (paper: 123)\n", res.TotalDiscovered)
+	_ = p("places tagged:     %-4d (paper: 85, ~70%%)\n\n", res.TotalTagged)
+
+	line := func(name string, r interface {
+		Rates() (float64, float64, float64)
+		Evaluable() int
+	}, missed int) {
+		c, m, d := r.Rates()
+		_ = p("%-22s evaluable=%-4d correct=%6.2f%%  merged=%6.2f%%  divided=%6.2f%%  missed=%d\n",
+			name, r.Evaluable(), c*100, m*100, d*100, missed)
+	}
+	line("GSM + opportunistic WiFi", res.Fused, res.Fused.Missed)
+	line("GSM only (ablation)", res.GSMOnly, res.GSMOnly.Missed)
+	line("WiFi only (ablation)", res.WiFiOnly, res.WiFiOnly.Missed)
+	_ = p("%-22s (paper, GSM+WiFi: 62 evaluable, 79.03%% / 14.52%% / 6.45%%)\n\n", "")
+
+	l, d := res.LikeRatio()
+	_ = p("PlaceADs: %d likes, %d dislikes -> %.1f : %.1f of 20 (paper: 17 : 3)\n",
+		res.Likes, res.Dislikes, l, d)
+
+	social := false
+	for _, pr := range res.Participants {
+		if pr.Encounters > 0 {
+			social = true
+		}
+	}
+	_ = p("\nper participant:\n")
+	if social {
+		_ = p("%-5s %9s %7s %7s %8s %10s %9s\n", "user", "disc.", "tagged", "truth", "ads", "battery(h)", "meets")
+	} else {
+		_ = p("%-5s %9s %7s %7s %8s %10s\n", "user", "disc.", "tagged", "truth", "ads", "battery(h)")
+	}
+	for _, pr := range res.Participants {
+		var err error
+		if social {
+			err = p("%-5s %9d %7d %7d %8d %10.0f %9d\n",
+				pr.ID, pr.DiscoveredPlaces, pr.TaggedPlaces, pr.TrueVenues, pr.Impressions, pr.ProjectedLifeHours, pr.Encounters)
+		} else {
+			err = p("%-5s %9d %7d %7d %8d %10.0f\n",
+				pr.ID, pr.DiscoveredPlaces, pr.TaggedPlaces, pr.TrueVenues, pr.Impressions, pr.ProjectedLifeHours)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

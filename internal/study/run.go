@@ -1,0 +1,200 @@
+package study
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/apps/lifelog"
+	"repro/internal/apps/meetup"
+	"repro/internal/apps/placeads"
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/eval"
+	"repro/internal/geo"
+	"repro/internal/gsm"
+	"repro/internal/mobility"
+	"repro/internal/profile"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+	"repro/internal/world"
+)
+
+// directCloud is an in-process core.CloudAPI over the shared store — the
+// study's default transport (the HTTP path is exercised by the cloud
+// package's integration tests and by cmd/pmware-sim -http).
+type directCloud struct {
+	store  *cloud.Store
+	cells  *cloud.CellDatabase
+	params gsm.Params
+	userID string
+}
+
+var _ core.CloudAPI = (*directCloud)(nil)
+
+func (d *directCloud) DiscoverPlaces(obs []trace.GSMObservation) ([]*gsm.Place, error) {
+	res := gsm.Discover(obs, d.params)
+	wire := make([]cloud.PlaceWire, 0, len(res.Places))
+	for _, p := range res.Places {
+		wire = append(wire, cloud.PlaceToWire(p))
+	}
+	d.store.SetPlaces(d.userID, wire)
+	return res.Places, nil
+}
+
+func (d *directCloud) SyncProfile(p *profile.DayProfile) error {
+	return d.store.PutProfile(d.userID, p)
+}
+
+func (d *directCloud) GeolocateCell(id world.CellID) (geo.LatLng, float64, error) {
+	e, ok := d.cells.Lookup(id)
+	if !ok {
+		return geo.LatLng{}, 0, fmt.Errorf("study: unknown cell %s", id)
+	}
+	return geo.LatLng{Lat: e.Lat, Lng: e.Lng}, e.AccuracyMeters, nil
+}
+
+// runParticipant simulates one participant end to end and scores the three
+// discovery pipelines.
+func runParticipant(
+	cfg Config,
+	w *world.World,
+	a *mobility.Agent,
+	it *mobility.Itinerary,
+	idx int,
+	store *cloud.Store,
+	cells *cloud.CellDatabase,
+	directory *placeads.POIDirectory,
+	inventory *placeads.Inventory,
+	peers map[string]trace.PositionFunc,
+) (*ParticipantResult, [3]*eval.Report, error) {
+	var reports [3]*eval.Report
+	seed := cfg.Seed + int64(1000+idx)
+
+	clock := simclock.New()
+	sensors := trace.NewSensors(w, it, cfg.Sensors, rand.New(rand.NewSource(seed)))
+	meter := energy.NewMeter(energy.DefaultModel())
+	svcCfg := cfg.ServiceTemplate(a.ID)
+	if cfg.Social {
+		svcCfg.Peers = peers
+	}
+	var api core.CloudAPI
+	if cfg.CloudBaseURL != "" {
+		client := cloud.NewClient(cfg.CloudBaseURL, "imei-"+a.ID, a.ID+"@study.example", nil)
+		if err := client.Register(); err != nil {
+			return nil, reports, fmt.Errorf("study: register %s with cloud: %w", a.ID, err)
+		}
+		api = client
+	} else {
+		api = &directCloud{store: store, cells: cells, params: svcCfg.GSMParams, userID: a.ID}
+	}
+	svc := core.NewService(svcCfg, clock, sensors, meter, api)
+
+	// Every participant runs the packaged life-logging app (building-level,
+	// Section 3) plus PlaceADs (area-level).
+	logApp := lifelog.New()
+	if err := logApp.Attach(svc); err != nil {
+		return nil, reports, err
+	}
+	swiper := &placeads.SimSwiper{
+		Directory:      directory,
+		TruePosition:   it.PositionAt,
+		RelevanceM:     2500,
+		RelevantProb:   cfg.RelevantLikeProb,
+		IrrelevantProb: cfg.IrrelevantLikeProb,
+		Rand:           rand.New(rand.NewSource(seed + 1)),
+	}
+	adsApp := placeads.New(inventory, directory, swiper)
+	if err := adsApp.Attach(svc); err != nil {
+		return nil, reports, err
+	}
+	var meetApp *meetup.App
+	if cfg.Social {
+		meetApp = meetup.New()
+		if err := meetApp.Attach(svc); err != nil {
+			return nil, reports, err
+		}
+	}
+
+	svc.Run(time.Duration(cfg.Days) * 24 * time.Hour)
+
+	// Tagging model: the participant tags ~TaggingProb of discovered places
+	// with the label of the dominant true venue.
+	tagRand := rand.New(rand.NewSource(seed + 2))
+	tagged := 0
+	for _, p := range svc.Places() {
+		if tagRand.Float64() >= cfg.TaggingProb {
+			continue
+		}
+		if label := dominantVenueLabel(w, it, p); label != "" {
+			if err := svc.LabelPlace(p.ID, label); err == nil {
+				tagged++
+			}
+		}
+	}
+
+	// Score the three pipelines against diary ground truth.
+	truth := truthVisits(a.ID, it, cfg.MinStay)
+	fused := eval.Evaluate(toDiscovered(a.ID, svc.Places()), truth, cfg.EvalOverlap)
+	gsmOnly := eval.Evaluate(toDiscovered(a.ID, core.UnifyGSM(svc.RawGSMPlaces())), truth, cfg.EvalOverlap)
+	wifiOnly := eval.Evaluate(toDiscovered(a.ID, core.UnifyWiFi(svc.RawWiFiPlaces())), truth, cfg.EvalOverlap)
+	reports = [3]*eval.Report{fused, gsmOnly, wifiOnly}
+
+	likes, dislikes := adsApp.LikeDislike()
+	var centers []geo.LatLng
+	for _, p := range svc.Places() {
+		centers = append(centers, p.Center)
+	}
+	encounters := 0
+	if meetApp != nil {
+		encounters = meetApp.EncounterCount()
+	}
+	pr := &ParticipantResult{
+		ID:                 a.ID,
+		DiscoveredPlaces:   len(svc.Places()),
+		TaggedPlaces:       tagged,
+		TrueVenues:         len(it.VisitedVenueIDs(cfg.MinStay)),
+		Report:             fused,
+		ReportGSM:          gsmOnly,
+		ReportWiFi:         wifiOnly,
+		PlaceCenters:       centers,
+		Encounters:         encounters,
+		Likes:              likes,
+		Dislikes:           dislikes,
+		Impressions:        len(adsApp.Impressions()),
+		EnergySamples:      meter.TotalSamples(),
+		ProjectedLifeHours: meter.ProjectedLifeHours(time.Duration(cfg.Days) * 24 * time.Hour),
+	}
+	return pr, reports, nil
+}
+
+// dominantVenueLabel finds the true venue where the discovered place's
+// visits spent the most time, returning its name. The participant "knows"
+// where they were — this is the diary.
+func dominantVenueLabel(w *world.World, it *mobility.Itinerary, p *core.UnifiedPlace) string {
+	dwell := map[string]time.Duration{}
+	for _, visit := range p.Visits {
+		// Sample the itinerary mid-visit at a few points.
+		span := visit.Depart.Sub(visit.Arrive)
+		for f := 0.2; f < 1.0; f += 0.3 {
+			at := visit.Arrive.Add(time.Duration(float64(span) * f))
+			if v := it.VenueAt(at); v != nil {
+				dwell[v.ID] += span / 3
+			}
+		}
+	}
+	best, bestD := "", time.Duration(0)
+	for id, d := range dwell {
+		if d > bestD {
+			best, bestD = id, d
+		}
+	}
+	if best == "" {
+		return ""
+	}
+	if v := w.VenueByID(best); v != nil {
+		return v.Name
+	}
+	return ""
+}

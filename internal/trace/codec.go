@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/world"
+)
+
+// This file implements a JSON-lines codec for sensor traces, so traces can
+// be exported from the simulator, archived, and replayed through the
+// discovery algorithms offline — the workflow the paper's authors used with
+// their collected deployment data.
+//
+// Each line is one record: {"kind": "...", ...}. Kinds: "gsm", "wifi",
+// "gps", "activity".
+
+// Record is the tagged union for one trace line.
+type Record struct {
+	Kind string    `json:"kind"`
+	At   time.Time `json:"at"`
+
+	// gsm
+	MCC       int     `json:"mcc,omitempty"`
+	MNC       int     `json:"mnc,omitempty"`
+	LAC       int     `json:"lac,omitempty"`
+	CID       int     `json:"cid,omitempty"`
+	SignalDBM float64 `json:"signal_dbm,omitempty"`
+
+	// wifi
+	APs []WiFiReading `json:"aps,omitempty"`
+
+	// gps
+	Lat            float64 `json:"lat,omitempty"`
+	Lng            float64 `json:"lng,omitempty"`
+	AccuracyMeters float64 `json:"accuracy_m,omitempty"`
+	Valid          *bool   `json:"valid,omitempty"`
+
+	// activity
+	Moving *bool `json:"moving,omitempty"`
+}
+
+func cellID(rec Record) world.CellID {
+	return world.CellID{MCC: rec.MCC, MNC: rec.MNC, LAC: rec.LAC, CID: rec.CID}
+}
+
+// Writer streams trace records as JSON lines.
+type Writer struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// WriteGSM emits one GSM observation.
+func (tw *Writer) WriteGSM(o GSMObservation) error {
+	return tw.enc.Encode(Record{
+		Kind: "gsm", At: o.At,
+		MCC: o.Cell.MCC, MNC: o.Cell.MNC, LAC: o.Cell.LAC, CID: o.Cell.CID,
+		SignalDBM: o.SignalDBM,
+	})
+}
+
+// WriteWiFi emits one scan.
+func (tw *Writer) WriteWiFi(s WiFiScan) error {
+	return tw.enc.Encode(Record{Kind: "wifi", At: s.At, APs: s.APs})
+}
+
+// WriteGPS emits one fix.
+func (tw *Writer) WriteGPS(f GPSFix) error {
+	valid := f.Valid
+	return tw.enc.Encode(Record{
+		Kind: "gps", At: f.At,
+		Lat: f.Pos.Lat, Lng: f.Pos.Lng, AccuracyMeters: f.AccuracyMeters, Valid: &valid,
+	})
+}
+
+// WriteActivity emits one activity sample.
+func (tw *Writer) WriteActivity(a ActivitySample) error {
+	moving := a.Moving
+	return tw.enc.Encode(Record{Kind: "activity", At: a.At, Moving: &moving})
+}
+
+// Flush writes buffered output.
+func (tw *Writer) Flush() error { return tw.w.Flush() }
+
+// Bundle is a fully parsed trace file, split by sensor.
+type Bundle struct {
+	GSM      []GSMObservation
+	WiFi     []WiFiScan
+	GPS      []GPSFix
+	Activity []ActivitySample
+}
+
+// Read parses a JSON-lines trace stream into a Bundle. Unknown kinds are an
+// error (they indicate a version mismatch, not noise).
+func Read(r io.Reader) (*Bundle, error) {
+	b := &Bundle{}
+	dec := json.NewDecoder(bufio.NewReader(r))
+	line := 0
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", line+1, err)
+		}
+		line++
+		switch rec.Kind {
+		case "gsm":
+			b.GSM = append(b.GSM, GSMObservation{
+				At:        rec.At,
+				Cell:      cellID(rec),
+				SignalDBM: rec.SignalDBM,
+			})
+		case "wifi":
+			b.WiFi = append(b.WiFi, WiFiScan{At: rec.At, APs: rec.APs})
+		case "gps":
+			fix := GPSFix{At: rec.At, AccuracyMeters: rec.AccuracyMeters}
+			fix.Pos.Lat, fix.Pos.Lng = rec.Lat, rec.Lng
+			if rec.Valid != nil {
+				fix.Valid = *rec.Valid
+			}
+			b.GPS = append(b.GPS, fix)
+		case "activity":
+			s := ActivitySample{At: rec.At}
+			if rec.Moving != nil {
+				s.Moving = *rec.Moving
+			}
+			b.Activity = append(b.Activity, s)
+		default:
+			return nil, fmt.Errorf("trace: record %d: unknown kind %q", line, rec.Kind)
+		}
+	}
+	return b, nil
+}
+
+// WriteBundle streams an entire bundle, interleaved in time order per
+// sensor stream (streams are concatenated; readers that need global order
+// should sort).
+func WriteBundle(w io.Writer, b *Bundle) error {
+	tw := NewWriter(w)
+	for _, o := range b.GSM {
+		if err := tw.WriteGSM(o); err != nil {
+			return err
+		}
+	}
+	for _, s := range b.WiFi {
+		if err := tw.WriteWiFi(s); err != nil {
+			return err
+		}
+	}
+	for _, f := range b.GPS {
+		if err := tw.WriteGPS(f); err != nil {
+			return err
+		}
+	}
+	for _, a := range b.Activity {
+		if err := tw.WriteActivity(a); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}

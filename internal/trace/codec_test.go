@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/simclock"
+	"repro/internal/world"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	f := newFixture(t, 71, 1)
+	s := newSensors(f, 72)
+	end := f.it.Start.Add(3 * time.Hour)
+
+	orig := &Bundle{
+		GSM:  s.CollectGSM(f.it.Start, end, time.Minute),
+		WiFi: s.CollectWiFi(f.it.Start, end, 5*time.Minute),
+		GPS:  s.CollectGPS(f.it.Start, end, 5*time.Minute),
+	}
+	for ts := f.it.Start; ts.Before(end); ts = ts.Add(10 * time.Minute) {
+		orig.Activity = append(orig.Activity, s.SampleActivity(ts))
+	}
+
+	var buf bytes.Buffer
+	if err := WriteBundle(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(got.GSM) != len(orig.GSM) {
+		t.Fatalf("gsm: %d != %d", len(got.GSM), len(orig.GSM))
+	}
+	for i := range orig.GSM {
+		if got.GSM[i].Cell != orig.GSM[i].Cell || !got.GSM[i].At.Equal(orig.GSM[i].At) {
+			t.Fatalf("gsm record %d mismatch", i)
+		}
+	}
+	if len(got.WiFi) != len(orig.WiFi) {
+		t.Fatalf("wifi: %d != %d", len(got.WiFi), len(orig.WiFi))
+	}
+	for i := range orig.WiFi {
+		if len(got.WiFi[i].APs) != len(orig.WiFi[i].APs) {
+			t.Fatalf("wifi scan %d APs mismatch", i)
+		}
+	}
+	if len(got.GPS) != len(orig.GPS) {
+		t.Fatalf("gps: %d != %d", len(got.GPS), len(orig.GPS))
+	}
+	for i := range orig.GPS {
+		if geo.Distance(got.GPS[i].Pos, orig.GPS[i].Pos) > 0.001 || got.GPS[i].Valid != orig.GPS[i].Valid {
+			t.Fatalf("gps record %d mismatch", i)
+		}
+	}
+	if len(got.Activity) != len(orig.Activity) {
+		t.Fatalf("activity: %d != %d", len(got.Activity), len(orig.Activity))
+	}
+	for i := range orig.Activity {
+		if got.Activity[i].Moving != orig.Activity[i].Moving {
+			t.Fatalf("activity record %d mismatch", i)
+		}
+	}
+}
+
+func TestReadRejectsUnknownKind(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"kind":"sonar","at":"2014-09-01T00:00:00Z"}`)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"kind":`)); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	b, err := Read(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.GSM)+len(b.WiFi)+len(b.GPS)+len(b.Activity) != 0 {
+		t.Error("empty input produced records")
+	}
+}
+
+func TestGPSInvalidFixSurvivesRoundTrip(t *testing.T) {
+	orig := &Bundle{GPS: []GPSFix{{At: simclock.Epoch, Valid: false}}}
+	var buf bytes.Buffer
+	if err := WriteBundle(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.GPS) != 1 || got.GPS[0].Valid {
+		t.Error("invalid fix lost")
+	}
+}
+
+// TestReplayEquivalence verifies the core workflow: discovery over a
+// round-tripped trace produces the same places as over the live trace.
+func TestReplayEquivalence(t *testing.T) {
+	cfg := world.DefaultConfig()
+	cfg.TowerGridMeters = 500
+	cfg.TowerRangeMeters = 800
+	r := rand.New(rand.NewSource(81))
+	w := world.Generate(cfg, r)
+	home := w.AddVenue("home", "Home", world.KindHome, geo.Offset(cfg.Origin, 210, 2300), true, cfg, r)
+	work := w.AddVenue("work", "Office", world.KindWorkplace, geo.Offset(cfg.Origin, 30, 2400), true, cfg, r)
+	agent := &mobility.Agent{ID: "u1", Home: home, Work: work, SpeedMPS: 7}
+	it, err := mobility.BuildItinerary(agent, w, simclock.Epoch, 2, mobility.DefaultScheduleConfig(), rand.New(rand.NewSource(82)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSensors(w, it, DefaultConfig(), rand.New(rand.NewSource(83)))
+	live := s.CollectGSM(it.Start, it.End, time.Minute)
+
+	var buf bytes.Buffer
+	if err := WriteBundle(&buf, &Bundle{GSM: live}); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed.GSM) != len(live) {
+		t.Fatal("replay lost observations")
+	}
+	for i := range live {
+		if replayed.GSM[i].Cell != live[i].Cell {
+			t.Fatal("replay changed an observation")
+		}
+	}
+}

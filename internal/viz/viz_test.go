@@ -1,0 +1,118 @@
+package viz
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/world"
+)
+
+func testBounds() geo.Bounds {
+	return geo.Bounds{MinLat: 28.0, MaxLat: 29.0, MinLng: 77.0, MaxLng: 78.0}
+}
+
+func TestNewMapClampsDimensions(t *testing.T) {
+	m := NewMap(testBounds(), 1, 1)
+	out := m.String()
+	if !strings.Contains(out, strings.Repeat("-", 10)) {
+		t.Error("width not clamped to minimum")
+	}
+	if strings.Count(out, "|") < 10 { // 5 rows x 2 borders
+		t.Error("height not clamped to minimum")
+	}
+}
+
+func TestDrawCorners(t *testing.T) {
+	b := testBounds()
+	m := NewMap(b, 20, 10)
+	m.Draw(Marker{Pos: geo.LatLng{Lat: b.MaxLat, Lng: b.MinLng}, Rune: 'N'}) // NW
+	m.Draw(Marker{Pos: geo.LatLng{Lat: b.MinLat, Lng: b.MaxLng}, Rune: 'S'}) // SE
+
+	lines := strings.Split(m.String(), "\n")
+	// lines[0] is the top border; lines[1] is the north row.
+	if !strings.Contains(lines[1], "N") {
+		t.Errorf("north marker not on top row: %q", lines[1])
+	}
+	if !strings.Contains(lines[10], "S") {
+		t.Errorf("south marker not on bottom row: %q", lines[10])
+	}
+	// N is on the west edge (col 1 after border), S on the east edge.
+	// Index by rune: the map fill character is multi-byte.
+	north := []rune(lines[1])
+	south := []rune(lines[10])
+	if north[1] != 'N' {
+		t.Errorf("NW marker not in west column: %q", lines[1])
+	}
+	if south[20] != 'S' {
+		t.Errorf("SE marker not in east column: %q", lines[10])
+	}
+}
+
+func TestDrawOutsideBoundsIgnored(t *testing.T) {
+	m := NewMap(testBounds(), 20, 10)
+	m.Draw(Marker{Pos: geo.LatLng{Lat: 50, Lng: 50}, Rune: 'X', Label: "ghost"})
+	out := m.String()
+	if strings.Contains(out, "X") || strings.Contains(out, "ghost") {
+		t.Error("out-of-bounds marker drawn")
+	}
+}
+
+func TestLegendDeduplicated(t *testing.T) {
+	m := NewMap(testBounds(), 20, 10)
+	for i := 0; i < 5; i++ {
+		m.Draw(Marker{Pos: geo.LatLng{Lat: 28.5, Lng: 77.0 + float64(i)*0.1}, Rune: '*', Label: "place"})
+	}
+	out := m.String()
+	if strings.Count(out, "* place") != 1 {
+		t.Errorf("legend not deduplicated:\n%s", out)
+	}
+	if strings.Count(out, "*") < 5+1 { // 5 markers + 1 legend
+		t.Errorf("markers missing:\n%s", out)
+	}
+}
+
+func TestWorldMap(t *testing.T) {
+	w := world.Generate(world.DefaultConfig(), rand.New(rand.NewSource(1)))
+	m := WorldMap(w, 60, 24)
+	out := m.String()
+	// At least a few venue letters must appear.
+	found := 0
+	for _, r := range []string{"M", "R", "C", "L", "A"} {
+		if strings.Contains(out, r) {
+			found++
+		}
+	}
+	if found < 3 {
+		t.Errorf("world map shows too few venue kinds:\n%s", out)
+	}
+	if !strings.Contains(out, "market") {
+		t.Error("legend missing venue kinds")
+	}
+}
+
+func TestPlacesMap(t *testing.T) {
+	w := world.Generate(world.DefaultConfig(), rand.New(rand.NewSource(2)))
+	centers := []geo.LatLng{
+		w.Venues[0].Center,
+		{}, // not geolocated
+		w.Venues[1].Center,
+	}
+	m, skipped := PlacesMap(w, centers, 60, 24)
+	if skipped != 1 {
+		t.Errorf("skipped = %d, want 1", skipped)
+	}
+	out := m.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "discovered place") {
+		t.Error("discovered places not drawn")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	m := NewMap(testBounds(), 40, 20)
+	s := m.Summary()
+	if !strings.Contains(s, "km") || !strings.Contains(s, "40x20") {
+		t.Errorf("summary = %q", s)
+	}
+}

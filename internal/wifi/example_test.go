@@ -1,0 +1,19 @@
+package wifi_test
+
+import (
+	"fmt"
+
+	"repro/internal/wifi"
+)
+
+func ExampleTanimoto() {
+	cafe := wifi.Signature{"aa:01": 50, "aa:02": 40}
+	sameCafe := wifi.Signature{"aa:01": 48, "aa:02": 42}
+	library := wifi.Signature{"bb:07": 55}
+
+	fmt.Printf("same place: %.2f\n", wifi.Tanimoto(cafe, sameCafe))
+	fmt.Printf("different:  %.2f\n", wifi.Tanimoto(cafe, library))
+	// Output:
+	// same place: 1.00
+	// different:  0.00
+}

@@ -1,0 +1,392 @@
+// Package wifi implements the SensLoc place discovery algorithm (Kim et al.,
+// SenSys 2010) that PMWare uses for WiFi-based place sensing (paper Section
+// 2.2.2): Tanimoto-coefficient similarity between WiFi scans establishes
+// unique place signatures and detects subsequent arrivals and departures.
+package wifi
+
+import (
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Params tunes SensLoc. Zero value is not useful; start from DefaultParams.
+type Params struct {
+	// EnterSim is the pairwise scan similarity above which consecutive scans
+	// indicate the user has settled at a place.
+	EnterSim float64
+	// ExitSim is the similarity to the place signature below which a scan
+	// counts as evidence of departure.
+	ExitSim float64
+	// MatchSim is the signature-to-signature similarity above which a newly
+	// entered place is recognized as an already-known one.
+	MatchSim float64
+	// ConsecutiveScans is the run length required to confirm entrance and
+	// departure.
+	ConsecutiveScans int
+	// MinStay filters out sub-place stops during offline discovery.
+	MinStay time.Duration
+	// SignatureAlpha is the exponential moving-average factor for signature
+	// refresh while dwelling.
+	SignatureAlpha float64
+}
+
+// DefaultParams returns the SensLoc parameters used by the deployment study.
+func DefaultParams() Params {
+	return Params{
+		EnterSim:         0.45,
+		ExitSim:          0.30,
+		MatchSim:         0.40,
+		ConsecutiveScans: 3,
+		MinStay:          10 * time.Minute,
+		SignatureAlpha:   0.1,
+	}
+}
+
+// Signature is a WiFi place fingerprint: BSSID -> mean signal weight. It is
+// the P_i = {w1..w4} form of paper Section 2.1.1.
+type Signature map[string]float64
+
+// weight converts dBm RSSI to a non-negative linear-ish weight so that the
+// Tanimoto coefficient favours strong, consistently heard APs.
+func weight(rssiDBM float64) float64 {
+	w := rssiDBM + 95
+	if w < 0 {
+		return 0
+	}
+	return w
+}
+
+// scanSignature converts a scan into a signature.
+func scanSignature(s trace.WiFiScan) Signature {
+	sig := make(Signature, len(s.APs))
+	for _, ap := range s.APs {
+		sig[ap.BSSID] = weight(ap.RSSIDBM)
+	}
+	return sig
+}
+
+// Tanimoto returns the Tanimoto coefficient between two signatures:
+// A·B / (|A|² + |B|² − A·B), in [0, 1]. Empty signatures yield 0.
+func Tanimoto(a, b Signature) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	var dot, na, nb float64
+	for _, w := range a {
+		na += w * w
+	}
+	for _, w := range b {
+		nb += w * w
+	}
+	for bssid, wa := range a {
+		if wb, ok := b[bssid]; ok {
+			dot += wa * wb
+		}
+	}
+	denom := na + nb - dot
+	if denom <= 0 {
+		return 0
+	}
+	return dot / denom
+}
+
+// merge folds scan sig into the place signature with EMA factor alpha;
+// previously unseen BSSIDs enter at a discounted weight.
+func (s Signature) merge(scan Signature, alpha float64) {
+	for bssid, w := range scan {
+		if old, ok := s[bssid]; ok {
+			s[bssid] = old*(1-alpha) + w*alpha
+		} else {
+			s[bssid] = w * alpha
+		}
+	}
+	for bssid, old := range s {
+		if _, ok := scan[bssid]; !ok {
+			s[bssid] = old * (1 - alpha)
+		}
+	}
+}
+
+// clone returns a deep copy.
+func (s Signature) clone() Signature {
+	out := make(Signature, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Visit is one stay interval at a WiFi place.
+type Visit struct {
+	Arrive time.Time
+	Depart time.Time
+}
+
+// Duration returns the visit length.
+func (v Visit) Duration() time.Duration { return v.Depart.Sub(v.Arrive) }
+
+// Place is a discovered WiFi place.
+type Place struct {
+	ID     int
+	Sig    Signature
+	Visits []Visit
+}
+
+// TotalDwell sums visit durations.
+func (p *Place) TotalDwell() time.Duration {
+	var d time.Duration
+	for _, v := range p.Visits {
+		d += v.Duration()
+	}
+	return d
+}
+
+// EventKind distinguishes detector events.
+type EventKind int
+
+// Detector event kinds.
+const (
+	Arrival EventKind = iota + 1
+	Departure
+)
+
+// Event is an online arrival/departure detection.
+type Event struct {
+	Kind    EventKind
+	PlaceID int
+	At      time.Time
+}
+
+// Detector is the online SensLoc state machine. Feed it scans in time order;
+// it discovers new places, recognizes known ones, and emits arrival and
+// departure events. Not safe for concurrent use.
+type Detector struct {
+	params Params
+	places []*Place
+
+	// pending holds recent not-at-place scans for entrance detection.
+	pending []trace.WiFiScan
+
+	atPlace    *Place
+	arriveAt   time.Time
+	lastGoodAt time.Time
+	missStreak int
+}
+
+// NewDetector returns a detector with no known places.
+func NewDetector(p Params) *Detector {
+	return &Detector{params: p}
+}
+
+// NewDetectorWithPlaces returns a detector seeded with known places (e.g.
+// loaded from the cloud instance).
+func NewDetectorWithPlaces(p Params, places []*Place) *Detector {
+	return &Detector{params: p, places: places}
+}
+
+// Places returns the discovered places so far.
+func (d *Detector) Places() []*Place { return d.places }
+
+// Current returns the place currently occupied, or nil.
+func (d *Detector) Current() *Place { return d.atPlace }
+
+// Observe consumes one scan and returns any events triggered.
+func (d *Detector) Observe(scan trace.WiFiScan) []Event {
+	if d.atPlace != nil {
+		return d.observeDwelling(scan)
+	}
+	return d.observeRoaming(scan)
+}
+
+func (d *Detector) observeDwelling(scan trace.WiFiScan) []Event {
+	sig := scanSignature(scan)
+	sim := Tanimoto(d.atPlace.Sig, sig)
+	if sim >= d.params.ExitSim {
+		d.atPlace.Sig.merge(sig, d.params.SignatureAlpha)
+		d.missStreak = 0
+		d.lastGoodAt = scan.At
+		return nil
+	}
+	d.missStreak++
+	if d.missStreak < d.params.ConsecutiveScans {
+		return nil
+	}
+	// Departure confirmed; departure time is the last scan that still
+	// matched.
+	ev := Event{Kind: Departure, PlaceID: d.atPlace.ID, At: d.lastGoodAt}
+	d.atPlace.Visits = append(d.atPlace.Visits, Visit{Arrive: d.arriveAt, Depart: d.lastGoodAt})
+	d.atPlace = nil
+	d.missStreak = 0
+	d.pending = nil
+	return []Event{ev}
+}
+
+func (d *Detector) observeRoaming(scan trace.WiFiScan) []Event {
+	if len(scan.APs) == 0 {
+		d.pending = nil
+		return nil
+	}
+	d.pending = append(d.pending, scan)
+	if len(d.pending) > d.params.ConsecutiveScans {
+		d.pending = d.pending[1:]
+	}
+	if len(d.pending) < d.params.ConsecutiveScans {
+		return nil
+	}
+	// All consecutive pending pairs must be mutually similar.
+	for i := 1; i < len(d.pending); i++ {
+		if Tanimoto(scanSignature(d.pending[i-1]), scanSignature(d.pending[i])) < d.params.EnterSim {
+			return nil
+		}
+	}
+	// Entrance confirmed: build the signature from the pending run.
+	sig := scanSignature(d.pending[0]).clone()
+	for _, s := range d.pending[1:] {
+		sig.merge(scanSignature(s), 0.5)
+	}
+	arrive := d.pending[0].At
+
+	place := d.matchPlace(sig)
+	if place == nil {
+		place = &Place{ID: len(d.places), Sig: sig}
+		d.places = append(d.places, place)
+	} else {
+		place.Sig.merge(sig, d.params.SignatureAlpha)
+	}
+	d.atPlace = place
+	d.arriveAt = arrive
+	d.lastGoodAt = scan.At
+	d.missStreak = 0
+	d.pending = nil
+	return []Event{{Kind: Arrival, PlaceID: place.ID, At: arrive}}
+}
+
+// matchPlace returns the best known place whose signature similarity meets
+// MatchSim, or nil.
+func (d *Detector) matchPlace(sig Signature) *Place {
+	var best *Place
+	bestSim := d.params.MatchSim
+	for _, p := range d.places {
+		if sim := Tanimoto(p.Sig, sig); sim >= bestSim {
+			best, bestSim = p, sim
+		}
+	}
+	return best
+}
+
+// Flush closes any open visit at the given end time (call at trace end).
+func (d *Detector) Flush(end time.Time) {
+	if d.atPlace != nil {
+		d.atPlace.Visits = append(d.atPlace.Visits, Visit{Arrive: d.arriveAt, Depart: end})
+		d.atPlace = nil
+	}
+}
+
+// Consolidate merges places whose signatures are mutually similar
+// (Tanimoto >= matchSim, transitively). The online detector matches a new
+// entrance against known signatures using a handful of scans, which is
+// noisier than comparing the converged signatures — so one physical venue
+// can accumulate duplicate place records over days. Consolidation is the
+// batch cleanup pass run before fusing WiFi evidence with GSM places.
+// Returned places keep the smallest ID of their group and time-sorted
+// visits; inputs are not mutated.
+func Consolidate(places []*Place, matchSim float64) []*Place {
+	n := len(places)
+	if n <= 1 {
+		out := make([]*Place, n)
+		copy(out, places)
+		return out
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if find(i) == find(j) {
+				continue
+			}
+			if Tanimoto(places[i].Sig, places[j].Sig) >= matchSim {
+				parent[find(i)] = find(j)
+			}
+		}
+	}
+	groups := map[int][]*Place{}
+	for i, p := range places {
+		groups[find(i)] = append(groups[find(i)], p)
+	}
+	var out []*Place
+	for _, members := range groups {
+		merged := &Place{ID: members[0].ID, Sig: members[0].Sig.clone()}
+		for _, m := range members {
+			if m.ID < merged.ID {
+				merged.ID = m.ID
+			}
+			merged.Visits = append(merged.Visits, m.Visits...)
+		}
+		for _, m := range members[1:] {
+			merged.Sig.merge(m.Sig, 0.5)
+		}
+		sortVisits(merged.Visits)
+		out = append(out, merged)
+	}
+	// Deterministic order by ID.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].ID < out[j-1].ID; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func sortVisits(vs []Visit) {
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && vs[j].Arrive.Before(vs[j-1].Arrive); j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+}
+
+// Result is the output of offline discovery.
+type Result struct {
+	Places []*Place
+	Events []Event
+}
+
+// Discover runs the detector over a full scan trace and filters visits below
+// MinStay (places left with no significant visits are dropped).
+func Discover(scans []trace.WiFiScan, p Params) *Result {
+	d := NewDetector(p)
+	var events []Event
+	for _, s := range scans {
+		events = append(events, d.Observe(s)...)
+	}
+	if len(scans) > 0 {
+		d.Flush(scans[len(scans)-1].At)
+	}
+
+	var places []*Place
+	id := 0
+	for _, pl := range d.places {
+		var kept []Visit
+		for _, v := range pl.Visits {
+			if v.Duration() >= p.MinStay {
+				kept = append(kept, v)
+			}
+		}
+		if len(kept) == 0 {
+			continue
+		}
+		places = append(places, &Place{ID: id, Sig: pl.Sig, Visits: kept})
+		id++
+	}
+	return &Result{Places: places, Events: events}
+}

@@ -1,0 +1,367 @@
+package wifi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+	"repro/internal/world"
+)
+
+func scanAt(minute int, readings ...trace.WiFiReading) trace.WiFiScan {
+	return trace.WiFiScan{
+		At:  simclock.Epoch.Add(time.Duration(minute) * time.Minute),
+		APs: readings,
+	}
+}
+
+func rd(bssid string, rssi float64) trace.WiFiReading {
+	return trace.WiFiReading{BSSID: bssid, RSSIDBM: rssi}
+}
+
+func TestTanimotoIdentical(t *testing.T) {
+	s := Signature{"a": 50, "b": 30}
+	if got := Tanimoto(s, s); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self similarity = %v, want 1", got)
+	}
+}
+
+func TestTanimotoDisjoint(t *testing.T) {
+	a := Signature{"a": 50}
+	b := Signature{"b": 50}
+	if got := Tanimoto(a, b); got != 0 {
+		t.Errorf("disjoint similarity = %v, want 0", got)
+	}
+}
+
+func TestTanimotoEmpty(t *testing.T) {
+	if got := Tanimoto(nil, Signature{"a": 1}); got != 0 {
+		t.Errorf("empty similarity = %v", got)
+	}
+	if got := Tanimoto(Signature{}, Signature{}); got != 0 {
+		t.Errorf("both-empty similarity = %v", got)
+	}
+}
+
+func TestTanimotoProperties(t *testing.T) {
+	// Symmetry and [0,1] bounds over random signatures.
+	f := func(w1, w2, w3, w4 uint8) bool {
+		a := Signature{"x": float64(w1%60) + 1, "y": float64(w2 % 60)}
+		b := Signature{"y": float64(w3%60) + 1, "z": float64(w4 % 60)}
+		s1, s2 := Tanimoto(a, b), Tanimoto(b, a)
+		return math.Abs(s1-s2) < 1e-12 && s1 >= 0 && s1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTanimotoPartialOverlap(t *testing.T) {
+	a := Signature{"a": 50, "b": 50}
+	b := Signature{"a": 50, "c": 50}
+	got := Tanimoto(a, b)
+	// dot = 2500, na = nb = 5000 => 2500 / 7500 = 1/3.
+	if math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Errorf("partial overlap = %v, want 1/3", got)
+	}
+}
+
+func TestWeightClamp(t *testing.T) {
+	if weight(-100) != 0 {
+		t.Error("weight below noise floor should clamp to 0")
+	}
+	if weight(-40) != 55 {
+		t.Errorf("weight(-40) = %v, want 55", weight(-40))
+	}
+}
+
+func TestDetectorEntranceAndDeparture(t *testing.T) {
+	d := NewDetector(DefaultParams())
+	var events []Event
+
+	// Three similar scans at a place -> arrival.
+	for i := 0; i < 3; i++ {
+		events = append(events, d.Observe(scanAt(i, rd("ap1", -50), rd("ap2", -60)))...)
+	}
+	if len(events) != 1 || events[0].Kind != Arrival {
+		t.Fatalf("events after settling = %v, want one arrival", events)
+	}
+	if events[0].At != simclock.Epoch {
+		t.Errorf("arrival backdated to %v, want first settled scan", events[0].At)
+	}
+	if d.Current() == nil {
+		t.Fatal("detector not dwelling after arrival")
+	}
+
+	// Keep dwelling.
+	for i := 3; i < 20; i++ {
+		if ev := d.Observe(scanAt(i, rd("ap1", -52), rd("ap2", -58))); len(ev) != 0 {
+			t.Fatalf("unexpected events while dwelling: %v", ev)
+		}
+	}
+
+	// Walk away: dissimilar scans.
+	events = nil
+	for i := 20; i < 25; i++ {
+		events = append(events, d.Observe(scanAt(i, rd("street1", -70)))...)
+	}
+	var dep *Event
+	for i := range events {
+		if events[i].Kind == Departure {
+			dep = &events[i]
+		}
+	}
+	if dep == nil {
+		t.Fatal("no departure after leaving")
+	}
+	// Departure timestamp is the last matching scan (minute 19).
+	if want := simclock.Epoch.Add(19 * time.Minute); !dep.At.Equal(want) {
+		t.Errorf("departure at %v, want %v", dep.At, want)
+	}
+	if got := len(d.Places()[0].Visits); got != 1 {
+		t.Errorf("visits recorded = %d, want 1", got)
+	}
+}
+
+func TestDetectorRecognizesReturn(t *testing.T) {
+	d := NewDetector(DefaultParams())
+	dwell := func(start int, ap1, ap2 float64) {
+		for i := start; i < start+15; i++ {
+			d.Observe(scanAt(i, rd("ap1", ap1), rd("ap2", ap2)))
+		}
+	}
+	dwell(0, -50, -60)
+	// Leave.
+	for i := 15; i < 20; i++ {
+		d.Observe(scanAt(i, rd("street1", -70), rd("street2", -75)))
+	}
+	// Outside coverage entirely.
+	for i := 20; i < 25; i++ {
+		d.Observe(scanAt(i))
+	}
+	// Return with slightly different RSSI.
+	dwell(25, -55, -62)
+	if got := len(d.Places()); got != 2 {
+		// street scans may or may not have formed a transient place; the
+		// home place must be recognized, so at most 2 places exist.
+		if got > 2 {
+			t.Fatalf("places = %d, want <= 2 (return not recognized)", got)
+		}
+	}
+	home := d.Places()[0]
+	d.Flush(simclock.Epoch.Add(40 * time.Minute))
+	if len(home.Visits) != 2 {
+		t.Errorf("home visits = %d, want 2", len(home.Visits))
+	}
+}
+
+func TestDetectorEmptyScansNoPlace(t *testing.T) {
+	d := NewDetector(DefaultParams())
+	for i := 0; i < 30; i++ {
+		if ev := d.Observe(scanAt(i)); len(ev) != 0 {
+			t.Fatal("events from empty scans")
+		}
+	}
+	if len(d.Places()) != 0 {
+		t.Error("places created from empty scans")
+	}
+}
+
+func TestDetectorDistinctPlaces(t *testing.T) {
+	d := NewDetector(DefaultParams())
+	for i := 0; i < 15; i++ {
+		d.Observe(scanAt(i, rd("p1a", -50), rd("p1b", -55)))
+	}
+	for i := 15; i < 18; i++ {
+		d.Observe(scanAt(i)) // gap
+	}
+	for i := 18; i < 35; i++ {
+		d.Observe(scanAt(i, rd("p2a", -45), rd("p2b", -52)))
+	}
+	d.Flush(simclock.Epoch.Add(35 * time.Minute))
+	if got := len(d.Places()); got != 2 {
+		t.Fatalf("places = %d, want 2", got)
+	}
+}
+
+func TestDiscoverFiltersShortStops(t *testing.T) {
+	var scans []trace.WiFiScan
+	// 5-minute stop (below MinStay).
+	for i := 0; i < 5; i++ {
+		scans = append(scans, scanAt(i, rd("stop", -50)))
+	}
+	for i := 5; i < 8; i++ {
+		scans = append(scans, scanAt(i))
+	}
+	// 30-minute dwell.
+	for i := 8; i < 38; i++ {
+		scans = append(scans, scanAt(i, rd("homeap", -48), rd("homeap2", -55)))
+	}
+	res := Discover(scans, DefaultParams())
+	if len(res.Places) != 1 {
+		t.Fatalf("places = %d, want 1 (short stop must be filtered)", len(res.Places))
+	}
+	if _, ok := res.Places[0].Sig["homeap"]; !ok {
+		t.Error("surviving place is not the long dwell")
+	}
+	if res.Places[0].ID != 0 {
+		t.Error("place IDs not renumbered after filtering")
+	}
+}
+
+func TestSignatureMergeConvergence(t *testing.T) {
+	sig := Signature{"a": 50}
+	for i := 0; i < 200; i++ {
+		sig.merge(Signature{"a": 30}, 0.1)
+	}
+	if math.Abs(sig["a"]-30) > 1 {
+		t.Errorf("EMA did not converge: %v", sig["a"])
+	}
+	// Unheard APs decay away.
+	sig = Signature{"gone": 50, "a": 50}
+	for i := 0; i < 200; i++ {
+		sig.merge(Signature{"a": 50}, 0.1)
+	}
+	if sig["gone"] > 1 {
+		t.Errorf("stale AP did not decay: %v", sig["gone"])
+	}
+}
+
+func TestDiscoverOnSimulatedDays(t *testing.T) {
+	cfg := world.DefaultConfig()
+	cfg.WiFiVenueFraction = 1.0 // everything has WiFi for this test
+	r := rand.New(rand.NewSource(41))
+	w := world.Generate(cfg, r)
+	home := w.AddVenue("home", "Home", world.KindHome, geo.Offset(cfg.Origin, 210, 2300), true, cfg, r)
+	work := w.AddVenue("work", "Office", world.KindWorkplace, geo.Offset(cfg.Origin, 30, 2400), true, cfg, r)
+	a := &mobility.Agent{ID: "u1", Home: home, Work: work, SpeedMPS: 7}
+	for _, v := range w.Venues {
+		if v.Kind != world.KindHome && v.Kind != world.KindWorkplace {
+			a.Haunts = append(a.Haunts, v)
+		}
+	}
+	it, err := mobility.BuildItinerary(a, w, simclock.Epoch, 3, mobility.DefaultScheduleConfig(), rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := trace.NewSensors(w, it, trace.DefaultConfig(), rand.New(rand.NewSource(43)))
+	scans := s.CollectWiFi(it.Start, it.End, time.Minute)
+	res := Discover(scans, DefaultParams())
+
+	if len(res.Places) < 2 {
+		t.Fatalf("discovered %d WiFi places over 3 days, want >= 2 (home+work)", len(res.Places))
+	}
+	// The top place by dwell should be home (nights dominate).
+	var top *Place
+	for _, p := range res.Places {
+		if top == nil || p.TotalDwell() > top.TotalDwell() {
+			top = p
+		}
+	}
+	homeAP := false
+	for b := range top.Sig {
+		if ap := w.APByBSSID(b); ap != nil && ap.VenueID == "home" && top.Sig[b] > 5 {
+			homeAP = true
+		}
+	}
+	if !homeAP {
+		t.Error("top place signature does not feature home APs")
+	}
+}
+
+func TestVisitDuration(t *testing.T) {
+	v := Visit{Arrive: simclock.Epoch, Depart: simclock.Epoch.Add(45 * time.Minute)}
+	if v.Duration() != 45*time.Minute {
+		t.Errorf("duration = %v", v.Duration())
+	}
+}
+
+func TestDetectorWithSeededPlaces(t *testing.T) {
+	seed := &Place{ID: 7, Sig: Signature{"ap1": 45, "ap2": 35}}
+	d := NewDetectorWithPlaces(DefaultParams(), []*Place{seed})
+	var events []Event
+	for i := 0; i < 5; i++ {
+		events = append(events, d.Observe(scanAt(i, rd("ap1", -50), rd("ap2", -60)))...)
+	}
+	if len(events) != 1 || events[0].PlaceID != 7 {
+		t.Fatalf("seeded place not recognized: %v", events)
+	}
+}
+
+func TestConsolidateMergesDuplicates(t *testing.T) {
+	// Two records of the same venue (similar signatures) plus one distinct.
+	a := &Place{ID: 0, Sig: Signature{"x": 50, "y": 40}, Visits: []Visit{
+		{Arrive: simclock.Epoch, Depart: simclock.Epoch.Add(30 * time.Minute)},
+	}}
+	b := &Place{ID: 1, Sig: Signature{"x": 48, "y": 42}, Visits: []Visit{
+		{Arrive: simclock.Epoch.Add(2 * time.Hour), Depart: simclock.Epoch.Add(3 * time.Hour)},
+	}}
+	c := &Place{ID: 2, Sig: Signature{"z": 55}, Visits: []Visit{
+		{Arrive: simclock.Epoch.Add(5 * time.Hour), Depart: simclock.Epoch.Add(6 * time.Hour)},
+	}}
+	out := Consolidate([]*Place{a, b, c}, 0.40)
+	if len(out) != 2 {
+		t.Fatalf("consolidated = %d, want 2", len(out))
+	}
+	// The merged place keeps the smallest ID and both visits, time-sorted.
+	var merged *Place
+	for _, p := range out {
+		if p.ID == 0 {
+			merged = p
+		}
+	}
+	if merged == nil {
+		t.Fatal("merged place lost ID 0")
+	}
+	if len(merged.Visits) != 2 {
+		t.Fatalf("merged visits = %d", len(merged.Visits))
+	}
+	if merged.Visits[1].Arrive.Before(merged.Visits[0].Arrive) {
+		t.Error("visits unsorted")
+	}
+	// Inputs not mutated.
+	if len(a.Visits) != 1 || len(b.Visits) != 1 {
+		t.Error("Consolidate mutated inputs")
+	}
+}
+
+func TestConsolidateTransitive(t *testing.T) {
+	// a~b and b~c but a!~c: all three must still unify (transitively).
+	a := &Place{ID: 0, Sig: Signature{"p": 50, "q": 10}}
+	b := &Place{ID: 1, Sig: Signature{"p": 45, "q": 30, "r": 30}}
+	c := &Place{ID: 2, Sig: Signature{"q": 35, "r": 45}}
+	out := Consolidate([]*Place{a, b, c}, 0.45)
+	if len(out) != 1 {
+		sims := []float64{Tanimoto(a.Sig, b.Sig), Tanimoto(b.Sig, c.Sig), Tanimoto(a.Sig, c.Sig)}
+		t.Fatalf("consolidated = %d, want 1 (sims %v)", len(out), sims)
+	}
+}
+
+func TestConsolidateDistinctKeptApart(t *testing.T) {
+	a := &Place{ID: 0, Sig: Signature{"x": 50}}
+	b := &Place{ID: 1, Sig: Signature{"y": 50}}
+	out := Consolidate([]*Place{a, b}, 0.40)
+	if len(out) != 2 {
+		t.Fatalf("distinct places merged: %d", len(out))
+	}
+	if out[0].ID != 0 || out[1].ID != 1 {
+		t.Error("output not ordered by ID")
+	}
+}
+
+func TestConsolidateDegenerate(t *testing.T) {
+	if out := Consolidate(nil, 0.4); len(out) != 0 {
+		t.Error("nil input")
+	}
+	one := []*Place{{ID: 5, Sig: Signature{"x": 1}}}
+	out := Consolidate(one, 0.4)
+	if len(out) != 1 || out[0].ID != 5 {
+		t.Error("single input mangled")
+	}
+}

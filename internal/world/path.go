@@ -1,0 +1,122 @@
+package world
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"sync"
+
+	"repro/internal/geo"
+)
+
+// Path returns the street path an agent follows from a to b. The path is
+// deterministic in the endpoints: the same trip taken on different days
+// follows the same streets, which is what makes route discovery and route
+// similarity meaningful (Section 2.1.2 treats routes between place pairs as
+// recurring objects).
+//
+// The street model is Manhattan-style: travel east-west first, then
+// north-south, with per-pair jitter via intermediate waypoints, resampled to
+// ~25 m vertex spacing.
+func (w *World) Path(a, b geo.LatLng) geo.Polyline {
+	if w.paths == nil {
+		w.paths = newPathCache()
+	}
+	return w.paths.get(a, b)
+}
+
+type pathKey struct{ a, b geo.LatLng }
+
+type pathCache struct {
+	mu sync.Mutex
+	m  map[pathKey]geo.Polyline
+}
+
+func newPathCache() *pathCache {
+	return &pathCache{m: make(map[pathKey]geo.Polyline)}
+}
+
+func (pc *pathCache) get(a, b geo.LatLng) geo.Polyline {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+
+	if pl, ok := pc.m[pathKey{a, b}]; ok {
+		return pl
+	}
+	// Reverse trips follow the same streets backwards.
+	if pl, ok := pc.m[pathKey{b, a}]; ok {
+		rev := make(geo.Polyline, len(pl))
+		for i, p := range pl {
+			rev[len(pl)-1-i] = p
+		}
+		pc.m[pathKey{a, b}] = rev
+		return rev
+	}
+	pl := buildPath(a, b)
+	pc.m[pathKey{a, b}] = pl
+	return pl
+}
+
+// buildPath constructs the deterministic Manhattan path with jitter derived
+// from a hash of the endpoints.
+func buildPath(a, b geo.LatLng) geo.Polyline {
+	r := rand.New(rand.NewSource(pairSeed(a, b)))
+
+	// Corner point: east-west leg then north-south leg (or the reverse,
+	// chosen by the pair hash, so different pairs use different street
+	// patterns).
+	var corner geo.LatLng
+	if r.Intn(2) == 0 {
+		corner = geo.LatLng{Lat: a.Lat, Lng: b.Lng}
+	} else {
+		corner = geo.LatLng{Lat: b.Lat, Lng: a.Lng}
+	}
+
+	raw := geo.Polyline{a}
+	for _, leg := range [][2]geo.LatLng{{a, corner}, {corner, b}} {
+		legLen := geo.Distance(leg[0], leg[1])
+		if legLen < 1 {
+			continue
+		}
+		// Jittered waypoints every ~300 m simulate streets not being
+		// perfectly straight.
+		steps := int(legLen / 300)
+		for s := 1; s <= steps; s++ {
+			p := geo.Interpolate(leg[0], leg[1], float64(s)/float64(steps+1))
+			p = geo.Offset(p, r.Float64()*360, r.Float64()*30)
+			raw = append(raw, p)
+		}
+		raw = append(raw, leg[1])
+	}
+	return raw.Resample(25)
+}
+
+func pairSeed(a, b geo.LatLng) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(f float64) {
+		v := int64(f * 1e6)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		_, _ = h.Write(buf[:])
+	}
+	put(a.Lat)
+	put(a.Lng)
+	put(b.Lat)
+	put(b.Lng)
+	// Symmetric seed so A->B and B->A share street geometry even on a cold
+	// cache: combine a second hash with endpoints swapped.
+	h2 := fnv.New64a()
+	put2 := func(f float64) {
+		v := int64(f * 1e6)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		_, _ = h2.Write(buf[:])
+	}
+	put2(b.Lat)
+	put2(b.Lng)
+	put2(a.Lat)
+	put2(a.Lng)
+	return int64(h.Sum64() ^ h2.Sum64())
+}
