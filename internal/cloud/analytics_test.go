@@ -1,6 +1,7 @@
 package cloud
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -254,7 +255,7 @@ func TestDwellStatsViaHTTP(t *testing.T) {
 	if stats.Visits != 2 {
 		t.Errorf("mall stays = %d", stats.Visits)
 	}
-	if err := c.authedCall("GET", PathStatsDwell, nil, nil, nil); err == nil {
+	if err := c.authedCall(context.Background(), "GET", PathStatsDwell, nil, nil, nil, true); err == nil {
 		t.Error("missing place parameter accepted")
 	}
 }

@@ -1,0 +1,175 @@
+package cloud
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/faultnet"
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+	"repro/internal/world"
+)
+
+// chaosRun is one full PMS↔PCI pipeline execution.
+type chaosRun struct {
+	store *Store
+	svc   *core.Service
+	fault *faultnet.Transport // nil for the fault-free control run
+}
+
+// chaosFaultConfig injects ~30% faults: connection drops, 5xx bursts, and
+// truncated responses, all from a fixed seed so the run is reproducible.
+func chaosFaultConfig() faultnet.Config {
+	return faultnet.Config{
+		Seed:            99,
+		ConnErrorRate:   0.15,
+		ServerErrorRate: 0.10,
+		BurstLen:        2,
+		TruncateRate:    0.08,
+	}
+}
+
+// runChaosPipeline drives the full stack — simulated world -> sensors -> PMS
+// -> HTTP -> cloud instance — for 4 simulated days, then one more day of
+// "recovered" connectivity (faults disabled). Both the faulty and the
+// control run use identical seeds, so any divergence in the cloud's final
+// state is attributable to the transport alone.
+func runChaosPipeline(t *testing.T, faulty bool) *chaosRun {
+	t.Helper()
+	cfg := world.DefaultConfig()
+	r := rand.New(rand.NewSource(301))
+	w := world.Generate(cfg, r)
+	home := w.AddVenue("home", "Home", world.KindHome, geo.Offset(cfg.Origin, 210, 2300), true, cfg, r)
+	work := w.AddVenue("work", "Office", world.KindWorkplace, geo.Offset(cfg.Origin, 30, 2400), true, cfg, r)
+	agent := &mobility.Agent{ID: "u1", Home: home, Work: work, SpeedMPS: 7}
+	for _, v := range w.Venues {
+		if v.Kind != world.KindHome && v.Kind != world.KindWorkplace {
+			agent.Haunts = append(agent.Haunts, v)
+		}
+	}
+	it, err := mobility.BuildItinerary(agent, w, simclock.Epoch, 5, mobility.DefaultScheduleConfig(), rand.New(rand.NewSource(302)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clock := simclock.New()
+	store := NewStore(clock.Now)
+	server := NewServer(store, WithCellDatabase(NewCellDatabase(w, 150)))
+	ts := httptest.NewServer(server.Handler())
+	t.Cleanup(ts.Close)
+
+	httpClient := ts.Client()
+	var fault *faultnet.Transport
+	if faulty {
+		fault = faultnet.Wrap(httpClient.Transport, chaosFaultConfig())
+		httpClient = &http.Client{Transport: fault}
+	}
+	client := NewClient(ts.URL, "imei-chaos", "chaos@example.com", httpClient,
+		WithRetryPolicy(fastRetry().WithRand(rand.New(rand.NewSource(7)))))
+	if err := client.Register(); err != nil {
+		t.Fatalf("register (faulty=%v): %v", faulty, err)
+	}
+
+	sensors := trace.NewSensors(w, it, trace.DefaultConfig(), rand.New(rand.NewSource(303)))
+	svc := core.NewService(core.DefaultConfig("u1"), clock, sensors, energy.NewMeter(energy.DefaultModel()), client)
+
+	// 4 days under fire, then connectivity "recovers" for the final day
+	// (the control run executes the identical two-phase schedule).
+	svc.Run(96 * time.Hour)
+	if fault != nil {
+		fault.SetEnabled(false)
+	}
+	svc.Run(24 * time.Hour)
+	return &chaosRun{store: store, svc: svc, fault: fault}
+}
+
+// profilesJSON renders a store's full profile set for byte-level comparison.
+func profilesJSON(t *testing.T, s *Store, uid string) string {
+	t.Helper()
+	data, err := json.MarshalIndent(s.ProfileRange(uid, "", ""), "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestChaosSoakNoProfileLoss is the chaos suite's core guarantee: with a
+// ~30% fault rate on the PMS↔PCI link, once connectivity recovers the cloud
+// holds exactly the same day profiles as a fault-free run — the retry layer
+// plus outbox lose nothing.
+func TestChaosSoakNoProfileLoss(t *testing.T) {
+	clean := runChaosPipeline(t, false)
+	dirty := runChaosPipeline(t, true)
+
+	st := dirty.fault.Stats()
+	if st.Faults() < 10 {
+		t.Fatalf("chaos run saw only %d faults (%+v) — not a meaningful soak", st.Faults(), st)
+	}
+	t.Logf("fault stats: %+v", st)
+
+	uid := func(run *chaosRun) string {
+		users := run.store.UserCount()
+		if users != 1 {
+			t.Fatalf("store has %d users, want 1", users)
+		}
+		return "user-0001"
+	}
+
+	cleanProfiles := clean.store.ProfileRange(uid(clean), "", "")
+	dirtyProfiles := dirty.store.ProfileRange(uid(dirty), "", "")
+	if len(cleanProfiles) < 3 {
+		t.Fatalf("control run synced only %d profiles — fixture too small", len(cleanProfiles))
+	}
+
+	cleanDates := map[string]bool{}
+	for _, p := range cleanProfiles {
+		cleanDates[p.Date] = true
+	}
+	dirtyDates := map[string]bool{}
+	for _, p := range dirtyProfiles {
+		dirtyDates[p.Date] = true
+	}
+	for d := range cleanDates {
+		if !dirtyDates[d] {
+			t.Errorf("day %s lost under faults", d)
+		}
+	}
+	for d := range dirtyDates {
+		if !cleanDates[d] {
+			t.Errorf("day %s present only under faults", d)
+		}
+	}
+
+	// Content, not just presence: the synced profiles must be identical.
+	if a, b := profilesJSON(t, clean.store, uid(clean)), profilesJSON(t, dirty.store, uid(dirty)); a != b {
+		t.Error("synced profile contents diverged between the fault-free and chaos runs")
+	}
+
+	// The outbox must have fully drained after recovery.
+	if pending := dirty.svc.Outbox().Pending(); pending != 0 {
+		t.Errorf("outbox still holds %d profiles after connectivity recovered", pending)
+	}
+}
+
+// TestChaosSoakDeterministic: the chaos run itself is reproducible — two
+// executions with identical seeds inject identical fault schedules and end
+// in identical cloud states.
+func TestChaosSoakDeterministic(t *testing.T) {
+	a := runChaosPipeline(t, true)
+	b := runChaosPipeline(t, true)
+	sa, sb := a.fault.Stats(), b.fault.Stats()
+	if sa != sb {
+		t.Errorf("fault schedules diverged: %+v vs %+v", sa, sb)
+	}
+	if pa, pb := profilesJSON(t, a.store, "user-0001"), profilesJSON(t, b.store, "user-0001"); pa != pb {
+		t.Error("cloud state diverged across identical chaos runs")
+	}
+}

@@ -2,7 +2,9 @@ package cloud
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -22,30 +24,64 @@ import (
 // Client implements the cloud surface the mobile service consumes.
 var _ core.CloudAPI = (*Client)(nil)
 
+// errorBodyLimit caps how much of a non-2xx response body the client will
+// read while extracting the error message.
+const errorBodyLimit = 8 << 10
+
+// drainLimit caps how much of a leftover body is drained before close so the
+// underlying connection can be reused by the retry loop.
+const drainLimit = 256 << 10
+
 // Client is the mobile service's connection to the cloud instance: the
 // communication-management module of Section 2.2.5 ("REST API based
 // communication with the cloud instance"). It handles registration, token
-// refresh on expiry, and typed access to every endpoint. Safe for concurrent
-// use.
+// refresh on expiry, typed access to every endpoint, and transparent
+// retry-with-backoff of idempotent calls on transient failures (the phone is
+// assumed to live on an intermittent cellular link). Safe for concurrent use.
 type Client struct {
 	baseURL string
 	http    *http.Client
+	retry   RetryPolicy
 
 	imei  string
 	email string
 
-	mu     sync.Mutex
-	token  string
-	userID string
+	mu       sync.Mutex
+	token    string
+	userID   string
+	tokenGen uint64 // bumped whenever a new token is installed
+
+	// refreshMu single-flights token recovery: when N concurrent calls hit
+	// an expired token, exactly one performs the refresh round-trip and the
+	// rest reuse the new token.
+	refreshMu sync.Mutex
+}
+
+// ClientOption customizes a Client.
+type ClientOption func(*Client)
+
+// WithRetryPolicy overrides the client's retry/backoff policy.
+func WithRetryPolicy(p RetryPolicy) ClientOption {
+	return func(c *Client) { c.retry = p }
 }
 
 // NewClient builds a client for the given base URL (no trailing slash) and
 // device identity. httpClient may be nil for http.DefaultClient.
-func NewClient(baseURL, imei, email string, httpClient *http.Client) *Client {
+func NewClient(baseURL, imei, email string, httpClient *http.Client, opts ...ClientOption) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{baseURL: baseURL, http: httpClient, imei: imei, email: email}
+	c := &Client{
+		baseURL: baseURL,
+		http:    httpClient,
+		retry:   DefaultRetryPolicy(),
+		imei:    imei,
+		email:   email,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
 // UserID returns the registered user id (empty before first registration).
@@ -55,29 +91,53 @@ func (c *Client) UserID() string {
 	return c.userID
 }
 
+// setToken installs a new token, bumping the generation counter that the
+// single-flight recovery path uses to detect "someone already refreshed".
+func (c *Client) setToken(token, userID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.token = token
+	if userID != "" {
+		c.userID = userID
+	}
+	c.tokenGen++
+}
+
+// snapshotToken returns the current token and its generation.
+func (c *Client) snapshotToken() (string, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.token, c.tokenGen
+}
+
 // Register performs the one-time registration handshake, storing the token
 // for subsequent calls.
-func (c *Client) Register() error {
+func (c *Client) Register() error { return c.RegisterContext(context.Background()) }
+
+// RegisterContext is Register with caller-controlled cancellation.
+// Registration is idempotent on the server (same device key maps to the same
+// user), so it is retried on transient failures.
+func (c *Client) RegisterContext(ctx context.Context) error {
 	var resp RegisterResponse
-	if err := c.call(http.MethodPost, PathRegister, nil, RegisterRequest{IMEI: c.imei, Email: c.email}, &resp, false); err != nil {
+	if err := c.call(ctx, http.MethodPost, PathRegister, nil, RegisterRequest{IMEI: c.imei, Email: c.email}, &resp, false, true); err != nil {
 		return fmt.Errorf("cloud: register: %w", err)
 	}
-	c.mu.Lock()
-	c.token = resp.Token
-	c.userID = resp.UserID
-	c.mu.Unlock()
+	c.setToken(resp.Token, resp.UserID)
 	return nil
 }
 
-// Refresh exchanges the current token for a fresh one.
-func (c *Client) Refresh() error {
+// Refresh exchanges the current token for a fresh one. The exchange revokes
+// the old token server-side, so it is deliberately not retried: a lost
+// response is recovered by the 401 path falling back to Register.
+func (c *Client) Refresh() error { return c.RefreshContext(context.Background()) }
+
+// RefreshContext is Refresh with caller-controlled cancellation.
+func (c *Client) RefreshContext(ctx context.Context) error {
 	var resp RefreshResponse
-	if err := c.call(http.MethodPost, PathRefresh, nil, nil, &resp, true); err != nil {
+	if err := c.call(ctx, http.MethodPost, PathRefresh, nil, nil, &resp, true, false); err != nil {
 		return fmt.Errorf("cloud: refresh: %w", err)
 	}
-	c.mu.Lock()
-	c.token = resp.Token
-	c.mu.Unlock()
+	c.setToken(resp.Token, "")
 	return nil
 }
 
@@ -91,31 +151,42 @@ func (e *statusError) Error() string {
 	return fmt.Sprintf("cloud: http %d: %s", e.Status, e.Msg)
 }
 
-// call performs one JSON request. withAuth attaches the bearer token.
-func (c *Client) call(method, path string, query url.Values, body, into any, withAuth bool) error {
+// call performs one JSON request under the retry policy. withAuth attaches
+// the bearer token; idempotent enables automatic retry on transient errors.
+// The request body is marshalled once and replayed per attempt.
+func (c *Client) call(ctx context.Context, method, path string, query url.Values, body, into any, withAuth, idempotent bool) error {
 	u := c.baseURL + path
 	if len(query) > 0 {
 		u += "?" + query.Encode()
 	}
-	var rd io.Reader
+	var payload []byte
 	if body != nil {
 		data, err := json.Marshal(body)
 		if err != nil {
 			return fmt.Errorf("marshal request: %w", err)
 		}
-		rd = bytes.NewReader(data)
+		payload = data
 	}
-	req, err := http.NewRequest(method, u, rd)
+	return c.retry.run(ctx, idempotent, func(ctx context.Context) error {
+		return c.doOnce(ctx, method, u, payload, into, withAuth)
+	})
+}
+
+// doOnce performs a single HTTP attempt.
+func (c *Client) doOnce(ctx context.Context, method, u string, payload []byte, into any, withAuth bool) error {
+	var rd io.Reader
+	if payload != nil {
+		rd = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, rd)
 	if err != nil {
 		return err
 	}
-	if body != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	if withAuth {
-		c.mu.Lock()
-		tok := c.token
-		c.mu.Unlock()
+		tok, _ := c.snapshotToken()
 		if tok == "" {
 			return &statusError{Status: http.StatusUnauthorized, Msg: "no token (register first)"}
 		}
@@ -125,41 +196,82 @@ func (c *Client) call(method, path string, query url.Values, body, into any, wit
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
+	defer func() {
+		// Drain any leftover body (bounded) before close so the keep-alive
+		// connection is reusable by the next attempt.
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, drainLimit))
+		resp.Body.Close()
+	}()
 	if resp.StatusCode/100 != 2 {
 		var e ErrorResponse
-		_ = json.NewDecoder(resp.Body).Decode(&e)
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, errorBodyLimit))
+		if jerr := json.Unmarshal(data, &e); jerr != nil || e.Error == "" {
+			e.Error = strconv.Quote(truncateForError(data))
+		}
 		return &statusError{Status: resp.StatusCode, Msg: e.Error}
 	}
 	if into == nil {
 		return nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
-		return fmt.Errorf("decode response: %w", err)
+		// A garbled or truncated 2xx body is a link failure, not a protocol
+		// rejection: mark it transient so idempotent calls retry.
+		return &transientError{err: fmt.Errorf("decode response: %w", err)}
 	}
 	return nil
 }
 
-// authedCall wraps call with one automatic recovery from an expired token:
-// refresh (or re-register when refresh is also rejected) and retry once.
-func (c *Client) authedCall(method, path string, query url.Values, body, into any) error {
-	err := c.call(method, path, query, body, into, true)
-	se, ok := err.(*statusError)
-	if !ok || se.Status != http.StatusUnauthorized {
-		return err
+// truncateForError trims raw non-JSON error bodies to a loggable size.
+func truncateForError(data []byte) string {
+	const max = 200
+	if len(data) > max {
+		return string(data[:max]) + "..."
 	}
-	if rerr := c.Refresh(); rerr != nil {
-		if rerr := c.Register(); rerr != nil {
-			return err
-		}
-	}
-	return c.call(method, path, query, body, into, true)
+	return string(data)
 }
 
-// DiscoverPlaces offloads GCA to the cloud (core.CloudAPI).
+// authedCall wraps call with one automatic recovery from an expired token:
+// refresh (or re-register when refresh is also rejected) and retry once.
+// Recovery is single-flighted across goroutines.
+func (c *Client) authedCall(ctx context.Context, method, path string, query url.Values, body, into any, idempotent bool) error {
+	_, gen := c.snapshotToken()
+	err := c.call(ctx, method, path, query, body, into, true, idempotent)
+	var se *statusError
+	if !errors.As(err, &se) || se.Status != http.StatusUnauthorized {
+		return err
+	}
+	if rerr := c.recoverToken(ctx, gen); rerr != nil {
+		return err
+	}
+	return c.call(ctx, method, path, query, body, into, true, idempotent)
+}
+
+// recoverToken obtains a fresh token after a 401. gen is the token
+// generation the failed call was issued under: if another goroutine already
+// installed a newer token, recovery is skipped and the caller just retries.
+func (c *Client) recoverToken(ctx context.Context, gen uint64) error {
+	c.refreshMu.Lock()
+	defer c.refreshMu.Unlock()
+	if _, cur := c.snapshotToken(); cur != gen {
+		return nil // someone else recovered while we waited
+	}
+	if err := c.RefreshContext(ctx); err == nil {
+		return nil
+	}
+	return c.RegisterContext(ctx)
+}
+
+// DiscoverPlaces offloads GCA to the cloud (core.CloudAPI). The server
+// replaces the user's whole place set, so the call is retry-safe.
 func (c *Client) DiscoverPlaces(obs []trace.GSMObservation) ([]*gsm.Place, error) {
+	return c.DiscoverPlacesContext(context.Background(), obs)
+}
+
+// DiscoverPlacesContext is DiscoverPlaces with caller-controlled
+// cancellation.
+func (c *Client) DiscoverPlacesContext(ctx context.Context, obs []trace.GSMObservation) ([]*gsm.Place, error) {
 	var resp DiscoverPlacesResponse
-	if err := c.authedCall(http.MethodPost, PathPlacesDiscover, nil, DiscoverPlacesRequest{Observations: obs}, &resp); err != nil {
+	if err := c.authedCall(ctx, http.MethodPost, PathPlacesDiscover, nil, DiscoverPlacesRequest{Observations: obs}, &resp, true); err != nil {
 		return nil, err
 	}
 	places := make([]*gsm.Place, 0, len(resp.Places))
@@ -169,9 +281,15 @@ func (c *Client) DiscoverPlaces(obs []trace.GSMObservation) ([]*gsm.Place, error
 	return places, nil
 }
 
-// SyncProfile uploads a day profile (core.CloudAPI).
+// SyncProfile uploads a day profile (core.CloudAPI). PUT is an upsert keyed
+// by date, hence idempotent and retried.
 func (c *Client) SyncProfile(p *profile.DayProfile) error {
-	return c.authedCall(http.MethodPut, PathProfiles+"/"+p.Date, nil, p, nil)
+	return c.SyncProfileContext(context.Background(), p)
+}
+
+// SyncProfileContext is SyncProfile with caller-controlled cancellation.
+func (c *Client) SyncProfileContext(ctx context.Context, p *profile.DayProfile) error {
+	return c.authedCall(ctx, http.MethodPut, PathProfiles+"/"+p.Date, nil, p, nil, true)
 }
 
 // GeolocateCell resolves a Cell-ID via the cloud geo service
@@ -183,7 +301,7 @@ func (c *Client) GeolocateCell(id world.CellID) (geo.LatLng, float64, error) {
 	q.Set("lac", strconv.Itoa(id.LAC))
 	q.Set("cid", strconv.Itoa(id.CID))
 	var resp GeoCellResponse
-	if err := c.authedCall(http.MethodGet, PathGeoCell, q, nil, &resp); err != nil {
+	if err := c.authedCall(context.Background(), http.MethodGet, PathGeoCell, q, nil, &resp, true); err != nil {
 		return geo.LatLng{}, 0, err
 	}
 	return geo.LatLng{Lat: resp.Lat, Lng: resp.Lng}, resp.AccuracyMeters, nil
@@ -192,21 +310,22 @@ func (c *Client) GeolocateCell(id world.CellID) (geo.LatLng, float64, error) {
 // Places fetches the user's stored places.
 func (c *Client) Places() ([]PlaceWire, error) {
 	var resp DiscoverPlacesResponse
-	if err := c.authedCall(http.MethodGet, PathPlaces, nil, nil, &resp); err != nil {
+	if err := c.authedCall(context.Background(), http.MethodGet, PathPlaces, nil, nil, &resp, true); err != nil {
 		return nil, err
 	}
 	return resp.Places, nil
 }
 
-// LabelPlace tags a stored place.
+// LabelPlace tags a stored place (setting a label twice is a no-op, so the
+// call is retried).
 func (c *Client) LabelPlace(placeID int, label string) error {
-	return c.authedCall(http.MethodPost, PathPlacesLabel, nil, LabelRequest{PlaceID: placeID, Label: label}, nil)
+	return c.authedCall(context.Background(), http.MethodPost, PathPlacesLabel, nil, LabelRequest{PlaceID: placeID, Label: label}, nil, true)
 }
 
-// DiscoverRoutes offloads route extraction.
+// DiscoverRoutes offloads route extraction (whole-set replacement, retried).
 func (c *Client) DiscoverRoutes(obs []trace.GSMObservation, visits []VisitWire) ([]RouteWire, error) {
 	var resp DiscoverRoutesResponse
-	if err := c.authedCall(http.MethodPost, PathRoutesDiscover, nil, DiscoverRoutesRequest{Observations: obs, Visits: visits}, &resp); err != nil {
+	if err := c.authedCall(context.Background(), http.MethodPost, PathRoutesDiscover, nil, DiscoverRoutesRequest{Observations: obs, Visits: visits}, &resp, true); err != nil {
 		return nil, err
 	}
 	return resp.Routes, nil
@@ -219,16 +338,17 @@ func (c *Client) Routes(minFrequency int) ([]RouteWire, error) {
 		q.Set("min_frequency", strconv.Itoa(minFrequency))
 	}
 	var resp DiscoverRoutesResponse
-	if err := c.authedCall(http.MethodGet, PathRoutes, q, nil, &resp); err != nil {
+	if err := c.authedCall(context.Background(), http.MethodGet, PathRoutes, q, nil, &resp, true); err != nil {
 		return nil, err
 	}
 	return resp.Routes, nil
 }
 
-// RouteSimilarity compares two cell sequences on the cloud.
+// RouteSimilarity compares two cell sequences on the cloud (pure
+// computation, retried).
 func (c *Client) RouteSimilarity(a, b []world.CellID) (float64, error) {
 	var resp RouteSimilarityResponse
-	if err := c.authedCall(http.MethodPost, PathRouteSimilarity, nil, RouteSimilarityRequest{A: a, B: b}, &resp); err != nil {
+	if err := c.authedCall(context.Background(), http.MethodPost, PathRouteSimilarity, nil, RouteSimilarityRequest{A: a, B: b}, &resp, true); err != nil {
 		return 0, err
 	}
 	return resp.Similarity, nil
@@ -237,7 +357,7 @@ func (c *Client) RouteSimilarity(a, b []world.CellID) (float64, error) {
 // Profile fetches one day profile.
 func (c *Client) Profile(date string) (*profile.DayProfile, error) {
 	var p profile.DayProfile
-	if err := c.authedCall(http.MethodGet, PathProfiles+"/"+date, nil, nil, &p); err != nil {
+	if err := c.authedCall(context.Background(), http.MethodGet, PathProfiles+"/"+date, nil, nil, &p, true); err != nil {
 		return nil, err
 	}
 	return &p, nil
@@ -254,15 +374,17 @@ func (c *Client) ProfileRange(from, to string) ([]*profile.DayProfile, error) {
 		q.Set("to", to)
 	}
 	var ps []*profile.DayProfile
-	if err := c.authedCall(http.MethodGet, PathProfiles, q, nil, &ps); err != nil {
+	if err := c.authedCall(context.Background(), http.MethodGet, PathProfiles, q, nil, &ps, true); err != nil {
 		return nil, err
 	}
 	return ps, nil
 }
 
-// UploadContacts appends encounters to the user's contact log.
+// UploadContacts appends encounters to the user's contact log. Appending is
+// not idempotent, so the call is never retried automatically — callers own
+// redelivery (the service's outbox).
 func (c *Client) UploadContacts(encs []profile.Encounter) error {
-	return c.authedCall(http.MethodPost, PathContacts, nil, ContactsRequest{Encounters: encs}, nil)
+	return c.authedCall(context.Background(), http.MethodPost, PathContacts, nil, ContactsRequest{Encounters: encs}, nil, false)
 }
 
 // Contacts fetches encounters, optionally filtered by place.
@@ -272,7 +394,7 @@ func (c *Client) Contacts(placeID string) ([]profile.Encounter, error) {
 		q.Set("place", placeID)
 	}
 	var resp ContactsResponse
-	if err := c.authedCall(http.MethodGet, PathContacts, q, nil, &resp); err != nil {
+	if err := c.authedCall(context.Background(), http.MethodGet, PathContacts, q, nil, &resp, true); err != nil {
 		return nil, err
 	}
 	return resp.Encounters, nil
@@ -288,7 +410,7 @@ func (c *Client) PopularPlaces(k int, radiusM float64) (PopularPlacesResponse, e
 		q.Set("radius", strconv.FormatFloat(radiusM, 'f', -1, 64))
 	}
 	var resp PopularPlacesResponse
-	err := c.authedCall(http.MethodGet, PathPlacesPopular, q, nil, &resp)
+	err := c.authedCall(context.Background(), http.MethodGet, PathPlacesPopular, q, nil, &resp, true)
 	return resp, err
 }
 
@@ -297,7 +419,7 @@ func (c *Client) PredictArrival(placeID string) (PredictArrivalResponse, error) 
 	q := url.Values{}
 	q.Set("place", placeID)
 	var resp PredictArrivalResponse
-	err := c.authedCall(http.MethodGet, PathPredictArrival, q, nil, &resp)
+	err := c.authedCall(context.Background(), http.MethodGet, PathPredictArrival, q, nil, &resp, true)
 	return resp, err
 }
 
@@ -307,7 +429,7 @@ func (c *Client) PredictNextVisit(placeID string, after time.Time) (PredictNextV
 	q.Set("place", placeID)
 	q.Set("after", after.Format(time.RFC3339))
 	var resp PredictNextVisitResponse
-	err := c.authedCall(http.MethodGet, PathPredictNext, q, nil, &resp)
+	err := c.authedCall(context.Background(), http.MethodGet, PathPredictNext, q, nil, &resp, true)
 	return resp, err
 }
 
@@ -316,7 +438,7 @@ func (c *Client) VisitFrequency(placeID string) (FrequencyResponse, error) {
 	q := url.Values{}
 	q.Set("place", placeID)
 	var resp FrequencyResponse
-	err := c.authedCall(http.MethodGet, PathStatsFrequency, q, nil, &resp)
+	err := c.authedCall(context.Background(), http.MethodGet, PathStatsFrequency, q, nil, &resp, true)
 	return resp, err
 }
 
@@ -325,7 +447,7 @@ func (c *Client) DwellStats(placeID string) (DwellStatsResponse, error) {
 	q := url.Values{}
 	q.Set("place", placeID)
 	var resp DwellStatsResponse
-	err := c.authedCall(http.MethodGet, PathStatsDwell, q, nil, &resp)
+	err := c.authedCall(context.Background(), http.MethodGet, PathStatsDwell, q, nil, &resp, true)
 	return resp, err
 }
 
@@ -335,6 +457,6 @@ func (c *Client) FrequencyByLabel(label string) (FrequencyResponse, error) {
 	q := url.Values{}
 	q.Set("label", label)
 	var resp FrequencyResponse
-	err := c.authedCall(http.MethodGet, PathStatsFrequency, q, nil, &resp)
+	err := c.authedCall(context.Background(), http.MethodGet, PathStatsFrequency, q, nil, &resp, true)
 	return resp, err
 }

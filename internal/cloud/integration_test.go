@@ -129,7 +129,7 @@ func TestServiceSurvivesCloudOutage(t *testing.T) {
 	// A server that immediately closes: every request fails.
 	ts := httptest.NewServer(nil)
 	ts.Close()
-	client := NewClient(ts.URL, "imei-x", "x@example.com", nil)
+	client := NewClient(ts.URL, "imei-x", "x@example.com", nil, WithRetryPolicy(fastRetry()))
 
 	clock := simclock.New()
 	sensors := trace.NewSensors(w, it, trace.DefaultConfig(), rand.New(rand.NewSource(213)))

@@ -1,6 +1,7 @@
 package cloud
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -129,10 +130,10 @@ func TestPopularPlacesViaHTTP(t *testing.T) {
 		t.Errorf("response = %+v", resp)
 	}
 	// Bad k rejected.
-	if err := c.authedCall("GET", PathPlacesPopular, mustQuery("k", "1"), nil, nil); err == nil {
+	if err := c.authedCall(context.Background(), "GET", PathPlacesPopular, mustQuery("k", "1"), nil, nil, true); err == nil {
 		t.Error("k=1 accepted over HTTP")
 	}
-	if err := c.authedCall("GET", PathPlacesPopular, mustQuery("radius", "-5"), nil, nil); err == nil {
+	if err := c.authedCall(context.Background(), "GET", PathPlacesPopular, mustQuery("radius", "-5"), nil, nil, true); err == nil {
 		t.Error("negative radius accepted")
 	}
 }

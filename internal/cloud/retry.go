@@ -1,0 +1,212 @@
+package cloud
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// RetryPolicy describes how the client recovers from transient failures on
+// the PMS↔PCI link: exponential backoff with bounded jitter, a per-attempt
+// timeout, and a cap on total attempts. The phone side of the paper's split
+// lives on flaky cellular links, so every idempotent call is retried on
+// network errors, 429, and 5xx responses.
+//
+// The randomness and the sleeping are injected so the policy is fully
+// deterministic under test (the property suite drives it with a seeded RNG
+// and a recording sleep func).
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, including the first.
+	// Values < 1 behave as 1 (no retries).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry.
+	BaseDelay time.Duration
+	// MaxDelay caps the pre-jitter backoff growth.
+	MaxDelay time.Duration
+	// Multiplier is the exponential growth factor (values <= 1 mean
+	// constant backoff at BaseDelay).
+	Multiplier float64
+	// JitterFrac spreads each delay uniformly over
+	// [delay*(1-JitterFrac), delay*(1+JitterFrac)] to avoid retry
+	// synchronization across a fleet of devices. Must be in [0, 1).
+	JitterFrac float64
+	// PerTryTimeout bounds each individual HTTP attempt (0 = no timeout).
+	PerTryTimeout time.Duration
+
+	// rnd returns a uniform float64 in [0,1). nil means the global
+	// math/rand source (which is goroutine-safe).
+	rnd func() float64
+	// sleep waits for d or until ctx is done. nil means a real
+	// context-aware sleep. Tests inject a no-op or a simclock-driven func.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// DefaultRetryPolicy is the production policy: 4 attempts, 200ms base
+// doubling to a 5s cap, ±25% jitter, 10s per attempt. Worst-case added
+// latency is bounded (see TestRetryTotalTimeBounded).
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:   4,
+		BaseDelay:     200 * time.Millisecond,
+		MaxDelay:      5 * time.Second,
+		Multiplier:    2,
+		JitterFrac:    0.25,
+		PerTryTimeout: 10 * time.Second,
+	}
+}
+
+// WithRand returns a copy of the policy drawing jitter from r. The returned
+// policy serializes access to r, so it stays safe for concurrent use.
+func (p RetryPolicy) WithRand(r *rand.Rand) RetryPolicy {
+	var mu sync.Mutex
+	p.rnd = func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return r.Float64()
+	}
+	return p
+}
+
+// WithSleep returns a copy of the policy using fn to wait between attempts.
+func (p RetryPolicy) WithSleep(fn func(ctx context.Context, d time.Duration) error) RetryPolicy {
+	p.sleep = fn
+	return p
+}
+
+// attempts returns the effective attempt budget.
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// Backoff returns the pre-jitter delay before retry number n (n = 0 is the
+// delay after the first failed attempt). It grows geometrically from
+// BaseDelay and is capped at MaxDelay; it is a pure function of the policy.
+func (p RetryPolicy) Backoff(n int) time.Duration {
+	d := float64(p.BaseDelay)
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 1
+	}
+	for i := 0; i < n; i++ {
+		d *= mult
+		if p.MaxDelay > 0 && d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if p.MaxDelay > 0 && d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	return time.Duration(d)
+}
+
+// Delay returns the jittered delay before retry number n.
+func (p RetryPolicy) Delay(n int) time.Duration {
+	d := p.Backoff(n)
+	if p.JitterFrac <= 0 || d <= 0 {
+		return d
+	}
+	rnd := p.rnd
+	if rnd == nil {
+		rnd = rand.Float64
+	}
+	// Uniform over [1-j, 1+j].
+	factor := 1 - p.JitterFrac + 2*p.JitterFrac*rnd()
+	return time.Duration(float64(d) * factor)
+}
+
+// MaxTotalDelay bounds the summed sleep time of a full retry cycle
+// (pre-jitter backoff times the worst-case jitter factor).
+func (p RetryPolicy) MaxTotalDelay() time.Duration {
+	var total float64
+	for n := 0; n < p.attempts()-1; n++ {
+		total += float64(p.Backoff(n)) * (1 + p.JitterFrac)
+	}
+	return time.Duration(total)
+}
+
+// wait sleeps for the nth retry delay, honoring ctx cancellation.
+func (p RetryPolicy) wait(ctx context.Context, n int) error {
+	d := p.Delay(n)
+	if p.sleep != nil {
+		return p.sleep(ctx, d)
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// transientError marks a failure that happened below the HTTP status layer
+// on an otherwise well-formed exchange — e.g. a truncated response body —
+// which is safe to retry on idempotent calls.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return "cloud: transient: " + e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// retryable reports whether err is worth retrying on an idempotent call:
+// network-level failures, truncated/garbled responses, 429, and 5xx. Context
+// cancellation and client-side (4xx) rejections are terminal.
+func retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.Status == http.StatusTooManyRequests || se.Status >= 500
+	}
+	// Everything else is a transport-level failure (url.Error, injected
+	// connection faults, deadline-exceeded attempts, truncated bodies).
+	return true
+}
+
+// run executes fn under the retry policy. Non-idempotent calls get exactly
+// one attempt (still with the per-try timeout); idempotent calls are retried
+// on retryable errors until the attempt budget is spent or ctx is done.
+func (p RetryPolicy) run(ctx context.Context, idempotent bool, fn func(ctx context.Context) error) error {
+	attempts := p.attempts()
+	if !idempotent {
+		attempts = 1
+	}
+	var err error
+	for n := 0; n < attempts; n++ {
+		if n > 0 {
+			if werr := p.wait(ctx, n-1); werr != nil {
+				return err // parent ctx ended during backoff: report last failure
+			}
+		}
+		attemptCtx := ctx
+		var cancel context.CancelFunc
+		if p.PerTryTimeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, p.PerTryTimeout)
+		}
+		err = fn(attemptCtx)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil || !retryable(err) {
+			return err
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+	}
+	return err
+}

@@ -1,0 +1,188 @@
+package cloud
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// randomPolicy draws a structurally valid policy from r, for property-style
+// sweeps over the parameter space.
+func randomPolicy(r *rand.Rand) RetryPolicy {
+	base := time.Duration(1+r.Intn(500)) * time.Millisecond
+	maxD := base * time.Duration(1+r.Intn(50))
+	return RetryPolicy{
+		MaxAttempts: 1 + r.Intn(8),
+		BaseDelay:   base,
+		MaxDelay:    maxD,
+		Multiplier:  1 + 3*r.Float64(),
+		JitterFrac:  r.Float64() * 0.9,
+	}
+}
+
+// TestBackoffMonotoneAndCapped: the pre-jitter schedule never decreases and
+// never exceeds MaxDelay, for any policy shape.
+func TestBackoffMonotoneAndCapped(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		p := randomPolicy(r)
+		prev := time.Duration(-1)
+		for n := 0; n < 20; n++ {
+			d := p.Backoff(n)
+			if d < prev {
+				t.Fatalf("trial %d: Backoff(%d)=%v < Backoff(%d)=%v (policy %+v)", trial, n, d, n-1, prev, p)
+			}
+			if d > p.MaxDelay {
+				t.Fatalf("trial %d: Backoff(%d)=%v exceeds cap %v", trial, n, d, p.MaxDelay)
+			}
+			if d < 0 {
+				t.Fatalf("trial %d: negative backoff %v", trial, d)
+			}
+			prev = d
+		}
+	}
+}
+
+// TestJitterStaysInBand: every jittered delay lies within
+// [backoff*(1-j), backoff*(1+j)].
+func TestJitterStaysInBand(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		p := randomPolicy(r).WithRand(rand.New(rand.NewSource(int64(trial))))
+		for n := 0; n < 10; n++ {
+			base := float64(p.Backoff(n))
+			lo := time.Duration(base * (1 - p.JitterFrac))
+			hi := time.Duration(base * (1 + p.JitterFrac))
+			for draw := 0; draw < 5; draw++ {
+				d := p.Delay(n)
+				// One nanosecond of slack for float rounding.
+				if d < lo-1 || d > hi+1 {
+					t.Fatalf("trial %d: Delay(%d)=%v outside [%v,%v] (jitter %.3f)", trial, n, d, lo, hi, p.JitterFrac)
+				}
+			}
+		}
+	}
+}
+
+// TestScheduleDeterministicForSeed: identical seeds yield identical jittered
+// schedules; the schedule is a pure function of (policy, seed).
+func TestScheduleDeterministicForSeed(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		mk := func() []time.Duration {
+			p := DefaultRetryPolicy().WithRand(rand.New(rand.NewSource(seed)))
+			var out []time.Duration
+			for n := 0; n < 12; n++ {
+				out = append(out, p.Delay(n))
+			}
+			return out
+		}
+		a, b := mk(), mk()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: schedule diverged at %d: %v vs %v", seed, i, a[i], b[i])
+			}
+		}
+	}
+	// And different seeds should (overwhelmingly) differ somewhere.
+	p1 := DefaultRetryPolicy().WithRand(rand.New(rand.NewSource(1)))
+	p2 := DefaultRetryPolicy().WithRand(rand.New(rand.NewSource(2)))
+	same := true
+	for n := 0; n < 12; n++ {
+		if p1.Delay(n) != p2.Delay(n) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("schedules for seeds 1 and 2 are identical — jitter is not seed-driven")
+	}
+}
+
+// TestRetryTotalTimeBounded: an exhausted retry cycle sleeps no more than
+// MaxTotalDelay in total and makes exactly MaxAttempts attempts.
+func TestRetryTotalTimeBounded(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	fail := errors.New("synthetic network failure")
+	for trial := 0; trial < 100; trial++ {
+		var slept time.Duration
+		p := randomPolicy(r).WithRand(rand.New(rand.NewSource(int64(trial))))
+		p = p.WithSleep(func(_ context.Context, d time.Duration) error {
+			slept += d
+			return nil
+		})
+		attempts := 0
+		err := p.run(context.Background(), true, func(context.Context) error {
+			attempts++
+			return fail
+		})
+		if !errors.Is(err, fail) {
+			t.Fatalf("trial %d: err = %v, want the injected failure", trial, err)
+		}
+		if attempts != p.attempts() {
+			t.Fatalf("trial %d: %d attempts, want %d", trial, attempts, p.attempts())
+		}
+		if bound := p.MaxTotalDelay(); slept > bound {
+			t.Fatalf("trial %d: slept %v, bound %v (policy %+v)", trial, slept, bound, p)
+		}
+	}
+}
+
+// TestRetryClassification pins down which errors are retried.
+func TestRetryClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"429", &statusError{Status: http.StatusTooManyRequests}, true},
+		{"500", &statusError{Status: 500}, true},
+		{"503", &statusError{Status: 503}, true},
+		{"400", &statusError{Status: 400}, false},
+		{"401", &statusError{Status: 401}, false},
+		{"404", &statusError{Status: 404}, false},
+		{"network", errors.New("connection refused"), true},
+		{"truncated", &transientError{err: errors.New("unexpected EOF")}, true},
+		{"canceled", context.Canceled, false},
+	}
+	for _, tc := range cases {
+		if got := retryable(tc.err); got != tc.want {
+			t.Errorf("retryable(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestNonIdempotentSingleAttempt: non-idempotent calls never retry, even on
+// retryable errors.
+func TestNonIdempotentSingleAttempt(t *testing.T) {
+	p := DefaultRetryPolicy().WithSleep(func(context.Context, time.Duration) error { return nil })
+	attempts := 0
+	err := p.run(context.Background(), false, func(context.Context) error {
+		attempts++
+		return errors.New("boom")
+	})
+	if err == nil || attempts != 1 {
+		t.Fatalf("attempts = %d (err %v), want exactly 1", attempts, err)
+	}
+}
+
+// TestRetryStopsOnContextCancel: a cancelled parent context ends the cycle.
+func TestRetryStopsOnContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := DefaultRetryPolicy().WithSleep(func(ctx context.Context, _ time.Duration) error { return ctx.Err() })
+	attempts := 0
+	err := p.run(ctx, true, func(context.Context) error {
+		attempts++
+		cancel()
+		return errors.New("boom")
+	})
+	if err == nil {
+		t.Fatal("expected an error after cancellation")
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (no retries after cancel)", attempts)
+	}
+}

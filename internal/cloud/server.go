@@ -23,9 +23,15 @@ type Server struct {
 
 	gsmParams   gsm.Params
 	routeParams route.Params
+	reqTimeout  time.Duration
 
 	mux *http.ServeMux
 }
+
+// DefaultRequestTimeout bounds how long one request may occupy a handler
+// before the middleware replies 503; a wedged handler can then never pin a
+// mux worker indefinitely. The client treats the 503 as retryable.
+const DefaultRequestTimeout = 30 * time.Second
 
 // ServerOption customizes a Server.
 type ServerOption func(*Server)
@@ -45,6 +51,12 @@ func WithRouteParams(p route.Params) ServerOption {
 	return func(s *Server) { s.routeParams = p }
 }
 
+// WithRequestTimeout overrides the per-request handler deadline (0 disables
+// the timeout middleware entirely).
+func WithRequestTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.reqTimeout = d }
+}
+
 // NewServer builds the cloud instance over the given store.
 func NewServer(store *Store, opts ...ServerOption) *Server {
 	s := &Server{
@@ -52,6 +64,7 @@ func NewServer(store *Store, opts ...ServerOption) *Server {
 		analytics:   NewAnalytics(store),
 		gsmParams:   gsm.DefaultParams(),
 		routeParams: route.DefaultParams(),
+		reqTimeout:  DefaultRequestTimeout,
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -61,8 +74,23 @@ func NewServer(store *Store, opts ...ServerOption) *Server {
 	return s
 }
 
-// Handler returns the HTTP handler for the full API surface.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler for the full API surface, wrapped in the
+// request-timeout middleware.
+func (s *Server) Handler() http.Handler {
+	return TimeoutMiddleware(s.mux, s.reqTimeout)
+}
+
+// TimeoutMiddleware bounds every request to d: a handler still running at
+// the deadline gets its request context cancelled and the client receives a
+// JSON 503 (which the retry layer classifies as transient). d <= 0 returns h
+// unchanged.
+func TimeoutMiddleware(h http.Handler, d time.Duration) http.Handler {
+	if d <= 0 {
+		return h
+	}
+	body := `{"error":"request timed out"}`
+	return http.TimeoutHandler(h, d, body)
+}
 
 func (s *Server) routesMux() {
 	s.mux.HandleFunc("POST "+PathRegister, s.handleRegister)

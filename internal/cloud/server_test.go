@@ -2,6 +2,7 @@ package cloud
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math/rand"
 	"net/http"
@@ -37,6 +38,12 @@ func newTestServer(t *testing.T, opts ...ServerOption) *testServer {
 
 func (ts *testServer) client() *Client {
 	return NewClient(ts.srv.URL, "imei-9", "tester@example.com", ts.srv.Client())
+}
+
+// fastRetry is the default retry policy with the sleeps removed, so tests
+// that exercise failure paths do not pay real backoff delays.
+func fastRetry() RetryPolicy {
+	return DefaultRetryPolicy().WithSleep(func(context.Context, time.Duration) error { return nil })
 }
 
 func cellObs(minute, cid int) trace.GSMObservation {
@@ -344,12 +351,12 @@ func TestBadRequests(t *testing.T) {
 	}
 	// Bad date on profile PUT.
 	var p profile.DayProfile
-	err = c.authedCall(http.MethodPut, PathProfiles+"/not-a-date", nil, &p, nil)
+	err = c.authedCall(context.Background(), http.MethodPut, PathProfiles+"/not-a-date", nil, &p, nil, true)
 	if err == nil {
 		t.Error("bad date accepted")
 	}
 	// Bad min_frequency.
-	err = c.authedCall(http.MethodGet, PathRoutes, mustQuery("min_frequency", "-3"), nil, nil)
+	err = c.authedCall(context.Background(), http.MethodGet, PathRoutes, mustQuery("min_frequency", "-3"), nil, nil, true)
 	if err == nil {
 		t.Error("negative min_frequency accepted")
 	}

@@ -31,6 +31,9 @@ func (s *Service) nightlyDiscovery() {
 	if s.cloud != nil {
 		if places, err := s.cloud.DiscoverPlaces(s.gsmObs); err == nil {
 			gsmPlaces = places
+			// The link is demonstrably up: drain any uploads a previous
+			// (failed) sync left in the outbox before profiles are rebuilt.
+			s.flushOutbox()
 		}
 	}
 	if gsmPlaces == nil {
@@ -213,8 +216,10 @@ func (s *Service) rebuildProfiles() {
 	s.profiles = b
 }
 
-// syncProfiles uploads every complete (i.e. before today) unsynced day
-// profile to the cloud.
+// syncProfiles queues every complete (i.e. before today) unsynced day
+// profile in the outbox and drains it. A day that fails to upload stays
+// queued — nothing is lost to a flaky link; it goes out on the next
+// successful flush (opportunistic or next nightly).
 func (s *Service) syncProfiles() {
 	if s.cloud == nil {
 		return
@@ -224,13 +229,48 @@ func (s *Service) syncProfiles() {
 		if d.Date >= today || s.synced[d.Date] {
 			continue
 		}
-		if err := s.cloud.SyncProfile(d); err != nil {
-			s.cloudSyncErrors++
-			continue
-		}
-		s.synced[d.Date] = true
+		s.outbox.Add(d.Date)
+	}
+	s.flushOutbox()
+}
+
+// flushOutbox drains the queued profile uploads in date order, stopping at
+// the first failure (the link is presumed down; the rest keep their place).
+func (s *Service) flushOutbox() {
+	if s.cloud == nil || s.outbox.Pending() == 0 {
+		return
+	}
+	byDate := map[string]*profile.DayProfile{}
+	for _, d := range s.profiles.Days() {
+		byDate[d.Date] = d
+	}
+	_, err := s.outbox.Flush(
+		func(date string) *profile.DayProfile { return byDate[date] },
+		func(p *profile.DayProfile) error {
+			if err := s.cloud.SyncProfile(p); err != nil {
+				return err
+			}
+			s.synced[p.Date] = true
+			return nil
+		},
+	)
+	if err != nil {
+		s.cloudSyncErrors++
 	}
 }
 
-// CloudSyncErrors reports how many profile uploads failed.
+// FlushOutbox retries queued profile uploads immediately (connected apps can
+// call this when they observe connectivity return). It reports how many
+// uploads went through.
+func (s *Service) FlushOutbox() int {
+	before := s.outbox.Flushed()
+	s.flushOutbox()
+	return s.outbox.Flushed() - before
+}
+
+// Outbox exposes the pending-upload queue (read-mostly; owned by the
+// service's single-threaded loop).
+func (s *Service) Outbox() *Outbox { return s.outbox }
+
+// CloudSyncErrors reports how many sync passes hit an upload failure.
 func (s *Service) CloudSyncErrors() int { return s.cloudSyncErrors }

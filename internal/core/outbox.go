@@ -1,0 +1,87 @@
+package core
+
+import "repro/internal/profile"
+
+// Outbox queues uploads that failed against the cloud so no finished day
+// profile is ever silently dropped on a flaky link. It replaces the old
+// count-and-forget behavior of cloudSyncErrors: failed days stay queued (in
+// date order) and are flushed on the next successful contact with the cloud
+// — either the next nightly sync or an opportunistic flush after any
+// successful call. Entries are day keys, not snapshots: profiles are rebuilt
+// nightly, so the flush always uploads the freshest version of a day.
+type Outbox struct {
+	pending []string
+	queued  map[string]bool
+
+	enqueued int // lifetime adds
+	flushed  int // lifetime successful uploads
+}
+
+// NewOutbox returns an empty outbox.
+func NewOutbox() *Outbox {
+	return &Outbox{queued: map[string]bool{}}
+}
+
+// Add queues a day key, keeping the queue sorted and duplicate-free.
+func (o *Outbox) Add(date string) {
+	if o.queued[date] {
+		return
+	}
+	o.queued[date] = true
+	o.enqueued++
+	// Insert in date order (ISO dates sort lexically); the queue is tiny
+	// (days of backlog), so linear insertion is fine.
+	i := len(o.pending)
+	for i > 0 && o.pending[i-1] > date {
+		i--
+	}
+	o.pending = append(o.pending, "")
+	copy(o.pending[i+1:], o.pending[i:])
+	o.pending[i] = date
+}
+
+// Pending returns the number of queued day keys.
+func (o *Outbox) Pending() int { return len(o.pending) }
+
+// PendingDates returns the queued day keys in upload order.
+func (o *Outbox) PendingDates() []string {
+	out := make([]string, len(o.pending))
+	copy(out, o.pending)
+	return out
+}
+
+// Flushed returns how many queued uploads have completed.
+func (o *Outbox) Flushed() int { return o.flushed }
+
+// Enqueued returns how many day keys were ever queued.
+func (o *Outbox) Enqueued() int { return o.enqueued }
+
+// Flush attempts every queued upload in order via send. The first failure
+// stops the pass (the link is presumed down again; remaining entries keep
+// their place). Days with no current profile are dropped. It returns the
+// number of uploads that succeeded and the error that stopped the pass, if
+// any.
+func (o *Outbox) Flush(lookup func(date string) *profile.DayProfile, send func(*profile.DayProfile) error) (int, error) {
+	sent := 0
+	for len(o.pending) > 0 {
+		date := o.pending[0]
+		p := lookup(date)
+		if p == nil {
+			o.drop(date)
+			continue
+		}
+		if err := send(p); err != nil {
+			return sent, err
+		}
+		o.drop(date)
+		o.flushed++
+		sent++
+	}
+	return sent, nil
+}
+
+// drop removes the head entry (which must be date).
+func (o *Outbox) drop(date string) {
+	o.pending = o.pending[1:]
+	delete(o.queued, date)
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/profile"
+)
+
+func TestOutboxOrderAndDedup(t *testing.T) {
+	o := NewOutbox()
+	o.Add("2014-09-03")
+	o.Add("2014-09-01")
+	o.Add("2014-09-02")
+	o.Add("2014-09-01") // duplicate
+	if got := o.Pending(); got != 3 {
+		t.Fatalf("pending = %d, want 3", got)
+	}
+	dates := o.PendingDates()
+	want := []string{"2014-09-01", "2014-09-02", "2014-09-03"}
+	for i, d := range want {
+		if dates[i] != d {
+			t.Fatalf("pending order = %v, want %v", dates, want)
+		}
+	}
+	if o.Enqueued() != 3 {
+		t.Errorf("enqueued = %d, want 3 (duplicates not re-counted)", o.Enqueued())
+	}
+}
+
+func TestOutboxFlushStopsAtFirstFailure(t *testing.T) {
+	o := NewOutbox()
+	for _, d := range []string{"2014-09-01", "2014-09-02", "2014-09-03"} {
+		o.Add(d)
+	}
+	lookup := func(date string) *profile.DayProfile {
+		return &profile.DayProfile{UserID: "u1", Date: date}
+	}
+	failOn := "2014-09-02"
+	var sent []string
+	send := func(p *profile.DayProfile) error {
+		if p.Date == failOn {
+			return errors.New("link down")
+		}
+		sent = append(sent, p.Date)
+		return nil
+	}
+
+	n, err := o.Flush(lookup, send)
+	if err == nil {
+		t.Fatal("expected the injected failure to surface")
+	}
+	if n != 1 || len(sent) != 1 || sent[0] != "2014-09-01" {
+		t.Fatalf("first pass sent %v (n=%d), want just 2014-09-01", sent, n)
+	}
+	// The failed day and everything after it keep their place.
+	if got := o.PendingDates(); len(got) != 2 || got[0] != "2014-09-02" {
+		t.Fatalf("pending after failure = %v, want [2014-09-02 2014-09-03]", got)
+	}
+
+	// Link recovers: the rest drains in order.
+	failOn = ""
+	n, err = o.Flush(lookup, send)
+	if err != nil || n != 2 {
+		t.Fatalf("second pass: n=%d err=%v, want 2 sends", n, err)
+	}
+	if o.Pending() != 0 {
+		t.Errorf("pending = %d after full drain, want 0", o.Pending())
+	}
+	if o.Flushed() != 3 {
+		t.Errorf("flushed = %d, want 3", o.Flushed())
+	}
+}
+
+func TestOutboxDropsVanishedDays(t *testing.T) {
+	o := NewOutbox()
+	o.Add("2014-09-01")
+	o.Add("2014-09-02")
+	lookup := func(date string) *profile.DayProfile {
+		if date == "2014-09-01" {
+			return nil // day no longer exists in the rebuilt builder
+		}
+		return &profile.DayProfile{UserID: "u1", Date: date}
+	}
+	var sent int
+	n, err := o.Flush(lookup, func(*profile.DayProfile) error { sent++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || sent != 1 || o.Pending() != 0 {
+		t.Fatalf("n=%d sent=%d pending=%d, want 1/1/0", n, sent, o.Pending())
+	}
+}
+
+// TestServiceOutboxQueuesWhileBlocked: profile uploads that fail during a
+// nightly sync land in the outbox instead of being forgotten, and an
+// explicit FlushOutbox drains them once the cloud recovers.
+func TestServiceOutboxQueuesWhileBlocked(t *testing.T) {
+	h := newHarness(t, 130, 3)
+	gate := &gatedCloud{}
+	h.svc = NewService(DefaultConfig("u1"), h.clock, h.sensors, h.meter, gate)
+
+	gate.syncsBlocked = true
+	h.svc.Run(30 * time.Hour) // through night 1 (03:00 on day 2)
+	if gate.synced != 0 {
+		t.Fatal("sync succeeded while blocked")
+	}
+	if h.svc.Outbox().Pending() == 0 {
+		t.Fatal("failed uploads were not queued in the outbox")
+	}
+	if h.svc.CloudSyncErrors() == 0 {
+		t.Fatal("sync errors not recorded while blocked")
+	}
+
+	gate.syncsBlocked = false
+	flushed := h.svc.FlushOutbox()
+	if flushed == 0 {
+		t.Fatal("FlushOutbox sent nothing after the cloud recovered")
+	}
+	if h.svc.Outbox().Pending() != 0 {
+		t.Errorf("outbox still holds %d days after recovery", h.svc.Outbox().Pending())
+	}
+	if gate.synced != flushed {
+		t.Errorf("cloud received %d uploads, flush reported %d", gate.synced, flushed)
+	}
+}

@@ -127,6 +127,7 @@ type Service struct {
 	routesGPS []*route.GPSRoute
 	profiles  *profile.Builder
 	synced    map[string]bool // day keys synced to cloud
+	outbox    *Outbox         // failed uploads awaiting redelivery
 
 	// live tracking state
 	moving        bool
@@ -171,6 +172,7 @@ func NewService(cfg Config, clock *simclock.Clock, sensors *trace.Sensors, meter
 		labels:         map[string]string{},
 		profiles:       profile.NewBuilder(cfg.UserID),
 		synced:         map[string]bool{},
+		outbox:         NewOutbox(),
 		currentGSM:     -1,
 	}
 	return s

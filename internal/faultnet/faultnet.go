@@ -1,0 +1,244 @@
+// Package faultnet provides a seeded fault-injecting http.RoundTripper: the
+// test-side counterpart of the client's retry/backoff layer. It simulates
+// the intermittent cellular link the PMS↔PCI split assumes (MOSDEN-style
+// mobile middleware connectivity): dropped connections, added latency, 5xx
+// bursts, and truncated response bodies, all drawn from a reproducible
+// schedule so chaos runs are deterministic for a given seed.
+//
+// The transport is safe for concurrent use; every random draw happens under
+// a mutex so the fault schedule is a pure function of the seed and the
+// request order.
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjectedConn is the error returned for an injected connection fault.
+// The http.Client wraps it in *url.Error, which the cloud client classifies
+// as a retryable network failure.
+var ErrInjectedConn = errors.New("faultnet: injected connection failure")
+
+// Config tunes the fault schedule. All rates are probabilities in [0,1]
+// evaluated independently per request, in the order: connection fault, 5xx
+// burst, latency, truncation.
+type Config struct {
+	// Seed makes the schedule reproducible.
+	Seed int64
+	// ConnErrorRate drops the request before it reaches the server.
+	ConnErrorRate float64
+	// ServerErrorRate starts a burst of synthesized 5xx responses (the
+	// request does not reach the server while the burst lasts).
+	ServerErrorRate float64
+	// BurstLen is how many consecutive requests a 5xx burst consumes
+	// (values < 1 behave as 1).
+	BurstLen int
+	// StatusCode is the synthesized error status (0 means 503).
+	StatusCode int
+	// LatencyRate adds Latency to a request before forwarding it.
+	LatencyRate float64
+	// Latency is the added delay per injected-latency request.
+	Latency time.Duration
+	// TruncateRate cuts the (successful) response body in half, leaving
+	// the headers intact — the client sees an unexpected EOF mid-decode.
+	TruncateRate float64
+	// Exempt, when set, bypasses injection for matching requests (e.g. to
+	// keep registration reliable while the data path burns).
+	Exempt func(*http.Request) bool
+	// Sleep implements latency injection (nil means time.Sleep). Tests
+	// that must stay fast inject a recording no-op.
+	Sleep func(time.Duration)
+}
+
+// Stats counts injected faults and forwarded requests.
+type Stats struct {
+	Requests    int // total requests seen
+	ConnErrors  int // injected connection failures
+	ServerError int // synthesized 5xx responses
+	Latencies   int // requests delayed
+	Truncations int // responses truncated
+	Forwarded   int // requests that reached the underlying transport
+}
+
+// Faults returns the total number of injected faults (latency excluded:
+// a slow response is not a failed one).
+func (s Stats) Faults() int { return s.ConnErrors + s.ServerError + s.Truncations }
+
+// Transport is the fault-injecting RoundTripper.
+type Transport struct {
+	next http.RoundTripper
+
+	mu        sync.Mutex
+	cfg       Config
+	rng       *rand.Rand
+	burstLeft int
+	enabled   bool
+	stats     Stats
+}
+
+// Wrap builds a Transport over next (nil means http.DefaultTransport).
+// Injection starts enabled.
+func Wrap(next http.RoundTripper, cfg Config) *Transport {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &Transport{
+		next:    next,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		enabled: true,
+	}
+}
+
+// SetEnabled turns injection on or off (off models "connectivity
+// recovered"; the schedule position is preserved).
+func (t *Transport) SetEnabled(on bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.enabled = on
+	if !on {
+		t.burstLeft = 0
+	}
+}
+
+// Stats returns a snapshot of the fault counters.
+func (t *Transport) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// decision is the fault drawn for one request.
+type decision struct {
+	connError bool
+	serverErr bool
+	status    int
+	latency   time.Duration
+	truncate  bool
+}
+
+// decide draws the next scheduled fault under the lock.
+func (t *Transport) decide(req *http.Request) decision {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats.Requests++
+	if !t.enabled || (t.cfg.Exempt != nil && t.cfg.Exempt(req)) {
+		return decision{}
+	}
+	var d decision
+	if t.burstLeft > 0 {
+		t.burstLeft--
+		d.serverErr = true
+	} else if t.rng.Float64() < t.cfg.ConnErrorRate {
+		d.connError = true
+	} else if t.rng.Float64() < t.cfg.ServerErrorRate {
+		d.serverErr = true
+		burst := t.cfg.BurstLen
+		if burst < 1 {
+			burst = 1
+		}
+		t.burstLeft = burst - 1
+	}
+	if d.serverErr {
+		d.status = t.cfg.StatusCode
+		if d.status == 0 {
+			d.status = http.StatusServiceUnavailable
+		}
+		t.stats.ServerError++
+		return d
+	}
+	if d.connError {
+		t.stats.ConnErrors++
+		return d
+	}
+	if t.cfg.Latency > 0 && t.rng.Float64() < t.cfg.LatencyRate {
+		d.latency = t.cfg.Latency
+		t.stats.Latencies++
+	}
+	if t.rng.Float64() < t.cfg.TruncateRate {
+		d.truncate = true
+		t.stats.Truncations++
+	}
+	return d
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := t.decide(req)
+	switch {
+	case d.connError:
+		return nil, ErrInjectedConn
+	case d.serverErr:
+		return synthesized(req, d.status), nil
+	}
+	if d.latency > 0 {
+		sleep := t.cfg.Sleep
+		if sleep == nil {
+			sleep = time.Sleep
+		}
+		sleep(d.latency)
+	}
+	resp, err := t.next.RoundTrip(req)
+	t.mu.Lock()
+	t.stats.Forwarded++
+	t.mu.Unlock()
+	if err != nil || !d.truncate {
+		return resp, err
+	}
+	return truncateBody(resp), nil
+}
+
+// synthesized fabricates a 5xx response that never reached the server.
+func synthesized(req *http.Request, status int) *http.Response {
+	body := fmt.Sprintf(`{"error":"faultnet: injected http %d"}`, status)
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		StatusCode:    status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": []string{"application/json"}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// truncatedBody yields the first half of the payload then fails with
+// io.ErrUnexpectedEOF, modelling a connection cut mid-response.
+type truncatedBody struct {
+	r io.Reader
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
+	if err == io.EOF {
+		return n, io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return nil }
+
+// truncateBody replaces resp's body with its first half, erroring at the
+// cut. Headers (including Content-Length) are left as delivered.
+func truncateBody(resp *http.Response) *http.Response {
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		// The real link already failed; pass the partial data through.
+		resp.Body = io.NopCloser(bytes.NewReader(data))
+		return resp
+	}
+	half := data[:len(data)/2]
+	resp.Body = &truncatedBody{r: bytes.NewReader(half)}
+	return resp
+}

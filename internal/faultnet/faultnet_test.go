@@ -1,0 +1,257 @@
+package faultnet
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// okTransport is a stub backend returning a fixed JSON body.
+type okTransport struct{ body string }
+
+func (o okTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	return &http.Response{
+		Status:        "200 OK",
+		StatusCode:    200,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": []string{"application/json"}},
+		Body:          io.NopCloser(strings.NewReader(o.body)),
+		ContentLength: int64(len(o.body)),
+		Request:       req,
+	}, nil
+}
+
+func mustReq(t *testing.T, path string) *http.Request {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, "http://cloud.test"+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+// outcome classifies one round trip for schedule comparison.
+func outcome(t *testing.T, tr *Transport, req *http.Request) string {
+	t.Helper()
+	resp, err := tr.RoundTrip(req)
+	if err != nil {
+		if !errors.Is(err, ErrInjectedConn) {
+			t.Fatalf("unexpected error type: %v", err)
+		}
+		return "conn"
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 500 {
+		return "5xx"
+	}
+	if _, err := io.ReadAll(resp.Body); err != nil {
+		return "trunc"
+	}
+	return "ok"
+}
+
+func chaosConfig(seed int64) Config {
+	return Config{
+		Seed:            seed,
+		ConnErrorRate:   0.15,
+		ServerErrorRate: 0.1,
+		BurstLen:        2,
+		TruncateRate:    0.1,
+	}
+}
+
+// TestScheduleDeterministicForSeed: two transports with the same seed
+// produce the same fault sequence for the same request order; a different
+// seed produces a different one.
+func TestScheduleDeterministicForSeed(t *testing.T) {
+	run := func(seed int64) []string {
+		tr := Wrap(okTransport{body: `{"v":1}`}, chaosConfig(seed))
+		var out []string
+		for i := 0; i < 300; i++ {
+			out = append(out, outcome(t, tr, mustReq(t, "/api/v1/places")))
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical 300-request schedules")
+	}
+}
+
+// TestFaultRatesRoughlyHonored: over many requests each configured fault
+// actually occurs, and the overall fault fraction lands near the configured
+// mass.
+func TestFaultRatesRoughlyHonored(t *testing.T) {
+	tr := Wrap(okTransport{body: `{"v":1}`}, chaosConfig(7))
+	const n = 2000
+	for i := 0; i < n; i++ {
+		outcome(t, tr, mustReq(t, "/x"))
+	}
+	st := tr.Stats()
+	if st.Requests != n {
+		t.Fatalf("requests = %d, want %d", st.Requests, n)
+	}
+	if st.ConnErrors == 0 || st.ServerError == 0 || st.Truncations == 0 {
+		t.Fatalf("some fault mode never fired: %+v", st)
+	}
+	frac := float64(st.Faults()) / float64(n)
+	// conn 0.15 + 5xx ~0.085*2 + trunc ~0.07 ≈ 0.39; accept a wide band.
+	if frac < 0.2 || frac > 0.6 {
+		t.Errorf("fault fraction %.3f outside sanity band [0.2, 0.6]: %+v", frac, st)
+	}
+}
+
+// TestServerErrorBursts: once a 5xx fires, the next BurstLen-1 requests are
+// also 5xx — every maximal run of 5xx outcomes is at least BurstLen long.
+func TestServerErrorBursts(t *testing.T) {
+	tr := Wrap(okTransport{body: `{}`}, Config{Seed: 5, ServerErrorRate: 0.1, BurstLen: 3})
+	var outcomes []string
+	for i := 0; i < 1000; i++ {
+		outcomes = append(outcomes, outcome(t, tr, mustReq(t, "/x")))
+	}
+	run := 0
+	sawBurst := false
+	check := func() {
+		if run > 0 {
+			sawBurst = true
+			if run < 3 {
+				t.Fatalf("5xx run of length %d, want >= BurstLen (3)", run)
+			}
+		}
+		run = 0
+	}
+	for _, o := range outcomes {
+		if o == "5xx" {
+			run++
+		} else {
+			check()
+		}
+	}
+	check()
+	if !sawBurst {
+		t.Error("no 5xx burst fired in 1000 requests at rate 0.1")
+	}
+}
+
+// TestTruncationBreaksDecode: a truncated body fails mid-read with
+// ErrUnexpectedEOF, exactly what a dropped connection looks like to a JSON
+// decoder.
+func TestTruncationBreaksDecode(t *testing.T) {
+	tr := Wrap(okTransport{body: `{"key":"` + strings.Repeat("v", 100) + `"}`}, Config{Seed: 1, TruncateRate: 1})
+	resp, err := tr.RoundTrip(mustReq(t, "/x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var into map[string]string
+	decErr := json.NewDecoder(resp.Body).Decode(&into)
+	if decErr == nil {
+		t.Fatal("decode succeeded on a truncated body")
+	}
+}
+
+// TestLatencyInjection: the injected sleep is called with the configured
+// delay.
+func TestLatencyInjection(t *testing.T) {
+	var slept []time.Duration
+	tr := Wrap(okTransport{body: `{}`}, Config{
+		Seed:        2,
+		LatencyRate: 1,
+		Latency:     250 * time.Millisecond,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	})
+	outcome(t, tr, mustReq(t, "/x"))
+	if len(slept) != 1 || slept[0] != 250*time.Millisecond {
+		t.Fatalf("slept = %v, want one 250ms delay", slept)
+	}
+	if tr.Stats().Latencies != 1 {
+		t.Errorf("latency counter = %d, want 1", tr.Stats().Latencies)
+	}
+}
+
+// TestSetEnabledStopsInjection: disabling the transport models recovered
+// connectivity — everything passes through untouched.
+func TestSetEnabledStopsInjection(t *testing.T) {
+	tr := Wrap(okTransport{body: `{}`}, Config{Seed: 3, ConnErrorRate: 1})
+	if outcome(t, tr, mustReq(t, "/x")) != "conn" {
+		t.Fatal("expected a connection fault while enabled")
+	}
+	tr.SetEnabled(false)
+	for i := 0; i < 20; i++ {
+		if o := outcome(t, tr, mustReq(t, "/x")); o != "ok" {
+			t.Fatalf("request %d: outcome %s after disable, want ok", i, o)
+		}
+	}
+}
+
+// TestExemptBypassesFaults: exempted requests never see injection.
+func TestExemptBypassesFaults(t *testing.T) {
+	tr := Wrap(okTransport{body: `{}`}, Config{
+		Seed:          4,
+		ConnErrorRate: 1,
+		Exempt:        func(r *http.Request) bool { return strings.HasSuffix(r.URL.Path, "/register") },
+	})
+	if o := outcome(t, tr, mustReq(t, "/api/v1/register")); o != "ok" {
+		t.Fatalf("exempt request got %s, want ok", o)
+	}
+	if o := outcome(t, tr, mustReq(t, "/api/v1/places")); o != "conn" {
+		t.Fatalf("non-exempt request got %s, want conn", o)
+	}
+}
+
+// TestConcurrentRoundTrips hammers the transport from many goroutines over a
+// live server; run with -race to validate the locking discipline.
+func TestConcurrentRoundTrips(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	t.Cleanup(srv.Close)
+	tr := Wrap(srv.Client().Transport, chaosConfig(9))
+	client := &http.Client{Transport: tr}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				resp, err := client.Get(srv.URL + "/x")
+				if err != nil {
+					continue // injected conn fault
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	st := tr.Stats()
+	if st.Requests != workers*50 {
+		t.Errorf("requests = %d, want %d", st.Requests, workers*50)
+	}
+	if st.Faults() == 0 {
+		t.Error("no faults injected across 400 concurrent requests")
+	}
+}
