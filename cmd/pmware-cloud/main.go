@@ -5,11 +5,23 @@
 //
 // Usage:
 //
-//	pmware-cloud [-addr :8080] [-store pmware-store.json] [-world-seed 2014]
+//	pmware-cloud [-addr :8080] [-data-dir ./pmware-data] [-fsync always]
+//	             [-shards 8] [-store pmware-store.json] [-world-seed 2014]
 //
-// The store file, when given, is loaded on startup (if present) and saved on
-// SIGINT/SIGTERM. The world seed builds the synthetic Open-Cell-ID database
-// so geolocation answers match simulations generated from the same seed.
+// With -data-dir the instance runs on the durable storage engine: every
+// mutation is journaled to a per-shard write-ahead log, snapshots compact the
+// logs periodically, and on boot the instance recovers automatically from
+// whatever the last run left on disk (including crashes mid-write). -fsync
+// picks the durability/latency trade-off and -shards the number of data
+// shards for concurrent writers; the shard count is pinned by the data
+// directory's manifest after the first boot.
+//
+// The legacy -store JSON file, when given, is loaded on startup (if present)
+// and saved on SIGINT/SIGTERM; it can be combined with -data-dir to migrate
+// an old store file into a durable data directory.
+//
+// The world seed builds the synthetic Open-Cell-ID database so geolocation
+// answers match simulations generated from the same seed.
 package main
 
 import (
@@ -21,14 +33,20 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/cloud"
+	"repro/internal/storage"
 	"repro/internal/world"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	storePath := flag.String("store", "", "JSON persistence file (optional)")
+	dataDir := flag.String("data-dir", "", "durable data directory (WAL + snapshots); empty = in-memory")
+	fsyncMode := flag.String("fsync", "interval", "WAL fsync policy: always | interval | never")
+	fsyncEvery := flag.Duration("fsync-interval", storage.DefaultSyncEvery, "max ack-to-disk lag under -fsync interval")
+	shards := flag.Int("shards", cloud.DefaultShards, "data shards (pinned by the data directory after first boot)")
+	storePath := flag.String("store", "", "legacy JSON persistence file (optional)")
 	worldSeed := flag.Int64("world-seed", 2014, "seed of the synthetic world for the cell database")
 	extent := flag.Float64("extent", 2600, "world half-extent in meters (must match the simulation)")
 	flag.Parse()
@@ -39,7 +57,10 @@ func main() {
 	wc.TowerRangeMeters = 800
 	w := world.Generate(wc, rand.New(rand.NewSource(*worldSeed)))
 
-	store := cloud.NewStore(nil)
+	store, err := openStore(*dataDir, *fsyncMode, *fsyncEvery, *shards)
+	if err != nil {
+		log.Fatalf("open store: %v", err)
+	}
 	if *storePath != "" {
 		if err := store.Load(*storePath); err == nil {
 			log.Printf("loaded store from %s (%d users)", *storePath, store.UserCount())
@@ -50,19 +71,27 @@ func main() {
 
 	server := cloud.NewServer(store, cloud.WithCellDatabase(cloud.NewCellDatabase(w, 150)))
 
-	if *storePath != "" {
-		sigs := make(chan os.Signal, 1)
-		signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
-		go func() {
-			<-sigs
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		code := 0
+		if *storePath != "" {
 			if err := store.Save(*storePath); err != nil {
 				log.Printf("save failed: %v", err)
-				os.Exit(1)
+				code = 1
+			} else {
+				log.Printf("store saved to %s", *storePath)
 			}
-			log.Printf("store saved to %s", *storePath)
-			os.Exit(0)
-		}()
-	}
+		}
+		// Close compacts each shard and fsyncs, so the next boot recovers
+		// from snapshots instead of replaying the full logs.
+		if err := store.Close(); err != nil {
+			log.Printf("close failed: %v", err)
+			code = 1
+		}
+		os.Exit(code)
+	}()
 
 	log.Printf("PMWare cloud instance listening on %s (world seed %d, %d towers in cell DB)",
 		*addr, *worldSeed, len(w.Towers))
@@ -70,6 +99,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// openStore builds the in-memory store or opens (and recovers) a durable one.
+func openStore(dir, fsyncMode string, fsyncEvery time.Duration, shards int) (*cloud.Store, error) {
+	if dir == "" {
+		return cloud.NewStore(nil), nil
+	}
+	policy, err := storage.ParseSyncPolicy(fsyncMode)
+	if err != nil {
+		return nil, err
+	}
+	store, err := cloud.OpenStore(dir, cloud.StoreConfig{
+		Shards:    shards,
+		Sync:      policy,
+		SyncEvery: fsyncEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("durable store open at %s (fsync=%s, %d data shards, %d users recovered)",
+		dir, policy, store.ShardCount(), store.UserCount())
+	return store, nil
 }
 
 // unwrapPathError digs out the fs-level error so missing files are not

@@ -14,6 +14,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/mobility"
 	"repro/internal/simclock"
+	"repro/internal/storage"
 	"repro/internal/trace"
 	"repro/internal/world"
 )
@@ -21,6 +22,7 @@ import (
 // chaosRun is one full PMS↔PCI pipeline execution.
 type chaosRun struct {
 	store *Store
+	dir   string // durable store's data directory
 	svc   *core.Service
 	fault *faultnet.Transport // nil for the fault-free control run
 }
@@ -55,13 +57,25 @@ func runChaosPipeline(t *testing.T, faulty bool) *chaosRun {
 			agent.Haunts = append(agent.Haunts, v)
 		}
 	}
-	it, err := mobility.BuildItinerary(agent, w, simclock.Epoch, 5, mobility.DefaultScheduleConfig(), rand.New(rand.NewSource(302)))
-	if err != nil {
-		t.Fatal(err)
+	it, berr := mobility.BuildItinerary(agent, w, simclock.Epoch, 5, mobility.DefaultScheduleConfig(), rand.New(rand.NewSource(302)))
+	if berr != nil {
+		t.Fatal(berr)
 	}
 
 	clock := simclock.New()
-	store := NewStore(clock.Now)
+	// The chaos soak runs over the durable store: every synced profile is
+	// journaled, and compaction churns generations mid-run (CompactEvery is
+	// deliberately small). fsync=always so the kill+recover check below can
+	// assert on acknowledged writes.
+	dir := t.TempDir()
+	store, err := OpenStore(dir, StoreConfig{
+		Now:          clock.Now,
+		Sync:         storage.SyncAlways,
+		CompactEvery: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	server := NewServer(store, WithCellDatabase(NewCellDatabase(w, 150)))
 	ts := httptest.NewServer(server.Handler())
 	t.Cleanup(ts.Close)
@@ -88,7 +102,19 @@ func runChaosPipeline(t *testing.T, faulty bool) *chaosRun {
 		fault.SetEnabled(false)
 	}
 	svc.Run(24 * time.Hour)
-	return &chaosRun{store: store, svc: svc, fault: fault}
+	return &chaosRun{store: store, dir: dir, svc: svc, fault: fault}
+}
+
+// recoverStore abandons the run's store (a crash: no Close, no final sync or
+// snapshot) and reopens it from the same data directory.
+func (r *chaosRun) recoverStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := OpenStore(r.dir, StoreConfig{Sync: storage.SyncAlways, CompactEvery: 32})
+	if err != nil {
+		t.Fatalf("recovery after chaos run: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
 }
 
 // profilesJSON renders a store's full profile set for byte-level comparison.
@@ -156,6 +182,14 @@ func TestChaosSoakNoProfileLoss(t *testing.T) {
 	// The outbox must have fully drained after recovery.
 	if pending := dirty.svc.Outbox().Pending(); pending != 0 {
 		t.Errorf("outbox still holds %d profiles after connectivity recovered", pending)
+	}
+
+	// Finally, kill the chaos run's cloud instance (no Close) and recover it
+	// from disk: with fsync=always, every profile the PMS got an ack for must
+	// survive the crash byte-for-byte.
+	revived := dirty.recoverStore(t)
+	if got := profilesJSON(t, revived, uid(dirty)); got != profilesJSON(t, clean.store, uid(clean)) {
+		t.Error("recovered store diverged from the fault-free control after a crash")
 	}
 }
 

@@ -47,8 +47,7 @@ func PopularPlaces(store *Store, cells *CellDatabase, k int, radiusM float64) []
 	}
 	var all []sited
 
-	store.mu.RLock()
-	for user, places := range store.places {
+	store.forEachPlaces(func(user string, places []PlaceWire) {
 		for _, p := range places {
 			var pts []geo.LatLng
 			for _, c := range p.Cells {
@@ -61,8 +60,7 @@ func PopularPlaces(store *Store, cells *CellDatabase, k int, radiusM float64) []
 			}
 			all = append(all, sited{user: user, center: geo.Centroid(pts), label: p.Label})
 		}
-	}
-	store.mu.RUnlock()
+	})
 
 	// Deterministic order before greedy clustering.
 	sort.Slice(all, func(i, j int) bool {

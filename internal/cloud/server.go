@@ -198,7 +198,10 @@ func (s *Server) handlePlacesDiscover(w http.ResponseWriter, r *http.Request, ui
 	for _, p := range res.Places {
 		wire = append(wire, PlaceToWire(p))
 	}
-	s.store.SetPlaces(uid, wire)
+	if err := s.store.SetPlaces(uid, wire); err != nil {
+		writeError(w, http.StatusInternalServerError, "storing places: %v", err)
+		return
+	}
 	writeJSON(w, http.StatusOK, DiscoverPlacesResponse{Places: s.store.Places(uid)})
 }
 
@@ -259,7 +262,10 @@ func (s *Server) handleRoutesDiscover(w http.ResponseWriter, r *http.Request, ui
 	for _, rt := range routes {
 		wire = append(wire, RouteToWire(rt))
 	}
-	s.store.SetRoutes(uid, wire)
+	if err := s.store.SetRoutes(uid, wire); err != nil {
+		writeError(w, http.StatusInternalServerError, "storing routes: %v", err)
+		return
+	}
 	writeJSON(w, http.StatusOK, DiscoverRoutesResponse{Routes: wire})
 }
 
@@ -323,7 +329,10 @@ func (s *Server) handleContactsPost(w http.ResponseWriter, r *http.Request, uid 
 	if !decode(w, r, &req) {
 		return
 	}
-	s.store.AddContacts(uid, req.Encounters)
+	if err := s.store.AddContacts(uid, req.Encounters); err != nil {
+		writeError(w, http.StatusInternalServerError, "storing contacts: %v", err)
+		return
+	}
 	writeJSON(w, http.StatusOK, struct{}{})
 }
 

@@ -1,0 +1,303 @@
+package cloud
+
+import (
+	"encoding/json"
+	"fmt"
+	"slices"
+
+	"repro/internal/profile"
+)
+
+// This file is the journaling side of the Store: the WAL record schema, the
+// two shard-state kinds the storage engine manages (registration keyspace,
+// per-user data keyspace), and the deep-copy helpers that keep journaled
+// state isolated from callers.
+
+// WAL op codes. These are a persistence format: renaming one breaks replay
+// of existing data directories.
+const (
+	opRegister    = "register"
+	opSetPlaces   = "set_places"
+	opLabelPlace  = "label_place"
+	opSetRoutes   = "set_routes"
+	opPutProfile  = "put_profile"
+	opAddContacts = "add_contacts"
+	opLoadMeta    = "load_meta"  // legacy Save-file import: replace meta keyspace
+	opLoadShard   = "load_shard" // legacy Save-file import: replace one data shard
+)
+
+// walRecord is the journaled form of every Store mutation. One struct for
+// all ops keeps the codec trivial; unused fields are omitted from the JSON.
+type walRecord struct {
+	Op string `json:"op"`
+
+	// opRegister
+	User      *User  `json:"user,omitempty"`
+	DeviceKey string `json:"device_key,omitempty"`
+
+	// data ops
+	UserID     string              `json:"user_id,omitempty"`
+	Places     []PlaceWire         `json:"places,omitempty"`
+	PlaceID    int                 `json:"place_id,omitempty"`
+	Label      string              `json:"label,omitempty"`
+	Routes     []RouteWire         `json:"routes,omitempty"`
+	Profile    *profile.DayProfile `json:"profile,omitempty"`
+	Encounters []profile.Encounter `json:"encounters,omitempty"`
+
+	// load ops
+	Meta *metaSnapshot `json:"meta,omitempty"`
+	Data *dataSnapshot `json:"data,omitempty"`
+}
+
+// metaState is shard 0: the registration keyspace.
+type metaState struct {
+	users    map[string]*User  // user id -> user
+	byDevice map[string]string // imei|email -> user id
+}
+
+func newMetaState() *metaState {
+	return &metaState{users: map[string]*User{}, byDevice: map[string]string{}}
+}
+
+// metaSnapshot is the persisted form of metaState.
+type metaSnapshot struct {
+	Users    map[string]*User  `json:"users"`
+	ByDevice map[string]string `json:"by_device"`
+}
+
+func (m *metaState) apply(rec *walRecord) error {
+	switch rec.Op {
+	case opRegister:
+		if rec.User == nil || rec.User.ID == "" {
+			return fmt.Errorf("cloud: register record without user")
+		}
+		m.users[rec.User.ID] = rec.User
+		m.byDevice[rec.DeviceKey] = rec.User.ID
+	case opLoadMeta:
+		if rec.Meta == nil {
+			return fmt.Errorf("cloud: load_meta record without payload")
+		}
+		if rec.Meta.Users != nil {
+			m.users = rec.Meta.Users
+		}
+		if rec.Meta.ByDevice != nil {
+			m.byDevice = rec.Meta.ByDevice
+		}
+	default:
+		return fmt.Errorf("cloud: meta shard cannot apply op %q", rec.Op)
+	}
+	return nil
+}
+
+func (m *metaState) Apply(b []byte) error {
+	var rec walRecord
+	if err := json.Unmarshal(b, &rec); err != nil {
+		return fmt.Errorf("cloud: decode meta record: %w", err)
+	}
+	return m.apply(&rec)
+}
+
+func (m *metaState) Snapshot() ([]byte, error) {
+	return json.Marshal(metaSnapshot{Users: m.users, ByDevice: m.byDevice})
+}
+
+func (m *metaState) Restore(b []byte) error {
+	var snap metaSnapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		return fmt.Errorf("cloud: decode meta snapshot: %w", err)
+	}
+	fresh := newMetaState()
+	if snap.Users != nil {
+		fresh.users = snap.Users
+	}
+	if snap.ByDevice != nil {
+		fresh.byDevice = snap.ByDevice
+	}
+	*m = *fresh
+	return nil
+}
+
+// dataState is one data shard: the per-user mobility keyspace for the users
+// hashed onto it.
+type dataState struct {
+	places   map[string][]PlaceWire
+	routes   map[string][]RouteWire
+	profiles map[string]map[string]*profile.DayProfile // user id -> date -> profile
+	contacts map[string][]profile.Encounter
+}
+
+func newDataState() *dataState {
+	return &dataState{
+		places:   map[string][]PlaceWire{},
+		routes:   map[string][]RouteWire{},
+		profiles: map[string]map[string]*profile.DayProfile{},
+		contacts: map[string][]profile.Encounter{},
+	}
+}
+
+// dataSnapshot is the persisted form of dataState.
+type dataSnapshot struct {
+	Places   map[string][]PlaceWire                    `json:"places"`
+	Routes   map[string][]RouteWire                    `json:"routes"`
+	Profiles map[string]map[string]*profile.DayProfile `json:"profiles"`
+	Contacts map[string][]profile.Encounter            `json:"contacts"`
+}
+
+func newDataSnapshot() *dataSnapshot {
+	return &dataSnapshot{
+		Places:   map[string][]PlaceWire{},
+		Routes:   map[string][]RouteWire{},
+		Profiles: map[string]map[string]*profile.DayProfile{},
+		Contacts: map[string][]profile.Encounter{},
+	}
+}
+
+// apply is the single mutation path: live Store calls and crash-recovery
+// replay both go through it, so a replayed log reproduces the exact state
+// the acknowledged calls built.
+func (d *dataState) apply(rec *walRecord) error {
+	switch rec.Op {
+	case opSetPlaces:
+		// Carry labels from the previous generation by place ID (discovery
+		// is a whole-history recomputation; labels are user input).
+		labels := map[int]string{}
+		for _, p := range d.places[rec.UserID] {
+			if p.Label != "" {
+				labels[p.ID] = p.Label
+			}
+		}
+		for i := range rec.Places {
+			if rec.Places[i].Label == "" {
+				rec.Places[i].Label = labels[rec.Places[i].ID]
+			}
+		}
+		d.places[rec.UserID] = rec.Places
+	case opLabelPlace:
+		ps := d.places[rec.UserID]
+		for i := range ps {
+			if ps[i].ID == rec.PlaceID {
+				ps[i].Label = rec.Label
+				return nil
+			}
+		}
+		return fmt.Errorf("cloud: user %s has no place %d", rec.UserID, rec.PlaceID)
+	case opSetRoutes:
+		d.routes[rec.UserID] = rec.Routes
+	case opPutProfile:
+		if rec.Profile == nil {
+			return fmt.Errorf("cloud: put_profile record without profile")
+		}
+		if d.profiles[rec.UserID] == nil {
+			d.profiles[rec.UserID] = map[string]*profile.DayProfile{}
+		}
+		d.profiles[rec.UserID][rec.Profile.Date] = rec.Profile
+	case opAddContacts:
+		d.contacts[rec.UserID] = append(d.contacts[rec.UserID], rec.Encounters...)
+	case opLoadShard:
+		if rec.Data == nil {
+			return fmt.Errorf("cloud: load_shard record without payload")
+		}
+		d.install(rec.Data)
+	default:
+		return fmt.Errorf("cloud: data shard cannot apply op %q", rec.Op)
+	}
+	return nil
+}
+
+func (d *dataState) install(snap *dataSnapshot) {
+	fresh := newDataState()
+	if snap.Places != nil {
+		fresh.places = snap.Places
+	}
+	if snap.Routes != nil {
+		fresh.routes = snap.Routes
+	}
+	if snap.Profiles != nil {
+		fresh.profiles = snap.Profiles
+	}
+	if snap.Contacts != nil {
+		fresh.contacts = snap.Contacts
+	}
+	*d = *fresh
+}
+
+func (d *dataState) Apply(b []byte) error {
+	var rec walRecord
+	if err := json.Unmarshal(b, &rec); err != nil {
+		return fmt.Errorf("cloud: decode data record: %w", err)
+	}
+	return d.apply(&rec)
+}
+
+func (d *dataState) Snapshot() ([]byte, error) {
+	return json.Marshal(dataSnapshot{
+		Places:   d.places,
+		Routes:   d.routes,
+		Profiles: d.profiles,
+		Contacts: d.contacts,
+	})
+}
+
+func (d *dataState) Restore(b []byte) error {
+	var snap dataSnapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		return fmt.Errorf("cloud: decode data snapshot: %w", err)
+	}
+	d.install(&snap)
+	return nil
+}
+
+// clonePlace deep-copies one place, detaching every slice.
+func clonePlace(p PlaceWire) PlaceWire {
+	p.Signature = slices.Clone(p.Signature)
+	p.Cells = slices.Clone(p.Cells)
+	p.Visits = slices.Clone(p.Visits)
+	return p
+}
+
+func clonePlaces(ps []PlaceWire) []PlaceWire {
+	if ps == nil {
+		return nil
+	}
+	out := make([]PlaceWire, len(ps))
+	for i, p := range ps {
+		out[i] = clonePlace(p)
+	}
+	return out
+}
+
+// cloneRoute deep-copies one route: the Trips and Cells slices no longer
+// alias store state, so a caller mutation cannot corrupt journaled data.
+func cloneRoute(r RouteWire) RouteWire {
+	r.Cells = slices.Clone(r.Cells)
+	r.Trips = slices.Clone(r.Trips)
+	return r
+}
+
+func cloneRoutes(rs []RouteWire) []RouteWire {
+	if rs == nil {
+		return nil
+	}
+	out := make([]RouteWire, len(rs))
+	for i, r := range rs {
+		out[i] = cloneRoute(r)
+	}
+	return out
+}
+
+// cloneProfile deep-copies a day profile (entry slices are flat structs, so
+// one level of slice cloning fully detaches it).
+func cloneProfile(p *profile.DayProfile) *profile.DayProfile {
+	if p == nil {
+		return nil
+	}
+	q := *p
+	q.Places = slices.Clone(p.Places)
+	q.Routes = slices.Clone(p.Routes)
+	q.Contacts = slices.Clone(p.Contacts)
+	if p.Activity != nil {
+		a := *p.Activity
+		q.Activity = &a
+	}
+	return &q
+}

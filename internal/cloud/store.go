@@ -5,18 +5,26 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"os"
+	"slices"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/profile"
+	"repro/internal/storage"
 )
 
 // TokenTTL is how long an issued token stays valid before the mobile service
 // must refresh it (Section 2.2.1: "the authentication token is refreshed
 // periodically based on its expiry time").
 const TokenTTL = 24 * time.Hour
+
+// DefaultShards is the data-shard count when none is configured. User state
+// is hashed across the shards, each with its own lock and write-ahead log,
+// so concurrent uploads from different users do not serialize.
+const DefaultShards = 8
 
 // User is a registered device/account pair.
 type User struct {
@@ -31,39 +39,147 @@ type tokenInfo struct {
 }
 
 // Store is the cloud instance's state: users, tokens, places, routes,
-// profiles, and contacts. Safe for concurrent use. Persistence is explicit
-// via Save/Load.
+// profiles, and contacts. Safe for concurrent use.
+//
+// Store is a thin typed layer over the sharded storage engine
+// (internal/storage): every mutation is journaled as a WAL record on the
+// owning shard and replayed on startup, so an acknowledged write survives a
+// crash (under the engine's fsync policy). Shard 0 holds the registration
+// keyspace (users, device index); per-user data is hashed across the
+// remaining shards. Tokens are deliberately in-memory only — they never
+// survive a restart, devices re-register (matching the paper's token
+// refresh flow).
 type Store struct {
-	mu sync.RWMutex
+	eng  *storage.Engine
+	meta *metaState
+	data []*dataState
 
-	users    map[string]*User     // user id -> user
-	byDevice map[string]string    // imei|email -> user id
-	tokens   map[string]tokenInfo // token -> info
-
-	places   map[string][]PlaceWire                    // user id -> places
-	routes   map[string][]RouteWire                    // user id -> routes
-	profiles map[string]map[string]*profile.DayProfile // user id -> date -> profile
-	contacts map[string][]profile.Encounter            // user id -> encounters
+	tokenMu sync.RWMutex
+	tokens  map[string]tokenInfo
 
 	now func() time.Time
 }
 
-// NewStore returns an empty store using the given time source (nil means
-// time.Now; simulations inject the virtual clock).
+// StoreConfig configures a durable store opened with OpenStore.
+type StoreConfig struct {
+	// Shards is the data-shard count (default DefaultShards). Ignored when
+	// the data directory already exists: the persisted layout wins.
+	Shards int
+	// Sync is the WAL fsync policy (default storage.SyncAlways).
+	Sync storage.SyncPolicy
+	// SyncEvery is the storage.SyncInterval period (default 100ms).
+	SyncEvery time.Duration
+	// CompactEvery snapshots a shard after this many journaled records
+	// (default storage.DefaultCompactEvery; negative disables).
+	CompactEvery int
+	// Now is the time source (nil means time.Now; simulations inject the
+	// virtual clock).
+	Now func() time.Time
+}
+
+// NewStore returns an empty memory-only store using the given time source
+// (nil means time.Now; simulations inject the virtual clock). State is still
+// sharded for concurrency but nothing is journaled; use OpenStore for
+// durability.
 func NewStore(now func() time.Time) *Store {
-	if now == nil {
-		now = time.Now
+	s, err := newStore("", StoreConfig{Now: now})
+	if err != nil {
+		// Memory-only construction touches no I/O and cannot fail.
+		panic(fmt.Sprintf("cloud: memory store: %v", err))
 	}
-	return &Store{
-		users:    map[string]*User{},
-		byDevice: map[string]string{},
-		tokens:   map[string]tokenInfo{},
-		places:   map[string][]PlaceWire{},
-		routes:   map[string][]RouteWire{},
-		profiles: map[string]map[string]*profile.DayProfile{},
-		contacts: map[string][]profile.Encounter{},
-		now:      now,
+	return s
+}
+
+// OpenStore opens (creating if needed) a durable store rooted at dir,
+// recovering state from its snapshots and write-ahead logs: torn WAL tails
+// from a crash are truncated, every intact acknowledged write is replayed.
+func OpenStore(dir string, cfg StoreConfig) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cloud: OpenStore needs a data directory (use NewStore for memory-only)")
 	}
+	return newStore(dir, cfg)
+}
+
+func newStore(dir string, cfg StoreConfig) (*Store, error) {
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	if dir != "" {
+		// A pre-existing layout pins the shard count: rehashing users across
+		// a different count would strand their data on the wrong shards.
+		if n, ok, err := storage.ReadManifest(dir); err != nil {
+			return nil, err
+		} else if ok {
+			shards = n - 1 // shard 0 is the registration keyspace
+		}
+	}
+
+	s := &Store{
+		meta:   newMetaState(),
+		data:   make([]*dataState, shards),
+		tokens: map[string]tokenInfo{},
+		now:    cfg.Now,
+	}
+	states := make([]storage.ShardState, 0, shards+1)
+	states = append(states, s.meta)
+	for i := range s.data {
+		s.data[i] = newDataState()
+		states = append(states, s.data[i])
+	}
+	eng, err := storage.Open(storage.Options{
+		Dir:          dir,
+		Sync:         cfg.Sync,
+		SyncEvery:    cfg.SyncEvery,
+		CompactEvery: cfg.CompactEvery,
+	}, states)
+	if err != nil {
+		return nil, err
+	}
+	s.eng = eng
+	return s, nil
+}
+
+// Close compacts every shard (so the next boot replays nothing), flushes the
+// logs, and releases the store's files. Memory-only stores need not call it.
+func (s *Store) Close() error { return s.eng.Close() }
+
+// Sync forces all WALs to stable storage — a checkpoint for interval/never
+// fsync policies.
+func (s *Store) Sync() error { return s.eng.Sync() }
+
+// Durable reports whether the store journals to disk.
+func (s *Store) Durable() bool { return s.eng.Durable() }
+
+// ShardCount returns the number of data shards.
+func (s *Store) ShardCount() int { return len(s.data) }
+
+// dataShard maps a user to its engine shard index (1-based; 0 is meta).
+func (s *Store) dataShard(userID string) int {
+	h := fnv.New32a()
+	h.Write([]byte(userID))
+	return 1 + int(h.Sum32()%uint32(len(s.data)))
+}
+
+func (s *Store) dataFor(userID string) (int, *dataState) {
+	idx := s.dataShard(userID)
+	return idx, s.data[idx-1]
+}
+
+// mutateData runs one record through the owning data shard: the same apply
+// path recovery replays, journaled only when it succeeds. Marshal runs after
+// apply so the journal captures any normalization apply performed.
+func (s *Store) mutateData(userID string, rec *walRecord) error {
+	idx, d := s.dataFor(userID)
+	return s.eng.Mutate(idx, func() ([]byte, error) {
+		if err := d.apply(rec); err != nil {
+			return nil, err
+		}
+		return json.Marshal(rec)
+	})
 }
 
 func deviceKey(imei, email string) string { return imei + "|" + email }
@@ -77,32 +193,42 @@ func newToken() string {
 }
 
 // Register creates (or finds) the user for the device and issues a fresh
-// token.
+// token. User creation is journaled; the token itself is ephemeral.
 func (s *Store) Register(imei, email string) (RegisterResponse, error) {
 	if imei == "" || email == "" {
 		return RegisterResponse{}, fmt.Errorf("cloud: imei and email are required")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-
-	key := deviceKey(imei, email)
-	uid, ok := s.byDevice[key]
-	if !ok {
-		uid = fmt.Sprintf("user-%04d", len(s.users)+1)
-		s.users[uid] = &User{ID: uid, IMEI: imei, Email: email}
-		s.byDevice[key] = uid
+	var uid string
+	err := s.eng.Mutate(0, func() ([]byte, error) {
+		key := deviceKey(imei, email)
+		if id, ok := s.meta.byDevice[key]; ok {
+			uid = id
+			return nil, nil // known device: nothing to journal
+		}
+		u := &User{ID: fmt.Sprintf("user-%04d", len(s.meta.users)+1), IMEI: imei, Email: email}
+		rec := &walRecord{Op: opRegister, User: u, DeviceKey: key}
+		if err := s.meta.apply(rec); err != nil {
+			return nil, err
+		}
+		uid = u.ID
+		return json.Marshal(rec)
+	})
+	if err != nil {
+		return RegisterResponse{}, err
 	}
 	tok := newToken()
 	exp := s.now().Add(TokenTTL)
+	s.tokenMu.Lock()
 	s.tokens[tok] = tokenInfo{UserID: uid, ExpiresAt: exp}
+	s.tokenMu.Unlock()
 	return RegisterResponse{UserID: uid, Token: tok, ExpiresAt: exp}, nil
 }
 
 // Refresh exchanges a valid (possibly near-expiry) token for a fresh one.
 // The old token is revoked.
 func (s *Store) Refresh(token string) (RefreshResponse, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.tokenMu.Lock()
+	defer s.tokenMu.Unlock()
 	info, ok := s.tokens[token]
 	if !ok || s.now().After(info.ExpiresAt) {
 		delete(s.tokens, token)
@@ -120,8 +246,8 @@ var errUnauthorized = fmt.Errorf("cloud: unauthorized")
 
 // Authenticate resolves a token to a user ID.
 func (s *Store) Authenticate(token string) (string, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.tokenMu.RLock()
+	defer s.tokenMu.RUnlock()
 	info, ok := s.tokens[token]
 	if !ok || s.now().After(info.ExpiresAt) {
 		return "", errUnauthorized
@@ -130,68 +256,54 @@ func (s *Store) Authenticate(token string) (string, error) {
 }
 
 // SetPlaces replaces the user's stored places (discovery is a whole-history
-// recomputation, so replacement is the right semantic).
-func (s *Store) SetPlaces(userID string, places []PlaceWire) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	// Carry labels from the previous generation by place ID.
-	labels := map[int]string{}
-	for _, p := range s.places[userID] {
-		if p.Label != "" {
-			labels[p.ID] = p.Label
-		}
-	}
-	for i := range places {
-		if places[i].Label == "" {
-			places[i].Label = labels[places[i].ID]
-		}
-	}
-	s.places[userID] = places
+// recomputation, so replacement is the right semantic). Labels from the
+// previous generation are carried over by place ID.
+func (s *Store) SetPlaces(userID string, places []PlaceWire) error {
+	// Detach from the caller before journaling. Apply runs before Marshal,
+	// so the record captures the post-label-carry value.
+	rec := &walRecord{Op: opSetPlaces, UserID: userID, Places: clonePlaces(places)}
+	return s.mutateData(userID, rec)
 }
 
-// Places returns the user's stored places.
+// Places returns a deep copy of the user's stored places.
 func (s *Store) Places(userID string) []PlaceWire {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]PlaceWire, len(s.places[userID]))
-	copy(out, s.places[userID])
+	idx, d := s.dataFor(userID)
+	var out []PlaceWire
+	s.eng.View(idx, func() { out = clonePlaces(d.places[userID]) })
+	if out == nil {
+		out = []PlaceWire{}
+	}
 	return out
 }
 
 // LabelPlace tags a stored place.
 func (s *Store) LabelPlace(userID string, placeID int, label string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for i := range s.places[userID] {
-		if s.places[userID][i].ID == placeID {
-			s.places[userID][i].Label = label
-			return nil
-		}
-	}
-	return fmt.Errorf("cloud: user %s has no place %d", userID, placeID)
+	return s.mutateData(userID, &walRecord{Op: opLabelPlace, UserID: userID, PlaceID: placeID, Label: label})
 }
 
 // SetRoutes replaces the user's stored routes.
-func (s *Store) SetRoutes(userID string, routes []RouteWire) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.routes[userID] = routes
+func (s *Store) SetRoutes(userID string, routes []RouteWire) error {
+	return s.mutateData(userID, &walRecord{Op: opSetRoutes, UserID: userID, Routes: cloneRoutes(routes)})
 }
 
-// Routes returns the user's routes with at least minFrequency traversals.
+// Routes returns deep copies of the user's routes with at least minFrequency
+// traversals — callers may mutate the result freely.
 func (s *Store) Routes(userID string, minFrequency int) []RouteWire {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	idx, d := s.dataFor(userID)
 	var out []RouteWire
-	for _, r := range s.routes[userID] {
-		if len(r.Trips) >= minFrequency {
-			out = append(out, r)
+	s.eng.View(idx, func() {
+		for _, r := range d.routes[userID] {
+			if len(r.Trips) >= minFrequency {
+				out = append(out, cloneRoute(r))
+			}
 		}
-	}
+	})
 	return out
 }
 
-// PutProfile stores (upserts) a day profile after validation.
+// PutProfile stores (upserts) a day profile after validation. The store
+// keeps its own deep copy; later caller mutations cannot corrupt journaled
+// state.
 func (s *Store) PutProfile(userID string, p *profile.DayProfile) error {
 	if p == nil {
 		return fmt.Errorf("cloud: nil profile")
@@ -202,70 +314,88 @@ func (s *Store) PutProfile(userID string, p *profile.DayProfile) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.profiles[userID] == nil {
-		s.profiles[userID] = map[string]*profile.DayProfile{}
-	}
-	s.profiles[userID][p.Date] = p
-	return nil
+	return s.mutateData(userID, &walRecord{Op: opPutProfile, UserID: userID, Profile: cloneProfile(p)})
 }
 
-// Profile returns the user's profile for a date.
+// Profile returns a deep copy of the user's profile for a date.
 func (s *Store) Profile(userID, date string) (*profile.DayProfile, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	p, ok := s.profiles[userID][date]
-	return p, ok
+	idx, d := s.dataFor(userID)
+	var out *profile.DayProfile
+	var ok bool
+	s.eng.View(idx, func() {
+		var p *profile.DayProfile
+		p, ok = d.profiles[userID][date]
+		if ok {
+			out = cloneProfile(p)
+		}
+	})
+	return out, ok
 }
 
-// ProfileRange returns profiles with from <= date <= to (inclusive, date
-// strings), sorted by date. Empty bounds are open.
+// ProfileRange returns deep copies of profiles with from <= date <= to
+// (inclusive, date strings), sorted by date. Empty bounds are open.
 func (s *Store) ProfileRange(userID, from, to string) []*profile.DayProfile {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	idx, d := s.dataFor(userID)
 	var out []*profile.DayProfile
-	for date, p := range s.profiles[userID] {
-		if from != "" && date < from {
-			continue
+	s.eng.View(idx, func() {
+		for date, p := range d.profiles[userID] {
+			if from != "" && date < from {
+				continue
+			}
+			if to != "" && date > to {
+				continue
+			}
+			out = append(out, cloneProfile(p))
 		}
-		if to != "" && date > to {
-			continue
-		}
-		out = append(out, p)
-	}
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].Date < out[j].Date })
 	return out
 }
 
 // AddContacts appends encounters to the user's contact log.
-func (s *Store) AddContacts(userID string, encs []profile.Encounter) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.contacts[userID] = append(s.contacts[userID], encs...)
+func (s *Store) AddContacts(userID string, encs []profile.Encounter) error {
+	if len(encs) == 0 {
+		return nil
+	}
+	return s.mutateData(userID, &walRecord{Op: opAddContacts, UserID: userID, Encounters: slices.Clone(encs)})
 }
 
 // Contacts returns the user's encounters, optionally filtered by place.
 func (s *Store) Contacts(userID, placeID string) []profile.Encounter {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	idx, d := s.dataFor(userID)
 	var out []profile.Encounter
-	for _, e := range s.contacts[userID] {
-		if placeID == "" || e.PlaceID == placeID {
-			out = append(out, e)
+	s.eng.View(idx, func() {
+		for _, e := range d.contacts[userID] {
+			if placeID == "" || e.PlaceID == placeID {
+				out = append(out, e)
+			}
 		}
-	}
+	})
 	return out
 }
 
 // UserCount returns the number of registered users.
 func (s *Store) UserCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.users)
+	var n int
+	s.eng.View(0, func() { n = len(s.meta.users) })
+	return n
 }
 
-// snapshot is the persisted form.
+// forEachPlaces streams every user's stored places, one shard at a time,
+// under that shard's read lock. The callback must not retain or mutate the
+// slice (cross-user aggregates such as PopularPlaces read it in place).
+func (s *Store) forEachPlaces(fn func(userID string, places []PlaceWire)) {
+	for i, d := range s.data {
+		s.eng.View(i+1, func() {
+			for u, ps := range d.places {
+				fn(u, ps)
+			}
+		})
+	}
+}
+
+// snapshot is the legacy whole-store persisted form (Save/Load and the sim
+// tooling); the engine's per-shard snapshots use metaSnapshot/dataSnapshot.
 type snapshot struct {
 	Users    map[string]*User                          `json:"users"`
 	ByDevice map[string]string                         `json:"by_device"`
@@ -275,27 +405,71 @@ type snapshot struct {
 	Contacts map[string][]profile.Encounter            `json:"contacts"`
 }
 
-// Save writes the store (minus live tokens) to path as JSON.
+// Save writes the store (minus live tokens) to path as JSON, via a temp
+// file in the same directory plus rename — a crash mid-save can never
+// corrupt a previous save. Kept as a compatibility export (sim tooling, the
+// legacy -store flag); durable deployments use OpenStore instead.
 func (s *Store) Save(path string) error {
-	s.mu.RLock()
 	snap := snapshot{
-		Users:    s.users,
-		ByDevice: s.byDevice,
-		Places:   s.places,
-		Routes:   s.routes,
-		Profiles: s.profiles,
-		Contacts: s.contacts,
+		Users:    map[string]*User{},
+		ByDevice: map[string]string{},
+		Places:   map[string][]PlaceWire{},
+		Routes:   map[string][]RouteWire{},
+		Profiles: map[string]map[string]*profile.DayProfile{},
+		Contacts: map[string][]profile.Encounter{},
+	}
+	s.eng.View(0, func() {
+		for id, u := range s.meta.users {
+			cu := *u
+			snap.Users[id] = &cu
+		}
+		for k, v := range s.meta.byDevice {
+			snap.ByDevice[k] = v
+		}
+	})
+	for i, d := range s.data {
+		s.eng.View(i+1, func() {
+			for u, ps := range d.places {
+				snap.Places[u] = clonePlaces(ps)
+			}
+			for u, rs := range d.routes {
+				snap.Routes[u] = cloneRoutes(rs)
+			}
+			for u, days := range d.profiles {
+				m := map[string]*profile.DayProfile{}
+				for date, p := range days {
+					m[date] = cloneProfile(p)
+				}
+				snap.Profiles[u] = m
+			}
+			for u, es := range d.contacts {
+				snap.Contacts[u] = slices.Clone(es)
+			}
+		})
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")
-	s.mu.RUnlock()
 	if err != nil {
 		return fmt.Errorf("cloud: marshal store: %w", err)
 	}
-	return os.WriteFile(path, data, 0o644)
+	return writeJSONAtomic(path, data)
+}
+
+// writeJSONAtomic writes data via temp file + rename in path's directory.
+func writeJSONAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // Load replaces the store contents from a Save file. Tokens are not
-// restored; devices must re-register.
+// restored; devices must re-register. On a durable store the loaded state
+// is journaled like any other mutation.
 func (s *Store) Load(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -305,25 +479,48 @@ func (s *Store) Load(path string) error {
 	if err := json.Unmarshal(data, &snap); err != nil {
 		return fmt.Errorf("cloud: parse store: %w", err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if snap.Users != nil {
-		s.users = snap.Users
+
+	// Meta shard: replace users/device index wholesale.
+	err = s.eng.Mutate(0, func() ([]byte, error) {
+		rec := &walRecord{Op: opLoadMeta, Meta: &metaSnapshot{Users: snap.Users, ByDevice: snap.ByDevice}}
+		if err := s.meta.apply(rec); err != nil {
+			return nil, err
+		}
+		return json.Marshal(rec)
+	})
+	if err != nil {
+		return err
 	}
-	if snap.ByDevice != nil {
-		s.byDevice = snap.ByDevice
+
+	// Partition per-user data by owning shard, then replace each shard's
+	// keyspace with its slice of the snapshot.
+	parts := make([]*dataSnapshot, len(s.data))
+	for i := range parts {
+		parts[i] = newDataSnapshot()
 	}
-	if snap.Places != nil {
-		s.places = snap.Places
+	for u, v := range snap.Places {
+		parts[s.dataShard(u)-1].Places[u] = v
 	}
-	if snap.Routes != nil {
-		s.routes = snap.Routes
+	for u, v := range snap.Routes {
+		parts[s.dataShard(u)-1].Routes[u] = v
 	}
-	if snap.Profiles != nil {
-		s.profiles = snap.Profiles
+	for u, v := range snap.Profiles {
+		parts[s.dataShard(u)-1].Profiles[u] = v
 	}
-	if snap.Contacts != nil {
-		s.contacts = snap.Contacts
+	for u, v := range snap.Contacts {
+		parts[s.dataShard(u)-1].Contacts[u] = v
+	}
+	for i, d := range s.data {
+		rec := &walRecord{Op: opLoadShard, Data: parts[i]}
+		err := s.eng.Mutate(i+1, func() ([]byte, error) {
+			if err := d.apply(rec); err != nil {
+				return nil, err
+			}
+			return json.Marshal(rec)
+		})
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }

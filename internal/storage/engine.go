@@ -1,0 +1,437 @@
+package storage
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ShardState is the in-memory state of one shard. The engine journals
+// mutations the owner hands it and replays them through Apply on recovery;
+// Snapshot/Restore bound replay length via compaction. Restore must be
+// all-or-nothing: on error the previous state must be intact (decode into
+// fresh structures, then install).
+type ShardState interface {
+	// Apply replays one journaled record against the state.
+	Apply(rec []byte) error
+	// Snapshot encodes the full state.
+	Snapshot() ([]byte, error)
+	// Restore replaces the state with a decoded snapshot.
+	Restore(snap []byte) error
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Dir is the data directory; one subdirectory per shard. Empty means
+	// memory-only: per-shard locking with no WAL, no snapshots — the mode
+	// simulations and unit tests run in.
+	Dir string
+	// Sync is the WAL fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval period (default 100ms).
+	SyncEvery time.Duration
+	// CompactEvery triggers a snapshot + log rotation after this many
+	// records on a shard (default 4096; negative disables auto-compaction).
+	CompactEvery int
+}
+
+// DefaultSyncEvery is the SyncInterval period when none is given.
+const DefaultSyncEvery = 100 * time.Millisecond
+
+// DefaultCompactEvery is the auto-compaction threshold when none is given.
+const DefaultCompactEvery = 4096
+
+// manifestName is the engine's layout descriptor inside Dir. It pins the
+// shard count: reopening with a different count would hash keys to the
+// wrong shards, so Open fails loudly on a mismatch.
+const manifestName = "MANIFEST.json"
+
+type manifest struct {
+	Shards int `json:"shards"`
+}
+
+// ReadManifest reports the shard count a data directory was created with.
+// ok is false when the directory has no manifest (fresh or memory-only).
+func ReadManifest(dir string) (shards int, ok bool, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, fmt.Errorf("storage: read manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return 0, false, fmt.Errorf("storage: parse manifest: %w", err)
+	}
+	if m.Shards <= 0 {
+		return 0, false, fmt.Errorf("storage: manifest declares %d shards", m.Shards)
+	}
+	return m.Shards, true, nil
+}
+
+// shard pairs one ShardState with its lock and its log generation.
+// Generation N means: snapshot-N (absent for N=0 on a fresh shard) holds
+// the state as of rotation N, and wal-N holds every mutation since.
+type shard struct {
+	mu    sync.RWMutex
+	state ShardState
+	dir   string // "" in memory-only mode
+	seq   uint64
+	w     *wal
+	since int   // records appended since the last snapshot
+	err   error // sticky: a failed journal append poisons the shard
+}
+
+// Engine is the sharded storage engine. Each shard has its own lock and its
+// own WAL, so mutations on different shards never serialize against each
+// other — the property the PCI's per-user keyspace layout exploits.
+type Engine struct {
+	opts   Options
+	shards []*shard
+}
+
+// Open builds an engine over the given shard states, recovering each shard
+// from Dir (snapshot load, WAL replay, torn-tail truncation, stale-file
+// cleanup). The states are mutated in place during recovery. With an empty
+// Dir the engine is memory-only.
+func Open(opts Options, states []ShardState) (*Engine, error) {
+	if len(states) == 0 {
+		return nil, fmt.Errorf("storage: need at least one shard")
+	}
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = DefaultSyncEvery
+	}
+	if opts.CompactEvery == 0 {
+		opts.CompactEvery = DefaultCompactEvery
+	}
+	e := &Engine{opts: opts, shards: make([]*shard, len(states))}
+	if opts.Dir == "" {
+		for i, st := range states {
+			e.shards[i] = &shard{state: st}
+		}
+		return e, nil
+	}
+
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create data dir: %w", err)
+	}
+	if n, ok, err := ReadManifest(opts.Dir); err != nil {
+		return nil, err
+	} else if ok && n != len(states) {
+		return nil, fmt.Errorf("storage: data dir %s was created with %d shards, engine opened with %d", opts.Dir, n, len(states))
+	} else if !ok {
+		data, err := json.Marshal(manifest{Shards: len(states)})
+		if err != nil {
+			return nil, err
+		}
+		if err := writeFileAtomic(filepath.Join(opts.Dir, manifestName), data, 0o644); err != nil {
+			return nil, fmt.Errorf("storage: write manifest: %w", err)
+		}
+	}
+
+	for i, st := range states {
+		dir := filepath.Join(opts.Dir, fmt.Sprintf("shard-%03d", i))
+		sh, err := openShard(dir, st, opts)
+		if err != nil {
+			e.closePartial(i)
+			return nil, fmt.Errorf("storage: shard %d: %w", i, err)
+		}
+		e.shards[i] = sh
+	}
+	return e, nil
+}
+
+func (e *Engine) closePartial(n int) {
+	for _, sh := range e.shards[:n] {
+		if sh != nil && sh.w != nil {
+			sh.w.Close()
+		}
+	}
+}
+
+func snapName(seq uint64) string { return fmt.Sprintf("snapshot-%016d.snap", seq) }
+func walName(seq uint64) string  { return fmt.Sprintf("wal-%016d.log", seq) }
+
+// openShard recovers one shard directory:
+//
+//  1. delete leftover *.tmp files (a crash mid-snapshot-write);
+//  2. pick the highest sequence whose snapshot is intact (CRC-framed and
+//     restorable) — or sequence 0 with no snapshot on a fresh shard;
+//  3. restore it and replay wal-<seq>, truncating any torn tail;
+//  4. delete files of every other sequence (a crash between "new snapshot
+//     durable" and "old generation deleted" leaves them behind; their
+//     content is subsumed by the chosen snapshot);
+//  5. reopen wal-<seq> for appending.
+func openShard(dir string, state ShardState, opts Options) (*shard, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var snapSeqs, walSeqs []uint64
+	for _, ent := range entries {
+		name := ent.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			os.Remove(filepath.Join(dir, name))
+		case strings.HasPrefix(name, "snapshot-") && strings.HasSuffix(name, ".snap"):
+			if seq, err := parseSeq(name, "snapshot-", ".snap"); err == nil {
+				snapSeqs = append(snapSeqs, seq)
+			}
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+			if seq, err := parseSeq(name, "wal-", ".log"); err == nil {
+				walSeqs = append(walSeqs, seq)
+			}
+		}
+	}
+	sort.Slice(snapSeqs, func(i, j int) bool { return snapSeqs[i] > snapSeqs[j] })
+
+	var seq uint64
+	restored := false
+	for _, s := range snapSeqs {
+		payload, err := readSnapshotFile(filepath.Join(dir, snapName(s)))
+		if err != nil {
+			continue // corrupt or unreadable: fall back to an older generation
+		}
+		if err := state.Restore(payload); err != nil {
+			continue
+		}
+		seq, restored = s, true
+		break
+	}
+	if !restored {
+		// Fresh shard (or no usable snapshot): replay the oldest WAL on
+		// disk — by construction wal-N is only created after snapshot-N is
+		// durable, so with no snapshot the oldest WAL is genesis history.
+		seq = 0
+		for i, s := range walSeqs {
+			if i == 0 || s < seq {
+				seq = s
+			}
+		}
+	}
+
+	sh := &shard{state: state, dir: dir, seq: seq}
+	replayed, err := replayWAL(filepath.Join(dir, walName(seq)), state.Apply)
+	if err != nil {
+		return nil, err
+	}
+	sh.since = replayed
+
+	// Sweep every other generation.
+	for _, s := range snapSeqs {
+		if s != seq {
+			os.Remove(filepath.Join(dir, snapName(s)))
+		}
+	}
+	for _, s := range walSeqs {
+		if s != seq {
+			os.Remove(filepath.Join(dir, walName(s)))
+		}
+	}
+
+	w, err := createWAL(filepath.Join(dir, walName(seq)), opts.Sync, opts.SyncEvery)
+	if err != nil {
+		return nil, err
+	}
+	if err := syncDir(w.path); err != nil {
+		w.Close()
+		return nil, err
+	}
+	sh.w = w
+	return sh, nil
+}
+
+func parseSeq(name, prefix, suffix string) (uint64, error) {
+	var seq uint64
+	body := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+	if _, err := fmt.Sscanf(body, "%d", &seq); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// readSnapshotFile validates and unwraps a CRC-framed snapshot.
+func readSnapshotFile(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < frameHeaderSize {
+		return nil, fmt.Errorf("storage: snapshot too short")
+	}
+	ln := binary.LittleEndian.Uint32(data[0:4])
+	crc := binary.LittleEndian.Uint32(data[4:8])
+	if int(ln) != len(data)-frameHeaderSize {
+		return nil, fmt.Errorf("storage: snapshot length mismatch")
+	}
+	payload := data[frameHeaderSize:]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, fmt.Errorf("storage: snapshot checksum mismatch")
+	}
+	return payload, nil
+}
+
+func frameSnapshot(payload []byte) []byte {
+	out := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(payload))
+	copy(out[frameHeaderSize:], payload)
+	return out
+}
+
+// NumShards reports the shard count.
+func (e *Engine) NumShards() int { return len(e.shards) }
+
+// Durable reports whether the engine journals to disk.
+func (e *Engine) Durable() bool { return e.opts.Dir != "" }
+
+// Mutate runs one mutation on shard i under its write lock. apply mutates
+// the in-memory state and returns the record to journal (nil to skip
+// journaling, e.g. when the mutation turned out to be a no-op). The write is
+// acknowledged only after the record is in the WAL under the engine's fsync
+// policy. A failed append poisons the shard — the memory/log divergence
+// cannot be repaired in place, so every later mutation fails fast.
+func (e *Engine) Mutate(i int, apply func() ([]byte, error)) error {
+	s := e.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	rec, err := apply()
+	if err != nil {
+		return err
+	}
+	if rec == nil || s.w == nil {
+		return nil
+	}
+	if err := s.w.Append(rec); err != nil {
+		s.err = fmt.Errorf("storage: shard %d poisoned by journal failure: %w", i, err)
+		return s.err
+	}
+	s.since++
+	if e.opts.CompactEvery > 0 && s.since >= e.opts.CompactEvery {
+		// Best-effort: the record is already durable in the WAL; a failed
+		// compaction just means a longer replay on the next boot. Resetting
+		// the counter spaces retries instead of attempting on every append.
+		if err := s.compactLocked(e.opts); err != nil {
+			s.since = 0
+		}
+	}
+	return nil
+}
+
+// View runs read under shard i's read lock. The callback must not retain
+// references to state internals beyond the call.
+func (e *Engine) View(i int, read func()) {
+	s := e.shards[i]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	read()
+}
+
+// compactLocked rotates the shard to a new generation: write snapshot-(N+1)
+// durably (temp + rename + dir fsync), switch appends to a fresh wal-(N+1),
+// then delete generation N. A crash at any point leaves a recoverable
+// layout; openShard's sweep finishes the job.
+func (s *shard) compactLocked(opts Options) error {
+	if s.w == nil {
+		return nil
+	}
+	payload, err := s.state.Snapshot()
+	if err != nil {
+		return fmt.Errorf("storage: encode snapshot: %w", err)
+	}
+	next := s.seq + 1
+	snapPath := filepath.Join(s.dir, snapName(next))
+	if err := writeFileAtomic(snapPath, frameSnapshot(payload), 0o644); err != nil {
+		return fmt.Errorf("storage: write snapshot: %w", err)
+	}
+	w, err := createWAL(filepath.Join(s.dir, walName(next)), s.w.policy, s.w.every)
+	if err != nil {
+		return err
+	}
+	if err := syncDir(w.path); err != nil {
+		w.Close()
+		return err
+	}
+	old := s.w
+	oldSeq := s.seq
+	s.w, s.seq, s.since = w, next, 0
+	old.Close()
+	os.Remove(filepath.Join(s.dir, walName(oldSeq)))
+	os.Remove(filepath.Join(s.dir, snapName(oldSeq)))
+	return nil
+}
+
+// Compact snapshots shard i and truncates its log.
+func (e *Engine) Compact(i int) error {
+	s := e.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return s.compactLocked(e.opts)
+}
+
+// CompactAll snapshots every shard; the first error is returned but all
+// shards are attempted.
+func (e *Engine) CompactAll() error {
+	var firstErr error
+	for i := range e.shards {
+		if err := e.Compact(i); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Sync forces every shard's WAL to stable storage (a checkpoint for
+// SyncInterval / SyncNever policies).
+func (e *Engine) Sync() error {
+	var firstErr error
+	for _, s := range e.shards {
+		s.mu.Lock()
+		if s.w != nil && s.err == nil {
+			if err := s.w.Sync(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		s.mu.Unlock()
+	}
+	return firstErr
+}
+
+// Close compacts (so the next boot replays nothing), syncs, and closes every
+// shard. The engine must not be used afterwards.
+func (e *Engine) Close() error {
+	var firstErr error
+	for i, s := range e.shards {
+		s.mu.Lock()
+		if s.w != nil {
+			if s.err == nil && s.since > 0 {
+				if err := s.compactLocked(e.opts); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			if err := s.w.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("storage: close shard %d: %w", i, err)
+			}
+			s.w = nil
+		}
+		s.mu.Unlock()
+	}
+	return firstErr
+}

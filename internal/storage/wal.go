@@ -1,0 +1,257 @@
+// Package storage implements the PMWare Cloud Instance's durable, sharded
+// storage engine (DESIGN.md §8). The paper's PCI "stores long term mobility
+// patterns" as the system of record; this package provides the substrate
+// that makes those patterns survive a crash:
+//
+//   - an append-only write-ahead log per shard, with CRC32-framed,
+//     length-prefixed records and a configurable fsync policy;
+//   - periodic snapshot + log compaction (snapshot written via temp file +
+//     rename; the old generation is deleted only after the new snapshot is
+//     durable);
+//   - corruption-tolerant recovery that truncates a torn WAL tail instead
+//     of refusing to start.
+//
+// The engine is generic: shard state is anything implementing ShardState
+// (apply a journaled record, encode/decode a snapshot). The typed layer in
+// internal/cloud journals its mutations as records and replays them here.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// SyncPolicy controls when WAL appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged write is
+	// durable. This is the default and the policy the crash-recovery
+	// guarantees assume.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs at most once per SyncEvery (checked on append).
+	// A crash can lose up to one interval of acknowledged writes but never
+	// corrupts the log.
+	SyncInterval
+	// SyncNever leaves flushing to the OS — for simulations and benchmarks
+	// where the process, not the machine, is the failure domain.
+	SyncNever
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy parses the CLI spelling of a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("storage: unknown fsync policy %q (want always, interval, or never)", s)
+}
+
+// Record frame: | u32 payload length | u32 CRC32-IEEE(payload) | payload |,
+// little-endian. The CRC covers only the payload; a torn header, torn
+// payload, or mismatched CRC all read as "the log ends here".
+const frameHeaderSize = 8
+
+// MaxRecordSize bounds a single WAL record. Recovery treats a larger length
+// prefix as a torn/corrupt tail (a garbage length would otherwise make it
+// try to allocate gigabytes).
+const MaxRecordSize = 64 << 20
+
+// wal is a single append-only log file. Not safe for concurrent use; the
+// owning shard's mutex serializes access.
+type wal struct {
+	f        *os.File
+	path     string
+	policy   SyncPolicy
+	every    time.Duration
+	lastSync time.Time
+	size     int64
+	frame    []byte // reused append buffer
+}
+
+// createWAL opens (creating if needed) the log at path for appending.
+func createWAL(path string, policy SyncPolicy, every time.Duration) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: stat wal: %w", err)
+	}
+	return &wal{f: f, path: path, policy: policy, every: every, size: st.Size()}, nil
+}
+
+// Append journals one record and applies the fsync policy. The frame is
+// written with a single Write call so a crash tears at most the tail, never
+// interleaves records.
+func (w *wal) Append(rec []byte) error {
+	if len(rec) > MaxRecordSize {
+		return fmt.Errorf("storage: record of %d bytes exceeds MaxRecordSize", len(rec))
+	}
+	need := frameHeaderSize + len(rec)
+	if cap(w.frame) < need {
+		w.frame = make([]byte, need)
+	}
+	frame := w.frame[:need]
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(rec)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(rec))
+	copy(frame[frameHeaderSize:], rec)
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("storage: append wal: %w", err)
+	}
+	w.size += int64(need)
+	switch w.policy {
+	case SyncAlways:
+		return w.Sync()
+	case SyncInterval:
+		if time.Since(w.lastSync) >= w.every {
+			return w.Sync()
+		}
+	}
+	return nil
+}
+
+// Sync flushes the log to stable storage.
+func (w *wal) Sync() error {
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("storage: sync wal: %w", err)
+	}
+	w.lastSync = time.Now()
+	return nil
+}
+
+// Close syncs (unless SyncNever) and closes the file.
+func (w *wal) Close() error {
+	var firstErr error
+	if w.policy != SyncNever {
+		firstErr = w.Sync()
+	}
+	if err := w.f.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// replayWAL reads every intact record in the log at path, feeding each
+// payload to apply, and truncates the file at the first torn or corrupt
+// frame (partial header, impossible length, short payload, CRC mismatch).
+// Recovery is therefore total: any byte-level prefix of a valid log recovers
+// to exactly the records fully contained in it. An apply error is a real
+// failure (the record was intact but the state rejected it) and aborts.
+func replayWAL(path string, apply func([]byte) error) (records int, err error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("storage: open wal for replay: %w", err)
+	}
+	defer f.Close()
+
+	var good int64 // offset after the last intact record
+	hdr := make([]byte, frameHeaderSize)
+	var payload []byte
+	torn := false
+	for {
+		if _, err := io.ReadFull(f, hdr); err != nil {
+			torn = err != io.EOF // partial header counts as torn
+			break
+		}
+		ln := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if ln > MaxRecordSize {
+			torn = true
+			break
+		}
+		if cap(payload) < int(ln) {
+			payload = make([]byte, ln)
+		}
+		payload = payload[:ln]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			torn = true
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			torn = true
+			break
+		}
+		if err := apply(payload); err != nil {
+			return records, fmt.Errorf("storage: replay record %d: %w", records, err)
+		}
+		good += int64(frameHeaderSize) + int64(ln)
+		records++
+	}
+	if torn {
+		if err := f.Truncate(good); err != nil {
+			return records, fmt.Errorf("storage: truncate torn wal tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return records, fmt.Errorf("storage: sync truncated wal: %w", err)
+		}
+	}
+	return records, nil
+}
+
+// writeFileAtomic writes data to path via a temp file in the same directory
+// plus rename, fsyncing both the file and the directory, so a crash at any
+// point leaves either the old file or the new one — never a torn mix.
+func writeFileAtomic(path string, data []byte, perm os.FileMode) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(path)
+}
+
+// syncDir fsyncs the directory containing path, making a rename or create
+// within it durable.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
