@@ -6,7 +6,8 @@
 // Usage:
 //
 //	pmware-cloud [-addr :8080] [-data-dir ./pmware-data] [-fsync always]
-//	             [-shards 8] [-store pmware-store.json] [-world-seed 2014]
+//	             [-shards 8] [-commit-batch 128] [-commit-linger 0s]
+//	             [-pprof :6060] [-store pmware-store.json] [-world-seed 2014]
 //
 // With -data-dir the instance runs on the durable storage engine: every
 // mutation is journaled to a per-shard write-ahead log, snapshots compact the
@@ -30,6 +31,7 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,10 +48,30 @@ func main() {
 	fsyncMode := flag.String("fsync", "interval", "WAL fsync policy: always | interval | never")
 	fsyncEvery := flag.Duration("fsync-interval", storage.DefaultSyncEvery, "max ack-to-disk lag under -fsync interval")
 	shards := flag.Int("shards", cloud.DefaultShards, "data shards (pinned by the data directory after first boot)")
+	commitBatch := flag.Int("commit-batch", 0, "max mutations per WAL group commit (0 = default, negative = no grouping)")
+	commitLinger := flag.Duration("commit-linger", 0, "how long a commit leader waits for followers when its batch is short")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (empty = disabled)")
 	storePath := flag.String("store", "", "legacy JSON persistence file (optional)")
 	worldSeed := flag.Int64("world-seed", 2014, "seed of the synthetic world for the cell database")
 	extent := flag.Float64("extent", 2600, "world half-extent in meters (must match the simulation)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// A side listener with an explicit mux: the profiling surface never
+		// shares a port (or a mux) with the public API.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				log.Printf("pprof listener failed: %v", err)
+			}
+		}()
+	}
 
 	wc := world.DefaultConfig()
 	wc.ExtentMeters = *extent
@@ -57,7 +79,7 @@ func main() {
 	wc.TowerRangeMeters = 800
 	w := world.Generate(wc, rand.New(rand.NewSource(*worldSeed)))
 
-	store, err := openStore(*dataDir, *fsyncMode, *fsyncEvery, *shards)
+	store, err := openStore(*dataDir, *fsyncMode, *fsyncEvery, *shards, *commitBatch, *commitLinger)
 	if err != nil {
 		log.Fatalf("open store: %v", err)
 	}
@@ -102,7 +124,7 @@ func main() {
 }
 
 // openStore builds the in-memory store or opens (and recovers) a durable one.
-func openStore(dir, fsyncMode string, fsyncEvery time.Duration, shards int) (*cloud.Store, error) {
+func openStore(dir, fsyncMode string, fsyncEvery time.Duration, shards, commitBatch int, commitLinger time.Duration) (*cloud.Store, error) {
 	if dir == "" {
 		return cloud.NewStore(nil), nil
 	}
@@ -111,9 +133,11 @@ func openStore(dir, fsyncMode string, fsyncEvery time.Duration, shards int) (*cl
 		return nil, err
 	}
 	store, err := cloud.OpenStore(dir, cloud.StoreConfig{
-		Shards:    shards,
-		Sync:      policy,
-		SyncEvery: fsyncEvery,
+		Shards:         shards,
+		Sync:           policy,
+		SyncEvery:      fsyncEvery,
+		CommitMaxBatch: commitBatch,
+		CommitLinger:   commitLinger,
 	})
 	if err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package cloud
 
 import (
 	"math"
+	"slices"
 	"time"
 
 	"repro/internal/profile"
@@ -10,6 +11,15 @@ import (
 // Analytics is the prediction engine over stored mobility profiles (paper
 // Section 2.3.2). It answers the three query families the paper lists:
 // typical arrival time at a place, next expected visit, and visit frequency.
+//
+// Queries answer from the store's incremental per-user index (index.go) under
+// the shard read lock — no per-query deep copy of the history. Each exported
+// method keeps an unexported scan* twin that recomputes from scratch via
+// ProfileRange; the twins are the reference implementation the equivalence
+// property test pins the index against, and the pre-index baseline the
+// serving benchmarks measure speedups from. Both sides fold visits in the
+// same order (dates ascending, within-day profile order), so floating-point
+// results agree byte-for-byte, not just approximately.
 type Analytics struct {
 	store *Store
 }
@@ -17,11 +27,39 @@ type Analytics struct {
 // NewAnalytics returns an engine over the store.
 func NewAnalytics(store *Store) *Analytics { return &Analytics{store: store} }
 
+// arrival carries one true arrival plus its unit-circle coordinates on the
+// 24 h cycle (the circular-mean folds sum cosTh/sinTh in arrival order).
+type arrival struct {
+	secOfDay     int
+	weekday      time.Weekday
+	at           time.Time
+	cosTh, sinTh float64
+}
+
+func newArrival(v *profile.PlaceVisit) arrival {
+	sec := v.Arrive.Hour()*3600 + v.Arrive.Minute()*60 + v.Arrive.Second()
+	th := float64(sec) / 86400 * 2 * math.Pi
+	return arrival{
+		secOfDay: sec, weekday: v.Arrive.Weekday(), at: v.Arrive,
+		cosTh: math.Cos(th), sinTh: math.Sin(th),
+	}
+}
+
 // arrivalsAt collects (time-of-day-seconds, weekday) of every arrival at the
-// place across the user's stored profiles. An overnight stay split at
-// midnight produces a spurious 00:00 "arrival" on the second day; those
-// continuation rows are skipped.
+// place across the user's stored profiles, from the index. An overnight stay
+// split at midnight produces a spurious 00:00 "arrival" on the second day;
+// those continuation rows are skipped.
 func (a *Analytics) arrivalsAt(userID, placeID string) []arrival {
+	var out []arrival
+	a.store.viewIndex(userID, func(ux *userIndex) {
+		out = indexArrivalsAt(ux, placeID)
+	})
+	return out
+}
+
+// scanArrivalsAt is the from-scratch reference: deep-copy the history and
+// rescan it.
+func (a *Analytics) scanArrivalsAt(userID, placeID string) []arrival {
 	profiles := a.store.ProfileRange(userID, "", "")
 	var out []arrival
 	var prevDay *profile.DayProfile
@@ -33,32 +71,22 @@ func (a *Analytics) arrivalsAt(userID, placeID string) []arrival {
 			if isMidnightContinuation(v, prevDay, placeID) {
 				continue
 			}
-			sec := v.Arrive.Hour()*3600 + v.Arrive.Minute()*60 + v.Arrive.Second()
-			out = append(out, arrival{secOfDay: sec, weekday: v.Arrive.Weekday(), at: v.Arrive})
+			out = append(out, newArrival(&v))
 		}
 		prevDay = day
 	}
 	return out
 }
 
-type arrival struct {
-	secOfDay int
-	weekday  time.Weekday
-	at       time.Time
-}
-
 // isMidnightContinuation detects the second half of a visit split at the day
 // boundary: arrival exactly at 00:00 while the previous day's profile ends
 // with the same place at 24:00.
 func isMidnightContinuation(v profile.PlaceVisit, prevDay *profile.DayProfile, placeID string) bool {
-	if v.Arrive.Hour() != 0 || v.Arrive.Minute() != 0 || v.Arrive.Second() != 0 {
-		return false
-	}
 	if prevDay == nil || len(prevDay.Places) == 0 {
 		return false
 	}
 	last := prevDay.Places[len(prevDay.Places)-1]
-	return last.PlaceID == placeID && last.Depart.Equal(v.Arrive)
+	return continuesPrevDay(&v, &last, placeID)
 }
 
 // TypicalArrival answers "at what time does the user typically reach this
@@ -66,7 +94,14 @@ func isMidnightContinuation(v profile.PlaceVisit, prevDay *profile.DayProfile, p
 // returns the circular mean of arrival times-of-day and the sample count
 // (zero when the place was never visited).
 func (a *Analytics) TypicalArrival(userID, placeID string) (secOfDay int, n int) {
-	arrivals := a.arrivalsAt(userID, placeID)
+	return typicalFromArrivals(a.arrivalsAt(userID, placeID))
+}
+
+func (a *Analytics) scanTypicalArrival(userID, placeID string) (secOfDay int, n int) {
+	return typicalFromArrivals(a.scanArrivalsAt(userID, placeID))
+}
+
+func typicalFromArrivals(arrivals []arrival) (secOfDay int, n int) {
 	if len(arrivals) == 0 {
 		return 0, 0
 	}
@@ -74,9 +109,8 @@ func (a *Analytics) TypicalArrival(userID, placeID string) (secOfDay int, n int)
 	// midnight rather than noon.
 	var sx, sy float64
 	for _, ar := range arrivals {
-		th := float64(ar.secOfDay) / 86400 * 2 * math.Pi
-		sx += math.Cos(th)
-		sy += math.Sin(th)
+		sx += ar.cosTh
+		sy += ar.sinTh
 	}
 	th := math.Atan2(sy, sx)
 	if th < 0 {
@@ -91,7 +125,14 @@ func (a *Analytics) TypicalArrival(userID, placeID string) (secOfDay int, n int)
 // that weekday, predict the typical arrival time on the first such day.
 // Confident is false when history is too thin (fewer than 2 visits).
 func (a *Analytics) PredictNextVisit(userID, placeID string, after time.Time) (time.Time, bool) {
-	arrivals := a.arrivalsAt(userID, placeID)
+	return predictFromArrivals(a.arrivalsAt(userID, placeID), after)
+}
+
+func (a *Analytics) scanPredictNextVisit(userID, placeID string, after time.Time) (time.Time, bool) {
+	return predictFromArrivals(a.scanArrivalsAt(userID, placeID), after)
+}
+
+func predictFromArrivals(arrivals []arrival, after time.Time) (time.Time, bool) {
 	if len(arrivals) < 2 {
 		return time.Time{}, false
 	}
@@ -107,9 +148,8 @@ func (a *Analytics) PredictNextVisit(userID, placeID string, after time.Time) (t
 			a = &acc{}
 			byWD[ar.weekday] = a
 		}
-		th := float64(ar.secOfDay) / 86400 * 2 * math.Pi
-		a.sx += math.Cos(th)
-		a.sy += math.Sin(th)
+		a.sx += ar.cosTh
+		a.sy += ar.sinTh
 		a.n++
 	}
 	day := time.Date(after.Year(), after.Month(), after.Day(), 0, 0, 0, 0, after.Location())
@@ -135,25 +175,49 @@ func (a *Analytics) PredictNextVisit(userID, placeID string, after time.Time) (t
 // VisitFrequency answers "how often does the user visit this place?" as
 // visits per week over the observed profile span.
 func (a *Analytics) VisitFrequency(userID, placeID string) (perWeek float64, total int) {
+	a.store.viewIndex(userID, func(ux *userIndex) {
+		if ux == nil || len(ux.dates) == 0 {
+			return
+		}
+		total = len(indexArrivalsAt(ux, placeID))
+		perWeek = perWeekOver(ux.dates[0], ux.dates[len(ux.dates)-1], total)
+	})
+	return perWeek, total
+}
+
+func (a *Analytics) scanVisitFrequency(userID, placeID string) (perWeek float64, total int) {
 	profiles := a.store.ProfileRange(userID, "", "")
 	if len(profiles) == 0 {
 		return 0, 0
 	}
-	arrivals := a.arrivalsAt(userID, placeID)
-	total = len(arrivals)
-	first, _ := time.Parse(profile.DateFormat, profiles[0].Date)
-	last, _ := time.Parse(profile.DateFormat, profiles[len(profiles)-1].Date)
+	total = len(a.scanArrivalsAt(userID, placeID))
+	return perWeekOver(profiles[0].Date, profiles[len(profiles)-1].Date, total), total
+}
+
+// perWeekOver converts a visit count over [firstDate, lastDate] (inclusive)
+// into visits per week.
+func perWeekOver(firstDate, lastDate string, total int) float64 {
+	first, _ := time.Parse(profile.DateFormat, firstDate)
+	last, _ := time.Parse(profile.DateFormat, lastDate)
 	days := last.Sub(first).Hours()/24 + 1
 	if days <= 0 {
 		days = 1
 	}
-	return float64(total) / days * 7, total
+	return float64(total) / days * 7
 }
 
 // DwellStats summarizes stay durations at a place across stored profiles.
 // Visits split at midnight are re-joined before measuring, so an overnight
 // home stay counts once at its full length.
 func (a *Analytics) DwellStats(userID, placeID string) DwellStatsResponse {
+	var stays []time.Duration
+	a.store.viewIndex(userID, func(ux *userIndex) {
+		stays = indexDwells(ux, placeID)
+	})
+	return dwellSummary(placeID, stays)
+}
+
+func (a *Analytics) scanDwellStats(userID, placeID string) DwellStatsResponse {
 	profiles := a.store.ProfileRange(userID, "", "")
 	var stays []time.Duration
 	var open *profile.PlaceVisit
@@ -171,7 +235,7 @@ func (a *Analytics) DwellStats(userID, placeID string) DwellStatsResponse {
 			if v.PlaceID != placeID {
 				continue
 			}
-			if open != nil && v.Arrive.Equal(openEnd(open, openDur)) {
+			if open != nil && v.Arrive.Equal(open.Arrive.Add(openDur)) {
 				openDur += v.Duration()
 				continue
 			}
@@ -182,12 +246,15 @@ func (a *Analytics) DwellStats(userID, placeID string) DwellStatsResponse {
 		}
 	}
 	flush()
+	return dwellSummary(placeID, stays)
+}
 
+func dwellSummary(placeID string, stays []time.Duration) DwellStatsResponse {
 	resp := DwellStatsResponse{PlaceID: placeID, Visits: len(stays)}
 	if len(stays) == 0 {
 		return resp
 	}
-	sortDurations(stays)
+	slices.Sort(stays)
 	var sum time.Duration
 	for _, s := range stays {
 		sum += s
@@ -198,23 +265,21 @@ func (a *Analytics) DwellStats(userID, placeID string) DwellStatsResponse {
 	return resp
 }
 
-// openEnd computes where the currently-joined visit run ends.
-func openEnd(v *profile.PlaceVisit, joined time.Duration) time.Time {
-	return v.Arrive.Add(joined)
-}
-
-func sortDurations(d []time.Duration) {
-	for i := 1; i < len(d); i++ {
-		for j := i; j > 0 && d[j] < d[j-1]; j-- {
-			d[j], d[j-1] = d[j-1], d[j]
-		}
-	}
-}
-
-// FrequencyByKindPrefix sums visit frequency across every place whose ID (or
-// label) starts with the prefix — e.g. "how frequently does the user visit
-// shopping malls" when mall places are labelled accordingly.
+// FrequencyByLabel sums visit frequency across every place carrying the
+// label — e.g. "how frequently does the user visit shopping malls" when mall
+// places are labelled accordingly.
 func (a *Analytics) FrequencyByLabel(userID, label string) (perWeek float64, total int) {
+	a.store.viewIndex(userID, func(ux *userIndex) {
+		if ux == nil || len(ux.dates) == 0 {
+			return
+		}
+		total = indexCountByLabel(ux, label)
+		perWeek = perWeekOver(ux.dates[0], ux.dates[len(ux.dates)-1], total)
+	})
+	return perWeek, total
+}
+
+func (a *Analytics) scanFrequencyByLabel(userID, label string) (perWeek float64, total int) {
 	profiles := a.store.ProfileRange(userID, "", "")
 	if len(profiles) == 0 {
 		return 0, 0
@@ -232,11 +297,5 @@ func (a *Analytics) FrequencyByLabel(userID, label string) (perWeek float64, tot
 		}
 		prevDay = day
 	}
-	first, _ := time.Parse(profile.DateFormat, profiles[0].Date)
-	last, _ := time.Parse(profile.DateFormat, profiles[len(profiles)-1].Date)
-	days := last.Sub(first).Hours()/24 + 1
-	if days <= 0 {
-		days = 1
-	}
-	return float64(total) / days * 7, total
+	return perWeekOver(profiles[0].Date, profiles[len(profiles)-1].Date, total), total
 }

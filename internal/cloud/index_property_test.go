@@ -1,0 +1,240 @@
+package cloud
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+	"time"
+
+	"repro/internal/profile"
+	"repro/internal/storage"
+	"repro/internal/world"
+)
+
+// The incremental-index equivalence property (ISSUE 3): after ANY random
+// interleaving of PutProfile / SetPlaces / LabelPlace mutations, every
+// analytics answer computed from the materialized index must be
+// byte-identical (== on ints, Float64bits on floats) to a from-scratch
+// recompute over the same store — including after a crash, where WAL replay
+// rebuilds the index from the recovered profiles. The scan* methods on
+// Analytics are the reference recompute; PopularPlaces is the reference for
+// PopularIndex.
+
+var propPlaceIDs = []string{"home", "work", "mall", "gym", "cafe"}
+var propLabels = []string{"shopping", "office", "fitness"}
+
+// genDayProfile builds a random valid day: 1–3 ordered visits at random
+// places, some labelled.
+func genDayProfile(rng *rand.Rand, uid, date string) *profile.DayProfile {
+	day, _ := time.Parse(profile.DateFormat, date)
+	dayEnd := day.AddDate(0, 0, 1)
+	p := &profile.DayProfile{UserID: uid, Date: date}
+	cur := day.Add(time.Duration(1+rng.Intn(600)) * time.Minute)
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		depart := cur.Add(time.Duration(10+rng.Intn(300)) * time.Minute)
+		if depart.After(dayEnd) {
+			depart = dayEnd
+		}
+		if !depart.After(cur) {
+			break
+		}
+		v := profile.PlaceVisit{
+			PlaceID: propPlaceIDs[rng.Intn(len(propPlaceIDs))],
+			Arrive:  cur,
+			Depart:  depart,
+		}
+		if rng.Intn(2) == 0 {
+			v.Label = propLabels[rng.Intn(len(propLabels))]
+		}
+		p.Places = append(p.Places, v)
+		cur = depart.Add(time.Duration(rng.Intn(120)) * time.Minute)
+		if !cur.Before(dayEnd) {
+			break
+		}
+	}
+	return p
+}
+
+// overnightPair builds two adjacent days where a stay crosses midnight — the
+// continuation-detection edge both implementations must agree on.
+func overnightPair(rng *rand.Rand, uid, date string) (p1, p2 *profile.DayProfile) {
+	day, _ := time.Parse(profile.DateFormat, date)
+	dayEnd := day.AddDate(0, 0, 1)
+	pid := propPlaceIDs[rng.Intn(len(propPlaceIDs))]
+	p1 = &profile.DayProfile{UserID: uid, Date: date, Places: []profile.PlaceVisit{
+		{PlaceID: "work", Label: "office", Arrive: day.Add(9 * time.Hour), Depart: day.Add(17 * time.Hour)},
+		{PlaceID: pid, Arrive: day.Add(time.Duration(18*60+rng.Intn(240)) * time.Minute), Depart: dayEnd},
+	}}
+	p2 = &profile.DayProfile{UserID: uid, Date: dayEnd.Format(profile.DateFormat), Places: []profile.PlaceVisit{
+		{PlaceID: pid, Arrive: dayEnd, Depart: dayEnd.Add(time.Duration(5+rng.Intn(180)) * time.Minute)},
+	}}
+	return p1, p2
+}
+
+// checkIndexEquivalence pins every indexed analytics answer to its scan twin.
+func checkIndexEquivalence(t *testing.T, store *Store, users []string) {
+	t.Helper()
+	a := NewAnalytics(store)
+	after := time.Date(2014, 9, 15, 12, 0, 0, 0, time.UTC)
+	for _, u := range users {
+		for _, pid := range append(slices.Clone(propPlaceIDs), "nowhere") {
+			sec, n := a.TypicalArrival(u, pid)
+			wsec, wn := a.scanTypicalArrival(u, pid)
+			if sec != wsec || n != wn {
+				t.Errorf("%s/%s TypicalArrival: index (%d,%d) != scan (%d,%d)", u, pid, sec, n, wsec, wn)
+			}
+			fw, tot := a.VisitFrequency(u, pid)
+			wfw, wtot := a.scanVisitFrequency(u, pid)
+			if math.Float64bits(fw) != math.Float64bits(wfw) || tot != wtot {
+				t.Errorf("%s/%s VisitFrequency: index (%v,%d) != scan (%v,%d)", u, pid, fw, tot, wfw, wtot)
+			}
+			dw, wdw := a.DwellStats(u, pid), a.scanDwellStats(u, pid)
+			if dw != wdw {
+				t.Errorf("%s/%s DwellStats: index %+v != scan %+v", u, pid, dw, wdw)
+			}
+			next, conf := a.PredictNextVisit(u, pid, after)
+			wnext, wconf := a.scanPredictNextVisit(u, pid, after)
+			if conf != wconf || !next.Equal(wnext) {
+				t.Errorf("%s/%s PredictNextVisit: index (%v,%v) != scan (%v,%v)", u, pid, next, conf, wnext, wconf)
+			}
+		}
+		for _, lb := range append(slices.Clone(propLabels), "nothing") {
+			fw, tot := a.FrequencyByLabel(u, lb)
+			wfw, wtot := a.scanFrequencyByLabel(u, lb)
+			if math.Float64bits(fw) != math.Float64bits(wfw) || tot != wtot {
+				t.Errorf("%s/%s FrequencyByLabel: index (%v,%d) != scan (%v,%d)", u, lb, fw, tot, wfw, wtot)
+			}
+		}
+	}
+}
+
+func TestIndexScanEquivalenceProperty(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			w := world.Generate(world.DefaultConfig(), rand.New(rand.NewSource(91)))
+			cells := NewCellDatabase(w, 100)
+			dir := t.TempDir()
+			// CompactEvery is small on purpose: several mid-run snapshot
+			// installs must also rebuild the index correctly.
+			store, err := OpenStore(dir, StoreConfig{
+				Shards: 4, Sync: storage.SyncNever, CompactEvery: 40,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			users := []string{"user-a", "user-b", "user-c"}
+			base, _ := time.Parse(profile.DateFormat, "2014-09-01")
+			for i := 0; i < 120; i++ {
+				u := users[rng.Intn(len(users))]
+				date := base.AddDate(0, 0, rng.Intn(30)).Format(profile.DateFormat)
+				switch rng.Intn(5) {
+				case 0, 1:
+					if err := store.PutProfile(u, genDayProfile(rng, u, date)); err != nil {
+						t.Fatal(err)
+					}
+				case 2:
+					p1, p2 := overnightPair(rng, u, date)
+					if err := store.PutProfile(u, p1); err != nil {
+						t.Fatal(err)
+					}
+					if err := store.PutProfile(u, p2); err != nil {
+						t.Fatal(err)
+					}
+				case 3:
+					ps := make([]PlaceWire, 1+rng.Intn(3))
+					for j := range ps {
+						ps[j] = placeAtTower(w, rng.Intn(len(w.Towers)), "")
+						ps[j].ID = j
+					}
+					if err := store.SetPlaces(u, ps); err != nil {
+						t.Fatal(err)
+					}
+				case 4:
+					// May fail when the place doesn't exist yet; a failed
+					// mutation must not disturb the index either.
+					_ = store.LabelPlace(u, rng.Intn(3), propLabels[rng.Intn(len(propLabels))])
+				}
+			}
+
+			checkIndexEquivalence(t, store, users)
+
+			// Popular-places: the cached index must answer exactly like the
+			// full recompute, on a cold cache, a warm memo, and after an
+			// invalidating mutation.
+			px := NewPopularIndex(store, cells)
+			for _, k := range []int{2, 3} {
+				want := PopularPlaces(store, cells, k, 400)
+				if got := px.Places(k, 400); !slices.Equal(got, want) {
+					t.Errorf("k=%d cold PopularIndex diverges from PopularPlaces", k)
+				}
+				if got := px.Places(k, 400); !slices.Equal(got, want) {
+					t.Errorf("k=%d memoized PopularIndex diverges", k)
+				}
+			}
+			if err := store.LabelPlace(users[0], 0, "after-memo"); err == nil {
+				want := PopularPlaces(store, cells, 2, 400)
+				if got := px.Places(2, 400); !slices.Equal(got, want) {
+					t.Error("PopularIndex served stale result after label mutation")
+				}
+			}
+
+			// ProfileRange: sorted full walk, and every random window equals
+			// the filtered full walk.
+			for _, u := range users {
+				full := store.ProfileRange(u, "", "")
+				for i := 1; i < len(full); i++ {
+					if full[i-1].Date >= full[i].Date {
+						t.Fatalf("%s ProfileRange not sorted: %s >= %s", u, full[i-1].Date, full[i].Date)
+					}
+				}
+				for trial := 0; trial < 5; trial++ {
+					from := base.AddDate(0, 0, rng.Intn(31)).Format(profile.DateFormat)
+					to := base.AddDate(0, 0, rng.Intn(31)).Format(profile.DateFormat)
+					var want []string
+					for _, p := range full {
+						if p.Date >= from && p.Date <= to {
+							want = append(want, p.Date)
+						}
+					}
+					got := store.ProfileRange(u, from, to)
+					gotDates := make([]string, len(got))
+					for i, p := range got {
+						gotDates[i] = p.Date
+					}
+					if !slices.Equal(gotDates, want) {
+						t.Errorf("%s ProfileRange[%s..%s] = %v, want %v", u, from, to, gotDates, want)
+					}
+				}
+			}
+
+			// Crash: abandon the store without Close, reopen the directory.
+			// Replay rebuilds the index through the same apply path; answers
+			// must survive bit-for-bit.
+			a := NewAnalytics(store)
+			before := map[string]DwellStatsResponse{}
+			for _, u := range users {
+				for _, pid := range propPlaceIDs {
+					before[u+"/"+pid] = a.DwellStats(u, pid)
+				}
+			}
+			store2, err := OpenStore(dir, StoreConfig{Sync: storage.SyncNever, CompactEvery: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer store2.Close()
+			checkIndexEquivalence(t, store2, users)
+			a2 := NewAnalytics(store2)
+			for _, u := range users {
+				for _, pid := range propPlaceIDs {
+					if got := a2.DwellStats(u, pid); got != before[u+"/"+pid] {
+						t.Errorf("%s/%s: recovery changed DwellStats: %+v != %+v", u, pid, got, before[u+"/"+pid])
+					}
+				}
+			}
+		})
+	}
+}

@@ -20,6 +20,7 @@ type Server struct {
 	store     *Store
 	analytics *Analytics
 	cells     *CellDatabase
+	popular   *PopularIndex
 
 	gsmParams   gsm.Params
 	routeParams route.Params
@@ -69,6 +70,7 @@ func NewServer(store *Store, opts ...ServerOption) *Server {
 	for _, opt := range opts {
 		opt(s)
 	}
+	s.popular = NewPopularIndex(store, s.cells)
 	s.mux = http.NewServeMux()
 	s.routesMux()
 	return s
@@ -244,7 +246,7 @@ func (s *Server) handlePlacesPopular(w http.ResponseWriter, r *http.Request, _ s
 	}
 	writeJSON(w, http.StatusOK, PopularPlacesResponse{
 		K:      k,
-		Places: PopularPlaces(s.store, s.cells, k, radius),
+		Places: s.popular.Places(k, radius),
 	})
 }
 

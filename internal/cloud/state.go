@@ -118,21 +118,38 @@ func (m *metaState) Restore(b []byte) error {
 }
 
 // dataState is one data shard: the per-user mobility keyspace for the users
-// hashed onto it.
+// hashed onto it, plus the derived state apply maintains alongside it — the
+// per-user analytics index and the places change-version counters the
+// popular-places cache invalidates on. Derived state is never journaled or
+// snapshotted: replay and restore rebuild it through apply/install.
 type dataState struct {
 	places   map[string][]PlaceWire
 	routes   map[string][]RouteWire
 	profiles map[string]map[string]*profile.DayProfile // user id -> date -> profile
 	contacts map[string][]profile.Encounter
+
+	idx       map[string]*userIndex // user id -> materialized analytics index
+	placesGen map[string]uint64     // user id -> generation of places[user]
+	ver       uint64                // bumped on every places change; never reset
 }
 
 func newDataState() *dataState {
 	return &dataState{
-		places:   map[string][]PlaceWire{},
-		routes:   map[string][]RouteWire{},
-		profiles: map[string]map[string]*profile.DayProfile{},
-		contacts: map[string][]profile.Encounter{},
+		places:    map[string][]PlaceWire{},
+		routes:    map[string][]RouteWire{},
+		profiles:  map[string]map[string]*profile.DayProfile{},
+		contacts:  map[string][]profile.Encounter{},
+		idx:       map[string]*userIndex{},
+		placesGen: map[string]uint64{},
 	}
+}
+
+// bumpPlaces marks the user's places as changed. ver only ever grows (even
+// across install), so a (user, gen) pair is never reissued and stale cache
+// hits are impossible.
+func (d *dataState) bumpPlaces(userID string) {
+	d.ver++
+	d.placesGen[userID] = d.ver
 }
 
 // dataSnapshot is the persisted form of dataState.
@@ -172,11 +189,13 @@ func (d *dataState) apply(rec *walRecord) error {
 			}
 		}
 		d.places[rec.UserID] = rec.Places
+		d.bumpPlaces(rec.UserID)
 	case opLabelPlace:
 		ps := d.places[rec.UserID]
 		for i := range ps {
 			if ps[i].ID == rec.PlaceID {
 				ps[i].Label = rec.Label
+				d.bumpPlaces(rec.UserID)
 				return nil
 			}
 		}
@@ -191,6 +210,12 @@ func (d *dataState) apply(rec *walRecord) error {
 			d.profiles[rec.UserID] = map[string]*profile.DayProfile{}
 		}
 		d.profiles[rec.UserID][rec.Profile.Date] = rec.Profile
+		ux := d.idx[rec.UserID]
+		if ux == nil {
+			ux = newUserIndex()
+			d.idx[rec.UserID] = ux
+		}
+		ux.putDay(rec.Profile)
 	case opAddContacts:
 		d.contacts[rec.UserID] = append(d.contacts[rec.UserID], rec.Encounters...)
 	case opLoadShard:
@@ -217,6 +242,15 @@ func (d *dataState) install(snap *dataSnapshot) {
 	}
 	if snap.Contacts != nil {
 		fresh.contacts = snap.Contacts
+	}
+	// Rebuild derived state. ver keeps growing across the install so no
+	// (user, gen) pair issued before it can collide with one issued after.
+	fresh.ver = d.ver + 1
+	for u := range fresh.places {
+		fresh.placesGen[u] = fresh.ver
+	}
+	for u, days := range fresh.profiles {
+		fresh.idx[u] = buildUserIndex(days)
 	}
 	*d = *fresh
 }

@@ -8,7 +8,6 @@ import (
 	"hash/fnv"
 	"os"
 	"slices"
-	"sort"
 	"sync"
 	"time"
 
@@ -72,6 +71,13 @@ type StoreConfig struct {
 	// CompactEvery snapshots a shard after this many journaled records
 	// (default storage.DefaultCompactEvery; negative disables).
 	CompactEvery int
+	// CommitMaxBatch caps how many concurrent mutations one WAL group commit
+	// may coalesce (default storage.DefaultCommitMaxBatch; negative disables
+	// grouping — every record pays its own write+fsync).
+	CommitMaxBatch int
+	// CommitLinger is how long a commit leader waits for followers when its
+	// batch is short (default 0: the fsync latency is the batching window).
+	CommitLinger time.Duration
 	// Now is the time source (nil means time.Now; simulations inject the
 	// virtual clock).
 	Now func() time.Time
@@ -131,10 +137,12 @@ func newStore(dir string, cfg StoreConfig) (*Store, error) {
 		states = append(states, s.data[i])
 	}
 	eng, err := storage.Open(storage.Options{
-		Dir:          dir,
-		Sync:         cfg.Sync,
-		SyncEvery:    cfg.SyncEvery,
-		CompactEvery: cfg.CompactEvery,
+		Dir:            dir,
+		Sync:           cfg.Sync,
+		SyncEvery:      cfg.SyncEvery,
+		CompactEvery:   cfg.CompactEvery,
+		CommitMaxBatch: cfg.CommitMaxBatch,
+		CommitLinger:   cfg.CommitLinger,
 	}, states)
 	if err != nil {
 		return nil, err
@@ -333,23 +341,55 @@ func (s *Store) Profile(userID, date string) (*profile.DayProfile, bool) {
 }
 
 // ProfileRange returns deep copies of profiles with from <= date <= to
-// (inclusive, date strings), sorted by date. Empty bounds are open.
+// (inclusive, date strings), sorted by date. Empty bounds are open. The walk
+// binary-searches the user's sorted date index, so a narrow window costs the
+// window, not a scan-and-sort of the whole history.
 func (s *Store) ProfileRange(userID, from, to string) []*profile.DayProfile {
 	idx, d := s.dataFor(userID)
 	var out []*profile.DayProfile
 	s.eng.View(idx, func() {
-		for date, p := range d.profiles[userID] {
-			if from != "" && date < from {
-				continue
+		ux := d.idx[userID]
+		if ux == nil {
+			return
+		}
+		days := d.profiles[userID]
+		lo := 0
+		if from != "" {
+			lo, _ = slices.BinarySearch(ux.dates, from)
+		}
+		hi := len(ux.dates)
+		if to != "" {
+			h, ok := slices.BinarySearch(ux.dates, to)
+			if ok {
+				h++
 			}
-			if to != "" && date > to {
-				continue
-			}
-			out = append(out, cloneProfile(p))
+			hi = h
+		}
+		for _, date := range ux.dates[lo:max(lo, hi)] {
+			out = append(out, cloneProfile(days[date]))
 		}
 	})
-	sort.Slice(out, func(i, j int) bool { return out[i].Date < out[j].Date })
 	return out
+}
+
+// viewIndex runs fn under the owning shard's read lock with the user's
+// materialized analytics index — nil when the user has no profiles. The
+// copy-free read path: fn must not retain or mutate anything it is handed,
+// and must not call back into the store.
+func (s *Store) viewIndex(userID string, fn func(ux *userIndex)) {
+	idx, d := s.dataFor(userID)
+	s.eng.View(idx, func() { fn(d.idx[userID]) })
+}
+
+// placesVersion sums the shards' places-change counters: any SetPlaces or
+// LabelPlace anywhere changes the sum, and the counters only grow, so equal
+// sums mean nothing changed. The popular-places cache keys its memo on it.
+func (s *Store) placesVersion() uint64 {
+	var ver uint64
+	for i, d := range s.data {
+		s.eng.View(i+1, func() { ver += d.ver })
+	}
+	return ver
 }
 
 // AddContacts appends encounters to the user's contact log.
@@ -389,6 +429,20 @@ func (s *Store) forEachPlaces(fn func(userID string, places []PlaceWire)) {
 		s.eng.View(i+1, func() {
 			for u, ps := range d.places {
 				fn(u, ps)
+			}
+		})
+	}
+}
+
+// forEachPlacesGen is forEachPlaces plus each user's places generation, so a
+// caller-side cache can skip reprocessing users whose places are unchanged.
+// Same contract: the slice is the live store state, borrowed under the shard
+// read lock.
+func (s *Store) forEachPlacesGen(fn func(userID string, gen uint64, places []PlaceWire)) {
+	for i, d := range s.data {
+		s.eng.View(i+1, func() {
+			for u, ps := range d.places {
+				fn(u, d.placesGen[u], ps)
 			}
 		})
 	}

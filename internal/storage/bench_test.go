@@ -84,6 +84,25 @@ func BenchmarkMutateParallelDurableShards8(b *testing.B) {
 	benchParallelMutate(b, e, kvs)
 }
 
+// The group-commit pair is the acceptance measurement for ISSUE 3: 8 durable
+// writers contending on ONE shard, with commit grouping disabled
+// (CommitMaxBatch: -1 — every record pays its own write+fsync, the
+// pre-group-commit behavior) versus enabled. The ns/op ratio is the commit
+// throughput multiplier delivered by batching concurrent fsyncs.
+func BenchmarkGroupCommitOff(b *testing.B) {
+	e, kvs := benchEngine(b, 1, Options{
+		Dir: "disk", Sync: SyncAlways, CompactEvery: -1, CommitMaxBatch: -1,
+	})
+	benchParallelMutate(b, e, kvs)
+}
+
+func BenchmarkGroupCommitOn(b *testing.B) {
+	e, kvs := benchEngine(b, 1, Options{
+		Dir: "disk", Sync: SyncAlways, CompactEvery: -1,
+	})
+	benchParallelMutate(b, e, kvs)
+}
+
 func BenchmarkMutateFsyncNever(b *testing.B) {
 	e, kvs := benchEngine(b, 1, Options{Dir: "disk", Sync: SyncNever, CompactEvery: -1})
 	benchSerialMutate(b, e, kvs[0])

@@ -1,0 +1,197 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// driveConcurrent runs writers goroutines, each journaling perWriter keyed
+// records against shard 0, and fails the test on any Mutate error.
+func driveConcurrent(t *testing.T, e *Engine, st *kvState, writers, perWriter int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				key := fmt.Sprintf("w%d-k%d", w, i)
+				if err := e.Mutate(0, func() ([]byte, error) {
+					st.m[key] = "v"
+					return kvRecord(key, "v"), nil
+				}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent mutate: %v", err)
+	}
+}
+
+// TestGroupCommitCoalesces: concurrent writers must share commit batches —
+// the record/batch ratio is the whole point of the feature. A generous
+// linger makes the coalescing deterministic enough to assert on.
+func TestGroupCommitCoalesces(t *testing.T) {
+	st := newKV()
+	e, err := Open(Options{
+		Dir: t.TempDir(), Sync: SyncNever, CompactEvery: -1,
+		CommitLinger: 20 * time.Millisecond,
+	}, []ShardState{st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	const writers, perWriter = 8, 8
+	driveConcurrent(t, e, st, writers, perWriter)
+
+	batches, records := e.shards[0].c.stats()
+	if records != writers*perWriter {
+		t.Fatalf("committed %d records, want %d", records, writers*perWriter)
+	}
+	if batches >= records/2 {
+		t.Errorf("group commit did not coalesce: %d batches for %d records", batches, records)
+	}
+}
+
+// TestGroupCommitMaxBatchOne: a batch cap of one record is the
+// pre-group-commit baseline — every record pays its own commit.
+func TestGroupCommitMaxBatchOne(t *testing.T) {
+	st := newKV()
+	e, err := Open(Options{
+		Dir: t.TempDir(), Sync: SyncNever, CompactEvery: -1, CommitMaxBatch: -1,
+	}, []ShardState{st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	driveConcurrent(t, e, st, 4, 16)
+	batches, records := e.shards[0].c.stats()
+	if batches != records {
+		t.Errorf("batch cap 1: %d batches for %d records, want equal", batches, records)
+	}
+}
+
+// TestGroupCommitDurableAcks: with fsync=always, every acknowledged record
+// must survive an abandon-without-Close crash — group commit must not weaken
+// the durability contract while coalescing flushes.
+func TestGroupCommitDurableAcks(t *testing.T) {
+	dir := t.TempDir()
+	st := newKV()
+	e, err := Open(Options{Dir: dir, Sync: SyncAlways, CompactEvery: -1}, []ShardState{st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 4, 25
+	driveConcurrent(t, e, st, writers, perWriter)
+	// The "crash": never Close or Sync — acks alone must be enough.
+
+	st2 := newKV()
+	e2, err := Open(Options{Dir: dir, Sync: SyncAlways, CompactEvery: -1}, []ShardState{st2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if len(st2.m) != writers*perWriter {
+		t.Fatalf("recovered %d records, want %d", len(st2.m), writers*perWriter)
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			if st2.m[fmt.Sprintf("w%d-k%d", w, i)] != "v" {
+				t.Fatalf("acknowledged record w%d-k%d lost", w, i)
+			}
+		}
+	}
+}
+
+// TestGroupCommitSurvivesCompaction: log rotation must drain the commit
+// queue and re-point it at the fresh generation without losing or
+// double-applying records, even with writers in flight.
+func TestGroupCommitSurvivesCompaction(t *testing.T) {
+	dir := t.TempDir()
+	st := newKV()
+	e, err := Open(Options{Dir: dir, Sync: SyncNever, CompactEvery: -1}, []ShardState{st})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var compacts sync.WaitGroup
+	compacts.Add(1)
+	go func() {
+		defer compacts.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := e.Compact(0); err != nil {
+					t.Errorf("compact: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	driveConcurrent(t, e, st, 4, 50)
+	close(stop)
+	compacts.Wait()
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := newKV()
+	e2, err := Open(Options{Dir: dir, Sync: SyncNever, CompactEvery: -1}, []ShardState{st2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if len(st2.m) != 4*50 {
+		t.Fatalf("recovered %d records, want %d", len(st2.m), 4*50)
+	}
+}
+
+// TestGroupCommitPoison: a failed batch must fail every writer in it, and
+// every later mutation must fail fast without touching the log.
+func TestGroupCommitPoison(t *testing.T) {
+	st := newKV()
+	e, err := Open(Options{Dir: t.TempDir(), Sync: SyncNever, CompactEvery: -1}, []ShardState{st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	// Sabotage the log out from under the shard: the next append must fail.
+	if err := e.shards[0].w.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Mutate(0, func() ([]byte, error) {
+		st.m["a"] = "1"
+		return kvRecord("a", "1"), nil
+	}); err == nil {
+		t.Fatal("append to closed log succeeded")
+	}
+	// Sticky: later mutations fail before apply runs.
+	applied := false
+	if err := e.Mutate(0, func() ([]byte, error) {
+		applied = true
+		return kvRecord("b", "2"), nil
+	}); err == nil {
+		t.Fatal("poisoned shard accepted a mutation")
+	}
+	if applied {
+		t.Error("apply ran on a poisoned shard")
+	}
+	if err := e.Compact(0); err == nil {
+		t.Error("poisoned shard accepted a compaction")
+	}
+}

@@ -40,6 +40,17 @@ type Options struct {
 	// CompactEvery triggers a snapshot + log rotation after this many
 	// records on a shard (default 4096; negative disables auto-compaction).
 	CompactEvery int
+	// CommitMaxBatch caps how many queued records one group commit may write
+	// and fsync as a single batch (default DefaultCommitMaxBatch). Negative
+	// disables grouping entirely: every record pays its own write+fsync —
+	// the pre-group-commit behavior, kept as a benchmark baseline.
+	CommitMaxBatch int
+	// CommitLinger is how long a commit leader with a less-than-full batch
+	// waits for stragglers before flushing. The default 0 is right for
+	// fsync=always, where the flush latency itself is the batching window;
+	// a linger only pays off when flushes are nearly free (fsync=never) and
+	// coalescing Write syscalls still matters.
+	CommitLinger time.Duration
 }
 
 // DefaultSyncEvery is the SyncInterval period when none is given.
@@ -80,14 +91,29 @@ func ReadManifest(dir string) (shards int, ok bool, err error) {
 // shard pairs one ShardState with its lock and its log generation.
 // Generation N means: snapshot-N (absent for N=0 on a fresh shard) holds
 // the state as of rotation N, and wal-N holds every mutation since.
+//
+// mu protects the state and the WAL handle/generation bookkeeping; the WAL
+// file itself is written by the committer's group-commit leader, outside mu,
+// so a slow fsync never blocks readers. The sticky poison error lives on the
+// committer (the only component that can fail an append).
 type shard struct {
 	mu    sync.RWMutex
 	state ShardState
 	dir   string // "" in memory-only mode
 	seq   uint64
 	w     *wal
-	since int   // records appended since the last snapshot
-	err   error // sticky: a failed journal append poisons the shard
+	c     *committer // nil in memory-only mode
+	since int        // records appended since the last snapshot
+}
+
+// sticky reports the shard's poison state: a failed journal append leaves
+// memory and log diverged, which cannot be repaired in place, so every later
+// mutation fails fast.
+func (s *shard) sticky() error {
+	if s.c == nil {
+		return nil
+	}
+	return s.c.stickyErr()
 }
 
 // Engine is the sharded storage engine. Each shard has its own lock and its
@@ -249,6 +275,7 @@ func openShard(dir string, state ShardState, opts Options) (*shard, error) {
 		return nil, err
 	}
 	sh.w = w
+	sh.c = newCommitter(w, opts.CommitMaxBatch, opts.CommitLinger)
 	return sh, nil
 }
 
@@ -296,40 +323,68 @@ func (e *Engine) NumShards() int { return len(e.shards) }
 // Durable reports whether the engine journals to disk.
 func (e *Engine) Durable() bool { return e.opts.Dir != "" }
 
-// Mutate runs one mutation on shard i under its write lock. apply mutates
-// the in-memory state and returns the record to journal (nil to skip
-// journaling, e.g. when the mutation turned out to be a no-op). The write is
-// acknowledged only after the record is in the WAL under the engine's fsync
-// policy. A failed append poisons the shard — the memory/log divergence
-// cannot be repaired in place, so every later mutation fails fast.
+// Mutate runs one mutation on shard i: apply mutates the in-memory state
+// under the shard's write lock and returns the record to journal (nil to
+// skip journaling, e.g. when the mutation turned out to be a no-op). The
+// record is enqueued on the shard's group-commit queue while the lock is
+// still held — WAL order therefore equals apply order — and the call is
+// acknowledged only after a commit batch containing the record is in the
+// WAL under the engine's fsync policy (see commit.go). Concurrent writers
+// to one shard coalesce into shared write+fsync batches instead of paying
+// one flush each. A failed batch poisons the shard — the memory/log
+// divergence cannot be repaired in place, so every later mutation fails
+// fast.
 func (e *Engine) Mutate(i int, apply func() ([]byte, error)) error {
 	s := e.shards[i]
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.err != nil {
-		return s.err
+	if err := s.sticky(); err != nil {
+		s.mu.Unlock()
+		return err
 	}
 	rec, err := apply()
 	if err != nil {
+		s.mu.Unlock()
 		return err
 	}
 	if rec == nil || s.w == nil {
+		s.mu.Unlock()
 		return nil
 	}
-	if err := s.w.Append(rec); err != nil {
-		s.err = fmt.Errorf("storage: shard %d poisoned by journal failure: %w", i, err)
-		return s.err
+	req, leader, err := s.c.enqueue(rec)
+	if err != nil {
+		s.mu.Unlock()
+		return err
 	}
 	s.since++
-	if e.opts.CompactEvery > 0 && s.since >= e.opts.CompactEvery {
+	compact := e.opts.CompactEvery > 0 && s.since >= e.opts.CompactEvery
+	s.mu.Unlock()
+
+	if err := s.c.commitWait(req, leader); err != nil {
+		return err
+	}
+	if compact {
 		// Best-effort: the record is already durable in the WAL; a failed
-		// compaction just means a longer replay on the next boot. Resetting
-		// the counter spaces retries instead of attempting on every append.
-		if err := s.compactLocked(e.opts); err != nil {
-			s.since = 0
-		}
+		// compaction just means a longer replay on the next boot.
+		e.compactIfDue(i)
 	}
 	return nil
+}
+
+// compactIfDue compacts shard i if it is still over the auto-compaction
+// threshold. Several writers can cross the threshold while one batch is in
+// flight; re-checking under the lock makes exactly one of them do the work.
+func (e *Engine) compactIfDue(i int) {
+	s := e.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sticky() != nil || s.since < e.opts.CompactEvery {
+		return
+	}
+	if err := s.compactLocked(e.opts); err != nil {
+		// Resetting the counter spaces retries instead of attempting on
+		// every append.
+		s.since = 0
+	}
 }
 
 // View runs read under shard i's read lock. The callback must not retain
@@ -345,9 +400,20 @@ func (e *Engine) View(i int, read func()) {
 // durably (temp + rename + dir fsync), switch appends to a fresh wal-(N+1),
 // then delete generation N. A crash at any point leaves a recoverable
 // layout; openShard's sweep finishes the job.
+//
+// The commit queue is drained first: every queued record was applied to the
+// state before enqueue (and so is captured by the snapshot), but its waiter
+// is parked on an fsync of the old log, which must complete before the log
+// can be retired. New enqueues are blocked for the duration by the shard
+// write lock the caller holds.
 func (s *shard) compactLocked(opts Options) error {
 	if s.w == nil {
 		return nil
+	}
+	if err := s.c.drain(); err != nil {
+		// Poisoned: the in-memory state includes mutations the log rejected;
+		// snapshotting would persist the divergence as truth.
+		return err
 	}
 	payload, err := s.state.Snapshot()
 	if err != nil {
@@ -369,6 +435,7 @@ func (s *shard) compactLocked(opts Options) error {
 	old := s.w
 	oldSeq := s.seq
 	s.w, s.seq, s.since = w, next, 0
+	s.c.setWAL(w)
 	old.Close()
 	os.Remove(filepath.Join(s.dir, walName(oldSeq)))
 	os.Remove(filepath.Join(s.dir, snapName(oldSeq)))
@@ -380,8 +447,8 @@ func (e *Engine) Compact(i int) error {
 	s := e.shards[i]
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.err != nil {
-		return s.err
+	if err := s.sticky(); err != nil {
+		return err
 	}
 	return s.compactLocked(e.opts)
 }
@@ -398,14 +465,18 @@ func (e *Engine) CompactAll() error {
 	return firstErr
 }
 
-// Sync forces every shard's WAL to stable storage (a checkpoint for
-// SyncInterval / SyncNever policies).
+// Sync drains every shard's commit queue and forces its WAL to stable
+// storage (a checkpoint for SyncInterval / SyncNever policies).
 func (e *Engine) Sync() error {
 	var firstErr error
 	for _, s := range e.shards {
 		s.mu.Lock()
-		if s.w != nil && s.err == nil {
-			if err := s.w.Sync(); err != nil && firstErr == nil {
+		if s.w != nil {
+			if err := s.c.drain(); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else if err := s.w.Sync(); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}
@@ -421,11 +492,16 @@ func (e *Engine) Close() error {
 	for i, s := range e.shards {
 		s.mu.Lock()
 		if s.w != nil {
-			if s.err == nil && s.since > 0 {
+			if s.sticky() == nil && s.since > 0 {
 				if err := s.compactLocked(e.opts); err != nil && firstErr == nil {
 					firstErr = err
 				}
+			} else {
+				// Poisoned or already compact: still flush whatever the
+				// queue holds before the log closes.
+				s.c.drain()
 			}
+			s.c.setWAL(nil) // late mutations are acknowledged but unjournaled, as before
 			if err := s.w.Close(); err != nil && firstErr == nil {
 				firstErr = fmt.Errorf("storage: close shard %d: %w", i, err)
 			}

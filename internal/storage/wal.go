@@ -78,8 +78,9 @@ const frameHeaderSize = 8
 // try to allocate gigabytes).
 const MaxRecordSize = 64 << 20
 
-// wal is a single append-only log file. Not safe for concurrent use; the
-// owning shard's mutex serializes access.
+// wal is a single append-only log file. Not safe for concurrent use; in the
+// engine exactly one goroutine touches it at a time — the current group-commit
+// leader, or a rotation/close path that drained the commit queue first.
 type wal struct {
 	f        *os.File
 	path     string
@@ -87,7 +88,8 @@ type wal struct {
 	every    time.Duration
 	lastSync time.Time
 	size     int64
-	frame    []byte // reused append buffer
+	frame    []byte    // reused append buffer
+	single   [1][]byte // reused one-record batch for Append
 }
 
 // createWAL opens (creating if needed) the log at path for appending.
@@ -104,21 +106,39 @@ func createWAL(path string, policy SyncPolicy, every time.Duration) (*wal, error
 	return &wal{f: f, path: path, policy: policy, every: every, size: st.Size()}, nil
 }
 
-// Append journals one record and applies the fsync policy. The frame is
-// written with a single Write call so a crash tears at most the tail, never
-// interleaves records.
+// Append journals one record and applies the fsync policy.
 func (w *wal) Append(rec []byte) error {
-	if len(rec) > MaxRecordSize {
-		return fmt.Errorf("storage: record of %d bytes exceeds MaxRecordSize", len(rec))
+	w.single[0] = rec
+	return w.AppendBatch(w.single[:])
+}
+
+// AppendBatch journals a group of records as one frame sequence, issued with
+// a single Write call and (under SyncAlways) a single fsync — the group
+// commit primitive: N coalesced commits cost one write and one sync instead
+// of N of each. A crash tears at most the tail of the batch, so replay
+// recovers a strict prefix of it in order, never an interleaving.
+func (w *wal) AppendBatch(recs [][]byte) error {
+	need := 0
+	for _, rec := range recs {
+		if len(rec) > MaxRecordSize {
+			return fmt.Errorf("storage: record of %d bytes exceeds MaxRecordSize", len(rec))
+		}
+		need += frameHeaderSize + len(rec)
 	}
-	need := frameHeaderSize + len(rec)
+	if need == 0 {
+		return nil
+	}
 	if cap(w.frame) < need {
 		w.frame = make([]byte, need)
 	}
 	frame := w.frame[:need]
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(rec)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(rec))
-	copy(frame[frameHeaderSize:], rec)
+	off := 0
+	for _, rec := range recs {
+		binary.LittleEndian.PutUint32(frame[off:off+4], uint32(len(rec)))
+		binary.LittleEndian.PutUint32(frame[off+4:off+8], crc32.ChecksumIEEE(rec))
+		copy(frame[off+frameHeaderSize:], rec)
+		off += frameHeaderSize + len(rec)
+	}
 	if _, err := w.f.Write(frame); err != nil {
 		return fmt.Errorf("storage: append wal: %w", err)
 	}
