@@ -7,7 +7,8 @@
 //
 //	pmware-cloud [-addr :8080] [-data-dir ./pmware-data] [-fsync always]
 //	             [-shards 8] [-commit-batch 128] [-commit-linger 0s]
-//	             [-pprof :6060] [-store pmware-store.json] [-world-seed 2014]
+//	             [-pprof :6060] [-slow-request 0s]
+//	             [-store pmware-store.json] [-world-seed 2014]
 //
 // With -data-dir the instance runs on the durable storage engine: every
 // mutation is journaled to a per-shard write-ahead log, snapshots compact the
@@ -21,17 +22,22 @@
 // and saved on SIGINT/SIGTERM; it can be combined with -data-dir to migrate
 // an old store file into a durable data directory.
 //
+// The -pprof side listener also serves /metrics: a JSON (or, with
+// ?format=text, expvar-style) dump of the process-wide observability
+// registry — request, storage, retry, and outbox counter families.
+// -slow-request logs any API request slower than the given threshold.
+//
 // The world seed builds the synthetic Open-Cell-ID database so geolocation
 // answers match simulations generated from the same seed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,27 +56,21 @@ func main() {
 	shards := flag.Int("shards", cloud.DefaultShards, "data shards (pinned by the data directory after first boot)")
 	commitBatch := flag.Int("commit-batch", 0, "max mutations per WAL group commit (0 = default, negative = no grouping)")
 	commitLinger := flag.Duration("commit-linger", 0, "how long a commit leader waits for followers when its batch is short")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (empty = disabled)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /metrics on this side address (empty = disabled)")
+	slowReq := flag.Duration("slow-request", 0, "log API requests slower than this threshold (0 = disabled)")
 	storePath := flag.String("store", "", "legacy JSON persistence file (optional)")
 	worldSeed := flag.Int64("world-seed", 2014, "seed of the synthetic world for the cell database")
 	extent := flag.Float64("extent", 2600, "world half-extent in meters (must match the simulation)")
 	flag.Parse()
 
+	var side *sidecar
 	if *pprofAddr != "" {
-		// A side listener with an explicit mux: the profiling surface never
-		// shares a port (or a mux) with the public API.
-		mux := http.NewServeMux()
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		go func() {
-			log.Printf("pprof listening on %s", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
-				log.Printf("pprof listener failed: %v", err)
-			}
-		}()
+		var err error
+		side, err = startSidecar(*pprofAddr)
+		if err != nil {
+			log.Fatalf("pprof/metrics side listener: %v", err)
+		}
+		log.Printf("pprof + /metrics listening on %s", side.Addr())
 	}
 
 	wc := world.DefaultConfig()
@@ -91,36 +91,56 @@ func main() {
 		}
 	}
 
-	server := cloud.NewServer(store, cloud.WithCellDatabase(cloud.NewCellDatabase(w, 150)))
+	opts := []cloud.ServerOption{cloud.WithCellDatabase(cloud.NewCellDatabase(w, 150))}
+	if *slowReq > 0 {
+		opts = append(opts, cloud.WithSlowRequestLog(*slowReq, nil))
+	}
+	server := cloud.NewServer(store, opts...)
 
+	api := &http.Server{Addr: *addr, Handler: server.Handler()}
+
+	// On SIGINT/SIGTERM drain both listeners; the save/close sequence then
+	// runs on the main goroutine after ListenAndServe returns, so the side
+	// listener can never outlive the API server (or the process).
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
 		<-sigs
-		code := 0
-		if *storePath != "" {
-			if err := store.Save(*storePath); err != nil {
-				log.Printf("save failed: %v", err)
-				code = 1
-			} else {
-				log.Printf("store saved to %s", *storePath)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if side != nil {
+			if err := side.Shutdown(ctx); err != nil {
+				log.Printf("side listener shutdown: %v", err)
 			}
 		}
-		// Close compacts each shard and fsyncs, so the next boot recovers
-		// from snapshots instead of replaying the full logs.
-		if err := store.Close(); err != nil {
-			log.Printf("close failed: %v", err)
-			code = 1
+		if err := api.Shutdown(ctx); err != nil {
+			log.Printf("api shutdown: %v", err)
 		}
-		os.Exit(code)
 	}()
 
 	log.Printf("PMWare cloud instance listening on %s (world seed %d, %d towers in cell DB)",
 		*addr, *worldSeed, len(w.Towers))
-	if err := http.ListenAndServe(*addr, server.Handler()); err != nil {
+	if err := api.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+
+	code := 0
+	if *storePath != "" {
+		if err := store.Save(*storePath); err != nil {
+			log.Printf("save failed: %v", err)
+			code = 1
+		} else {
+			log.Printf("store saved to %s", *storePath)
+		}
+	}
+	// Close compacts each shard and fsyncs, so the next boot recovers from
+	// snapshots instead of replaying the full logs.
+	if err := store.Close(); err != nil {
+		log.Printf("close failed: %v", err)
+		code = 1
+	}
+	os.Exit(code)
 }
 
 // openStore builds the in-memory store or opens (and recovers) a durable one.

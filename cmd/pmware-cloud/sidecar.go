@@ -1,0 +1,69 @@
+package main
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/obs"
+)
+
+// sidecar is the operational side listener: net/http/pprof plus the /metrics
+// endpoint over the process-wide metrics registry. It never shares a port (or
+// a mux) with the public API, and unlike the old fire-and-forget goroutine it
+// is tied to the main server's lifecycle — Shutdown drains it and waits for
+// the serve loop to exit, so tests (and clean process shutdown) can prove the
+// listener is gone.
+type sidecar struct {
+	srv  *http.Server
+	ln   net.Listener
+	done chan struct{}
+}
+
+// startSidecar binds addr and serves pprof + /metrics on it. The listen
+// happens synchronously so a bad address fails startup instead of logging
+// asynchronously from a goroutine.
+func startSidecar(addr string) (*sidecar, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", obs.Handler(obs.Default()))
+	s := &sidecar{
+		srv:  &http.Server{Handler: mux},
+		ln:   ln,
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		// Serve returns ErrServerClosed after Shutdown; anything else is a
+		// real serve failure, but the process keeps running — the sidecar is
+		// operational tooling, not the product surface.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr reports the bound address (useful when addr had port 0).
+func (s *sidecar) Addr() string { return s.ln.Addr().String() }
+
+// Shutdown gracefully stops the listener and waits for the serve loop to
+// exit (or ctx to expire).
+func (s *sidecar) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	select {
+	case <-s.done:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	return err
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/faultnet"
 	"repro/internal/geo"
 	"repro/internal/mobility"
+	"repro/internal/obs"
 	"repro/internal/simclock"
 	"repro/internal/storage"
 	"repro/internal/trace"
@@ -25,6 +26,7 @@ type chaosRun struct {
 	dir   string // durable store's data directory
 	svc   *core.Service
 	fault *faultnet.Transport // nil for the fault-free control run
+	reg   *obs.Registry       // private registry every layer of the run reports into
 }
 
 // chaosFaultConfig injects ~30% faults: connection drops, 5xx bursts, and
@@ -63,6 +65,11 @@ func runChaosPipeline(t *testing.T, faulty bool) *chaosRun {
 	}
 
 	clock := simclock.New()
+	// Every layer of the run — storage engine, server middleware, client
+	// retry, PMS outbox — reports into one private registry, so the metrics
+	// E2E test can delta whole-pipeline counters against faultnet's ground
+	// truth without cross-test contamination.
+	reg := obs.NewRegistry()
 	// The chaos soak runs over the durable store: every synced profile is
 	// journaled, and compaction churns generations mid-run (CompactEvery is
 	// deliberately small). fsync=always so the kill+recover check below can
@@ -72,11 +79,12 @@ func runChaosPipeline(t *testing.T, faulty bool) *chaosRun {
 		Now:          clock.Now,
 		Sync:         storage.SyncAlways,
 		CompactEvery: 32,
+		Metrics:      reg,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	server := NewServer(store, WithCellDatabase(NewCellDatabase(w, 150)))
+	server := NewServer(store, WithCellDatabase(NewCellDatabase(w, 150)), WithMetrics(reg))
 	ts := httptest.NewServer(server.Handler())
 	t.Cleanup(ts.Close)
 
@@ -87,13 +95,16 @@ func runChaosPipeline(t *testing.T, faulty bool) *chaosRun {
 		httpClient = &http.Client{Transport: fault}
 	}
 	client := NewClient(ts.URL, "imei-chaos", "chaos@example.com", httpClient,
-		WithRetryPolicy(fastRetry().WithRand(rand.New(rand.NewSource(7)))))
+		WithRetryPolicy(fastRetry().WithRand(rand.New(rand.NewSource(7)))),
+		WithClientMetrics(reg))
 	if err := client.Register(); err != nil {
 		t.Fatalf("register (faulty=%v): %v", faulty, err)
 	}
 
 	sensors := trace.NewSensors(w, it, trace.DefaultConfig(), rand.New(rand.NewSource(303)))
-	svc := core.NewService(core.DefaultConfig("u1"), clock, sensors, energy.NewMeter(energy.DefaultModel()), client)
+	svcCfg := core.DefaultConfig("u1")
+	svcCfg.Metrics = reg
+	svc := core.NewService(svcCfg, clock, sensors, energy.NewMeter(energy.DefaultModel()), client)
 
 	// 4 days under fire, then connectivity "recovers" for the final day
 	// (the control run executes the identical two-phase schedule).
@@ -102,7 +113,7 @@ func runChaosPipeline(t *testing.T, faulty bool) *chaosRun {
 		fault.SetEnabled(false)
 	}
 	svc.Run(24 * time.Hour)
-	return &chaosRun{store: store, dir: dir, svc: svc, fault: fault}
+	return &chaosRun{store: store, dir: dir, svc: svc, fault: fault, reg: reg}
 }
 
 // recoverStore abandons the run's store (a crash: no Close, no final sync or

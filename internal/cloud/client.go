@@ -42,6 +42,7 @@ type Client struct {
 	baseURL string
 	http    *http.Client
 	retry   RetryPolicy
+	m       *clientMetrics
 
 	imei  string
 	email string
@@ -80,6 +81,9 @@ func NewClient(baseURL, imei, email string, httpClient *http.Client, opts ...Cli
 	}
 	for _, opt := range opts {
 		opt(c)
+	}
+	if c.m == nil {
+		c.m = defaultClientMetrics
 	}
 	return c
 }
@@ -167,7 +171,12 @@ func (c *Client) call(ctx context.Context, method, path string, query url.Values
 		}
 		payload = data
 	}
-	return c.retry.run(ctx, idempotent, func(ctx context.Context) error {
+	attempt := 0
+	return c.retry.withSleepObserver(c.m.observeBackoff).run(ctx, idempotent, func(ctx context.Context) error {
+		attempt++
+		if attempt > 1 {
+			c.m.retries.Inc()
+		}
 		return c.doOnce(ctx, method, u, payload, into, withAuth)
 	})
 }
@@ -192,8 +201,10 @@ func (c *Client) doOnce(ctx context.Context, method, u string, payload []byte, i
 		}
 		req.Header.Set("Authorization", "Bearer "+tok)
 	}
+	c.m.attempts.Inc()
 	resp, err := c.http.Do(req)
 	if err != nil {
+		c.m.connErrors.Inc()
 		return err
 	}
 	defer func() {
@@ -203,6 +214,12 @@ func (c *Client) doOnce(ctx context.Context, method, u string, payload []byte, i
 		resp.Body.Close()
 	}()
 	if resp.StatusCode/100 != 2 {
+		switch {
+		case resp.StatusCode >= 500:
+			c.m.http5xx.Inc()
+		case resp.StatusCode >= 400:
+			c.m.http4xx.Inc()
+		}
 		var e ErrorResponse
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, errorBodyLimit))
 		if jerr := json.Unmarshal(data, &e); jerr != nil || e.Error == "" {
@@ -216,6 +233,7 @@ func (c *Client) doOnce(ctx context.Context, method, u string, payload []byte, i
 	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
 		// A garbled or truncated 2xx body is a link failure, not a protocol
 		// rejection: mark it transient so idempotent calls retry.
+		c.m.bodyErrors.Inc()
 		return &transientError{err: fmt.Errorf("decode response: %w", err)}
 	}
 	return nil
@@ -253,8 +271,10 @@ func (c *Client) recoverToken(ctx context.Context, gen uint64) error {
 	c.refreshMu.Lock()
 	defer c.refreshMu.Unlock()
 	if _, cur := c.snapshotToken(); cur != gen {
+		c.m.tokenCoalesced.Inc()
 		return nil // someone else recovered while we waited
 	}
+	c.m.tokenRecovers.Inc()
 	if err := c.RefreshContext(ctx); err == nil {
 		return nil
 	}

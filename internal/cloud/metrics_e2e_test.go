@@ -1,0 +1,98 @@
+package cloud
+
+import (
+	"testing"
+)
+
+// TestE2EMetricsDeltas runs the chaos soak with every layer reporting into
+// one private registry and pins the whole-pipeline counters to ground truth
+// the instrumentation cannot see:
+//
+//   - the fault injector's own accounting (faultnet.Stats) for the client's
+//     attempt/conn-error/5xx counters and the server's request counter;
+//   - the outbox's lifetime counters and the cloud store's recovered profile
+//     set for the pms_outbox_* families.
+//
+// Every assertion is an exact equality, not a non-zero check.
+func TestE2EMetricsDeltas(t *testing.T) {
+	run := runChaosPipeline(t, true)
+	st := run.fault.Stats()
+	s := run.reg.Snapshot()
+
+	// Client retry layer vs the fault injector. Every attempt is exactly one
+	// RoundTrip through the faultnet transport; injected connection errors
+	// and synthesized 5xx never reach the real server, so the three pairs
+	// must match one-for-one.
+	if got := s.Counter("client_attempts_total"); got != uint64(st.Requests) {
+		t.Errorf("client_attempts_total = %d, faultnet saw %d requests", got, st.Requests)
+	}
+	if got := s.Counter("client_conn_errors_total"); got != uint64(st.ConnErrors) {
+		t.Errorf("client_conn_errors_total = %d, faultnet injected %d", got, st.ConnErrors)
+	}
+	if got := s.Counter("client_http_5xx_total"); got != uint64(st.ServerError) {
+		t.Errorf("client_http_5xx_total = %d, faultnet synthesized %d", got, st.ServerError)
+	}
+	// Retries = attempts beyond the first per call. Under a ~30% fault rate
+	// there must have been some, and never more than the faults seen.
+	retries := s.Counter("client_retries_total")
+	if retries == 0 {
+		t.Error("client_retries_total = 0 under a 30% fault rate")
+	}
+	if faults := uint64(st.Faults()); retries > faults {
+		t.Errorf("client_retries_total = %d exceeds total faults %d", retries, faults)
+	}
+	if sleeps := s.Counter("client_backoff_sleeps_total"); sleeps != retries {
+		t.Errorf("client_backoff_sleeps_total = %d, want one per retry (%d)", sleeps, retries)
+	}
+
+	// Server middleware vs the fault injector: only forwarded requests reach
+	// the real instance, and each lands on exactly one instrumented route.
+	if got := s.FamilyTotal("pci_http_requests_total"); got != uint64(st.Forwarded) {
+		t.Errorf("pci_http_requests_total family = %d, faultnet forwarded %d", got, st.Forwarded)
+	}
+	if got := s.FamilyTotal("pci_http_responses_total"); got != uint64(st.Forwarded) {
+		t.Errorf("pci_http_responses_total family = %d, faultnet forwarded %d", got, st.Forwarded)
+	}
+	if got := s.Gauges["pci_http_in_flight"]; got != 0 {
+		t.Errorf("pci_http_in_flight = %d after the run, want 0", got)
+	}
+
+	// Outbox counters vs the outbox's own lifetime accounting and the
+	// profiles that actually reached the cloud. Every upload routes through
+	// the outbox, the run ends with recovered connectivity, and a synced day
+	// is never re-enqueued — so enqueued == flushed == stored profiles.
+	ob := run.svc.Outbox()
+	if got := s.Counter("pms_outbox_enqueued_total"); got != uint64(ob.Enqueued()) {
+		t.Errorf("pms_outbox_enqueued_total = %d, outbox enqueued %d", got, ob.Enqueued())
+	}
+	if got := s.Counter("pms_outbox_flushed_total"); got != uint64(ob.Flushed()) {
+		t.Errorf("pms_outbox_flushed_total = %d, outbox flushed %d", got, ob.Flushed())
+	}
+	if got := s.Gauges["pms_outbox_depth"]; got != int64(ob.Pending()) {
+		t.Errorf("pms_outbox_depth = %d, outbox holds %d", got, ob.Pending())
+	}
+	if ob.Pending() != 0 {
+		t.Errorf("outbox still holds %d days after recovery", ob.Pending())
+	}
+	stored := len(run.store.ProfileRange("user-0001", "", ""))
+	if ob.Flushed() != stored {
+		t.Errorf("outbox flushed %d uploads, cloud stores %d profiles", ob.Flushed(), stored)
+	}
+	if got := s.Counter("pms_outbox_flushed_total"); got != uint64(stored) {
+		t.Errorf("pms_outbox_flushed_total = %d, cloud stores %d profiles", got, stored)
+	}
+
+	// The PMS ran its nightly pass once per simulated day after the first.
+	if got, want := s.Counter("pms_discoveries_total"), uint64(run.svc.DiscoveriesRun()); got != want {
+		t.Errorf("pms_discoveries_total = %d, service ran %d discoveries", got, want)
+	}
+
+	// Storage layer: the durable store journals on this registry too; the
+	// soak must have committed every record it journaled.
+	if b, r := s.Counter("storage_commit_batches_total"), s.Counter("storage_commit_records_total"); b == 0 || r < b {
+		t.Errorf("storage commit counters implausible: %d batches, %d records", b, r)
+	}
+	if got := s.Counter("storage_wal_append_records_total"); got != s.Counter("storage_commit_records_total") {
+		t.Errorf("WAL records %d != committed records %d", got, s.Counter("storage_commit_records_total"))
+	}
+}

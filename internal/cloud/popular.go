@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/geo"
+	"repro/internal/obs"
 )
 
 // This file implements the cross-user "popular places" aggregate — an
@@ -180,6 +181,9 @@ type PopularIndex struct {
 	store *Store
 	cells *CellDatabase
 
+	memoHits   *obs.Counter // popular_memo_hits_total
+	recomputes *obs.Counter // popular_recomputes_total
+
 	mu     sync.Mutex
 	byUser map[string]cachedSited
 	memo   struct {
@@ -194,7 +198,13 @@ type PopularIndex struct {
 // NewPopularIndex returns an empty cache over the store; the first query
 // populates it.
 func NewPopularIndex(store *Store, cells *CellDatabase) *PopularIndex {
-	return &PopularIndex{store: store, cells: cells, byUser: map[string]cachedSited{}}
+	return &PopularIndex{
+		store:      store,
+		cells:      cells,
+		memoHits:   store.obsReg.Counter("popular_memo_hits_total"),
+		recomputes: store.obsReg.Counter("popular_recomputes_total"),
+		byUser:     map[string]cachedSited{},
+	}
 }
 
 // Places answers exactly like PopularPlaces(store, cells, k, radiusM) — the
@@ -212,8 +222,10 @@ func (px *PopularIndex) Places(k int, radiusM float64) []PopularPlace {
 	// let newer state hide behind an old key.
 	ver := px.store.placesVersion()
 	if px.memo.valid && px.memo.ver == ver && px.memo.k == k && px.memo.radius == radiusM {
+		px.memoHits.Inc()
 		return slices.Clone(px.memo.places)
 	}
+	px.recomputes.Inc()
 
 	seen := map[string]bool{}
 	var all []sited

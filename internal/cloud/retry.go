@@ -42,6 +42,10 @@ type RetryPolicy struct {
 	// sleep waits for d or until ctx is done. nil means a real
 	// context-aware sleep. Tests inject a no-op or a simclock-driven func.
 	sleep func(ctx context.Context, d time.Duration) error
+	// onSleep, when set, observes every backoff delay as it is about to be
+	// slept — the hook the client's backoff metrics hang off. It sees the
+	// jittered delay actually waited, not the pre-jitter backoff.
+	onSleep func(d time.Duration)
 }
 
 // DefaultRetryPolicy is the production policy: 4 attempts, 200ms base
@@ -131,9 +135,19 @@ func (p RetryPolicy) MaxTotalDelay() time.Duration {
 	return time.Duration(total)
 }
 
+// withSleepObserver returns a copy of the policy reporting each backoff
+// delay to fn before sleeping it.
+func (p RetryPolicy) withSleepObserver(fn func(d time.Duration)) RetryPolicy {
+	p.onSleep = fn
+	return p
+}
+
 // wait sleeps for the nth retry delay, honoring ctx cancellation.
 func (p RetryPolicy) wait(ctx context.Context, n int) error {
 	d := p.Delay(n)
+	if p.onSleep != nil {
+		p.onSleep(d)
+	}
 	if p.sleep != nil {
 		return p.sleep(ctx, d)
 	}

@@ -3,6 +3,7 @@ package cloud
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
@@ -25,6 +26,10 @@ type Server struct {
 	gsmParams   gsm.Params
 	routeParams route.Params
 	reqTimeout  time.Duration
+
+	metrics       *serverMetrics
+	slowThreshold time.Duration
+	slowLog       *log.Logger
 
 	mux *http.ServeMux
 }
@@ -70,6 +75,9 @@ func NewServer(store *Store, opts ...ServerOption) *Server {
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.metrics == nil {
+		s.metrics = newServerMetrics(nil)
+	}
 	s.popular = NewPopularIndex(store, s.cells)
 	s.mux = http.NewServeMux()
 	s.routesMux()
@@ -95,25 +103,25 @@ func TimeoutMiddleware(h http.Handler, d time.Duration) http.Handler {
 }
 
 func (s *Server) routesMux() {
-	s.mux.HandleFunc("POST "+PathRegister, s.handleRegister)
-	s.mux.HandleFunc("POST "+PathRefresh, s.handleRefresh)
-	s.mux.HandleFunc("POST "+PathPlacesDiscover, s.auth(s.handlePlacesDiscover))
-	s.mux.HandleFunc("GET "+PathPlaces, s.auth(s.handlePlacesGet))
-	s.mux.HandleFunc("POST "+PathPlacesLabel, s.auth(s.handlePlacesLabel))
-	s.mux.HandleFunc("POST "+PathRoutesDiscover, s.auth(s.handleRoutesDiscover))
-	s.mux.HandleFunc("GET "+PathRoutes, s.auth(s.handleRoutesGet))
-	s.mux.HandleFunc("POST "+PathRouteSimilarity, s.auth(s.handleRouteSimilarity))
-	s.mux.HandleFunc("PUT "+PathProfiles+"/{date}", s.auth(s.handleProfilePut))
-	s.mux.HandleFunc("GET "+PathProfiles+"/{date}", s.auth(s.handleProfileGet))
-	s.mux.HandleFunc("GET "+PathProfiles, s.auth(s.handleProfileRange))
-	s.mux.HandleFunc("POST "+PathContacts, s.auth(s.handleContactsPost))
-	s.mux.HandleFunc("GET "+PathContacts, s.auth(s.handleContactsGet))
-	s.mux.HandleFunc("GET "+PathPlacesPopular, s.auth(s.handlePlacesPopular))
-	s.mux.HandleFunc("GET "+PathGeoCell, s.auth(s.handleGeoCell))
-	s.mux.HandleFunc("GET "+PathPredictArrival, s.auth(s.handlePredictArrival))
-	s.mux.HandleFunc("GET "+PathPredictNext, s.auth(s.handlePredictNext))
-	s.mux.HandleFunc("GET "+PathStatsFrequency, s.auth(s.handleFrequency))
-	s.mux.HandleFunc("GET "+PathStatsDwell, s.auth(s.handleDwell))
+	s.mux.HandleFunc("POST "+PathRegister, s.instrument("register", s.handleRegister))
+	s.mux.HandleFunc("POST "+PathRefresh, s.instrument("refresh", s.handleRefresh))
+	s.mux.HandleFunc("POST "+PathPlacesDiscover, s.instrument("places_discover", s.auth(s.handlePlacesDiscover)))
+	s.mux.HandleFunc("GET "+PathPlaces, s.instrument("places_get", s.auth(s.handlePlacesGet)))
+	s.mux.HandleFunc("POST "+PathPlacesLabel, s.instrument("places_label", s.auth(s.handlePlacesLabel)))
+	s.mux.HandleFunc("POST "+PathRoutesDiscover, s.instrument("routes_discover", s.auth(s.handleRoutesDiscover)))
+	s.mux.HandleFunc("GET "+PathRoutes, s.instrument("routes_get", s.auth(s.handleRoutesGet)))
+	s.mux.HandleFunc("POST "+PathRouteSimilarity, s.instrument("route_similarity", s.auth(s.handleRouteSimilarity)))
+	s.mux.HandleFunc("PUT "+PathProfiles+"/{date}", s.instrument("profile_put", s.auth(s.handleProfilePut)))
+	s.mux.HandleFunc("GET "+PathProfiles+"/{date}", s.instrument("profile_get", s.auth(s.handleProfileGet)))
+	s.mux.HandleFunc("GET "+PathProfiles, s.instrument("profile_range", s.auth(s.handleProfileRange)))
+	s.mux.HandleFunc("POST "+PathContacts, s.instrument("contacts_post", s.auth(s.handleContactsPost)))
+	s.mux.HandleFunc("GET "+PathContacts, s.instrument("contacts_get", s.auth(s.handleContactsGet)))
+	s.mux.HandleFunc("GET "+PathPlacesPopular, s.instrument("places_popular", s.auth(s.handlePlacesPopular)))
+	s.mux.HandleFunc("GET "+PathGeoCell, s.instrument("geo_cell", s.auth(s.handleGeoCell)))
+	s.mux.HandleFunc("GET "+PathPredictArrival, s.instrument("predict_arrival", s.auth(s.handlePredictArrival)))
+	s.mux.HandleFunc("GET "+PathPredictNext, s.instrument("predict_next", s.auth(s.handlePredictNext)))
+	s.mux.HandleFunc("GET "+PathStatsFrequency, s.instrument("stats_frequency", s.auth(s.handleFrequency)))
+	s.mux.HandleFunc("GET "+PathStatsDwell, s.instrument("stats_dwell", s.auth(s.handleDwell)))
 }
 
 // writeJSON emits a JSON body with status.

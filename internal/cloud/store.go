@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/storage"
 )
@@ -57,6 +58,10 @@ type Store struct {
 	tokens  map[string]tokenInfo
 
 	now func() time.Time
+
+	obsReg       *obs.Registry
+	idxHits      *obs.Counter // analytics_index_hits_total
+	idxFallbacks *obs.Counter // analytics_index_fallbacks_total
 }
 
 // StoreConfig configures a durable store opened with OpenStore.
@@ -81,6 +86,9 @@ type StoreConfig struct {
 	// Now is the time source (nil means time.Now; simulations inject the
 	// virtual clock).
 	Now func() time.Time
+	// Metrics is the registry the store's storage_*, analytics_*, and
+	// popular_* families register in (nil means the process-wide default).
+	Metrics *obs.Registry
 }
 
 // NewStore returns an empty memory-only store using the given time source
@@ -124,11 +132,18 @@ func newStore(dir string, cfg StoreConfig) (*Store, error) {
 		}
 	}
 
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
 	s := &Store{
-		meta:   newMetaState(),
-		data:   make([]*dataState, shards),
-		tokens: map[string]tokenInfo{},
-		now:    cfg.Now,
+		meta:         newMetaState(),
+		data:         make([]*dataState, shards),
+		tokens:       map[string]tokenInfo{},
+		now:          cfg.Now,
+		obsReg:       reg,
+		idxHits:      reg.Counter("analytics_index_hits_total"),
+		idxFallbacks: reg.Counter("analytics_index_fallbacks_total"),
 	}
 	states := make([]storage.ShardState, 0, shards+1)
 	states = append(states, s.meta)
@@ -143,6 +158,7 @@ func newStore(dir string, cfg StoreConfig) (*Store, error) {
 		CompactEvery:   cfg.CompactEvery,
 		CommitMaxBatch: cfg.CommitMaxBatch,
 		CommitLinger:   cfg.CommitLinger,
+		Metrics:        reg,
 	}, states)
 	if err != nil {
 		return nil, err
@@ -378,7 +394,18 @@ func (s *Store) ProfileRange(userID, from, to string) []*profile.DayProfile {
 // and must not call back into the store.
 func (s *Store) viewIndex(userID string, fn func(ux *userIndex)) {
 	idx, d := s.dataFor(userID)
-	s.eng.View(idx, func() { fn(d.idx[userID]) })
+	s.eng.View(idx, func() {
+		ux := d.idx[userID]
+		if ux != nil {
+			s.idxHits.Inc()
+		} else {
+			// No materialized index for the user: the caller answers from
+			// nothing, the same result a reference scan of zero profiles
+			// would produce.
+			s.idxFallbacks.Inc()
+		}
+		fn(ux)
+	})
 }
 
 // placesVersion sums the shards' places-change counters: any SetPlaces or

@@ -66,6 +66,11 @@ func (s *Service) accelTick(c *simclock.Clock) {
 	}
 	s.pendingMoves = 0
 	s.moving = sample.Moving
+	if s.moving {
+		s.m.planMoving.Inc()
+	} else {
+		s.m.planStationary.Inc()
+	}
 
 	if s.moving {
 		// Departure candidate: confirm with a WiFi burst; start route

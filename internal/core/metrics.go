@@ -1,0 +1,45 @@
+package core
+
+import "repro/internal/obs"
+
+// pmsMetrics is the mobile service's metric bundle (DESIGN.md §10).
+//
+// Family inventory:
+//
+//	pms_outbox_enqueued_total                 day keys ever queued for upload
+//	pms_outbox_flushed_total                  queued uploads completed
+//	pms_outbox_depth                          gauge of day keys currently queued
+//	pms_plan_transitions_total{to=moving}     sensing-plan flips to moving
+//	pms_plan_transitions_total{to=stationary} sensing-plan flips to stationary
+//	pms_discoveries_total                     nightly discovery passes run
+//	pms_sync_errors_total                     sync passes stopped by an upload failure
+type pmsMetrics struct {
+	outboxEnqueued *obs.Counter
+	outboxFlushed  *obs.Counter
+	outboxDepth    *obs.Gauge
+	planMoving     *obs.Counter
+	planStationary *obs.Counter
+	discoveries    *obs.Counter
+	syncErrors     *obs.Counter
+}
+
+func newPMSMetrics(reg *obs.Registry) *pmsMetrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	plan := reg.CounterVec("pms_plan_transitions_total", "to")
+	return &pmsMetrics{
+		outboxEnqueued: reg.Counter("pms_outbox_enqueued_total"),
+		outboxFlushed:  reg.Counter("pms_outbox_flushed_total"),
+		outboxDepth:    reg.Gauge("pms_outbox_depth"),
+		planMoving:     plan.With("moving"),
+		planStationary: plan.With("stationary"),
+		discoveries:    reg.Counter("pms_discoveries_total"),
+		syncErrors:     reg.Counter("pms_sync_errors_total"),
+	}
+}
+
+// defaultPMSMetrics registers the pms_* families in the process-wide registry
+// at package init, so a booted pmware-cloud exposes them on /metrics even
+// though the server itself never drives a mobile service.
+var defaultPMSMetrics = newPMSMetrics(nil)

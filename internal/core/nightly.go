@@ -24,6 +24,7 @@ func (s *Service) nightlyDiscovery() {
 		return
 	}
 	s.discoveriesRun++
+	s.m.discoveries.Inc()
 
 	// 1. Place discovery: offload GCA when a cloud is connected, falling
 	// back to on-device computation on error.
@@ -256,6 +257,7 @@ func (s *Service) flushOutbox() {
 	)
 	if err != nil {
 		s.cloudSyncErrors++
+		s.m.syncErrors.Inc()
 	}
 }
 

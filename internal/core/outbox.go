@@ -15,12 +15,19 @@ type Outbox struct {
 
 	enqueued int // lifetime adds
 	flushed  int // lifetime successful uploads
+
+	m *pmsMetrics // nil when used standalone (no metrics)
 }
 
 // NewOutbox returns an empty outbox.
 func NewOutbox() *Outbox {
 	return &Outbox{queued: map[string]bool{}}
 }
+
+// instrument mirrors the outbox's lifetime counters and queue depth into the
+// pms_outbox_* metric families. The outbox's own counters stay the source of
+// truth the metrics-delta tests compare against.
+func (o *Outbox) instrument(m *pmsMetrics) { o.m = m }
 
 // Add queues a day key, keeping the queue sorted and duplicate-free.
 func (o *Outbox) Add(date string) {
@@ -29,6 +36,10 @@ func (o *Outbox) Add(date string) {
 	}
 	o.queued[date] = true
 	o.enqueued++
+	if o.m != nil {
+		o.m.outboxEnqueued.Inc()
+		o.m.outboxDepth.Inc()
+	}
 	// Insert in date order (ISO dates sort lexically); the queue is tiny
 	// (days of backlog), so linear insertion is fine.
 	i := len(o.pending)
@@ -76,6 +87,9 @@ func (o *Outbox) Flush(lookup func(date string) *profile.DayProfile, send func(*
 		o.drop(date)
 		o.flushed++
 		sent++
+		if o.m != nil {
+			o.m.outboxFlushed.Inc()
+		}
 	}
 	return sent, nil
 }
@@ -84,4 +98,7 @@ func (o *Outbox) Flush(lookup func(date string) *profile.DayProfile, send func(*
 func (o *Outbox) drop(date string) {
 	o.pending = o.pending[1:]
 	delete(o.queued, date)
+	if o.m != nil {
+		o.m.outboxDepth.Dec()
+	}
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/gpsplace"
 	"repro/internal/gsm"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/route"
 	"repro/internal/simclock"
@@ -71,6 +72,11 @@ type Config struct {
 	// Peers supplies positions of other study participants for Bluetooth
 	// proximity (empty outside multi-user studies).
 	Peers map[string]trace.PositionFunc
+
+	// Metrics is the registry the service's pms_* families register in (nil
+	// means the process-wide default). Tests inject a private registry for
+	// exact delta assertions.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the configuration used by the deployment study.
@@ -153,6 +159,8 @@ type Service struct {
 	eventsEmitted   int
 	discoveriesRun  int
 	cloudSyncErrors int
+
+	m *pmsMetrics
 }
 
 // NewService wires a mobile service over the given sensor bundle and clock.
@@ -175,6 +183,12 @@ func NewService(cfg Config, clock *simclock.Clock, sensors *trace.Sensors, meter
 		outbox:         NewOutbox(),
 		currentGSM:     -1,
 	}
+	if cfg.Metrics != nil {
+		s.m = newPMSMetrics(cfg.Metrics)
+	} else {
+		s.m = defaultPMSMetrics
+	}
+	s.outbox.instrument(s.m)
 	return s
 }
 

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"math/rand"
+	"slices"
+	"sort"
+	"testing"
+)
+
+// TestHistogramProperty drives randomized observation sets against three
+// invariants:
+//
+//  1. recorded count and sum are exact;
+//  2. every estimated quantile is bracketed by the bounds of the bucket that
+//     contains the true order statistic (tightened by observed min/max);
+//  3. Merge(snapshot(A), snapshot(B)) equals snapshot(A ∪ B).
+func TestHistogramProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	quantiles := []float64{0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1}
+
+	for trial := 0; trial < 60; trial++ {
+		bounds := randomBounds(rng)
+		h := newHistogram(bounds)
+		n := 1 + rng.Intn(500)
+		values := make([]int64, n)
+		var sum int64
+		for i := range values {
+			v := randomValue(rng)
+			values[i] = v
+			sum += v
+			h.Observe(v)
+		}
+		s := h.Snapshot()
+
+		// (1) count/sum exact.
+		if s.Count != uint64(n) || s.Sum != sum {
+			t.Fatalf("trial %d: count/sum = %d/%d, want %d/%d", trial, s.Count, s.Sum, n, sum)
+		}
+		sorted := slices.Clone(values)
+		slices.Sort(sorted)
+		if s.Min != sorted[0] || s.Max != sorted[n-1] {
+			t.Fatalf("trial %d: min/max = %d/%d, want %d/%d", trial, s.Min, s.Max, sorted[0], sorted[n-1])
+		}
+
+		// (2) quantile estimates bracketed by the true bucket bounds.
+		for _, q := range quantiles {
+			rank := int(q * float64(n))
+			if rank < 1 {
+				rank = 1
+			}
+			if rank > n {
+				rank = n
+			}
+			truth := sorted[rank-1]
+			lo, hi := trueBucketBounds(s, truth)
+			est := s.Quantile(q)
+			if est < lo || est > hi {
+				t.Fatalf("trial %d: Quantile(%g) = %g outside true bucket [%g, %g] (truth %d, bounds %v)",
+					trial, q, est, lo, hi, truth, bounds)
+			}
+		}
+
+		// (3) merge ≡ union.
+		ha, hb, hu := newHistogram(bounds), newHistogram(bounds), newHistogram(bounds)
+		split := rng.Intn(n + 1)
+		for i, v := range values {
+			if i < split {
+				ha.Observe(v)
+			} else {
+				hb.Observe(v)
+			}
+			hu.Observe(v)
+		}
+		merged, err := ha.Snapshot().Merge(hb.Snapshot())
+		if err != nil {
+			t.Fatalf("trial %d: merge: %v", trial, err)
+		}
+		if !snapshotsEqual(merged, hu.Snapshot()) {
+			t.Fatalf("trial %d: merge(A,B) != snapshot(A∪B):\n%+v\n%+v", trial, merged, hu.Snapshot())
+		}
+	}
+}
+
+// randomBounds picks a random bucket layout: linear, exponential, or a few
+// arbitrary sorted cut points.
+func randomBounds(rng *rand.Rand) []int64 {
+	switch rng.Intn(3) {
+	case 0:
+		return LinearBuckets(int64(rng.Intn(50)), 1+int64(rng.Intn(200)), 2+rng.Intn(12))
+	case 1:
+		return ExpBuckets(1+int64(rng.Intn(20)), 1.5+rng.Float64()*2, 2+rng.Intn(12))
+	default:
+		n := 1 + rng.Intn(8)
+		seen := map[int64]bool{}
+		var out []int64
+		for len(out) < n {
+			v := int64(rng.Intn(4000) - 500)
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+}
+
+// randomValue mixes small, mid, and large magnitudes (including negatives)
+// so every bucket layout gets exercised at both ends.
+func randomValue(rng *rand.Rand) int64 {
+	switch rng.Intn(3) {
+	case 0:
+		return int64(rng.Intn(100) - 20)
+	case 1:
+		return int64(rng.Intn(5000))
+	default:
+		return int64(rng.Intn(1_000_000))
+	}
+}
+
+// trueBucketBounds returns the (min/max-tightened) value range of the bucket
+// the true order statistic falls in — the bracket the estimate must respect.
+func trueBucketBounds(s HistogramSnapshot, truth int64) (lo, hi float64) {
+	i := sort.Search(len(s.Bounds), func(i int) bool { return truth <= s.Bounds[i] })
+	return s.bucketBounds(i)
+}
+
+func snapshotsEqual(a, b HistogramSnapshot) bool {
+	if a.Count != b.Count || a.Sum != b.Sum || a.Min != b.Min || a.Max != b.Max {
+		return false
+	}
+	if !slices.Equal(a.Bounds, b.Bounds) || !slices.Equal(a.Counts, b.Counts) {
+		return false
+	}
+	return true
+}

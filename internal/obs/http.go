@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// Handler serves the registry's snapshot. The default rendering is JSON (the
+// Snapshot structure verbatim); `?format=text` renders sorted
+// expvar-style `name value` lines, with histograms expanded into _count,
+// _sum, _min, _max, and cumulative `_bucket{le="..."}` lines — greppable by
+// the CI smoke check and by humans with curl.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.Write([]byte(renderText(snap)))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(snap)
+	})
+}
+
+// renderText flattens a snapshot into sorted `name value` lines.
+func renderText(s Snapshot) string {
+	lines := make([]string, 0, len(s.Counters)+len(s.Gauges)+8*len(s.Histograms))
+	for name, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, v))
+	}
+	for name, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("%s %d", name, v))
+	}
+	for name, h := range s.Histograms {
+		lines = append(lines, fmt.Sprintf("%s_count %d", name, h.Count))
+		lines = append(lines, fmt.Sprintf("%s_sum %d", name, h.Sum))
+		if h.Count > 0 {
+			lines = append(lines, fmt.Sprintf("%s_min %d", name, h.Min))
+			lines = append(lines, fmt.Sprintf("%s_max %d", name, h.Max))
+		}
+		var cum uint64
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = fmt.Sprintf("%d", h.Bounds[i])
+			}
+			lines = append(lines, fmt.Sprintf(`%s_bucket{le="%s"} %d`, name, le, cum))
+		}
+	}
+	sort.Strings(lines)
+	var b strings.Builder
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

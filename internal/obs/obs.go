@@ -1,0 +1,490 @@
+// Package obs is PMWare's dependency-free observability layer: a race-safe
+// metrics registry of atomic counters, gauges, and fixed-bucket histograms,
+// with labeled families, a consistent snapshot API, and an HTTP exposition
+// handler (DESIGN.md §10).
+//
+// The registry is the shared vocabulary between the instrumented subsystems
+// (HTTP serving, the storage engine, the PMS↔PCI sync link, the outbox) and
+// the verification harness: every instrumented counter has a delta test that
+// pins it to independently-known ground truth, so the numbers on /metrics are
+// evidence, not decoration.
+//
+// Design constraints, in order:
+//
+//   - hot-path cost is one atomic op per event: callers resolve metric
+//     handles once (at construction) and hold them; the registry's map plus
+//     lock is only on the resolve path;
+//   - everything is safe for concurrent use, including Snapshot during a
+//     write storm (counters are monotone, so a racing snapshot is a valid
+//     linearization point per metric);
+//   - no dependencies beyond the standard library.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n events.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous value that can move both ways (queue depth,
+// in-flight requests).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the value by d (negative to decrease).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution of int64 observations (latencies
+// in microseconds, batch sizes, byte counts — the unit is the metric's
+// contract, named in the metric name). Count and sum are exact; quantiles
+// are estimated from the bucket counts and always bracketed by the bounds of
+// the bucket holding the requested rank (the property test pins this).
+//
+// All mutation is atomic: Observe touches one bucket counter, the count, the
+// sum, and CAS-updates min/max — no locks on the hot path.
+type Histogram struct {
+	bounds []int64 // sorted upper bounds (inclusive); overflow bucket after
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64
+	min    atomic.Int64 // valid only when count > 0
+	max    atomic.Int64
+}
+
+func newHistogram(bounds []int64) *Histogram {
+	bs := append([]int64(nil), bounds...)
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	h := &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+	h.min.Store(int64(^uint64(0) >> 1)) // MaxInt64
+	h.max.Store(-int64(^uint64(0)>>1) - 1)
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records d in microseconds — the convention every *_us
+// histogram in the repo uses.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Microseconds()) }
+
+// Snapshot captures the histogram's current state. Under concurrent writers
+// the per-bucket counts, count, and sum are each individually exact but may
+// be mutually torn by in-flight observations; quiesce first when asserting
+// exact relations between them.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]int64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.sum.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	if s.Count > 0 {
+		s.Min, s.Max = h.min.Load(), h.max.Load()
+	}
+	return s
+}
+
+// ExpBuckets returns n exponentially growing bucket bounds starting at start
+// and multiplying by factor — the shape latency and size distributions want.
+func ExpBuckets(start int64, factor float64, n int) []int64 {
+	if start < 1 {
+		start = 1
+	}
+	if factor <= 1 {
+		factor = 2
+	}
+	out := make([]int64, 0, n)
+	v := float64(start)
+	for i := 0; i < n; i++ {
+		b := int64(v)
+		if len(out) > 0 && b <= out[len(out)-1] {
+			b = out[len(out)-1] + 1
+		}
+		out = append(out, b)
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n bounds start, start+width, ...
+func LinearBuckets(start, width int64, n int) []int64 {
+	out := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, start+int64(i)*width)
+	}
+	return out
+}
+
+// DefaultLatencyBuckets spans 50us..~1.6s exponentially — wide enough for
+// both in-memory handler latencies and fsync-bound commits.
+func DefaultLatencyBuckets() []int64 { return ExpBuckets(50, 2, 16) }
+
+// Registry holds named metrics. Names follow the convention
+// subsystem_metric_unit[_total]; labeled family members are stored under
+// name{label="value"}. Get-or-create is idempotent; asking for an existing
+// name with a different metric kind (or different histogram bounds) panics —
+// that is a programming error, not a runtime condition.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+var (
+	defaultOnce sync.Once
+	defaultReg  *Registry
+)
+
+// Default returns the process-wide registry — what pmware-cloud exposes on
+// /metrics. Instrumented packages fall back to it when no registry is
+// injected; tests that assert exact deltas inject their own.
+func Default() *Registry {
+	defaultOnce.Do(func() { defaultReg = NewRegistry() })
+	return defaultReg
+}
+
+func (r *Registry) checkFree(name, kind string) {
+	if _, ok := r.counters[name]; ok && kind != "counter" {
+		panic(fmt.Sprintf("obs: %q already registered as a counter", name))
+	}
+	if _, ok := r.gauges[name]; ok && kind != "gauge" {
+		panic(fmt.Sprintf("obs: %q already registered as a gauge", name))
+	}
+	if _, ok := r.histograms[name]; ok && kind != "histogram" {
+		panic(fmt.Sprintf("obs: %q already registered as a histogram", name))
+	}
+}
+
+// Counter returns the counter with the given name, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.checkFree(name, "counter")
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.checkFree(name, "gauge")
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it with the
+// given bucket upper bounds if needed. Re-requesting an existing histogram
+// with different bounds panics.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		checkBounds(name, h, bounds)
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		checkBounds(name, h, bounds)
+		return h
+	}
+	r.checkFree(name, "histogram")
+	h = newHistogram(bounds)
+	r.histograms[name] = h
+	return h
+}
+
+func checkBounds(name string, h *Histogram, bounds []int64) {
+	if len(bounds) != len(h.bounds) {
+		panic(fmt.Sprintf("obs: histogram %q re-registered with different bounds", name))
+	}
+	sorted := append([]int64(nil), bounds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, b := range sorted {
+		if h.bounds[i] != b {
+			panic(fmt.Sprintf("obs: histogram %q re-registered with different bounds", name))
+		}
+	}
+}
+
+// Labeled composes a family member name: Labeled("x_total", "route", "places")
+// is `x_total{route="places"}`. One label is enough for this system; the
+// member is an ordinary metric in the registry.
+func Labeled(name, label, value string) string {
+	return name + `{` + label + `="` + value + `"}`
+}
+
+// CounterVec is a labeled counter family: one label key, one counter per
+// observed value. Resolving a member costs a registry lookup; hot paths
+// should hold the resolved *Counter.
+type CounterVec struct {
+	r     *Registry
+	name  string
+	label string
+}
+
+// CounterVec returns the family with the given name and label key.
+func (r *Registry) CounterVec(name, label string) *CounterVec {
+	return &CounterVec{r: r, name: name, label: label}
+}
+
+// With returns the member counter for the label value.
+func (v *CounterVec) With(value string) *Counter {
+	return v.r.Counter(Labeled(v.name, v.label, value))
+}
+
+// Snapshot is a point-in-time copy of a registry. Each metric's value is
+// individually consistent; relations across metrics can be torn by in-flight
+// writers (quiesce before asserting cross-metric identities).
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// Counter returns a counter's value from the snapshot (0 when absent).
+func (s Snapshot) Counter(name string) uint64 { return s.Counters[name] }
+
+// CounterDelta returns how much a counter grew from an earlier snapshot.
+func (s Snapshot) CounterDelta(earlier Snapshot, name string) uint64 {
+	return s.Counters[name] - earlier.Counters[name]
+}
+
+// FamilyTotal sums every member of a labeled family (counters whose name
+// starts with name followed by "{").
+func (s Snapshot) FamilyTotal(name string) uint64 {
+	var total uint64
+	prefix := name + "{"
+	for n, v := range s.Counters {
+		if n == name || strings.HasPrefix(n, prefix) {
+			total += v
+		}
+	}
+	return total
+}
+
+// HistogramSnapshot is a histogram's frozen state. Counts has one entry per
+// bound plus the overflow bucket; bucket i covers (Bounds[i-1], Bounds[i]]
+// (the first bucket covers (-inf, Bounds[0]]).
+type HistogramSnapshot struct {
+	Count  uint64   `json:"count"`
+	Sum    int64    `json:"sum"`
+	Min    int64    `json:"min"`
+	Max    int64    `json:"max"`
+	Bounds []int64  `json:"bounds"`
+	Counts []uint64 `json:"counts"`
+}
+
+// Mean returns the exact average observation (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// bucketBounds returns bucket i's value range, tightened by the observed
+// min/max so estimates never leave the data's hull.
+func (s HistogramSnapshot) bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		lo = float64(s.Min)
+	} else {
+		lo = float64(s.Bounds[i-1])
+	}
+	if i < len(s.Bounds) {
+		hi = float64(s.Bounds[i])
+	} else {
+		hi = float64(s.Max)
+	}
+	if lo < float64(s.Min) {
+		lo = float64(s.Min)
+	}
+	if hi > float64(s.Max) {
+		hi = float64(s.Max)
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the bucket containing the rank. The estimate is always within the
+// bounds of that bucket (clamped to observed min/max), which is exactly the
+// bracket the true order statistic lives in — the property test's invariant.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the order statistic (1-based, ceiling), matching the
+	// "smallest value with cumulative count >= rank" definition the test's
+	// sorted-slice reference uses.
+	rank := uint64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += c
+		if cum >= rank {
+			lo, hi := s.bucketBounds(i)
+			frac := float64(rank-prev) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+	}
+	return float64(s.Max)
+}
+
+// Merge combines two snapshots of histograms with identical bounds: the
+// result is the snapshot the union of observations would have produced
+// (counts and sums add; min/max fold).
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) (HistogramSnapshot, error) {
+	if len(s.Bounds) != len(o.Bounds) {
+		return HistogramSnapshot{}, fmt.Errorf("obs: merging histograms with different bucket counts")
+	}
+	for i := range s.Bounds {
+		if s.Bounds[i] != o.Bounds[i] {
+			return HistogramSnapshot{}, fmt.Errorf("obs: merging histograms with different bounds")
+		}
+	}
+	if s.Count == 0 {
+		return o, nil
+	}
+	if o.Count == 0 {
+		return s, nil
+	}
+	out := HistogramSnapshot{
+		Count:  s.Count + o.Count,
+		Sum:    s.Sum + o.Sum,
+		Min:    s.Min,
+		Max:    s.Max,
+		Bounds: append([]int64(nil), s.Bounds...),
+		Counts: make([]uint64, len(s.Counts)),
+	}
+	if o.Min < out.Min {
+		out.Min = o.Min
+	}
+	if o.Max > out.Max {
+		out.Max = o.Max
+	}
+	for i := range s.Counts {
+		out.Counts[i] = s.Counts[i] + o.Counts[i]
+	}
+	return out, nil
+}

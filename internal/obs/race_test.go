@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrency hammers one registry from many goroutines —
+// counters, gauges, histogram observations, labeled-family resolution, and
+// concurrent snapshots — and then asserts the final totals are exact. Run
+// under -race (the CI race leg runs this package with the rest of ./...),
+// this is the registry's thread-safety proof; run without, it is the
+// lost-update check.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	const perG = 2000
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Every goroutine resolves its own handles — the get-or-create
+			// path races with siblings on the same names.
+			c := r.Counter("hits_total")
+			gauge := r.Gauge("depth")
+			h := r.Histogram("obs_us", []int64{10, 100, 1000})
+			vec := r.CounterVec("routed_total", "route")
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				gauge.Inc()
+				h.Observe(int64(i % 1500))
+				vec.With(fmt.Sprintf("r%d", i%3)).Inc()
+				if i%500 == 0 {
+					_ = r.Snapshot() // snapshots race the writers
+				}
+			}
+			for i := 0; i < perG/2; i++ {
+				gauge.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+
+	s := r.Snapshot()
+	const total = goroutines * perG
+	if got := s.Counter("hits_total"); got != total {
+		t.Errorf("hits_total = %d, want %d (lost updates)", got, total)
+	}
+	if got := s.Gauges["depth"]; got != total/2 {
+		t.Errorf("depth = %d, want %d", got, total/2)
+	}
+	h := s.Histograms["obs_us"]
+	if h.Count != total {
+		t.Errorf("histogram count = %d, want %d", h.Count, total)
+	}
+	var perGSum int64
+	for i := 0; i < perG; i++ {
+		perGSum += int64(i % 1500)
+	}
+	if h.Sum != perGSum*goroutines {
+		t.Errorf("histogram sum = %d, want %d", h.Sum, perGSum*goroutines)
+	}
+	var bucketSum uint64
+	for _, c := range h.Counts {
+		bucketSum += c
+	}
+	if bucketSum != total {
+		t.Errorf("bucket counts sum to %d, want %d", bucketSum, total)
+	}
+	if got := s.FamilyTotal("routed_total"); got != total {
+		t.Errorf("routed_total family = %d, want %d", got, total)
+	}
+	for i := 0; i < 3; i++ {
+		want := uint64(0)
+		for j := 0; j < perG; j++ {
+			if j%3 == i {
+				want++
+			}
+		}
+		want *= goroutines
+		if got := s.Counter(Labeled("routed_total", "route", fmt.Sprintf("r%d", i))); got != want {
+			t.Errorf("routed_total{r%d} = %d, want %d", i, got, want)
+		}
+	}
+}

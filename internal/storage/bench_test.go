@@ -164,7 +164,7 @@ func BenchmarkMixedReadWrite(b *testing.B) {
 }
 
 func BenchmarkWALAppend(b *testing.B) {
-	w, err := createWAL(b.TempDir()+"/bench.log", SyncNever, DefaultSyncEvery)
+	w, err := createWAL(b.TempDir()+"/bench.log", SyncNever, DefaultSyncEvery, nil)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -65,6 +65,8 @@ type committer struct {
 	batches uint64
 	records uint64
 
+	m *engineMetrics // set by openShard; nil in direct unit-test construction
+
 	recs [][]byte // leader-only scratch for AppendBatch
 }
 
@@ -171,9 +173,17 @@ func (c *committer) lead(own *commitReq) error {
 	c.mu.Lock()
 	if err != nil && c.err == nil {
 		c.err = fmt.Errorf("storage: shard poisoned by journal failure: %w", err)
+		if c.m != nil {
+			c.m.shardsPoisoned.Inc()
+		}
 	}
 	c.batches++
 	c.records += uint64(len(batch))
+	if c.m != nil {
+		c.m.commitBatches.Inc()
+		c.m.commitRecords.Add(uint64(len(batch)))
+		c.m.commitBatchSize.Observe(int64(len(batch)))
+	}
 	var next *commitReq
 	if len(c.queue) > 0 {
 		next = c.queue[0]

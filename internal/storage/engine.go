@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ShardState is the in-memory state of one shard. The engine journals
@@ -51,6 +53,10 @@ type Options struct {
 	// a linger only pays off when flushes are nearly free (fsync=never) and
 	// coalescing Write syscalls still matters.
 	CommitLinger time.Duration
+	// Metrics is the registry the engine's storage_* families register in.
+	// Nil means the process-wide obs.Default() registry (what /metrics
+	// serves); tests inject their own for exact delta assertions.
+	Metrics *obs.Registry
 }
 
 // DefaultSyncEvery is the SyncInterval period when none is given.
@@ -104,6 +110,7 @@ type shard struct {
 	w     *wal
 	c     *committer // nil in memory-only mode
 	since int        // records appended since the last snapshot
+	m     *engineMetrics
 }
 
 // sticky reports the shard's poison state: a failed journal append leaves
@@ -138,10 +145,11 @@ func Open(opts Options, states []ShardState) (*Engine, error) {
 	if opts.CompactEvery == 0 {
 		opts.CompactEvery = DefaultCompactEvery
 	}
+	m := newEngineMetrics(opts.Metrics)
 	e := &Engine{opts: opts, shards: make([]*shard, len(states))}
 	if opts.Dir == "" {
 		for i, st := range states {
-			e.shards[i] = &shard{state: st}
+			e.shards[i] = &shard{state: st, m: m}
 		}
 		return e, nil
 	}
@@ -165,7 +173,7 @@ func Open(opts Options, states []ShardState) (*Engine, error) {
 
 	for i, st := range states {
 		dir := filepath.Join(opts.Dir, fmt.Sprintf("shard-%03d", i))
-		sh, err := openShard(dir, st, opts)
+		sh, err := openShard(dir, st, opts, m)
 		if err != nil {
 			e.closePartial(i)
 			return nil, fmt.Errorf("storage: shard %d: %w", i, err)
@@ -196,7 +204,7 @@ func walName(seq uint64) string  { return fmt.Sprintf("wal-%016d.log", seq) }
 //     durable" and "old generation deleted" leaves them behind; their
 //     content is subsumed by the chosen snapshot);
 //  5. reopen wal-<seq> for appending.
-func openShard(dir string, state ShardState, opts Options) (*shard, error) {
+func openShard(dir string, state ShardState, opts Options, m *engineMetrics) (*shard, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -247,12 +255,19 @@ func openShard(dir string, state ShardState, opts Options) (*shard, error) {
 		}
 	}
 
-	sh := &shard{state: state, dir: dir, seq: seq}
-	replayed, err := replayWAL(filepath.Join(dir, walName(seq)), state.Apply)
+	if m == nil {
+		m = newEngineMetrics(nil)
+	}
+	sh := &shard{state: state, dir: dir, seq: seq, m: m}
+	replayed, torn, err := replayWAL(filepath.Join(dir, walName(seq)), state.Apply)
 	if err != nil {
 		return nil, err
 	}
 	sh.since = replayed
+	m.replayRecords.Add(uint64(replayed))
+	if torn {
+		m.replayTornTails.Inc()
+	}
 
 	// Sweep every other generation.
 	for _, s := range snapSeqs {
@@ -266,7 +281,7 @@ func openShard(dir string, state ShardState, opts Options) (*shard, error) {
 		}
 	}
 
-	w, err := createWAL(filepath.Join(dir, walName(seq)), opts.Sync, opts.SyncEvery)
+	w, err := createWAL(filepath.Join(dir, walName(seq)), opts.Sync, opts.SyncEvery, m)
 	if err != nil {
 		return nil, err
 	}
@@ -276,6 +291,7 @@ func openShard(dir string, state ShardState, opts Options) (*shard, error) {
 	}
 	sh.w = w
 	sh.c = newCommitter(w, opts.CommitMaxBatch, opts.CommitLinger)
+	sh.c.m = m
 	return sh, nil
 }
 
@@ -415,6 +431,7 @@ func (s *shard) compactLocked(opts Options) error {
 		// snapshotting would persist the divergence as truth.
 		return err
 	}
+	start := time.Now()
 	payload, err := s.state.Snapshot()
 	if err != nil {
 		return fmt.Errorf("storage: encode snapshot: %w", err)
@@ -424,7 +441,7 @@ func (s *shard) compactLocked(opts Options) error {
 	if err := writeFileAtomic(snapPath, frameSnapshot(payload), 0o644); err != nil {
 		return fmt.Errorf("storage: write snapshot: %w", err)
 	}
-	w, err := createWAL(filepath.Join(s.dir, walName(next)), s.w.policy, s.w.every)
+	w, err := createWAL(filepath.Join(s.dir, walName(next)), s.w.policy, s.w.every, s.m)
 	if err != nil {
 		return err
 	}
@@ -439,6 +456,8 @@ func (s *shard) compactLocked(opts Options) error {
 	old.Close()
 	os.Remove(filepath.Join(s.dir, walName(oldSeq)))
 	os.Remove(filepath.Join(s.dir, snapName(oldSeq)))
+	s.m.compactions.Inc()
+	s.m.compactionDur.ObserveDuration(time.Since(start))
 	return nil
 }
 

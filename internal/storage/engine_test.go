@@ -219,7 +219,7 @@ func TestEngineCorruptSnapshotFallsBack(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(shardDir, snapName(1)), frameSnapshot(snap1), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	w, err := createWAL(filepath.Join(shardDir, walName(1)), SyncAlways, DefaultSyncEvery)
+	w, err := createWAL(filepath.Join(shardDir, walName(1)), SyncAlways, DefaultSyncEvery, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,56 @@
+package storage
+
+import "repro/internal/obs"
+
+// engineMetrics is the storage engine's metric bundle (DESIGN.md §10). The
+// handles are resolved once per engine and shared by its shards, WALs, and
+// committers, so the hot path pays atomic increments, never registry lookups.
+//
+// Family inventory (all counters unless noted):
+//
+//	storage_wal_append_records_total   records journaled
+//	storage_wal_append_bytes_total     framed bytes written to WALs
+//	storage_wal_fsync_total            fsync syscalls issued
+//	storage_wal_fsync_duration_us      histogram of fsync latency
+//	storage_commit_batches_total       group commits flushed
+//	storage_commit_records_total       records carried by group commits
+//	storage_commit_batch_records       histogram of batch sizes (coalescing)
+//	storage_compactions_total          snapshot+rotate cycles completed
+//	storage_compaction_duration_us     histogram of snapshot write latency
+//	storage_replay_records_total       records replayed at recovery
+//	storage_replay_torn_tails_total    torn WAL tails truncated at recovery
+//	storage_shards_poisoned_total      shards poisoned by journal failure
+type engineMetrics struct {
+	walAppendRecords *obs.Counter
+	walAppendBytes   *obs.Counter
+	fsyncs           *obs.Counter
+	fsyncDur         *obs.Histogram
+	commitBatches    *obs.Counter
+	commitRecords    *obs.Counter
+	commitBatchSize  *obs.Histogram
+	compactions      *obs.Counter
+	compactionDur    *obs.Histogram
+	replayRecords    *obs.Counter
+	replayTornTails  *obs.Counter
+	shardsPoisoned   *obs.Counter
+}
+
+func newEngineMetrics(reg *obs.Registry) *engineMetrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &engineMetrics{
+		walAppendRecords: reg.Counter("storage_wal_append_records_total"),
+		walAppendBytes:   reg.Counter("storage_wal_append_bytes_total"),
+		fsyncs:           reg.Counter("storage_wal_fsync_total"),
+		fsyncDur:         reg.Histogram("storage_wal_fsync_duration_us", obs.DefaultLatencyBuckets()),
+		commitBatches:    reg.Counter("storage_commit_batches_total"),
+		commitRecords:    reg.Counter("storage_commit_records_total"),
+		commitBatchSize:  reg.Histogram("storage_commit_batch_records", obs.ExpBuckets(1, 2, 9)),
+		compactions:      reg.Counter("storage_compactions_total"),
+		compactionDur:    reg.Histogram("storage_compaction_duration_us", obs.DefaultLatencyBuckets()),
+		replayRecords:    reg.Counter("storage_replay_records_total"),
+		replayTornTails:  reg.Counter("storage_replay_torn_tails_total"),
+		shardsPoisoned:   reg.Counter("storage_shards_poisoned_total"),
+	}
+}

@@ -88,12 +88,13 @@ type wal struct {
 	every    time.Duration
 	lastSync time.Time
 	size     int64
+	m        *engineMetrics
 	frame    []byte    // reused append buffer
 	single   [1][]byte // reused one-record batch for Append
 }
 
 // createWAL opens (creating if needed) the log at path for appending.
-func createWAL(path string, policy SyncPolicy, every time.Duration) (*wal, error) {
+func createWAL(path string, policy SyncPolicy, every time.Duration, m *engineMetrics) (*wal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open wal: %w", err)
@@ -103,7 +104,10 @@ func createWAL(path string, policy SyncPolicy, every time.Duration) (*wal, error
 		f.Close()
 		return nil, fmt.Errorf("storage: stat wal: %w", err)
 	}
-	return &wal{f: f, path: path, policy: policy, every: every, size: st.Size()}, nil
+	if m == nil {
+		m = newEngineMetrics(nil)
+	}
+	return &wal{f: f, path: path, policy: policy, every: every, size: st.Size(), m: m}, nil
 }
 
 // Append journals one record and applies the fsync policy.
@@ -143,6 +147,8 @@ func (w *wal) AppendBatch(recs [][]byte) error {
 		return fmt.Errorf("storage: append wal: %w", err)
 	}
 	w.size += int64(need)
+	w.m.walAppendRecords.Add(uint64(len(recs)))
+	w.m.walAppendBytes.Add(uint64(need))
 	switch w.policy {
 	case SyncAlways:
 		return w.Sync()
@@ -156,10 +162,13 @@ func (w *wal) AppendBatch(recs [][]byte) error {
 
 // Sync flushes the log to stable storage.
 func (w *wal) Sync() error {
+	start := time.Now()
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("storage: sync wal: %w", err)
 	}
 	w.lastSync = time.Now()
+	w.m.fsyncs.Inc()
+	w.m.fsyncDur.ObserveDuration(w.lastSync.Sub(start))
 	return nil
 }
 
@@ -181,13 +190,14 @@ func (w *wal) Close() error {
 // Recovery is therefore total: any byte-level prefix of a valid log recovers
 // to exactly the records fully contained in it. An apply error is a real
 // failure (the record was intact but the state rejected it) and aborts.
-func replayWAL(path string, apply func([]byte) error) (records int, err error) {
+// truncated reports whether a torn tail was cut off.
+func replayWAL(path string, apply func([]byte) error) (records int, truncated bool, err error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return 0, nil
+			return 0, false, nil
 		}
-		return 0, fmt.Errorf("storage: open wal for replay: %w", err)
+		return 0, false, fmt.Errorf("storage: open wal for replay: %w", err)
 	}
 	defer f.Close()
 
@@ -219,20 +229,20 @@ func replayWAL(path string, apply func([]byte) error) (records int, err error) {
 			break
 		}
 		if err := apply(payload); err != nil {
-			return records, fmt.Errorf("storage: replay record %d: %w", records, err)
+			return records, false, fmt.Errorf("storage: replay record %d: %w", records, err)
 		}
 		good += int64(frameHeaderSize) + int64(ln)
 		records++
 	}
 	if torn {
 		if err := f.Truncate(good); err != nil {
-			return records, fmt.Errorf("storage: truncate torn wal tail: %w", err)
+			return records, true, fmt.Errorf("storage: truncate torn wal tail: %w", err)
 		}
 		if err := f.Sync(); err != nil {
-			return records, fmt.Errorf("storage: sync truncated wal: %w", err)
+			return records, true, fmt.Errorf("storage: sync truncated wal: %w", err)
 		}
 	}
-	return records, nil
+	return records, torn, nil
 }
 
 // writeFileAtomic writes data to path via a temp file in the same directory

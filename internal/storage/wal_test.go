@@ -15,7 +15,7 @@ func tmpWAL(t *testing.T) string {
 
 func appendAll(t *testing.T, path string, recs [][]byte, policy SyncPolicy) {
 	t.Helper()
-	w, err := createWAL(path, policy, DefaultSyncEvery)
+	w, err := createWAL(path, policy, DefaultSyncEvery, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +32,7 @@ func appendAll(t *testing.T, path string, recs [][]byte, policy SyncPolicy) {
 func collectReplay(t *testing.T, path string) [][]byte {
 	t.Helper()
 	var got [][]byte
-	n, err := replayWAL(path, func(rec []byte) error {
+	n, _, err := replayWAL(path, func(rec []byte) error {
 		got = append(got, bytes.Clone(rec))
 		return nil
 	})
@@ -61,9 +61,9 @@ func TestWALRoundTrip(t *testing.T) {
 }
 
 func TestWALReplayMissingFile(t *testing.T) {
-	n, err := replayWAL(filepath.Join(t.TempDir(), "nope.log"), func([]byte) error { return nil })
-	if err != nil || n != 0 {
-		t.Fatalf("missing file: n=%d err=%v", n, err)
+	n, torn, err := replayWAL(filepath.Join(t.TempDir(), "nope.log"), func([]byte) error { return nil })
+	if err != nil || n != 0 || torn {
+		t.Fatalf("missing file: n=%d torn=%v err=%v", n, torn, err)
 	}
 }
 
@@ -167,7 +167,7 @@ func TestWALGarbageLength(t *testing.T) {
 }
 
 func TestWALAppendRejectsOversized(t *testing.T) {
-	w, err := createWAL(tmpWAL(t), SyncNever, DefaultSyncEvery)
+	w, err := createWAL(tmpWAL(t), SyncNever, DefaultSyncEvery, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
