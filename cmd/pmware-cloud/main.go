@@ -7,6 +7,7 @@
 //
 //	pmware-cloud [-addr :8080] [-data-dir ./pmware-data] [-fsync always]
 //	             [-shards 8] [-commit-batch 128] [-commit-linger 0s]
+//	             [-discover-workers 4] [-discover-queue 64] [-max-body 64MiB]
 //	             [-pprof :6060] [-slow-request 0s]
 //	             [-store pmware-store.json] [-world-seed 2014]
 //
@@ -17,6 +18,12 @@
 // picks the durability/latency trade-off and -shards the number of data
 // shards for concurrent writers; the shard count is pinned by the data
 // directory's manifest after the first boot.
+//
+// Discovery offload runs on a bounded worker pool: -discover-workers sets
+// how many GCA runs execute concurrently and -discover-queue how many may
+// wait; past that the instance answers 429 + Retry-After instead of piling
+// up goroutines. -max-body caps request body size (oversized uploads are
+// rejected with 413).
 //
 // The legacy -store JSON file, when given, is loaded on startup (if present)
 // and saved on SIGINT/SIGTERM; it can be combined with -data-dir to migrate
@@ -56,6 +63,9 @@ func main() {
 	shards := flag.Int("shards", cloud.DefaultShards, "data shards (pinned by the data directory after first boot)")
 	commitBatch := flag.Int("commit-batch", 0, "max mutations per WAL group commit (0 = default, negative = no grouping)")
 	commitLinger := flag.Duration("commit-linger", 0, "how long a commit leader waits for followers when its batch is short")
+	discoverWorkers := flag.Int("discover-workers", cloud.DefaultDiscoverWorkers, "concurrent discovery (GCA) runs")
+	discoverQueue := flag.Int("discover-queue", cloud.DefaultDiscoverQueue, "queued discovery requests before 429 backpressure")
+	maxBody := flag.Int64("max-body", cloud.DefaultMaxBodyBytes, "max request body bytes (oversized uploads get 413)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /metrics on this side address (empty = disabled)")
 	slowReq := flag.Duration("slow-request", 0, "log API requests slower than this threshold (0 = disabled)")
 	storePath := flag.String("store", "", "legacy JSON persistence file (optional)")
@@ -91,7 +101,11 @@ func main() {
 		}
 	}
 
-	opts := []cloud.ServerOption{cloud.WithCellDatabase(cloud.NewCellDatabase(w, 150))}
+	opts := []cloud.ServerOption{
+		cloud.WithCellDatabase(cloud.NewCellDatabase(w, 150)),
+		cloud.WithDiscoverPool(*discoverWorkers, *discoverQueue),
+		cloud.WithMaxBodyBytes(*maxBody),
+	}
 	if *slowReq > 0 {
 		opts = append(opts, cloud.WithSlowRequestLog(*slowReq, nil))
 	}
@@ -134,6 +148,8 @@ func main() {
 			log.Printf("store saved to %s", *storePath)
 		}
 	}
+	// Stop the discovery workers before the store goes away under them.
+	server.Close()
 	// Close compacts each shard and fsyncs, so the next boot recovers from
 	// snapshots instead of replaying the full logs.
 	if err := store.Close(); err != nil {

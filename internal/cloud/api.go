@@ -7,6 +7,7 @@
 package cloud
 
 import (
+	"math"
 	"time"
 
 	"repro/internal/gsm"
@@ -104,14 +105,74 @@ func sortCells(cs []world.CellID) {
 	}
 }
 
-// DiscoverPlacesRequest uploads a raw GSM trace for GCA offload.
+// DiscoverPlacesRequest uploads a GSM trace for GCA offload.
+//
+// Two upload modes share the endpoint. A full upload (Delta false) replaces
+// the server's persisted trace with Observations — the legacy behaviour, and
+// the client's fallback when its cursor diverges from the server. A delta
+// upload (Delta true) claims the server already holds a Cursor-observation
+// prefix whose chained TraceHash is PrefixHash, and ships only the
+// observations after it; the server verifies the claim against its persisted
+// trace and appends. Retries are harmless: a delta that (partially) overlaps
+// what the server already holds is deduplicated observation-by-observation
+// rather than double-appended, and a mismatch answers 409 so the client can
+// fall back to a full upload.
 type DiscoverPlacesRequest struct {
 	Observations []trace.GSMObservation `json:"observations"`
+	Delta        bool                   `json:"delta,omitempty"`
+	Cursor       int64                  `json:"cursor,omitempty"`
+	PrefixHash   uint64                 `json:"prefix_hash,omitempty"`
 }
 
-// DiscoverPlacesResponse returns the discovered places.
+// DiscoverPlacesResponse returns the discovered places plus the server's
+// post-sync trace position — the cursor the client resumes its next delta
+// upload from.
 type DiscoverPlacesResponse struct {
-	Places []PlaceWire `json:"places"`
+	Places    []PlaceWire `json:"places"`
+	TraceLen  int64       `json:"trace_len"`
+	TraceHash uint64      `json:"trace_hash"`
+}
+
+// Trace hashing: an order-sensitive chained FNV-64a over every observation
+// field. Both sides of the delta protocol compute it independently — the
+// client over its local buffer, the server over its persisted trace — so a
+// matching (length, hash) pair certifies the prefixes are identical without
+// shipping them. Timestamps hash as UnixNano, which survives the RFC 3339
+// JSON round-trip exactly; signal levels hash by their bit pattern.
+const (
+	traceHashOffset = 14695981039346656037 // FNV-64a offset basis
+	traceHashPrime  = 1099511628211        // FNV-64a prime
+)
+
+// TraceHash hashes a whole trace from the empty-prefix seed.
+func TraceHash(obs []trace.GSMObservation) uint64 {
+	return ExtendTraceHash(EmptyTraceHash(), obs)
+}
+
+// EmptyTraceHash is the hash of the zero-observation prefix.
+func EmptyTraceHash() uint64 { return traceHashOffset }
+
+// ExtendTraceHash continues a chained trace hash over additional
+// observations: ExtendTraceHash(TraceHash(a), b) == TraceHash(append(a, b)).
+func ExtendTraceHash(h uint64, obs []trace.GSMObservation) uint64 {
+	for _, o := range obs {
+		h = traceHashWord(h, uint64(o.At.UnixNano()))
+		h = traceHashWord(h, uint64(int64(o.Cell.MCC)))
+		h = traceHashWord(h, uint64(int64(o.Cell.MNC)))
+		h = traceHashWord(h, uint64(int64(o.Cell.LAC)))
+		h = traceHashWord(h, uint64(int64(o.Cell.CID)))
+		h = traceHashWord(h, math.Float64bits(o.SignalDBM))
+	}
+	return h
+}
+
+func traceHashWord(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= traceHashPrime
+		v >>= 8
+	}
+	return h
 }
 
 // LabelRequest tags a stored place.

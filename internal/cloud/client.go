@@ -56,6 +56,15 @@ type Client struct {
 	// an expired token, exactly one performs the refresh round-trip and the
 	// rest reuse the new token.
 	refreshMu sync.Mutex
+
+	// Delta sync cursor: the server-acknowledged trace position after the
+	// last successful DiscoverPlaces. The next call uploads only the
+	// observations past it (after re-verifying the prefix hash locally, so
+	// an unrelated trace falls back to a full upload instead of corrupting
+	// the server's copy).
+	syncMu    sync.Mutex
+	traceLen  int64
+	traceHash uint64
 }
 
 // ClientOption customizes a Client.
@@ -145,14 +154,28 @@ func (c *Client) RefreshContext(ctx context.Context) error {
 	return nil
 }
 
+// ErrRequestTooLarge reports the server rejected an upload body as over its
+// size cap (HTTP 413). Unlike transient faults this is terminal — retrying
+// the same payload cannot succeed; the caller must shrink the upload.
+// Surface it with errors.Is.
+var ErrRequestTooLarge = errors.New("cloud: request body too large")
+
 // statusError carries a non-2xx response.
 type statusError struct {
 	Status int
 	Msg    string
+	// RetryAfter is the server's Retry-After hint on backpressure responses
+	// (0 when absent). The retry loop waits at least this long.
+	RetryAfter time.Duration
 }
 
 func (e *statusError) Error() string {
 	return fmt.Sprintf("cloud: http %d: %s", e.Status, e.Msg)
+}
+
+// Is lets callers classify typed protocol rejections with errors.Is.
+func (e *statusError) Is(target error) bool {
+	return target == ErrRequestTooLarge && e.Status == http.StatusRequestEntityTooLarge
 }
 
 // call performs one JSON request under the retry policy. withAuth attaches
@@ -225,7 +248,13 @@ func (c *Client) doOnce(ctx context.Context, method, u string, payload []byte, i
 		if jerr := json.Unmarshal(data, &e); jerr != nil || e.Error == "" {
 			e.Error = strconv.Quote(truncateForError(data))
 		}
-		return &statusError{Status: resp.StatusCode, Msg: e.Error}
+		se := &statusError{Status: resp.StatusCode, Msg: e.Error}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, perr := strconv.Atoi(ra); perr == nil && secs > 0 {
+				se.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return se
 	}
 	if into == nil {
 		return nil
@@ -288,17 +317,65 @@ func (c *Client) DiscoverPlaces(obs []trace.GSMObservation) ([]*gsm.Place, error
 }
 
 // DiscoverPlacesContext is DiscoverPlaces with caller-controlled
-// cancellation.
+// cancellation. After the first successful call the client holds the
+// server-acknowledged trace cursor and ships only the observations past it
+// (delta sync); a 409 from the server — the persisted trace diverged from
+// the cursor claim — falls back to a full upload within the same call.
 func (c *Client) DiscoverPlacesContext(ctx context.Context, obs []trace.GSMObservation) ([]*gsm.Place, error) {
+	cursor, hash, delta := c.traceCursor(obs)
 	var resp DiscoverPlacesResponse
-	if err := c.authedCall(ctx, http.MethodPost, PathPlacesDiscover, nil, DiscoverPlacesRequest{Observations: obs}, &resp, true); err != nil {
+	var err error
+	if delta {
+		c.m.deltaUploads.Inc()
+		req := DiscoverPlacesRequest{Observations: obs[cursor:], Delta: true, Cursor: cursor, PrefixHash: hash}
+		err = c.authedCall(ctx, http.MethodPost, PathPlacesDiscover, nil, req, &resp, true)
+		var se *statusError
+		if errors.As(err, &se) && se.Status == http.StatusConflict {
+			c.m.deltaFallbacks.Inc()
+			delta = false
+		}
+	}
+	if !delta {
+		err = c.authedCall(ctx, http.MethodPost, PathPlacesDiscover, nil, DiscoverPlacesRequest{Observations: obs}, &resp, true)
+	}
+	if err != nil {
 		return nil, err
 	}
+	c.storeCursor(resp.TraceLen, resp.TraceHash)
 	places := make([]*gsm.Place, 0, len(resp.Places))
 	for _, w := range resp.Places {
 		places = append(places, WireToPlace(w))
 	}
 	return places, nil
+}
+
+// traceCursor decides whether obs can be uploaded as a delta: the stored
+// cursor must cover a non-empty prefix of obs and that prefix must hash to
+// the stored value (the caller handed us a trace that genuinely extends the
+// last upload, not a trimmed or unrelated one). Returns delta=false for a
+// full upload otherwise — including always on the first call, which
+// preserves the server's "no observations" rejection of empty full uploads.
+func (c *Client) traceCursor(obs []trace.GSMObservation) (cursor int64, hash uint64, delta bool) {
+	c.syncMu.Lock()
+	cursor, hash = c.traceLen, c.traceHash
+	c.syncMu.Unlock()
+	if cursor <= 0 || cursor > int64(len(obs)) {
+		return 0, 0, false
+	}
+	if TraceHash(obs[:cursor]) != hash {
+		return 0, 0, false
+	}
+	return cursor, hash, true
+}
+
+// storeCursor records the server's post-sync trace position. Written
+// unconditionally: a concurrent call's stale overwrite only makes the next
+// upload ship a longer (still correct) tail, and the server's overlap dedup
+// keeps that harmless.
+func (c *Client) storeCursor(n int64, h uint64) {
+	c.syncMu.Lock()
+	c.traceLen, c.traceHash = n, h
+	c.syncMu.Unlock()
 }
 
 // SyncProfile uploads a day profile (core.CloudAPI). PUT is an upsert keyed

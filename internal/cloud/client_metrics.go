@@ -24,6 +24,8 @@ import (
 //	client_backoff_sleep_us_total           summed jittered backoff (µs)
 //	client_token_recoveries_total           refresh/re-register round-trips run
 //	client_token_recoveries_coalesced_total 401 recoveries absorbed by single-flight
+//	client_delta_uploads_total              discover calls shipped as cursor deltas
+//	client_delta_fallbacks_total            deltas rejected 409, re-sent as full uploads
 type clientMetrics struct {
 	attempts       *obs.Counter
 	retries        *obs.Counter
@@ -35,6 +37,8 @@ type clientMetrics struct {
 	backoffSleepUs *obs.Counter
 	tokenRecovers  *obs.Counter
 	tokenCoalesced *obs.Counter
+	deltaUploads   *obs.Counter
+	deltaFallbacks *obs.Counter
 }
 
 func newClientMetrics(reg *obs.Registry) *clientMetrics {
@@ -52,6 +56,8 @@ func newClientMetrics(reg *obs.Registry) *clientMetrics {
 		backoffSleepUs: reg.Counter("client_backoff_sleep_us_total"),
 		tokenRecovers:  reg.Counter("client_token_recoveries_total"),
 		tokenCoalesced: reg.Counter("client_token_recoveries_coalesced_total"),
+		deltaUploads:   reg.Counter("client_delta_uploads_total"),
+		deltaFallbacks: reg.Counter("client_delta_fallbacks_total"),
 	}
 }
 

@@ -142,9 +142,15 @@ func (p RetryPolicy) withSleepObserver(fn func(d time.Duration)) RetryPolicy {
 	return p
 }
 
-// wait sleeps for the nth retry delay, honoring ctx cancellation.
-func (p RetryPolicy) wait(ctx context.Context, n int) error {
+// wait sleeps for the nth retry delay, honoring ctx cancellation. hint is
+// the server's Retry-After request (0 when absent); the effective wait is
+// the larger of the backoff and the hint, so a loaded server's explicit
+// pacing is never undercut by a small early backoff.
+func (p RetryPolicy) wait(ctx context.Context, n int, hint time.Duration) error {
 	d := p.Delay(n)
+	if hint > d {
+		d = hint
+	}
 	if p.onSleep != nil {
 		p.onSleep(d)
 	}
@@ -171,6 +177,16 @@ type transientError struct{ err error }
 
 func (e *transientError) Error() string { return "cloud: transient: " + e.err.Error() }
 func (e *transientError) Unwrap() error { return e.err }
+
+// retryAfterHint extracts the server's Retry-After request from err (0 when
+// err carries none).
+func retryAfterHint(err error) time.Duration {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.RetryAfter
+	}
+	return 0
+}
 
 // retryable reports whether err is worth retrying on an idempotent call:
 // network-level failures, truncated/garbled responses, 429, and 5xx. Context
@@ -202,7 +218,7 @@ func (p RetryPolicy) run(ctx context.Context, idempotent bool, fn func(ctx conte
 	var err error
 	for n := 0; n < attempts; n++ {
 		if n > 0 {
-			if werr := p.wait(ctx, n-1); werr != nil {
+			if werr := p.wait(ctx, n-1, retryAfterHint(err)); werr != nil {
 				return err // parent ctx ended during backoff: report last failure
 			}
 		}

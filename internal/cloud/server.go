@@ -2,6 +2,7 @@ package cloud
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
@@ -22,10 +23,15 @@ type Server struct {
 	analytics *Analytics
 	cells     *CellDatabase
 	popular   *PopularIndex
+	pool      *discoverPool
 
 	gsmParams   gsm.Params
 	routeParams route.Params
 	reqTimeout  time.Duration
+	maxBody     int64
+
+	discoverWorkers int
+	discoverQueue   int
 
 	metrics       *serverMetrics
 	slowThreshold time.Duration
@@ -33,6 +39,11 @@ type Server struct {
 
 	mux *http.ServeMux
 }
+
+// DefaultMaxBodyBytes caps request bodies when no -max-body override is
+// given. Bodies over the cap answer 413 (which the client surfaces as
+// ErrRequestTooLarge, not a transient fault).
+const DefaultMaxBodyBytes = 64 << 20
 
 // DefaultRequestTimeout bounds how long one request may occupy a handler
 // before the middleware replies 503; a wedged handler can then never pin a
@@ -63,6 +74,25 @@ func WithRequestTimeout(d time.Duration) ServerOption {
 	return func(s *Server) { s.reqTimeout = d }
 }
 
+// WithDiscoverPool sizes the discovery worker pool: workers bounds how many
+// GCA runs execute concurrently, queueLen how many may wait before the
+// endpoint answers 429. Zero values keep the defaults.
+func WithDiscoverPool(workers, queueLen int) ServerOption {
+	return func(s *Server) {
+		s.discoverWorkers = workers
+		s.discoverQueue = queueLen
+	}
+}
+
+// WithMaxBodyBytes overrides the request body cap (0 keeps the default).
+func WithMaxBodyBytes(n int64) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBody = n
+		}
+	}
+}
+
 // NewServer builds the cloud instance over the given store.
 func NewServer(store *Store, opts ...ServerOption) *Server {
 	s := &Server{
@@ -71,6 +101,7 @@ func NewServer(store *Store, opts ...ServerOption) *Server {
 		gsmParams:   gsm.DefaultParams(),
 		routeParams: route.DefaultParams(),
 		reqTimeout:  DefaultRequestTimeout,
+		maxBody:     DefaultMaxBodyBytes,
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -79,10 +110,15 @@ func NewServer(store *Store, opts ...ServerOption) *Server {
 		s.metrics = newServerMetrics(nil)
 	}
 	s.popular = NewPopularIndex(store, s.cells)
+	s.pool = newDiscoverPool(store, s.gsmParams, s.discoverWorkers, s.discoverQueue, newDiscoverMetrics(s.metrics.reg))
 	s.mux = http.NewServeMux()
 	s.routesMux()
 	return s
 }
+
+// Close stops the discovery worker pool. It does not close the store (the
+// store may be shared; the caller owns its lifecycle).
+func (s *Server) Close() { s.pool.close() }
 
 // Handler returns the HTTP handler for the full API surface, wrapped in the
 // request-timeout middleware.
@@ -135,11 +171,18 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// decode parses the request body with a size cap.
-func decode(w http.ResponseWriter, r *http.Request, into any) bool {
-	r.Body = http.MaxBytesReader(w, r.Body, 64<<20)
+// decode parses the request body under the server's size cap. A body over
+// the cap answers 413 so the client can tell "your upload is too big" apart
+// from a garbled request (400) or a transient fault.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	dec := json.NewDecoder(r.Body)
 	if err := dec.Decode(into); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+			return false
+		}
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return false
 	}
@@ -168,7 +211,7 @@ func (s *Server) auth(h authedHandler) http.HandlerFunc {
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req RegisterRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	resp, err := s.store.Register(req.IMEI, req.Email)
@@ -196,23 +239,43 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handlePlacesDiscover(w http.ResponseWriter, r *http.Request, uid string) {
 	var req DiscoverPlacesRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
-	if len(req.Observations) == 0 {
+	if !req.Delta && len(req.Observations) == 0 {
 		writeError(w, http.StatusBadRequest, "no observations")
 		return
 	}
-	res := gsm.Discover(req.Observations, s.gsmParams)
-	wire := make([]PlaceWire, 0, len(res.Places))
-	for _, p := range res.Places {
-		wire = append(wire, PlaceToWire(p))
-	}
-	if err := s.store.SetPlaces(uid, wire); err != nil {
-		writeError(w, http.StatusInternalServerError, "storing places: %v", err)
+	status, appended, err := s.store.SyncTrace(uid, req.Delta, req.Cursor, req.PrefixHash, req.Observations)
+	if err != nil {
+		if errors.Is(err, ErrTraceConflict) {
+			s.pool.m.conflicts.Inc()
+			writeError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "syncing trace: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, DiscoverPlacesResponse{Places: s.store.Places(uid)})
+	if appended > 0 {
+		s.pool.m.appended.Add(uint64(appended))
+	}
+	places, err := s.pool.discover(r.Context(), uid, status)
+	if err != nil {
+		if errors.Is(err, errDiscoverBusy) {
+			// Backpressure: the queue is full. The hint keeps a retrying
+			// fleet from hammering the pool while it drains.
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "discovering places: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DiscoverPlacesResponse{
+		Places:    places,
+		TraceLen:  status.Len,
+		TraceHash: status.Hash,
+	})
 }
 
 func (s *Server) handlePlacesGet(w http.ResponseWriter, _ *http.Request, uid string) {
@@ -221,7 +284,7 @@ func (s *Server) handlePlacesGet(w http.ResponseWriter, _ *http.Request, uid str
 
 func (s *Server) handlePlacesLabel(w http.ResponseWriter, r *http.Request, uid string) {
 	var req LabelRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	if err := s.store.LabelPlace(uid, req.PlaceID, req.Label); err != nil {
@@ -260,7 +323,7 @@ func (s *Server) handlePlacesPopular(w http.ResponseWriter, r *http.Request, _ s
 
 func (s *Server) handleRoutesDiscover(w http.ResponseWriter, r *http.Request, uid string) {
 	var req DiscoverRoutesRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	intervals := make([]route.Interval, 0, len(req.Visits))
@@ -294,7 +357,7 @@ func (s *Server) handleRoutesGet(w http.ResponseWriter, r *http.Request, uid str
 
 func (s *Server) handleRouteSimilarity(w http.ResponseWriter, r *http.Request, _ string) {
 	var req RouteSimilarityRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	writeJSON(w, http.StatusOK, RouteSimilarityResponse{Similarity: route.SimilarityGSM(req.A, req.B)})
@@ -307,7 +370,7 @@ func (s *Server) handleProfilePut(w http.ResponseWriter, r *http.Request, uid st
 		return
 	}
 	var p profile.DayProfile
-	if !decode(w, r, &p) {
+	if !s.decode(w, r, &p) {
 		return
 	}
 	p.Date = date
@@ -336,7 +399,7 @@ func (s *Server) handleProfileRange(w http.ResponseWriter, r *http.Request, uid 
 
 func (s *Server) handleContactsPost(w http.ResponseWriter, r *http.Request, uid string) {
 	var req ContactsRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	if err := s.store.AddContacts(uid, req.Encounters); err != nil {

@@ -32,7 +32,10 @@ func newTestServer(t *testing.T, opts ...ServerOption) *testServer {
 	store := NewStore(func() time.Time { return now })
 	server := NewServer(store, opts...)
 	ts := httptest.NewServer(server.Handler())
-	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ts.Close()
+		server.Close()
+	})
 	return &testServer{srv: ts, store: store, now: &now}
 }
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"os"
+	"path/filepath"
 	"slices"
 	"sync"
 	"time"
@@ -53,6 +54,13 @@ type Store struct {
 	eng  *storage.Engine
 	meta *metaState
 	data []*dataState
+
+	// The per-user GSM trace keyspace (the delta sync substrate) lives in
+	// its own engine under <data-dir>/traces: existing data directories keep
+	// their manifest-pinned shard layout untouched, and trace churn never
+	// competes with place/profile writes for a WAL.
+	traceEng *storage.Engine
+	traces   []*traceState
 
 	tokenMu sync.RWMutex
 	tokens  map[string]tokenInfo
@@ -164,16 +172,62 @@ func newStore(dir string, cfg StoreConfig) (*Store, error) {
 		return nil, err
 	}
 	s.eng = eng
+
+	traceDir := ""
+	if dir != "" {
+		traceDir = filepath.Join(dir, "traces")
+	}
+	tshards := shards
+	if traceDir != "" {
+		// The trace engine's own manifest pins its shard count independently.
+		if n, ok, err := storage.ReadManifest(traceDir); err != nil {
+			eng.Close()
+			return nil, err
+		} else if ok {
+			tshards = n
+		}
+	}
+	s.traces = make([]*traceState, tshards)
+	tstates := make([]storage.ShardState, tshards)
+	for i := range s.traces {
+		s.traces[i] = newTraceState()
+		tstates[i] = s.traces[i]
+	}
+	teng, err := storage.Open(storage.Options{
+		Dir:            traceDir,
+		Sync:           cfg.Sync,
+		SyncEvery:      cfg.SyncEvery,
+		CompactEvery:   cfg.CompactEvery,
+		CommitMaxBatch: cfg.CommitMaxBatch,
+		CommitLinger:   cfg.CommitLinger,
+		Metrics:        reg,
+	}, tstates)
+	if err != nil {
+		eng.Close()
+		return nil, err
+	}
+	s.traceEng = teng
 	return s, nil
 }
 
 // Close compacts every shard (so the next boot replays nothing), flushes the
 // logs, and releases the store's files. Memory-only stores need not call it.
-func (s *Store) Close() error { return s.eng.Close() }
+func (s *Store) Close() error {
+	err := s.eng.Close()
+	if terr := s.traceEng.Close(); err == nil {
+		err = terr
+	}
+	return err
+}
 
 // Sync forces all WALs to stable storage — a checkpoint for interval/never
 // fsync policies.
-func (s *Store) Sync() error { return s.eng.Sync() }
+func (s *Store) Sync() error {
+	if err := s.eng.Sync(); err != nil {
+		return err
+	}
+	return s.traceEng.Sync()
+}
 
 // Durable reports whether the store journals to disk.
 func (s *Store) Durable() bool { return s.eng.Durable() }

@@ -38,7 +38,7 @@ func (s *Service) nightlyDiscovery() {
 		}
 	}
 	if gsmPlaces == nil {
-		gsmPlaces = gsm.Discover(s.gsmObs, s.cfg.GSMParams).Places
+		gsmPlaces = s.localDiscover().Places
 	}
 	s.gsmPlaces = gsmPlaces
 
@@ -85,6 +85,19 @@ func (s *Service) nightlyDiscovery() {
 
 	// 9. Sync finished days.
 	s.syncProfiles()
+}
+
+// localDiscover runs GCA on-device over the accumulated trace — the
+// fallback when no cloud is connected or the offload failed. It extends the
+// cached incremental pipeline with only the observations accumulated since
+// the last pass (output-identical to batch gsm.Discover), rebuilding from
+// scratch if the pipeline somehow got ahead of the trace.
+func (s *Service) localDiscover() *gsm.Result {
+	if s.gsmPipe == nil || s.gsmPipe.Len() > len(s.gsmObs) {
+		s.gsmPipe = gsm.NewPipeline(s.cfg.GSMParams)
+	}
+	s.gsmPipe.Extend(s.gsmObs[s.gsmPipe.Len():])
+	return s.gsmPipe.Result()
 }
 
 // adoptPlaces installs the fused places as the unified store, carrying over

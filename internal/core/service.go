@@ -125,6 +125,12 @@ type Service struct {
 	socialDetector *social.Detector
 	tracker        *gsm.Tracker
 
+	// gsmPipe caches the incremental GCA pipeline across nightly passes, so
+	// the on-device fallback costs O(new observations) instead of re-folding
+	// the whole trace. gsmObs is append-only, which is exactly the contract
+	// Pipeline.Extend needs.
+	gsmPipe *gsm.Pipeline
+
 	// discovered state
 	places    []*UnifiedPlace
 	labels    map[string]string

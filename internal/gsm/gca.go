@@ -2,7 +2,10 @@ package gsm
 
 import (
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/trace"
@@ -168,7 +171,127 @@ func cosine(a, b map[world.CellID]float64) float64 {
 
 // mergeSegments unions stay segments whose oscillation-expanded dwell
 // vectors are similar, producing one Place per union class.
+//
+// The pair comparison is pruned with an inverted cell→segment index: cosine
+// is nonzero only when two vectors share at least one expanded cell, so for
+// a positive MergeOverlap only the pairs the index yields need scoring. The
+// surviving comparisons fan out across a goroutine pool. The resulting
+// partition — and therefore the output — is identical to the quadratic
+// reference kept below (pinned by TestMergePrunedMatchesQuadratic): places
+// depend only on which segments end up in the same union class, never on
+// the order unions happen.
 func mergeSegments(segs []Segment, g *Graph, p Params) []*Place {
+	n := len(segs)
+	if n == 0 {
+		return nil
+	}
+	expanded := make([]map[world.CellID]float64, n)
+	for i, s := range segs {
+		expanded[i] = expandedWeights(s, g, p)
+	}
+
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	if p.MergeOverlap <= 0 {
+		// cosine is never negative, so a non-positive threshold merges every
+		// pair; the candidate index (which only yields pairs sharing a cell)
+		// would wrongly keep disjoint segments apart.
+		for i := 1; i < n; i++ {
+			union(0, i)
+		}
+	} else {
+		for _, pr := range similarPairs(expanded, p.MergeOverlap) {
+			union(pr[0], pr[1])
+		}
+	}
+
+	return groupPlaces(segs, find, p)
+}
+
+// similarPairs returns every index pair whose cosine similarity meets the
+// threshold (which must be positive). Candidates come from an inverted
+// expanded-cell → segment index; the cosine evaluations are spread over a
+// goroutine fan-out in deterministic chunks.
+func similarPairs(expanded []map[world.CellID]float64, threshold float64) [][2]int {
+	byCell := map[world.CellID][]int{}
+	for i, vec := range expanded {
+		for c := range vec {
+			byCell[c] = append(byCell[c], i)
+		}
+	}
+	// Collect candidate pairs, deduped across cells. Index lists are in
+	// ascending order by construction, so i < k in every pair.
+	seen := map[[2]int]struct{}{}
+	var pairs [][2]int
+	for _, ids := range byCell {
+		for a := 0; a < len(ids); a++ {
+			for b := a + 1; b < len(ids); b++ {
+				key := [2]int{ids[a], ids[b]}
+				if _, dup := seen[key]; dup {
+					continue
+				}
+				seen[key] = struct{}{}
+				pairs = append(pairs, key)
+			}
+		}
+	}
+	if len(pairs) == 0 {
+		return nil
+	}
+
+	keep := make([]bool, len(pairs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	const chunk = 64
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				end := int(cursor.Add(chunk))
+				start := end - chunk
+				if start >= len(pairs) {
+					return
+				}
+				if end > len(pairs) {
+					end = len(pairs)
+				}
+				for idx := start; idx < end; idx++ {
+					pr := pairs[idx]
+					keep[idx] = cosine(expanded[pr[0]], expanded[pr[1]]) >= threshold
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	out := pairs[:0]
+	for idx, ok := range keep {
+		if ok {
+			out = append(out, pairs[idx])
+		}
+	}
+	return out
+}
+
+// mergeSegmentsQuadratic is the original all-pairs merge pass, kept as the
+// correctness reference for the pruned+parallel mergeSegments.
+func mergeSegmentsQuadratic(segs []Segment, g *Graph, p Params) []*Place {
 	n := len(segs)
 	if n == 0 {
 		return nil
@@ -202,6 +325,12 @@ func mergeSegments(segs []Segment, g *Graph, p Params) []*Place {
 		}
 	}
 
+	return groupPlaces(segs, find, p)
+}
+
+// groupPlaces materializes one Place per union class, ordered by first
+// visit. The output depends only on the partition find induces.
+func groupPlaces(segs []Segment, find func(int) int, p Params) []*Place {
 	groups := map[int][]int{}
 	for i := range segs {
 		root := find(i)

@@ -75,22 +75,36 @@ type node struct {
 func BuildGraph(obs []trace.GSMObservation, p Params) *Graph {
 	g := &Graph{nodes: make(map[world.CellID]*node)}
 	for i, o := range obs {
-		n := g.ensure(o.Cell)
-		n.dwell++
-		if i == 0 {
-			continue
+		var prev, prev2 *trace.GSMObservation
+		if i >= 1 {
+			prev = &obs[i-1]
 		}
-		prev := obs[i-1]
-		if prev.Cell != o.Cell {
-			g.addEdge(prev.Cell, o.Cell)
+		if i >= 2 {
+			prev2 = &obs[i-2]
 		}
-		// Bounce: obs[i-2] == obs[i] != obs[i-1], within the bounce window.
-		if i >= 2 && obs[i-2].Cell == o.Cell && obs[i-1].Cell != o.Cell &&
-			o.At.Sub(obs[i-2].At) <= p.BounceWindow {
-			g.addBounce(o.Cell, obs[i-1].Cell)
-		}
+		g.observe(prev2, prev, o, p)
 	}
 	return g
+}
+
+// observe folds one observation into the graph given its up-to-two
+// predecessors (nil when the trace is shorter). It is the single fold step
+// shared by BuildGraph and the incremental Pipeline, so both construct
+// identical graphs by definition.
+func (g *Graph) observe(prev2, prev *trace.GSMObservation, o trace.GSMObservation, p Params) {
+	n := g.ensure(o.Cell)
+	n.dwell++
+	if prev == nil {
+		return
+	}
+	if prev.Cell != o.Cell {
+		g.addEdge(prev.Cell, o.Cell)
+	}
+	// Bounce: obs[i-2] == obs[i] != obs[i-1], within the bounce window.
+	if prev2 != nil && prev2.Cell == o.Cell && prev.Cell != o.Cell &&
+		o.At.Sub(prev2.At) <= p.BounceWindow {
+		g.addBounce(o.Cell, prev.Cell)
+	}
 }
 
 func (g *Graph) ensure(id world.CellID) *node {

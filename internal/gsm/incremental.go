@@ -1,0 +1,174 @@
+package gsm
+
+import (
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/world"
+)
+
+// Pipeline is the resumable form of Discover: feed it observation batches as
+// they arrive and ask for the discovery Result at any point. The output is
+// byte-identical to running batch Discover over the full concatenated trace
+// (pinned by TestPipelineMatchesBatch), but each Extend costs O(batch), not
+// O(history):
+//
+//   - the movement graph folds forward one observation at a time, through
+//     the same observe step BuildGraph uses;
+//   - a stationarity flag depends only on the look-back window, so it is
+//     final the moment it is computed, and a stay run is final as soon as a
+//     non-stationary observation closes it — only the open tail run is
+//     rebuilt per Result;
+//   - the buffer keeps just the observations still reachable by the window,
+//     the open run, and the two-observation graph-fold context, so resident
+//     trace state is O(window + open run), not O(history).
+//
+// The merge pass still runs per Result, but over stay segments (hundreds),
+// not observations (millions), and it is pruned and parallel (see
+// mergeSegments). A Pipeline is not safe for concurrent use.
+type Pipeline struct {
+	p Params
+
+	n       int       // observations consumed so far
+	firstAt time.Time // timestamp of the very first observation (segment clamp)
+
+	buf  []trace.GSMObservation // retained tail of the trace
+	base int                    // global index of buf[0]
+
+	j      int                  // global index of the stationarity window's left edge
+	counts map[world.CellID]int // distinct-cell counts inside the window
+
+	g *Graph
+
+	segs     []Segment // finalized stay segments, in trace order
+	runStart int       // global index where the open stationary run began, -1 when none
+}
+
+// NewPipeline returns an empty pipeline; its Result equals Discover(nil, p).
+func NewPipeline(p Params) *Pipeline {
+	return &Pipeline{
+		p:        p,
+		counts:   map[world.CellID]int{},
+		g:        &Graph{nodes: make(map[world.CellID]*node)},
+		runStart: -1,
+	}
+}
+
+// Params returns the discovery parameters the pipeline was built with.
+func (pl *Pipeline) Params() Params { return pl.p }
+
+// Len returns the number of observations consumed so far.
+func (pl *Pipeline) Len() int { return pl.n }
+
+// Extend consumes the next batch of the trace. Observations must continue
+// the time order of everything consumed before.
+func (pl *Pipeline) Extend(obs []trace.GSMObservation) {
+	for _, o := range obs {
+		pl.extendOne(o)
+	}
+	pl.prune()
+}
+
+func (pl *Pipeline) extendOne(o trace.GSMObservation) {
+	i := pl.n
+	if i == 0 {
+		pl.firstAt = o.At
+	}
+	pl.buf = append(pl.buf, o)
+	pl.n++
+
+	// Graph fold: the same step BuildGraph applies at index i.
+	var prev, prev2 *trace.GSMObservation
+	if i >= 1 {
+		prev = &pl.buf[i-1-pl.base]
+	}
+	if i >= 2 {
+		prev2 = &pl.buf[i-2-pl.base]
+	}
+	pl.g.observe(prev2, prev, o, pl.p)
+
+	// Stationarity: the same sliding window as segmentStays, carried across
+	// batches.
+	pl.counts[o.Cell]++
+	for pl.buf[pl.j-pl.base].At.Before(o.At.Add(-pl.p.Window)) {
+		c := pl.buf[pl.j-pl.base].Cell
+		pl.counts[c]--
+		if pl.counts[c] == 0 {
+			delete(pl.counts, c)
+		}
+		pl.j++
+	}
+	stationary := len(pl.counts) <= pl.p.MaxCellsInWindow
+
+	// Run tracking: flags are final, so a run closes for good at the first
+	// non-stationary observation after it.
+	if stationary {
+		if pl.runStart < 0 {
+			pl.runStart = i
+		}
+	} else if pl.runStart >= 0 {
+		if seg, ok := pl.segment(pl.runStart, i-1); ok {
+			pl.segs = append(pl.segs, seg)
+		}
+		pl.runStart = -1
+	}
+}
+
+// segment builds the stay segment for the buffered run [rs, re] (global
+// indices), applying the same start pull-back, first-observation clamp, and
+// MinStay filter as segmentStays. ok is false when the stay is too short.
+func (pl *Pipeline) segment(rs, re int) (Segment, bool) {
+	start := pl.buf[rs-pl.base].At.Add(-pl.p.Window / 2)
+	if start.Before(pl.firstAt) {
+		start = pl.firstAt
+	}
+	end := pl.buf[re-pl.base].At
+	if end.Sub(start) < pl.p.MinStay {
+		return Segment{}, false
+	}
+	seg := Segment{
+		Start: start, End: end,
+		Cells:   map[world.CellID]struct{}{},
+		dwellBy: map[world.CellID]int{},
+	}
+	for m := rs; m <= re; m++ {
+		c := pl.buf[m-pl.base].Cell
+		seg.Cells[c] = struct{}{}
+		seg.dwellBy[c]++
+	}
+	return seg, true
+}
+
+// prune drops buffered observations no longer reachable by the stationarity
+// window, the open run, or the graph fold's two-observation context. Append
+// reallocations release the dropped prefix over time, keeping residency
+// proportional to the window plus the open run rather than the history.
+func (pl *Pipeline) prune() {
+	keep := pl.n - 2
+	if pl.j < keep {
+		keep = pl.j
+	}
+	if pl.runStart >= 0 && pl.runStart < keep {
+		keep = pl.runStart
+	}
+	if keep > pl.base {
+		pl.buf = pl.buf[keep-pl.base:]
+		pl.base = keep
+	}
+}
+
+// Result runs the merge pass over the finalized segments plus the open tail
+// run and returns what batch Discover would produce for the full consumed
+// trace. The pipeline is left intact: Result can be called after every
+// Extend, and the graph in the returned Result keeps growing with it.
+func (pl *Pipeline) Result() *Result {
+	segs := pl.segs
+	if pl.runStart >= 0 {
+		if tail, ok := pl.segment(pl.runStart, pl.n-1); ok {
+			all := make([]Segment, len(pl.segs), len(pl.segs)+1)
+			copy(all, pl.segs)
+			segs = append(all, tail)
+		}
+	}
+	return &Result{Places: mergeSegments(segs, pl.g, pl.p), Segments: segs, Graph: pl.g}
+}

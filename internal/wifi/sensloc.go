@@ -5,6 +5,7 @@
 package wifi
 
 import (
+	"slices"
 	"time"
 
 	"repro/internal/trace"
@@ -339,20 +340,12 @@ func Consolidate(places []*Place, matchSim float64) []*Place {
 		out = append(out, merged)
 	}
 	// Deterministic order by ID.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].ID < out[j-1].ID; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	slices.SortStableFunc(out, func(a, b *Place) int { return a.ID - b.ID })
 	return out
 }
 
 func sortVisits(vs []Visit) {
-	for i := 1; i < len(vs); i++ {
-		for j := i; j > 0 && vs[j].Arrive.Before(vs[j-1].Arrive); j-- {
-			vs[j], vs[j-1] = vs[j-1], vs[j]
-		}
-	}
+	slices.SortStableFunc(vs, func(a, b Visit) int { return a.Arrive.Compare(b.Arrive) })
 }
 
 // Result is the output of offline discovery.
