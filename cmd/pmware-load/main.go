@@ -1,0 +1,164 @@
+// Command pmware-load is the deterministic PMWare load generator.
+//
+// Usage:
+//
+//	pmware-load [-spec workload.json] [-seed 1] [-base-url http://host:port]
+//	            [-out BENCH_load.json] [-report report.json] [-trace trace.txt]
+//	            [-discover-workers 4] [-discover-queue 64]
+//	            [-check-determinism] [-print-spec] [-v]
+//
+// The workload is a Spec (see internal/load): a user population size, a
+// closed- or open-loop arrival model, a route mix, and optionally a
+// saturation ramp. The same -seed and -spec always produce the same request
+// sequence, byte for byte — users, payloads, arrival times, and route
+// choices all come from streams derived from (seed, address), never from
+// wall clock or scheduler order.
+//
+// With no -base-url the command self-boots a pmware-cloud server in-process
+// on a loopback listener, with its cell database built from the same world
+// the population synthesizes traces in (the equivalent of running
+// pmware-cloud with matching -world-seed/-extent). With -base-url it drives
+// an external server, which must have been started with the spec's
+// world_seed and extent_meters for geolocation to resolve.
+//
+// The SLO report (per-route p50/p99/p999, error and 429 rates, achieved vs
+// offered throughput, measured saturation point) prints to stdout, and -out
+// appends it to a trajectory file so successive runs accumulate into a
+// perf-over-time record.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+
+	"repro/internal/cloud"
+	"repro/internal/load"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "workload spec JSON (default: built-in 1k-user closed-loop spec)")
+	seed := flag.Int64("seed", 1, "master seed; same seed+spec reproduces the run")
+	baseURL := flag.String("base-url", "", "PMWare cloud server to drive (default: self-boot one in-process)")
+	out := flag.String("out", "", "append the report to this trajectory file (e.g. BENCH_load.json)")
+	reportPath := flag.String("report", "", "also write this run's report alone to a file")
+	tracePath := flag.String("trace", "", "write the canonical main-phase request trace to a file")
+	discoverWorkers := flag.Int("discover-workers", cloud.DefaultDiscoverWorkers, "self-booted server: concurrent discovery runs")
+	discoverQueue := flag.Int("discover-queue", cloud.DefaultDiscoverQueue, "self-booted server: discovery queue before 429")
+	checkDeterminism := flag.Bool("check-determinism", false, "compile the schedule twice and fail unless byte-identical (no server needed)")
+	printSpec := flag.Bool("print-spec", false, "print the effective spec as JSON and exit")
+	verbose := flag.Bool("v", false, "log phase progress to stderr")
+	flag.Parse()
+
+	if err := run(*specPath, *seed, *baseURL, *out, *reportPath, *tracePath,
+		*discoverWorkers, *discoverQueue, *checkDeterminism, *printSpec, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "pmware-load:", err)
+		os.Exit(1)
+	}
+}
+
+func run(specPath string, seed int64, baseURL, out, reportPath, tracePath string,
+	discoverWorkers, discoverQueue int, checkDeterminism, printSpec, verbose bool) error {
+	spec := load.DefaultSpec()
+	if specPath != "" {
+		var err error
+		if spec, err = load.LoadSpec(specPath); err != nil {
+			return err
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+
+	if printSpec {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(spec)
+	}
+
+	if checkDeterminism {
+		a := load.BuildSchedule(spec, load.Key{Seed: seed})
+		b := load.BuildSchedule(spec, load.Key{Seed: seed})
+		ha, hb := a.Hash(), b.Hash()
+		if ha != hb {
+			return fmt.Errorf("determinism check FAILED: %016x != %016x", ha, hb)
+		}
+		fmt.Printf("determinism check ok: %d requests, trace hash %016x\n", len(a.Requests), ha)
+		return nil
+	}
+
+	cfg := load.RunnerConfig{
+		Spec:    spec,
+		Seed:    seed,
+		BaseURL: baseURL,
+		HTTP: &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: spec.Concurrency * 2,
+			MaxIdleConns:        spec.Concurrency * 2,
+		}},
+	}
+	if verbose {
+		cfg.Logf = log.New(os.Stderr, "pmware-load: ", 0).Printf
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.TraceW = f
+	}
+
+	runner, err := load.NewRunner(cfg)
+	if err != nil {
+		return err
+	}
+
+	// Self-boot: the runner's population already generated the world from
+	// spec.world_seed/extent_meters; the server's cell database must come
+	// from that exact world or geolocation drifts.
+	if baseURL == "" {
+		store := cloud.NewStore(nil)
+		srv := cloud.NewServer(store,
+			cloud.WithCellDatabase(cloud.NewCellDatabase(runner.Population().World(), 150)),
+			cloud.WithDiscoverPool(discoverWorkers, discoverQueue),
+		)
+		defer srv.Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		runner.SetBaseURL(ts.URL)
+		if cfg.Logf != nil {
+			cfg.Logf("self-booted server at %s (world seed %d, extent %.0fm)", ts.URL, spec.WorldSeed, spec.ExtentMeters)
+		}
+	}
+
+	rep, err := runner.Run()
+	if err != nil {
+		return err
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if reportPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(reportPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if out != "" {
+		if err := load.AppendTrajectory(out, rep); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "pmware-load: appended run to %s\n", out)
+	}
+	return nil
+}

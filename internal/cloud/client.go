@@ -178,6 +178,18 @@ func (e *statusError) Is(target error) bool {
 	return target == ErrRequestTooLarge && e.Status == http.StatusRequestEntityTooLarge
 }
 
+// StatusCode extracts the HTTP status behind a client-call error. ok is
+// false when the error did not come from an HTTP response (transport
+// failure, context cancellation) — the distinction the load harness uses to
+// separate server rejections from connectivity faults.
+func StatusCode(err error) (status int, ok bool) {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.Status, true
+	}
+	return 0, false
+}
+
 // call performs one JSON request under the retry policy. withAuth attaches
 // the bearer token; idempotent enables automatic retry on transient errors.
 // The request body is marshalled once and replayed per attempt.

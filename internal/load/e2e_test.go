@@ -1,0 +1,158 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/obs"
+)
+
+// e2eSpec is the ISSUE's smoke workload: 1k users, 30 virtual seconds.
+func e2eSpec() *Spec {
+	s := DefaultSpec()
+	s.Name = "e2e-smoke"
+	s.Users = 1000
+	s.Mode = "closed"
+	s.Concurrency = 8
+	s.ThinkTimeMS = 250
+	s.DurationSec = 30
+	return s
+}
+
+// bootServer starts a real cloud server on a loopback listener with its
+// metrics in a private registry, its cell database built from the same
+// world the population uses.
+func bootServer(t *testing.T, pop *Population, reg *obs.Registry) (*httptest.Server, *cloud.Server) {
+	t.Helper()
+	store := cloud.NewStore(nil)
+	srv := cloud.NewServer(store,
+		cloud.WithCellDatabase(cloud.NewCellDatabase(pop.World(), 150)),
+		cloud.WithMetrics(reg),
+	)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts, srv
+}
+
+func runOnce(t *testing.T, spec *Spec, seed int64) (*Report, []byte, obs.Snapshot, obs.Snapshot) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	var trace bytes.Buffer
+
+	runner, err := NewRunner(RunnerConfig{
+		Spec: spec, Seed: seed, TraceW: &trace,
+		HTTP: &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: spec.Concurrency * 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, _ := bootServer(t, runner.Population(), reg)
+	runner.SetBaseURL(ts.URL)
+
+	before := reg.Snapshot()
+	rep, err := runner.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := reg.Snapshot()
+	return rep, trace.Bytes(), before, after
+}
+
+// TestE2ESmoke is the macro delta-pinning test: a real server, a real load
+// run, and three independent accountings of the same traffic — the
+// schedule's route counts, the client-side recorder, and the server's
+// pci_http_* metric families — that must all agree exactly, with zero
+// errors of any class.
+func TestE2ESmoke(t *testing.T) {
+	spec := e2eSpec()
+	rep, trace, before, after := runOnce(t, spec, 7)
+
+	if err := rep.Check(); err != nil {
+		t.Fatalf("report malformed: %v", err)
+	}
+	if rep.Workload.Requests < 500 {
+		t.Fatalf("suspiciously small workload: %d requests", rep.Workload.Requests)
+	}
+
+	// Zero errors: every scheduled request completed 2xx. 429s count as
+	// non-errors in the SLO but the smoke spec must not provoke any.
+	main := rep.Measured.Main
+	if main.OK != main.Requests {
+		t.Fatalf("not clean: ok=%d of %d (429=%d 4xx=%d 5xx=%d transport=%d)",
+			main.OK, main.Requests, main.Backpressure429, main.ClientErr4xx, main.ServerErr5xx, main.Transport)
+	}
+
+	// Client-side per-route counts == server-side family deltas.
+	for route, scheduled := range rep.Workload.RouteCounts {
+		name := obs.Labeled("pci_http_requests_total", "route", ServerRoute(route))
+		delta := after.CounterDelta(before, name)
+		if delta != scheduled {
+			t.Errorf("route %s: server saw %d requests, schedule had %d", route, delta, scheduled)
+		}
+	}
+	// No other route family member moved: total server requests == ours.
+	totalDelta := after.FamilyTotal("pci_http_requests_total") - before.FamilyTotal("pci_http_requests_total")
+	if totalDelta != main.Requests {
+		t.Errorf("server served %d requests total, harness issued %d", totalDelta, main.Requests)
+	}
+	// Status classes: all 2xx.
+	if d := after.CounterDelta(before, obs.Labeled("pci_http_responses_total", "class", "2xx")); d != main.Requests {
+		t.Errorf("2xx responses %d != %d requests", d, main.Requests)
+	}
+	for _, class := range []string{"4xx", "5xx"} {
+		if d := after.CounterDelta(before, obs.Labeled("pci_http_responses_total", "class", class)); d != 0 {
+			t.Errorf("%s responses: %d, want 0", class, d)
+		}
+	}
+	if g := after.Gauges["pci_http_in_flight"]; g != 0 {
+		t.Errorf("in-flight gauge %d after run, want 0", g)
+	}
+	if len(trace) == 0 {
+		t.Fatal("no trace written")
+	}
+}
+
+// TestE2EDeterministicReplay is the acceptance criterion: two full runs with
+// the same seed and spec — fresh server, fresh store, fresh runner — produce
+// byte-identical request traces and identical reports modulo wall-clock
+// fields (the Workload section compares as JSON bytes; Measured is the
+// wall-clock half).
+func TestE2EDeterministicReplay(t *testing.T) {
+	spec := e2eSpec()
+	repA, traceA, _, _ := runOnce(t, spec, 1234)
+	repB, traceB, _, _ := runOnce(t, spec, 1234)
+
+	if !bytes.Equal(traceA, traceB) {
+		t.Fatal("request traces differ between same-seed runs")
+	}
+	wa, err := json.Marshal(repA.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := json.Marshal(repB.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wa, wb) {
+		t.Fatalf("workload sections differ:\n%s\n%s", wa, wb)
+	}
+	// The measured halves must agree on everything the schedule fixes —
+	// request and outcome counts per route — even though latency numbers
+	// differ run to run.
+	if repA.Measured.Main.Requests != repB.Measured.Main.Requests {
+		t.Fatal("executed request counts differ")
+	}
+	for i, rs := range repA.Measured.Main.Routes {
+		other := repB.Measured.Main.Routes[i]
+		if rs.Route != other.Route || rs.Requests != other.Requests || rs.OK != other.OK {
+			t.Fatalf("route table diverged at %s", rs.Route)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package load
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Outcome classifies one request's result. Latency is recorded for every
+// outcome (a 429 costs the client real time), but the classes roll up
+// differently in the SLO: 5xx and transport failures are errors, 429 is
+// backpressure, other 4xx is a client/workload defect.
+type Outcome int
+
+// Outcome classes.
+const (
+	OutcomeOK Outcome = iota
+	Outcome429
+	Outcome4xx
+	Outcome5xx
+	OutcomeTransport
+	numOutcomes
+)
+
+// LatencyBuckets spans ~20µs..8s with ±17% bucket resolution — finer than
+// the serving layer's DefaultLatencyBuckets because SLO quantiles are this
+// harness's headline output, and the quantile bracket is only as tight as
+// the bucket.
+func LatencyBuckets() []int64 { return obs.ExpBuckets(20, 1.35, 44) }
+
+// Recorder collects per-route latency and outcome counts. It is race-safe
+// (atomic histograms and counters), but the intended sharding is one
+// Recorder per worker goroutine merged at the end — the merge-equals-
+// single-stream property is pinned by TestRecorderMergeEquivalence.
+type Recorder struct {
+	routes map[string]*routeRec
+}
+
+type routeRec struct {
+	latency  *obs.Histogram
+	outcomes [numOutcomes]obs.Counter
+}
+
+// NewRecorder returns a recorder for the given route set. Observing an
+// unknown route panics: routes are fixed by the spec at compile time, so an
+// unknown route at execution time is a harness bug.
+func NewRecorder(routes []string) *Recorder {
+	r := &Recorder{routes: make(map[string]*routeRec, len(routes))}
+	for _, route := range routes {
+		r.routes[route] = &routeRec{latency: obs.NewHistogram(LatencyBuckets())}
+	}
+	return r
+}
+
+// Observe records one completed request.
+func (r *Recorder) Observe(route string, d time.Duration, o Outcome) {
+	rec, ok := r.routes[route]
+	if !ok {
+		panic(fmt.Sprintf("load: recorder observed unknown route %q", route))
+	}
+	rec.latency.ObserveDuration(d)
+	rec.outcomes[o].Inc()
+}
+
+// RouteSnapshot is one route's frozen recording.
+type RouteSnapshot struct {
+	Route    string
+	Outcomes [numOutcomes]uint64
+	Latency  obs.HistogramSnapshot
+}
+
+// Requests returns the route's total completed requests.
+func (s RouteSnapshot) Requests() uint64 {
+	var n uint64
+	for _, c := range s.Outcomes {
+		n += c
+	}
+	return n
+}
+
+// RecorderSnapshot maps route → frozen recording.
+type RecorderSnapshot map[string]RouteSnapshot
+
+// Snapshot freezes the recorder.
+func (r *Recorder) Snapshot() RecorderSnapshot {
+	out := make(RecorderSnapshot, len(r.routes))
+	for route, rec := range r.routes {
+		s := RouteSnapshot{Route: route, Latency: rec.latency.Snapshot()}
+		for i := range s.Outcomes {
+			s.Outcomes[i] = rec.outcomes[i].Value()
+		}
+		out[route] = s
+	}
+	return out
+}
+
+// MergeSnapshots folds per-worker snapshots into the recording a single
+// recorder would have produced: outcome counts add exactly, histogram
+// counts and sums add exactly, min/max fold.
+func MergeSnapshots(snaps ...RecorderSnapshot) (RecorderSnapshot, error) {
+	out := make(RecorderSnapshot)
+	for _, snap := range snaps {
+		for route, s := range snap {
+			cur, ok := out[route]
+			if !ok {
+				out[route] = s
+				continue
+			}
+			merged, err := obs.MergeHistogramSnapshots(cur.Latency, s.Latency)
+			if err != nil {
+				return nil, fmt.Errorf("load: merge route %s: %w", route, err)
+			}
+			cur.Latency = merged
+			for i := range cur.Outcomes {
+				cur.Outcomes[i] += s.Outcomes[i]
+			}
+			out[route] = cur
+		}
+	}
+	return out, nil
+}
+
+// Routes returns the snapshot's route names, sorted.
+func (s RecorderSnapshot) Routes() []string {
+	out := make([]string, 0, len(s))
+	for r := range s {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}

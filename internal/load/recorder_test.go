@@ -1,0 +1,156 @@
+package load
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRecorderMergeEquivalence pins the satellite property: recording a
+// stream of observations sharded across K per-worker recorders and merging
+// the snapshots produces exactly the single-recorder snapshot — counts and
+// sums exact, bucket by bucket, min/max folded.
+func TestRecorderMergeEquivalence(t *testing.T) {
+	routes := AllRoutes()
+	r := rand.New(rand.NewSource(17))
+
+	single := NewRecorder(routes)
+	const workers = 7
+	sharded := make([]*Recorder, workers)
+	for i := range sharded {
+		sharded[i] = NewRecorder(routes)
+	}
+
+	for i := 0; i < 20000; i++ {
+		route := routes[r.Intn(len(routes))]
+		d := time.Duration(r.Int63n(5_000_000)) * time.Microsecond
+		o := Outcome(r.Intn(int(numOutcomes)))
+		single.Observe(route, d, o)
+		sharded[i%workers].Observe(route, d, o)
+	}
+
+	snaps := make([]RecorderSnapshot, workers)
+	for i, rec := range sharded {
+		snaps[i] = rec.Snapshot()
+	}
+	merged, err := MergeSnapshots(snaps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := single.Snapshot()
+	if !reflect.DeepEqual(merged, want) {
+		t.Fatal("merged sharded snapshot != single-stream snapshot")
+	}
+}
+
+// TestRecorderQuantileBracketed pins that the report quantiles bracket the
+// true order statistics of the recorded stream: each estimate lies within
+// the bucket that contains the true quantile, and the estimates are
+// monotone.
+func TestRecorderQuantileBracketed(t *testing.T) {
+	rec := NewRecorder([]string{RouteDiscover})
+	r := rand.New(rand.NewSource(4))
+	var vals []int64
+	for i := 0; i < 5000; i++ {
+		v := r.Int63n(2_000_000)
+		vals = append(vals, v)
+		rec.Observe(RouteDiscover, time.Duration(v)*time.Microsecond, OutcomeOK)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	snap := rec.Snapshot()[RouteDiscover].Latency
+
+	bounds := LatencyBuckets()
+	bracket := func(v int64) (lo, hi int64) {
+		i := sort.Search(len(bounds), func(i int) bool { return v <= bounds[i] })
+		lo = snap.Min
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi = snap.Max
+		if i < len(bounds) && bounds[i] < hi {
+			hi = bounds[i]
+		}
+		if lo < snap.Min {
+			lo = snap.Min
+		}
+		return lo, hi
+	}
+
+	prev := 0.0
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		rank := int(q * float64(len(vals)))
+		if rank < 1 {
+			rank = 1
+		}
+		truth := vals[rank-1]
+		est := snap.Quantile(q)
+		lo, hi := bracket(truth)
+		if est < float64(lo) || est > float64(hi) {
+			t.Fatalf("q=%v: estimate %v outside bucket [%d,%d] of true order statistic %d", q, est, lo, hi, truth)
+		}
+		if est < prev {
+			t.Fatalf("quantile estimates not monotone at q=%v", q)
+		}
+		prev = est
+	}
+}
+
+// TestRecorderConcurrent hammers one recorder from many goroutines with
+// concurrent snapshots — the -race gate for the recording path.
+func TestRecorderConcurrent(t *testing.T) {
+	rec := NewRecorder(AllRoutes())
+	routes := AllRoutes()
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 2000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < per; i++ {
+				rec.Observe(routes[r.Intn(len(routes))], time.Duration(r.Int63n(1000))*time.Microsecond, Outcome(r.Intn(int(numOutcomes))))
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				rec.Snapshot()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+
+	var total uint64
+	for _, s := range rec.Snapshot() {
+		total += s.Requests()
+		if s.Latency.Count != s.Requests() {
+			t.Fatalf("route %s: histogram count %d != outcome total %d", s.Route, s.Latency.Count, s.Requests())
+		}
+	}
+	if total != goroutines*per {
+		t.Fatalf("recorded %d observations, want %d", total, goroutines*per)
+	}
+}
+
+// TestMergeSnapshotsRejectsMismatchedBounds pins the error path.
+func TestMergeSnapshotsRejectsMismatchedBounds(t *testing.T) {
+	a := NewRecorder([]string{RouteDiscover}).Snapshot()
+	b := RecorderSnapshot{RouteDiscover: {Route: RouteDiscover}}
+	a[RouteDiscover].Latency.Counts[0] = 0 // keep a non-empty
+	bad := b[RouteDiscover]
+	bad.Latency.Bounds = []int64{1, 2, 3}
+	bad.Latency.Counts = []uint64{0, 0, 0, 0}
+	b[RouteDiscover] = bad
+	if _, err := MergeSnapshots(a, b); err == nil {
+		t.Fatal("merging mismatched bounds succeeded")
+	}
+}

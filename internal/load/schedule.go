@@ -1,0 +1,211 @@
+package load
+
+import (
+	"bufio"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// Request is one scheduled API call: at virtual offset At from the start of
+// the phase, user User issues Route. UserSeq is the request's rank within
+// its user's sequence (0-based); the executor uses it to preserve per-user
+// order across workers and to vary analytics query parameters
+// deterministically.
+type Request struct {
+	Seq     int
+	At      time.Duration
+	User    int
+	UserSeq int
+	Route   string
+}
+
+// Schedule is a phase's complete, deterministic request sequence. It is the
+// determinism test surface: Encode is byte-stable, so two schedules from the
+// same (spec, key) compare equal as bytes.
+type Schedule struct {
+	SpecHash uint64
+	Seed     int64
+	Requests []Request
+}
+
+// BuildSchedule compiles the spec into a request sequence using the key's
+// streams. The generator runs entirely in virtual time on a simclock — no
+// wall clock, no map iteration, no goroutines — so the output is a pure
+// function of (spec, key).
+//
+// Route selection consumes exactly one draw from the routes stream per
+// request regardless of gating substitutions, and user selection draws only
+// from the users stream, so the streams stay aligned when the gating rules
+// (or the mix weights) change: perturbing one subsystem leaves the others'
+// sequences intact (TestScheduleStreamIsolation).
+func BuildSchedule(spec *Spec, key Key) *Schedule {
+	g := &scheduleGen{
+		spec:     spec,
+		sched:    &Schedule{SpecHash: spec.Hash(), Seed: key.Seed},
+		users:    key.Stream(SubsysUsers),
+		routes:   key.Stream(SubsysRoutes),
+		touched:  make(map[int]bool),
+		profiled: make(map[int]bool),
+		userSeq:  make(map[int]int),
+	}
+	g.routeNames, g.routeCum = spec.mixEntries()
+	if spec.ZipfS > 1 && spec.Users > 1 {
+		g.zipf = rand.NewZipf(g.users, spec.ZipfS, 1, uint64(spec.Users-1))
+	}
+
+	clock := simclock.New()
+	start := clock.Now()
+	end := start.Add(time.Duration(spec.DurationSec) * time.Second)
+
+	switch spec.Mode {
+	case "open":
+		arrivals := key.Stream(SubsysArrivals)
+		var arrive func(c *simclock.Clock)
+		arrive = func(c *simclock.Clock) {
+			g.emit(c.Since(start))
+			c.After(expDur(arrivals, 1/spec.RatePerSec), arrive)
+		}
+		clock.After(expDur(arrivals, 1/spec.RatePerSec), arrive)
+	case "closed":
+		think := float64(spec.ThinkTimeMS) / 1000
+		for c := 0; c < spec.Concurrency; c++ {
+			thinkRand := key.UserStream(SubsysThink, c)
+			var loop func(cl *simclock.Clock)
+			loop = func(cl *simclock.Clock) {
+				g.emit(cl.Since(start))
+				cl.After(expDur(thinkRand, think), loop)
+			}
+			clock.After(expDur(thinkRand, think), loop)
+		}
+	}
+	clock.RunUntil(end)
+	return g.sched
+}
+
+// expDur draws an exponential interval with the given mean in seconds.
+func expDur(r *rand.Rand, meanSec float64) time.Duration {
+	d := time.Duration(r.ExpFloat64() * meanSec * float64(time.Second))
+	if d <= 0 {
+		d = time.Nanosecond
+	}
+	return d
+}
+
+type scheduleGen struct {
+	spec  *Spec
+	sched *Schedule
+
+	users  *rand.Rand
+	zipf   *rand.Zipf
+	routes *rand.Rand
+
+	routeNames []string
+	routeCum   []float64
+
+	touched  map[int]bool
+	profiled map[int]bool
+	userSeq  map[int]int
+}
+
+func (g *scheduleGen) emit(at time.Duration) {
+	user := g.pickUser()
+	route := g.pickRoute(user)
+	seq := g.userSeq[user]
+	g.userSeq[user]++
+	g.sched.Requests = append(g.sched.Requests, Request{
+		Seq:     len(g.sched.Requests),
+		At:      at,
+		User:    user,
+		UserSeq: seq,
+		Route:   route,
+	})
+}
+
+func (g *scheduleGen) pickUser() int {
+	if g.zipf != nil {
+		return int(g.zipf.Uint64())
+	}
+	return g.users.Intn(g.spec.Users)
+}
+
+// pickRoute applies the session rules on top of the weighted mix:
+//   - a user's first request is always register (tokens before traffic);
+//   - per-place analytics reads are swapped for a profile_put until the
+//     user has synced a profile, because those endpoints 404 on a user the
+//     server has no profile data for — and this harness treats any 4xx/5xx
+//     as a defect, not workload noise.
+//
+// Exactly one draw from the routes stream per request, even for the forced
+// register (the draw is discarded), to keep the stream aligned across rule
+// changes.
+func (g *scheduleGen) pickRoute(user int) string {
+	v := g.routes.Float64() * g.routeCum[len(g.routeCum)-1]
+	route := g.routeNames[len(g.routeNames)-1]
+	for i, c := range g.routeCum {
+		if v < c {
+			route = g.routeNames[i]
+			break
+		}
+	}
+	if !g.touched[user] {
+		g.touched[user] = true
+		return RouteRegister
+	}
+	if analyticsGated(route) && !g.profiled[user] {
+		route = RouteProfilePut
+	}
+	if route == RouteProfilePut {
+		g.profiled[user] = true
+	}
+	return route
+}
+
+// RouteCounts tallies requests per route.
+func (s *Schedule) RouteCounts() map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, r := range s.Requests {
+		out[r.Route]++
+	}
+	return out
+}
+
+// Duration returns the virtual time of the last request (the schedule's
+// active span).
+func (s *Schedule) Duration() time.Duration {
+	if len(s.Requests) == 0 {
+		return 0
+	}
+	return s.Requests[len(s.Requests)-1].At
+}
+
+// Encode writes the canonical trace: a header line stamping the identity,
+// then one tab-separated line per request with the virtual offset in
+// microseconds. The encoding is the byte-for-byte reproducibility artifact:
+// same (seed, spec) ⇒ same bytes, on any platform.
+func (s *Schedule) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# pmware-load trace v1 spec=%016x seed=%d requests=%d\n",
+		s.SpecHash, s.Seed, len(s.Requests)); err != nil {
+		return err
+	}
+	for _, r := range s.Requests {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\t%d\t%d\t%s\n",
+			r.Seq, r.At.Microseconds(), r.User, r.UserSeq, r.Route); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Hash returns the FNV-64a of the canonical encoding.
+func (s *Schedule) Hash() uint64 {
+	h := fnv.New64a()
+	// Encode into an fnv hash cannot fail: fnv's Write never errors.
+	_ = s.Encode(h)
+	return h.Sum64()
+}

@@ -1,0 +1,182 @@
+package load
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func testSpec() *Spec {
+	s := DefaultSpec()
+	s.Users = 200
+	s.DurationSec = 20
+	return s
+}
+
+// TestScheduleDeterministic is the headline acceptance property: the same
+// (seed, spec) compiles to a byte-identical canonical trace, in both modes,
+// across seeds.
+func TestScheduleDeterministic(t *testing.T) {
+	for _, mode := range []string{"closed", "open"} {
+		mode := mode
+		t.Run(mode, func(t *testing.T) {
+			check := func(seed int64) bool {
+				spec := testSpec()
+				spec.Mode = mode
+				if mode == "open" {
+					spec.RatePerSec = 40
+				}
+				var a, b bytes.Buffer
+				if err := BuildSchedule(spec, Key{Seed: seed}).Encode(&a); err != nil {
+					t.Fatal(err)
+				}
+				if err := BuildSchedule(spec, Key{Seed: seed}).Encode(&b); err != nil {
+					t.Fatal(err)
+				}
+				return bytes.Equal(a.Bytes(), b.Bytes()) && a.Len() > 0
+			}
+			if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestScheduleStreamIsolation pins macro-level stream independence:
+// reweighting the route mix changes only which routes are picked — arrival
+// times and user assignments are untouched, because they come from other
+// streams.
+func TestScheduleStreamIsolation(t *testing.T) {
+	check := func(seed int64) bool {
+		specA := testSpec()
+		specA.Mode = "open"
+		specA.RatePerSec = 40
+
+		specB := testSpec()
+		specB.Mode = "open"
+		specB.RatePerSec = 40
+		specB.RouteMix = map[string]float64{
+			RouteDiscover:   5,
+			RoutePlacesGet:  1,
+			RouteProfilePut: 1,
+		}
+
+		a := BuildSchedule(specA, Key{Seed: seed})
+		b := BuildSchedule(specB, Key{Seed: seed})
+		if len(a.Requests) != len(b.Requests) {
+			t.Logf("request counts diverged: %d vs %d", len(a.Requests), len(b.Requests))
+			return false
+		}
+		for i := range a.Requests {
+			if a.Requests[i].At != b.Requests[i].At || a.Requests[i].User != b.Requests[i].User {
+				t.Logf("request %d: arrival/user diverged under a route-mix change", i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScheduleSessionRules pins the gating: first request per user is
+// register, and no per-place analytics read precedes the user's first
+// profile_put.
+func TestScheduleSessionRules(t *testing.T) {
+	spec := testSpec()
+	spec.ZipfS = 1.3 // skew so some users issue long sequences
+	s := BuildSchedule(spec, Key{Seed: 99})
+	if len(s.Requests) == 0 {
+		t.Fatal("empty schedule")
+	}
+	seen := map[int]bool{}
+	profiled := map[int]bool{}
+	seq := map[int]int{}
+	for _, req := range s.Requests {
+		if want := seq[req.User]; req.UserSeq != want {
+			t.Fatalf("user %d: got seq %d, want %d", req.User, req.UserSeq, want)
+		}
+		seq[req.User]++
+		if !seen[req.User] {
+			if req.Route != RouteRegister {
+				t.Fatalf("user %d's first request is %s, want register", req.User, req.Route)
+			}
+			seen[req.User] = true
+			continue
+		}
+		if req.Route == RouteRegister {
+			t.Fatalf("user %d registers twice in one phase", req.User)
+		}
+		if analyticsGated(req.Route) && !profiled[req.User] {
+			t.Fatalf("user %d issues %s before any profile_put", req.User, req.Route)
+		}
+		if req.Route == RouteProfilePut {
+			profiled[req.User] = true
+		}
+	}
+}
+
+// TestScheduleZipfSkew sanity-checks that the Zipf option actually skews:
+// the most popular user gets several times the uniform share.
+func TestScheduleZipfSkew(t *testing.T) {
+	spec := testSpec()
+	spec.ZipfS = 1.3
+	s := BuildSchedule(spec, Key{Seed: 5})
+	counts := map[int]int{}
+	for _, req := range s.Requests {
+		counts[req.User]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	uniform := float64(len(s.Requests)) / float64(spec.Users)
+	if float64(max) < 3*uniform {
+		t.Fatalf("zipf head got %d requests, expected > 3x the uniform share %.1f", max, uniform)
+	}
+}
+
+// TestSpecValidate covers the rejection paths.
+func TestSpecValidate(t *testing.T) {
+	bad := []func(*Spec){
+		func(s *Spec) { s.Users = 0 },
+		func(s *Spec) { s.Mode = "both" },
+		func(s *Spec) { s.Mode = "open"; s.RatePerSec = 0 },
+		func(s *Spec) { s.ThinkTimeMS = 0 },
+		func(s *Spec) { s.Concurrency = 0 },
+		func(s *Spec) { s.ZipfS = 0.5 },
+		func(s *Spec) { s.RouteMix = nil },
+		func(s *Spec) { s.RouteMix = map[string]float64{"bogus": 1} },
+		func(s *Spec) { s.RouteMix = map[string]float64{RouteRegister: 1} },
+		func(s *Spec) { s.RouteMix = map[string]float64{RouteDiscover: -1} },
+		func(s *Spec) { s.TraceDays = 0 },
+		func(s *Spec) { s.ObsIntervalSec = 0 },
+		func(s *Spec) { s.Ramp = &RampSpec{StartRPS: 10, MaxRPS: 5, Factor: 2, StepDurationSec: 5} },
+		func(s *Spec) { s.Ramp = &RampSpec{StartRPS: 10, MaxRPS: 50, Factor: 1, StepDurationSec: 5} },
+	}
+	for i, mutate := range bad {
+		s := DefaultSpec()
+		mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid spec passed validation", i)
+		}
+	}
+	if err := DefaultSpec().Validate(); err != nil {
+		t.Fatalf("default spec invalid: %v", err)
+	}
+}
+
+// TestSpecHashSensitivity pins that the hash tracks content.
+func TestSpecHashSensitivity(t *testing.T) {
+	a, b := DefaultSpec(), DefaultSpec()
+	if a.Hash() != b.Hash() {
+		t.Fatal("identical specs hash differently")
+	}
+	b.Users++
+	if a.Hash() == b.Hash() {
+		t.Fatal("different specs hash the same")
+	}
+}

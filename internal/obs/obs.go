@@ -81,6 +81,12 @@ type Histogram struct {
 	max    atomic.Int64
 }
 
+// NewHistogram returns a standalone histogram with the given bucket upper
+// bounds, outside any registry. Consumers that own many short-lived
+// histograms (the load harness keeps one per route per worker) use this
+// directly and merge the snapshots afterwards.
+func NewHistogram(bounds []int64) *Histogram { return newHistogram(bounds) }
+
 func newHistogram(bounds []int64) *Histogram {
 	bs := append([]int64(nil), bounds...)
 	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
@@ -449,6 +455,24 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 		}
 	}
 	return float64(s.Max)
+}
+
+// MergeHistogramSnapshots folds any number of snapshots (with identical
+// bounds) into the snapshot a single-stream recording of all observations
+// would have produced. Zero snapshots merge to an empty snapshot.
+func MergeHistogramSnapshots(snaps ...HistogramSnapshot) (HistogramSnapshot, error) {
+	if len(snaps) == 0 {
+		return HistogramSnapshot{}, nil
+	}
+	out := snaps[0]
+	for _, s := range snaps[1:] {
+		var err error
+		out, err = out.Merge(s)
+		if err != nil {
+			return HistogramSnapshot{}, err
+		}
+	}
+	return out, nil
 }
 
 // Merge combines two snapshots of histograms with identical bounds: the

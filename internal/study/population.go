@@ -1,0 +1,60 @@
+package study
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geo"
+	"repro/internal/world"
+)
+
+// ParticipantPlan is the deterministic geometry-and-routine draw for one
+// cohort member: where they live and work, whether those venues have WiFi,
+// how fast they travel, and which public venues they frequent.
+//
+// The plan is pure data — it references public venues by index into the
+// venue slice it was drawn against (the world's venues before any
+// per-participant additions) rather than by pointer, so the same plan can be
+// realized either by mutating a shared world (the deployment study) or as
+// standalone venues that never touch it (the load harness's lazy per-user
+// population, which synthesizes users on demand and must not reindex a world
+// shared across goroutines).
+type ParticipantPlan struct {
+	ID       string
+	HomePos  geo.LatLng
+	WorkPos  geo.LatLng
+	HomeWiFi bool
+	WorkWiFi bool
+	SpeedMPS float64
+	// HauntIdx indexes into the public-venue slice the plan was drawn
+	// against.
+	HauntIdx []int
+}
+
+// PlanParticipant draws participant i's plan from r.
+//
+// Draw-order contract (pinned by TestPlanParticipantGolden): exactly seven
+// Float64 draws — home point (2), work point (2), home WiFi, work WiFi,
+// speed — followed by one Perm(publicCount). The count never depends on the
+// draw outcomes or on WiFi coverage, so sweeping WiFiVenueFraction (the
+// India-vs-Switzerland ablation) compares the same cohort, and a caller with
+// a per-participant derived RNG stream gets the same plan regardless of
+// which other participants it generates.
+func PlanParticipant(r *rand.Rand, wc world.Config, hauntsPer, publicCount, i int) ParticipantPlan {
+	p := ParticipantPlan{ID: fmt.Sprintf("u%02d", i+1)}
+	p.HomePos = randomPoint(wc, r)
+	p.WorkPos = randomPoint(wc, r)
+	p.HomeWiFi = r.Float64() < wc.WiFiVenueFraction
+	p.WorkWiFi = r.Float64() < 0.8
+	p.SpeedMPS = 6 + r.Float64()*3
+	perm := r.Perm(publicCount)
+	n := hauntsPer
+	if n > len(perm) {
+		n = len(perm)
+	}
+	if n < 0 {
+		n = 0
+	}
+	p.HauntIdx = perm[:n:n]
+	return p
+}

@@ -1,0 +1,146 @@
+package study
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+	"repro/internal/world"
+)
+
+// refPlan replicates the participant loop exactly as it was written inline
+// in buildParticipants before PlanParticipant was extracted. It is the golden
+// reference: any change to PlanParticipant's draw order or arithmetic shows
+// up as a divergence from this copy and therefore as a change to every
+// seeded study result.
+type refPlan struct {
+	id                 string
+	homePos, workPos   geo.LatLng
+	homeWiFi, workWiFi bool
+	speed              float64
+	hauntIdx           []int
+}
+
+func refPlans(r *rand.Rand, wc world.Config, hauntsPer, publicCount, participants int) []refPlan {
+	plans := make([]refPlan, 0, participants)
+	for i := 0; i < participants; i++ {
+		p := refPlan{
+			id:       fmtID(i),
+			homePos:  refRandomPoint(wc, r),
+			workPos:  refRandomPoint(wc, r),
+			homeWiFi: r.Float64() < wc.WiFiVenueFraction,
+			workWiFi: r.Float64() < 0.8,
+			speed:    6 + r.Float64()*3,
+		}
+		for _, j := range r.Perm(publicCount) {
+			if len(p.hauntIdx) >= hauntsPer {
+				break
+			}
+			p.hauntIdx = append(p.hauntIdx, j)
+		}
+		plans = append(plans, p)
+	}
+	return plans
+}
+
+func fmtID(i int) string {
+	// fmt.Sprintf("u%02d", i+1) without fmt, to keep the reference copy
+	// obviously side-effect free.
+	n := i + 1
+	if n < 10 {
+		return "u0" + string(rune('0'+n))
+	}
+	out := []byte{'u'}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(append(out, digits...))
+}
+
+func refRandomPoint(wc world.Config, r *rand.Rand) geo.LatLng {
+	dx := (r.Float64()*2 - 1) * wc.ExtentMeters
+	dy := (r.Float64()*2 - 1) * wc.ExtentMeters
+	return geo.Offset(geo.Offset(wc.Origin, 0, dy), 90, dx)
+}
+
+// TestPlanParticipantGolden pins the extracted generator to the historical
+// inline loop, byte-identically, across seeds and haunt counts.
+func TestPlanParticipantGolden(t *testing.T) {
+	wc := DefaultConfig().World
+	check := func(seed int64, hauntsPerRaw, publicRaw uint8) bool {
+		hauntsPer := int(hauntsPerRaw % 12)
+		publicCount := int(publicRaw%40) + 1
+		participants := 20
+
+		ref := refPlans(rand.New(rand.NewSource(seed)), wc, hauntsPer, publicCount, participants)
+
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < participants; i++ {
+			got := PlanParticipant(r, wc, hauntsPer, publicCount, i)
+			want := ref[i]
+			if got.ID != want.id ||
+				got.HomePos != want.homePos || got.WorkPos != want.workPos ||
+				got.HomeWiFi != want.homeWiFi || got.WorkWiFi != want.workWiFi ||
+				got.SpeedMPS != want.speed {
+				t.Logf("participant %d: got %+v want %+v", i, got, want)
+				return false
+			}
+			if len(got.HauntIdx) != len(want.hauntIdx) {
+				t.Logf("participant %d: haunt count %d != %d", i, len(got.HauntIdx), len(want.hauntIdx))
+				return false
+			}
+			for k := range got.HauntIdx {
+				if got.HauntIdx[k] != want.hauntIdx[k] {
+					t.Logf("participant %d: haunt %d: %d != %d", i, k, got.HauntIdx[k], want.hauntIdx[k])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuildParticipantsUsesPlans pins the full cohort builder on the default
+// study configuration: venue geometry, haunt sets, and speeds must match the
+// reference plan realized against the same world.
+func TestBuildParticipantsUsesPlans(t *testing.T) {
+	cfg := DefaultConfig()
+	w := world.Generate(cfg.World, rand.New(rand.NewSource(cfg.Seed)))
+	public := append([]*world.Venue(nil), w.Venues...)
+
+	ref := refPlans(rand.New(rand.NewSource(cfg.Seed+11)), cfg.World, cfg.HauntsPerParticipant, len(public), cfg.Participants)
+
+	agents := buildParticipants(w, cfg, rand.New(rand.NewSource(cfg.Seed+11)))
+	if len(agents) != len(ref) {
+		t.Fatalf("got %d agents, want %d", len(agents), len(ref))
+	}
+	for i, a := range agents {
+		want := ref[i]
+		if a.ID != want.id {
+			t.Fatalf("agent %d: ID %q != %q", i, a.ID, want.id)
+		}
+		if a.Home.Center != want.homePos || a.Work.Center != want.workPos {
+			t.Fatalf("agent %s: venue centers moved", a.ID)
+		}
+		if a.Home.HasWiFi != want.homeWiFi || a.Work.HasWiFi != want.workWiFi {
+			t.Fatalf("agent %s: WiFi flags changed", a.ID)
+		}
+		if a.SpeedMPS != want.speed {
+			t.Fatalf("agent %s: speed %v != %v", a.ID, a.SpeedMPS, want.speed)
+		}
+		if len(a.Haunts) != len(want.hauntIdx) {
+			t.Fatalf("agent %s: %d haunts, want %d", a.ID, len(a.Haunts), len(want.hauntIdx))
+		}
+		for k, v := range a.Haunts {
+			if v != public[want.hauntIdx[k]] {
+				t.Fatalf("agent %s: haunt %d is %s, want %s", a.ID, k, v.ID, public[want.hauntIdx[k]].ID)
+			}
+		}
+	}
+}

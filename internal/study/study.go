@@ -218,31 +218,11 @@ func buildParticipants(w *world.World, cfg Config, r *rand.Rand) []*mobility.Age
 	// count that does not depend on WiFi coverage, so sweeping
 	// WiFiVenueFraction (the India-vs-Switzerland ablation) compares the
 	// same city and the same participants. AP installation uses per-venue
-	// derived RNGs.
-	type plan struct {
-		id                 string
-		homePos, workPos   geo.LatLng
-		homeWiFi, workWiFi bool
-		speed              float64
-		haunts             []*world.Venue
-	}
-	plans := make([]plan, 0, cfg.Participants)
+	// derived RNGs. PlanParticipant owns the draw-order contract; a golden
+	// test pins it to this loop's historical behavior.
+	plans := make([]ParticipantPlan, 0, cfg.Participants)
 	for i := 0; i < cfg.Participants; i++ {
-		p := plan{
-			id:       fmt.Sprintf("u%02d", i+1),
-			homePos:  randomPoint(cfg.World, r),
-			workPos:  randomPoint(cfg.World, r),
-			homeWiFi: r.Float64() < cfg.World.WiFiVenueFraction,
-			workWiFi: r.Float64() < 0.8,
-			speed:    6 + r.Float64()*3,
-		}
-		for _, j := range r.Perm(len(public)) {
-			if len(p.haunts) >= cfg.HauntsPerParticipant {
-				break
-			}
-			p.haunts = append(p.haunts, public[j])
-		}
-		plans = append(plans, p)
+		plans = append(plans, PlanParticipant(r, cfg.World, cfg.HauntsPerParticipant, len(public), i))
 	}
 	for i, p := range plans {
 		// One RNG per venue: the work venue's geometry must not depend on
@@ -250,13 +230,17 @@ func buildParticipants(w *world.World, cfg Config, r *rand.Rand) []*mobility.Age
 		homeRand := rand.New(rand.NewSource(cfg.Seed + int64(7000+2*i)))
 		workRand := rand.New(rand.NewSource(cfg.Seed + int64(7001+2*i)))
 		home := w.AddVenue(
-			fmt.Sprintf("home-%s", p.id), fmt.Sprintf("Home of %s", p.id),
-			world.KindHome, p.homePos, p.homeWiFi, cfg.World, homeRand)
+			fmt.Sprintf("home-%s", p.ID), fmt.Sprintf("Home of %s", p.ID),
+			world.KindHome, p.HomePos, p.HomeWiFi, cfg.World, homeRand)
 		work := w.AddVenue(
-			fmt.Sprintf("work-%s", p.id), fmt.Sprintf("Office of %s", p.id),
-			world.KindWorkplace, p.workPos, p.workWiFi, cfg.World, workRand)
+			fmt.Sprintf("work-%s", p.ID), fmt.Sprintf("Office of %s", p.ID),
+			world.KindWorkplace, p.WorkPos, p.WorkWiFi, cfg.World, workRand)
+		haunts := make([]*world.Venue, 0, len(p.HauntIdx))
+		for _, j := range p.HauntIdx {
+			haunts = append(haunts, public[j])
+		}
 		agents = append(agents, &mobility.Agent{
-			ID: p.id, Home: home, Work: work, SpeedMPS: p.speed, Haunts: p.haunts,
+			ID: p.ID, Home: home, Work: work, SpeedMPS: p.SpeedMPS, Haunts: haunts,
 		})
 	}
 	return agents

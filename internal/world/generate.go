@@ -178,6 +178,23 @@ func (w *World) AddVenue(id, name string, kind VenueKind, pos geo.LatLng, withWi
 	return v
 }
 
+// StandaloneVenue builds a venue at pos without installing APs and without
+// attaching it to any world. The load harness uses it to give each lazily
+// synthesized user private home/work venues: AddVenue mutates and reindexes
+// the shared world, which is neither affordable nor safe when users are
+// generated on demand from concurrent workers. The radius draw matches
+// AddVenue's, so a standalone venue and an added venue built from the same
+// RNG state have identical footprints.
+func StandaloneVenue(id, name string, kind VenueKind, pos geo.LatLng, r *rand.Rand) *Venue {
+	return &Venue{
+		ID:           id,
+		Name:         name,
+		Kind:         kind,
+		Center:       pos,
+		RadiusMeters: venueRadius(kind, r),
+	}
+}
+
 func installVenueAPs(w *World, v *Venue, cfg Config, r *rand.Rand, apSeq *int) {
 	count := 1 + r.Intn(3) // 1-3 APs per venue
 	if v.Kind == KindMall || v.Kind == KindAcademic || v.Kind == KindWorkplace {
