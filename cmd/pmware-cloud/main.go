@@ -8,6 +8,7 @@
 //	pmware-cloud [-addr :8080] [-data-dir ./pmware-data] [-fsync always]
 //	             [-shards 8] [-commit-batch 128] [-commit-linger 0s]
 //	             [-discover-workers 4] [-discover-queue 64] [-max-body 64MiB]
+//	             [-event-queue 64] [-event-history 256] [-event-heartbeat 15s]
 //	             [-pprof :6060] [-slow-request 0s]
 //	             [-store pmware-store.json] [-world-seed 2014]
 //
@@ -23,7 +24,13 @@
 // how many GCA runs execute concurrently and -discover-queue how many may
 // wait; past that the instance answers 429 + Retry-After instead of piling
 // up goroutines. -max-body caps request body size (oversized uploads are
-// rejected with 413).
+// rejected with 413); the streaming ingest and event-subscription routes are
+// exempt, since they are long-lived by design.
+//
+// Real-time events: -event-queue sets the per-subscriber bounded queue (a
+// consumer that falls further behind is evicted and must resume with
+// Last-Event-ID), -event-history the per-user replay ring backing resume,
+// and -event-heartbeat the SSE keep-alive period on idle subscriptions.
 //
 // The legacy -store JSON file, when given, is loaded on startup (if present)
 // and saved on SIGINT/SIGTERM; it can be combined with -data-dir to migrate
@@ -65,7 +72,10 @@ func main() {
 	commitLinger := flag.Duration("commit-linger", 0, "how long a commit leader waits for followers when its batch is short")
 	discoverWorkers := flag.Int("discover-workers", cloud.DefaultDiscoverWorkers, "concurrent discovery (GCA) runs")
 	discoverQueue := flag.Int("discover-queue", cloud.DefaultDiscoverQueue, "queued discovery requests before 429 backpressure")
-	maxBody := flag.Int64("max-body", cloud.DefaultMaxBodyBytes, "max request body bytes (oversized uploads get 413)")
+	maxBody := flag.Int64("max-body", cloud.DefaultMaxBodyBytes, "max request body bytes (oversized uploads get 413; streaming routes exempt)")
+	eventQueue := flag.Int("event-queue", 0, "per-subscriber event queue capacity before slow-consumer eviction (0 = default)")
+	eventHistory := flag.Int("event-history", 0, "per-user event replay ring backing Last-Event-ID resume (0 = default)")
+	eventHeartbeat := flag.Duration("event-heartbeat", cloud.DefaultEventHeartbeat, "SSE heartbeat period on idle event subscriptions")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /metrics on this side address (empty = disabled)")
 	slowReq := flag.Duration("slow-request", 0, "log API requests slower than this threshold (0 = disabled)")
 	storePath := flag.String("store", "", "legacy JSON persistence file (optional)")
@@ -105,6 +115,8 @@ func main() {
 		cloud.WithCellDatabase(cloud.NewCellDatabase(w, 150)),
 		cloud.WithDiscoverPool(*discoverWorkers, *discoverQueue),
 		cloud.WithMaxBodyBytes(*maxBody),
+		cloud.WithEventQueue(*eventQueue, *eventHistory),
+		cloud.WithEventHeartbeat(*eventHeartbeat),
 	}
 	if *slowReq > 0 {
 		opts = append(opts, cloud.WithSlowRequestLog(*slowReq, nil))

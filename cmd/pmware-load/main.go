@@ -24,7 +24,9 @@
 // The SLO report (per-route p50/p99/p999, error and 429 rates, achieved vs
 // offered throughput, measured saturation point) prints to stdout, and -out
 // appends it to a trajectory file so successive runs accumulate into a
-// perf-over-time record.
+// perf-over-time record. A spec with a "subscribers" section additionally
+// attaches that many concurrent SSE event subscribers for the span of the
+// run and reports event delivery quantiles alongside the request latencies.
 package main
 
 import (

@@ -34,6 +34,11 @@ const (
 	PathPredictNext     = "/api/v1/predict/next-visit"
 	PathStatsFrequency  = "/api/v1/stats/frequency"
 	PathStatsDwell      = "/api/v1/stats/dwell"
+	// Streaming endpoints (DESIGN.md §13). Both are exempt from the request
+	// timeout middleware and the -max-body cap: the connections are
+	// long-lived by design.
+	PathObservationsStream = "/api/v1/observations/stream"
+	PathEventsSubscribe    = "/api/v1/events/subscribe"
 )
 
 // RegisterRequest registers a device. The device is identified jointly by
@@ -122,6 +127,26 @@ type DiscoverPlacesRequest struct {
 	Delta        bool                   `json:"delta,omitempty"`
 	Cursor       int64                  `json:"cursor,omitempty"`
 	PrefixHash   uint64                 `json:"prefix_hash,omitempty"`
+}
+
+// StreamBatch is one element of the streaming ingest body: the request is a
+// sequence of JSON batches (NDJSON-style concatenation) decoded as they
+// arrive, each appended WAL-durably and fed to the online event detector
+// before the next is read.
+type StreamBatch struct {
+	Observations []trace.GSMObservation `json:"observations"`
+}
+
+// StreamResult is the single response written when the ingest stream ends.
+type StreamResult struct {
+	// TraceLen/TraceHash are the post-stream trace position, compatible
+	// with the delta sync cursor protocol.
+	TraceLen  int64  `json:"trace_len"`
+	TraceHash uint64 `json:"trace_hash"`
+	// Appended counts observations persisted by this stream; Events counts
+	// transitions it published.
+	Appended int `json:"appended"`
+	Events   int `json:"events"`
 }
 
 // DiscoverPlacesResponse returns the discovered places plus the server's

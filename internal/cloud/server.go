@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/events"
 	"repro/internal/gsm"
 	"repro/internal/profile"
 	"repro/internal/route"
@@ -33,6 +34,12 @@ type Server struct {
 	discoverWorkers int
 	discoverQueue   int
 
+	hub            *events.Hub
+	ingest         *ingestState
+	eventQueue     int
+	eventHistory   int
+	eventHeartbeat time.Duration
+
 	metrics       *serverMetrics
 	slowThreshold time.Duration
 	slowLog       *log.Logger
@@ -49,6 +56,11 @@ const DefaultMaxBodyBytes = 64 << 20
 // before the middleware replies 503; a wedged handler can then never pin a
 // mux worker indefinitely. The client treats the 503 as retryable.
 const DefaultRequestTimeout = 30 * time.Second
+
+// DefaultEventHeartbeat is the SSE comment-frame period on idle event
+// subscriptions: frequent enough that a dead peer is noticed and NATs keep
+// the mapping, rare enough to cost nothing.
+const DefaultEventHeartbeat = 15 * time.Second
 
 // ServerOption customizes a Server.
 type ServerOption func(*Server)
@@ -85,10 +97,31 @@ func WithDiscoverPool(workers, queueLen int) ServerOption {
 }
 
 // WithMaxBodyBytes overrides the request body cap (0 keeps the default).
+// Streaming endpoints are exempt (DESIGN.md §13).
 func WithMaxBodyBytes(n int64) ServerOption {
 	return func(s *Server) {
 		if n > 0 {
 			s.maxBody = n
+		}
+	}
+}
+
+// WithEventQueue sizes the per-subscriber event queue (the slow-consumer
+// eviction threshold) and the per-user replay ring backing Last-Event-ID
+// resume. Zero values keep the defaults (64 and 256).
+func WithEventQueue(queueCap, history int) ServerOption {
+	return func(s *Server) {
+		s.eventQueue = queueCap
+		s.eventHistory = history
+	}
+}
+
+// WithEventHeartbeat overrides the SSE heartbeat period (0 keeps the
+// default).
+func WithEventHeartbeat(d time.Duration) ServerOption {
+	return func(s *Server) {
+		if d > 0 {
+			s.eventHeartbeat = d
 		}
 	}
 }
@@ -111,19 +144,44 @@ func NewServer(store *Store, opts ...ServerOption) *Server {
 	}
 	s.popular = NewPopularIndex(store, s.cells)
 	s.pool = newDiscoverPool(store, s.gsmParams, s.discoverWorkers, s.discoverQueue, newDiscoverMetrics(s.metrics.reg))
+	if s.eventHeartbeat <= 0 {
+		s.eventHeartbeat = DefaultEventHeartbeat
+	}
+	s.hub = events.NewHub(events.Config{
+		QueueCap: s.eventQueue,
+		History:  s.eventHistory,
+		Registry: s.metrics.reg,
+	})
+	s.ingest = newIngestState()
 	s.mux = http.NewServeMux()
 	s.routesMux()
 	return s
 }
 
-// Close stops the discovery worker pool. It does not close the store (the
-// store may be shared; the caller owns its lifecycle).
-func (s *Server) Close() { s.pool.close() }
+// Close stops the discovery worker pool and the event hub (closing every
+// subscriber stream, which unblocks any SSE handlers still attached). It
+// does not close the store (the store may be shared; the caller owns its
+// lifecycle).
+func (s *Server) Close() {
+	s.pool.close()
+	s.hub.Close()
+}
 
-// Handler returns the HTTP handler for the full API surface, wrapped in the
-// request-timeout middleware.
+// Hub exposes the event fanout hub (the PMS-side bridge and tests publish
+// and subscribe through it directly).
+func (s *Server) Hub() *events.Hub { return s.hub }
+
+// Handler returns the HTTP handler for the full API surface. The regular
+// API is wrapped in the request-timeout middleware; the streaming routes
+// mount beside it, exempt from both the timeout (http.TimeoutHandler
+// buffers, which would strip http.Flusher and kill SSE) and the -max-body
+// cap (a long-lived stream legitimately outgrows any per-request limit).
 func (s *Server) Handler() http.Handler {
-	return TimeoutMiddleware(s.mux, s.reqTimeout)
+	root := http.NewServeMux()
+	root.Handle("/", TimeoutMiddleware(s.mux, s.reqTimeout))
+	root.HandleFunc("POST "+PathObservationsStream, s.instrument("obs_stream", s.auth(s.handleObsStream)))
+	root.HandleFunc("GET "+PathEventsSubscribe, s.instrument("events_subscribe", s.auth(s.handleEventsSubscribe)))
+	return root
 }
 
 // TimeoutMiddleware bounds every request to d: a handler still running at

@@ -1,0 +1,334 @@
+package cloud
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/events"
+	"repro/internal/geo"
+	"repro/internal/trace"
+	"repro/internal/world"
+)
+
+// This file is the PCI side of the real-time event subsystem (DESIGN.md
+// §13): the streaming ingest endpoint that turns appended observations into
+// published transitions, and the SSE subscription endpoint that fans them
+// out. Both routes are mounted outside the request-timeout middleware
+// (http.TimeoutHandler buffers responses and hides http.Flusher) and skip
+// decode()'s MaxBytesReader — the connections are long-lived by design, and
+// a stream's cumulative bytes legitimately exceed any per-request cap.
+
+// ingestCacheCap bounds resident per-user detectors, mirroring the discovery
+// pool's pipeline cache: LRU beyond the cap, rebuilt from the persisted
+// trace on the next stream.
+const ingestCacheCap = 512
+
+// ingestState owns the per-user online detectors behind the streaming
+// ingest path.
+type ingestState struct {
+	mu    sync.Mutex
+	users map[string]*userIngest
+	tick  uint64 // LRU clock
+}
+
+type userIngest struct {
+	mu       sync.Mutex
+	gen      uint64
+	det      *events.Detector
+	lastUsed uint64 // under ingestState.mu
+}
+
+func newIngestState() *ingestState {
+	return &ingestState{users: map[string]*userIngest{}}
+}
+
+// user returns (creating if needed) the per-user ingest slot, evicting the
+// least recently used detector when over cap. Eviction only drops cached
+// pipeline state — the trace is persisted, so the next stream rebuilds.
+func (st *ingestState) user(uid string) *userIngest {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.tick++
+	ui := st.users[uid]
+	if ui == nil {
+		if len(st.users) >= ingestCacheCap {
+			var oldest string
+			var oldestTick uint64 = ^uint64(0)
+			for id, u := range st.users {
+				if u.lastUsed < oldestTick {
+					oldest, oldestTick = id, u.lastUsed
+				}
+			}
+			delete(st.users, oldest)
+		}
+		ui = &userIngest{}
+		st.users[uid] = ui
+	}
+	ui.lastUsed = st.tick
+	return ui
+}
+
+// feed extends the user's detector to cover the full persisted trace and
+// returns the transitions that became final. appended is how many trailing
+// observations this request just persisted: on a detector rebuild (cold
+// cache or replace-generation bump) everything before them is caught up
+// silently — its transitions either were already emitted by a previous
+// incarnation or belong to a wholesale-replaced history nobody streamed.
+func (s *Server) feedDetector(uid string, appended int) []events.Transition {
+	ui := s.ingest.user(uid)
+	ui.mu.Lock()
+	defer ui.mu.Unlock()
+
+	var out []events.Transition
+	s.store.viewTrace(uid, func(obs []trace.GSMObservation, _ uint64, gen uint64) {
+		if ui.det == nil || ui.gen != gen || ui.det.Len() > len(obs) {
+			ui.det = events.NewDetector(s.gsmParams)
+			ui.gen = gen
+			catch := len(obs) - appended
+			if catch < 0 {
+				catch = 0
+			}
+			ui.det.CatchUp(obs[:catch])
+		}
+		out = ui.det.Feed(obs[ui.det.Len():])
+	})
+	return out
+}
+
+// handleObsStream is POST /api/v1/observations/stream: a sequence of JSON
+// observation batches decoded as they arrive. Each batch is appended
+// WAL-durably, fed to the online detector, and its transitions published to
+// the fanout hub before the next batch is read — so a subscriber sees the
+// place entry while the device is still streaming. One summary response is
+// written when the client closes its side.
+func (s *Server) handleObsStream(w http.ResponseWriter, r *http.Request, uid string) {
+	// Deliberately no MaxBytesReader (see the file comment): the regression
+	// test pins that a stream outliving -max-body stays open.
+	dec := json.NewDecoder(r.Body)
+	var appended, published int
+	var status TraceStatus
+	for {
+		var batch StreamBatch
+		err := dec.Decode(&batch)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			// Mid-stream garbage: everything before it is already durable;
+			// report what happened with the position reached.
+			writeError(w, http.StatusBadRequest, "bad stream batch after %d observations: %v", appended, err)
+			return
+		}
+		status, err = s.store.AppendTrace(uid, batch.Observations)
+		if err != nil {
+			if errors.Is(err, ErrObservationOrder) {
+				writeError(w, http.StatusConflict, "%v", err)
+				return
+			}
+			writeError(w, http.StatusInternalServerError, "appending observations: %v", err)
+			return
+		}
+		if n := len(batch.Observations); n > 0 {
+			appended += n
+			s.pool.m.appended.Add(uint64(n))
+		}
+		for _, t := range s.feedDetector(uid, len(batch.Observations)) {
+			published += s.publishTransition(uid, t)
+		}
+	}
+	if status == (TraceStatus{}) {
+		status = s.store.TraceStatusFor(uid)
+	}
+	writeJSON(w, http.StatusOK, StreamResult{
+		TraceLen:  status.Len,
+		TraceHash: status.Hash,
+		Appended:  appended,
+		Events:    published,
+	})
+}
+
+// publishTransition enriches one canonical transition into a wire event
+// (matched place, disclosed position, and — after an exit — a predicted
+// next visit when the analytics engine is confident) and hands it to the
+// hub. Returns how many events were published.
+func (s *Server) publishTransition(uid string, t events.Transition) int {
+	ev := events.Event{
+		Type:    t.Kind,
+		UserID:  uid,
+		At:      t.At,
+		Start:   t.Start,
+		PlaceID: -1,
+	}
+	cells := t.Cells
+	if len(cells) == 0 {
+		cells = t.Hint
+	}
+	if len(cells) > 0 {
+		ev.PlaceID, ev.Label = s.matchPlace(uid, cells)
+		ev.Center, ev.AccuracyMeters = s.cellCentroid(cells)
+	}
+	n := 0
+	if s.hub.Publish(ev) {
+		n++
+	}
+	if t.Kind == events.KindPlaceExit && ev.PlaceID >= 0 {
+		// The analytics engine keys visits by the PMS profile id namespace
+		// ("p<N>", see core fusion); absent or unconfident history simply
+		// means no prediction event.
+		next, confident := s.analytics.PredictNextVisit(uid, "p"+strconv.FormatInt(ev.PlaceID, 10), t.At)
+		if confident {
+			pred := ev
+			pred.Type = events.KindPredictedVisit
+			pred.Start = time.Time{}
+			pred.PredictedAt = next
+			if s.hub.Publish(pred) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// matchPlace finds the stored place whose cell set overlaps the stay's
+// cells the most. Returns (-1, "") when the user has no discovered places
+// or nothing overlaps — a brand-new place before discovery has seen it.
+func (s *Server) matchPlace(uid string, cells []world.CellID) (int64, string) {
+	places := s.store.Places(uid)
+	bestID, bestLabel, bestOverlap := int64(-1), "", 0
+	for _, p := range places {
+		set := make(map[world.CellID]struct{}, len(p.Cells))
+		for _, c := range p.Cells {
+			set[c] = struct{}{}
+		}
+		overlap := 0
+		for _, c := range cells {
+			if _, ok := set[c]; ok {
+				overlap++
+			}
+		}
+		if overlap > bestOverlap {
+			bestID, bestLabel, bestOverlap = int64(p.ID), p.Label, overlap
+		}
+	}
+	return bestID, bestLabel
+}
+
+// cellCentroid geolocates a stay from its cell set: the mean of the known
+// cell positions, disclosed at cell-tower accuracy. Zero when no cell is in
+// the database.
+func (s *Server) cellCentroid(cells []world.CellID) (geo.LatLng, float64) {
+	if s.cells == nil {
+		return geo.LatLng{}, 0
+	}
+	var lat, lng float64
+	n := 0
+	for _, c := range cells {
+		if e, ok := s.cells.Lookup(c); ok {
+			lat += e.Lat
+			lng += e.Lng
+			n++
+		}
+	}
+	if n == 0 {
+		return geo.LatLng{}, 0
+	}
+	return geo.LatLng{Lat: lat / float64(n), Lng: lng / float64(n)}, core.GranularityBuilding.AccuracyMeters()
+}
+
+// handleEventsSubscribe is GET /api/v1/events/subscribe: a text/event-stream
+// of the authenticated user's place events. `granularity=area|building|room`
+// clamps every event's positional payload to the tier (default room = full
+// precision); the Last-Event-ID header resumes a dropped connection.
+func (s *Server) handleEventsSubscribe(w http.ResponseWriter, r *http.Request, uid string) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	gran := core.GranularityRoom
+	if v := r.URL.Query().Get("granularity"); v != "" {
+		g, ok := parseGranularity(v)
+		if !ok {
+			writeError(w, http.StatusBadRequest, "bad granularity %q", v)
+			return
+		}
+		gran = g
+	}
+	var lastSeq uint64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad Last-Event-ID %q", v)
+			return
+		}
+		lastSeq = n
+	}
+
+	sub := s.hub.Subscribe(uid, lastSeq)
+	if sub == nil {
+		writeError(w, http.StatusServiceUnavailable, "event hub shut down")
+		return
+	}
+	defer sub.Close()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	if sub.Gap {
+		// The client's Last-Event-ID predates the replay ring: it must
+		// resynchronize authoritative state (places, profiles) out of band.
+		if events.WriteControl(w, events.KindReset, sub.HeadSeq) != nil {
+			return
+		}
+	}
+	flusher.Flush()
+
+	heartbeat := time.NewTicker(s.eventHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case ev, open := <-sub.C:
+			if !open {
+				if sub.Evicted() {
+					// Final frame: tell the consumer it was too slow, so
+					// its reconnect policy can distinguish eviction from a
+					// network fault.
+					_ = events.WriteControl(w, events.KindEvicted, 0)
+				}
+				return
+			}
+			if events.WriteEvent(w, events.Degrade(ev, gran)) != nil {
+				return
+			}
+			flusher.Flush()
+		case <-heartbeat.C:
+			if events.WriteHeartbeat(w) != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// parseGranularity maps the wire names onto the core privacy tiers.
+func parseGranularity(v string) (core.Granularity, bool) {
+	switch v {
+	case "area":
+		return core.GranularityArea, true
+	case "building":
+		return core.GranularityBuilding, true
+	case "room":
+		return core.GranularityRoom, true
+	}
+	return 0, false
+}

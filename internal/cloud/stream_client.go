@@ -1,0 +1,118 @@
+package cloud
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/trace"
+)
+
+// DefaultStreamBatchSize is how many observations StreamObservations packs
+// into one stream batch when the caller passes 0.
+const DefaultStreamBatchSize = 64
+
+// StreamObservations ships observations to the cloud over the streaming
+// ingest endpoint (POST /api/v1/observations/stream): one long-lived request
+// whose body is a sequence of JSON batches, each appended WAL-durably and fed
+// to the online event detector as it arrives — subscribers see the resulting
+// place events while the device is still uploading.
+//
+// Like DiscoverPlaces, the call is cursor-aware: observations the server
+// already acknowledged are skipped client-side, so handing it the full trace
+// streams only the new tail (and an up-to-date client streams nothing,
+// getting back the current position). On success the acknowledged cursor is
+// stored, so a later DiscoverPlaces delta-syncs instead of re-uploading.
+//
+// The stream appends state as it goes, so the request is not retried by the
+// retry policy; a failed stream is resumed by calling again (the cursor —
+// refreshed by the returned StreamResult — restarts from what was durably
+// appended). A 401 recovers the token once, exactly like every other
+// authenticated call.
+func (c *Client) StreamObservations(ctx context.Context, obs []trace.GSMObservation, batchSize int) (StreamResult, error) {
+	if batchSize <= 0 {
+		batchSize = DefaultStreamBatchSize
+	}
+	_, gen := c.snapshotToken()
+	res, err := c.streamOnce(ctx, obs, batchSize)
+	var se *statusError
+	if errors.As(err, &se) && se.Status == http.StatusUnauthorized {
+		if rerr := c.recoverToken(ctx, gen); rerr == nil {
+			res, err = c.streamOnce(ctx, obs, batchSize)
+		}
+	}
+	if err != nil {
+		return StreamResult{}, err
+	}
+	c.storeCursor(res.TraceLen, res.TraceHash)
+	return res, nil
+}
+
+func (c *Client) streamOnce(ctx context.Context, obs []trace.GSMObservation, batchSize int) (StreamResult, error) {
+	tok, _ := c.snapshotToken()
+	if tok == "" {
+		return StreamResult{}, &statusError{Status: http.StatusUnauthorized, Msg: "no token (register first)"}
+	}
+	if cursor, _, delta := c.traceCursor(obs); delta {
+		obs = obs[cursor:]
+	}
+
+	// Feed the body through a pipe so batches hit the wire as they are
+	// encoded (chunked transfer, no Content-Length): the server ingests and
+	// publishes batch by batch, which is the point of the streaming path.
+	pr, pw := io.Pipe()
+	go func() {
+		enc := json.NewEncoder(pw)
+		for start := 0; start < len(obs); start += batchSize {
+			end := start + batchSize
+			if end > len(obs) {
+				end = len(obs)
+			}
+			if err := enc.Encode(StreamBatch{Observations: obs[start:end]}); err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+		}
+		pw.Close()
+	}()
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+PathObservationsStream, pr)
+	if err != nil {
+		return StreamResult{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Authorization", "Bearer "+tok)
+	c.m.attempts.Inc()
+	resp, err := c.http.Do(req)
+	if err != nil {
+		c.m.connErrors.Inc()
+		return StreamResult{}, err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, drainLimit))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode/100 != 2 {
+		switch {
+		case resp.StatusCode >= 500:
+			c.m.http5xx.Inc()
+		case resp.StatusCode >= 400:
+			c.m.http4xx.Inc()
+		}
+		var e ErrorResponse
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, errorBodyLimit))
+		if jerr := json.Unmarshal(data, &e); jerr != nil || e.Error == "" {
+			e.Error = strconv.Quote(truncateForError(data))
+		}
+		return StreamResult{}, &statusError{Status: resp.StatusCode, Msg: e.Error}
+	}
+	var res StreamResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		c.m.bodyErrors.Inc()
+		return StreamResult{}, &transientError{err: err}
+	}
+	return res, nil
+}

@@ -81,6 +81,52 @@ func (s *Store) SyncTrace(userID string, delta bool, cursor int64, prefixHash ui
 	return status, appended, nil
 }
 
+// ErrObservationOrder reports a streamed append whose observations would
+// break the trace's time order — the invariant every incremental consumer
+// (discovery pipelines, event detectors) extends under.
+var ErrObservationOrder = errors.New("cloud: observations out of time order")
+
+// AppendTrace extends the user's persisted trace unconditionally — the
+// streaming ingest path, where the device ships observations as they happen
+// and the cursor dance of SyncTrace would add a round trip per batch. The
+// append is journaled through the same opTraceAppend record the delta
+// protocol uses, so the chained hash keeps extending and a later delta or
+// full sync interoperates. Observations must continue the stored trace's
+// time order; a violation appends nothing and returns ErrObservationOrder.
+func (s *Store) AppendTrace(userID string, obs []trace.GSMObservation) (TraceStatus, error) {
+	idx := s.traceShard(userID)
+	t := s.traces[idx]
+	var status TraceStatus
+	err := s.traceEng.Mutate(idx, func() ([]byte, error) {
+		u := t.ensure(userID)
+		if len(obs) == 0 {
+			status = TraceStatus{Len: int64(len(u.obs)), Hash: u.hash, Gen: u.gen}
+			return nil, nil
+		}
+		last := obs[0].At
+		if len(u.obs) > 0 {
+			last = u.obs[len(u.obs)-1].At
+		}
+		for i := range obs {
+			if obs[i].At.Before(last) {
+				return nil, fmt.Errorf("%w: observation %d at %s precedes %s",
+					ErrObservationOrder, i, obs[i].At, last)
+			}
+			last = obs[i].At
+		}
+		rec := &traceRecord{Op: opTraceAppend, UserID: userID, Observations: obs}
+		if err := t.apply(rec); err != nil {
+			return nil, err
+		}
+		status = TraceStatus{Len: int64(len(u.obs)), Hash: u.hash, Gen: u.gen}
+		return json.Marshal(rec)
+	})
+	if err != nil {
+		return TraceStatus{}, err
+	}
+	return status, nil
+}
+
 // deltaTail validates a delta upload against the stored trace and returns
 // the observations that genuinely extend it.
 func deltaTail(u *userTrace, cursor int64, prefixHash uint64, obs []trace.GSMObservation) ([]trace.GSMObservation, error) {

@@ -18,6 +18,13 @@ const (
 	ActionRouteComplete  = "pmware.intent.action.ROUTE_COMPLETE"
 	ActionEncounter      = "pmware.intent.action.SOCIAL_ENCOUNTER"
 	ActionPlaceLabeled   = "pmware.intent.action.PLACE_LABELED"
+	// ActionRouteStart and ActionPredictedVisit are emitted by the cloud's
+	// real-time event path (streaming ingest detects a departure leading
+	// somewhere new, and the analytics engine predicts the next visit);
+	// the cloud client's Subscribe bridge delivers them on this bus so apps
+	// see the same intents whether discovery ran locally or in the cloud.
+	ActionRouteStart     = "pmware.intent.action.ROUTE_START"
+	ActionPredictedVisit = "pmware.intent.action.PREDICTED_NEXT_VISIT"
 )
 
 // PlaceInfo is the place payload delivered to connected applications. Its
@@ -105,11 +112,24 @@ func NewBus() *Bus {
 }
 
 // Register installs (or replaces) the app's intent filter and handler.
+//
+// Ordering contract: intents are delivered in first-registration order.
+// Re-registering an app updates its filter and handler in place without
+// moving it in the delivery order; only Unregister followed by a fresh
+// Register sends an app to the back of the line. The contract is pinned by
+// TestBusDeliveryOrderProperty.
 func (b *Bus) Register(appID string, filter Filter, handler Handler) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.seq++
-	b.subs[appID] = &subscription{appID: appID, filter: filter, handler: handler, seq: b.seq}
+	seq := b.seq + 1
+	if prev, ok := b.subs[appID]; ok {
+		// Keep the app's position: replacing a handler must not reshuffle
+		// the delivery order other subscribers observe.
+		seq = prev.seq
+	} else {
+		b.seq = seq
+	}
+	b.subs[appID] = &subscription{appID: appID, filter: filter, handler: handler, seq: seq}
 }
 
 // Unregister removes the app's subscription. Unknown apps are a no-op.
@@ -119,7 +139,8 @@ func (b *Bus) Unregister(appID string) {
 	delete(b.subs, appID)
 }
 
-// Subscribers returns the registered app IDs in registration order.
+// Subscribers returns the registered app IDs in first-registration order —
+// the same order Broadcast delivers in.
 func (b *Bus) Subscribers() []string {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
@@ -136,7 +157,8 @@ func (b *Bus) ordered() []string {
 }
 
 // Broadcast delivers the intent to every subscriber whose filter matches, in
-// registration order. Returns the number of deliveries.
+// first-registration order (see Register for the ordering contract).
+// Returns the number of deliveries.
 func (b *Bus) Broadcast(in Intent) int {
 	b.mu.RLock()
 	var targets []*subscription

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"math/rand"
+	"slices"
+	"strconv"
 	"testing"
 
 	"repro/internal/simclock"
@@ -99,5 +102,56 @@ func TestEmptyFilterMatchesNothing(t *testing.T) {
 	b.Register("a", Filter{}, func(Intent) { t.Error("handler fired") })
 	if n := b.Broadcast(Intent{Action: ActionNewPlace}); n != 0 {
 		t.Errorf("deliveries = %d", n)
+	}
+}
+
+// TestBusDeliveryOrderProperty pins the Register ordering contract under a
+// randomized sequence of register / re-register / unregister operations:
+// Broadcast delivers in first-registration order, re-registering an app keeps
+// its position, and only unregister + fresh register moves an app to the back.
+// A slice model of the order is maintained alongside and compared after every
+// mutation.
+func TestBusDeliveryOrderProperty(t *testing.T) {
+	actions := []string{ActionNewPlace}
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBus()
+		var model []string // first-registration order
+		indexOf := func(id string) int {
+			for i, m := range model {
+				if m == id {
+					return i
+				}
+			}
+			return -1
+		}
+		for step := 0; step < 200; step++ {
+			id := "app" + strconv.Itoa(rng.Intn(12))
+			switch op := rng.Intn(4); {
+			case op < 3: // register (or re-register, 3:1 over unregister)
+				b.Register(id, Filter{Actions: actions}, func(Intent) {})
+				if indexOf(id) < 0 {
+					model = append(model, id)
+				} // re-register: position unchanged
+			default:
+				b.Unregister(id)
+				if i := indexOf(id); i >= 0 {
+					model = append(model[:i], model[i+1:]...)
+				}
+			}
+			if got := b.Subscribers(); !slices.Equal(got, model) {
+				t.Fatalf("seed %d step %d: Subscribers = %v, want %v", seed, step, got, model)
+			}
+		}
+		// The delivery order a Broadcast actually walks matches the model too.
+		var order []string
+		for _, id := range model {
+			id := id
+			b.Register(id, Filter{Actions: actions}, func(Intent) { order = append(order, id) })
+		}
+		b.Broadcast(Intent{Action: ActionNewPlace})
+		if !slices.Equal(order, model) {
+			t.Fatalf("seed %d: delivery order = %v, want %v", seed, order, model)
+		}
 	}
 }

@@ -1,0 +1,116 @@
+package events
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The SSE framing shared by the server handler and the client's Subscribe
+// loop. Frames follow the text/event-stream format: `id:`, `event:`, and
+// `data:` fields terminated by a blank line; lines starting with ':' are
+// comments (the heartbeat carrier).
+
+// Frame is one parsed server-sent event.
+type Frame struct {
+	// ID is the raw `id:` field ("" when absent).
+	ID string
+	// Event is the `event:` field — an event kind or a control kind.
+	Event string
+	// Data is the `data:` payload (multiple data lines joined with '\n').
+	Data []byte
+}
+
+// Seq parses the frame's ID as a sequence number, 0 when absent/invalid.
+func (f Frame) Seq() uint64 {
+	n, err := strconv.ParseUint(f.ID, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// DecodeEvent unmarshals the frame payload into an Event.
+func (f Frame) DecodeEvent() (Event, error) {
+	var ev Event
+	err := json.Unmarshal(f.Data, &ev)
+	return ev, err
+}
+
+// WriteEvent writes one event frame.
+func WriteEvent(w io.Writer, ev Event) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+	return err
+}
+
+// WriteControl writes a control frame (reset, evicted) whose payload is the
+// stream's head sequence number.
+func WriteControl(w io.Writer, kind string, headSeq uint64) error {
+	_, err := fmt.Fprintf(w, "event: %s\ndata: {\"seq\":%d}\n\n", kind, headSeq)
+	return err
+}
+
+// WriteHeartbeat writes a comment frame. Comments keep intermediaries from
+// idling out the connection and let the server notice dead peers via write
+// errors; parsers must skip them.
+func WriteHeartbeat(w io.Writer) error {
+	_, err := io.WriteString(w, ": hb\n\n")
+	return err
+}
+
+// FrameReader incrementally parses a text/event-stream body.
+type FrameReader struct {
+	br *bufio.Reader
+}
+
+// NewFrameReader wraps the response body.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{br: bufio.NewReader(r)}
+}
+
+// Next returns the next non-comment frame, or an error when the stream
+// ends (io.EOF on clean close).
+func (r *FrameReader) Next() (Frame, error) {
+	var f Frame
+	var data [][]byte
+	seen := false
+	for {
+		line, err := r.br.ReadString('\n')
+		if err != nil {
+			// A frame truncated mid-flight is not deliverable; surface
+			// the transport error so the caller reconnects and resumes.
+			return Frame{}, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "":
+			if !seen {
+				continue // stray blank or heartbeat terminator
+			}
+			f.Data = bytes.Join(data, []byte("\n"))
+			return f, nil
+		case strings.HasPrefix(line, ":"):
+			continue // comment / heartbeat
+		case strings.HasPrefix(line, "id:"):
+			f.ID = strings.TrimSpace(line[len("id:"):])
+			seen = true
+		case strings.HasPrefix(line, "event:"):
+			f.Event = strings.TrimSpace(line[len("event:"):])
+			seen = true
+		case strings.HasPrefix(line, "data:"):
+			d := strings.TrimPrefix(line[len("data:"):], " ")
+			data = append(data, []byte(d))
+			seen = true
+		default:
+			// Unknown field: per spec, ignore.
+		}
+	}
+}

@@ -157,6 +157,42 @@ func (pl *Pipeline) prune() {
 	}
 }
 
+// FinalSegments returns the finalized stay segments in trace order. The
+// slice is append-only: once a stationary run is closed by a non-stationary
+// observation its segment is final — identical to what batch Discover would
+// produce for any trace extending the consumed prefix — so callers may index
+// into it across Extends to detect newly completed stays. The returned slice
+// is owned by the pipeline; callers must not mutate it.
+func (pl *Pipeline) FinalSegments() []Segment { return pl.segs }
+
+// OpenStay reports the candidate stay bounds of the still-open stationary
+// run, with the same start pull-back and first-observation clamp a finalized
+// segment gets. ok is true only when the run already satisfies MinStay — the
+// earliest moment the eventual segment's Start is guaranteed: the run index
+// is fixed when the run opens, so Start never changes afterwards, while End
+// keeps extending until a non-stationary observation closes the run. O(1).
+func (pl *Pipeline) OpenStay() (start, end time.Time, ok bool) {
+	if pl.runStart < 0 {
+		return time.Time{}, time.Time{}, false
+	}
+	start = pl.buf[pl.runStart-pl.base].At.Add(-pl.p.Window / 2)
+	if start.Before(pl.firstAt) {
+		start = pl.firstAt
+	}
+	end = pl.buf[pl.n-1-pl.base].At
+	return start, end, end.Sub(start) >= pl.p.MinStay
+}
+
+// OpenSegment materializes the open stationary run's candidate segment —
+// the same open tail Result folds into the merge pass. ok is false when no
+// run is open or it is still shorter than MinStay. Costs O(open run).
+func (pl *Pipeline) OpenSegment() (Segment, bool) {
+	if pl.runStart < 0 {
+		return Segment{}, false
+	}
+	return pl.segment(pl.runStart, pl.n-1)
+}
+
 // Result runs the merge pass over the finalized segments plus the open tail
 // run and returns what batch Discover would produce for the full consumed
 // trace. The pipeline is left intact: Result can be called after every

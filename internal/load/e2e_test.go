@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro/internal/cloud"
 	"repro/internal/obs"
@@ -41,7 +42,7 @@ func bootServer(t *testing.T, pop *Population, reg *obs.Registry) (*httptest.Ser
 	return ts, srv
 }
 
-func runOnce(t *testing.T, spec *Spec, seed int64) (*Report, []byte, obs.Snapshot, obs.Snapshot) {
+func runOnce(t *testing.T, spec *Spec, seed int64) (*Report, []byte, obs.Snapshot, obs.Snapshot, *obs.Registry) {
 	t.Helper()
 	reg := obs.NewRegistry()
 	var trace bytes.Buffer
@@ -62,7 +63,7 @@ func runOnce(t *testing.T, spec *Spec, seed int64) (*Report, []byte, obs.Snapsho
 		t.Fatal(err)
 	}
 	after := reg.Snapshot()
-	return rep, trace.Bytes(), before, after
+	return rep, trace.Bytes(), before, after, reg
 }
 
 // TestE2ESmoke is the macro delta-pinning test: a real server, a real load
@@ -72,7 +73,7 @@ func runOnce(t *testing.T, spec *Spec, seed int64) (*Report, []byte, obs.Snapsho
 // errors of any class.
 func TestE2ESmoke(t *testing.T) {
 	spec := e2eSpec()
-	rep, trace, before, after := runOnce(t, spec, 7)
+	rep, trace, before, after, _ := runOnce(t, spec, 7)
 
 	if err := rep.Check(); err != nil {
 		t.Fatalf("report malformed: %v", err)
@@ -119,6 +120,78 @@ func TestE2ESmoke(t *testing.T) {
 	}
 }
 
+// TestE2ESubscribers rides SSE subscribers along a streaming-ingest workload:
+// every user has a subscriber attached, obs_stream requests publish place
+// events server-side, and the report's events section must account for them
+// with ordered delivery quantiles — cross-checked against the server's
+// pci_events_* families.
+func TestE2ESubscribers(t *testing.T) {
+	spec := e2eSpec()
+	spec.Name = "e2e-subscribers"
+	spec.Users = 8
+	spec.Concurrency = 4
+	spec.DurationSec = 10
+	spec.RouteMix = map[string]float64{
+		RouteObsStream: 0.6,
+		RouteDiscover:  0.2,
+		RoutePlacesGet: 0.2,
+	}
+	spec.Subscribers = &SubscribersSpec{Count: 8}
+
+	rep, _, before, after, reg := runOnce(t, spec, 11)
+	if err := rep.Check(); err != nil {
+		t.Fatalf("report malformed: %v", err)
+	}
+	main := rep.Measured.Main
+	if main.OK != main.Requests {
+		t.Fatalf("not clean: ok=%d of %d (4xx=%d 5xx=%d transport=%d)",
+			main.OK, main.Requests, main.ClientErr4xx, main.ServerErr5xx, main.Transport)
+	}
+	if n := rep.Workload.RouteCounts[RouteObsStream]; n == 0 {
+		t.Fatal("schedule generated no obs_stream requests")
+	}
+
+	ev := rep.Measured.Events
+	if ev == nil {
+		t.Fatal("no events section in the report")
+	}
+	if ev.Subscribers != 8 {
+		t.Errorf("subscribers = %d, want 8", ev.Subscribers)
+	}
+	if ev.Errors != 0 {
+		t.Errorf("%d subscriptions died mid-run", ev.Errors)
+	}
+	if ev.Delivered == 0 {
+		t.Fatal("no events delivered: streaming ingest published nothing the subscribers saw")
+	}
+	if ev.DeliveryP99US <= 0 {
+		t.Errorf("delivery p99 = %v, want > 0", ev.DeliveryP99US)
+	}
+
+	// Server-side accounting: the hub published at least what our
+	// subscribers received (replays after evictions can only add to the
+	// delivered counter, never subtract).
+	published := after.CounterDelta(before, "pci_events_published_total")
+	delivered := after.CounterDelta(before, "pci_events_delivered_total")
+	if published == 0 {
+		t.Error("server published no events")
+	}
+	if delivered < ev.Delivered {
+		t.Errorf("server delivered %d < harness received %d", delivered, ev.Delivered)
+	}
+	// The gauge drains asynchronously: the server notices each disconnect
+	// when its SSE handler returns, shortly after the harness closed the
+	// client side.
+	gauge := reg.Gauge("pci_events_subscribers")
+	deadline := time.Now().Add(10 * time.Second)
+	for gauge.Value() != 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := gauge.Value(); g != 0 {
+		t.Errorf("subscribers gauge %d after detach, want 0", g)
+	}
+}
+
 // TestE2EDeterministicReplay is the acceptance criterion: two full runs with
 // the same seed and spec — fresh server, fresh store, fresh runner — produce
 // byte-identical request traces and identical reports modulo wall-clock
@@ -126,8 +199,8 @@ func TestE2ESmoke(t *testing.T) {
 // wall-clock half).
 func TestE2EDeterministicReplay(t *testing.T) {
 	spec := e2eSpec()
-	repA, traceA, _, _ := runOnce(t, spec, 1234)
-	repB, traceB, _, _ := runOnce(t, spec, 1234)
+	repA, traceA, _, _, _ := runOnce(t, spec, 1234)
+	repB, traceB, _, _, _ := runOnce(t, spec, 1234)
 
 	if !bytes.Equal(traceA, traceB) {
 		t.Fatal("request traces differ between same-seed runs")

@@ -1,6 +1,7 @@
 package load
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -138,8 +139,29 @@ func (r *Runner) Run() (*Report, error) {
 		},
 	}
 
+	var pool *subscriberPool
+	if spec.Subscribers != nil {
+		var err error
+		if pool, err = r.startSubscribers(spec.Subscribers); err != nil {
+			return nil, err
+		}
+		r.logf("attached %d event subscribers", spec.Subscribers.Count)
+	}
+
 	r.logf("main phase: %d requests over %ds virtual (%s mode)", len(main.Requests), spec.DurationSec, spec.Mode)
 	mainRes, err := r.execute(main, spec.Mode == "open")
+	if pool != nil {
+		// Detach even when the phase failed, so consumers never leak.
+		ev, stopErr := pool.stop()
+		if err == nil {
+			err = stopErr
+		}
+		report.Measured.Events = ev
+		if ev != nil {
+			r.logf("subscribers: %d events delivered (p99 %.1fms), %d evictions, %d errors",
+				ev.Delivered, ev.DeliveryP99US/1000, ev.Evictions, ev.Errors)
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -324,7 +346,7 @@ func (r *Runner) perform(req Request, rec *Recorder) error {
 // synthesized data.
 func needsPayload(route string) bool {
 	switch route {
-	case RouteDiscover, RouteProfilePut, RoutePredictArrival, RouteStatsDwell, RouteStatsFrequency:
+	case RouteDiscover, RouteObsStream, RouteProfilePut, RoutePredictArrival, RouteStatsDwell, RouteStatsFrequency:
 		return true
 	}
 	return false
@@ -337,6 +359,9 @@ func (r *Runner) issue(st *userState, u *SimUser, req Request) error {
 		return st.client.Register()
 	case RouteDiscover:
 		_, err := st.client.DiscoverPlaces(u.Trace)
+		return err
+	case RouteObsStream:
+		_, err := st.client.StreamObservations(context.Background(), u.Trace, 0)
 		return err
 	case RouteProfilePut:
 		day := st.profiled % len(u.Profiles)

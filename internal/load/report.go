@@ -64,6 +64,29 @@ type MeasuredReport struct {
 	// (0 when the first step already failed or no ramp ran).
 	SaturationRPS  float64 `json:"saturation_rps,omitempty"`
 	SaturationNote string  `json:"saturation_note,omitempty"`
+	// Events is the SSE subscriber side-channel, present when the spec ran
+	// one (it spans the main phase only).
+	Events *EventsReport `json:"events,omitempty"`
+}
+
+// EventsReport is the delivery half of a run with subscribers: what the
+// spec's SSE consumers received and how fast, measured hub-publish-stamp to
+// client receive and merged across subscribers.
+type EventsReport struct {
+	Subscribers int    `json:"subscribers"`
+	Delivered   uint64 `json:"delivered"`
+	// Evictions counts slow-consumer closes the subscribers resumed from;
+	// Resets counts replay-ring gap signals (events lost to the consumer).
+	Evictions uint64 `json:"evictions,omitempty"`
+	Resets    uint64 `json:"resets,omitempty"`
+	// Errors counts subscriptions that died mid-phase (reconnect budget
+	// exhausted) instead of being closed by the harness.
+	Errors int `json:"errors,omitempty"`
+
+	DeliveryMeanUS float64 `json:"delivery_mean_us"`
+	DeliveryP50US  float64 `json:"delivery_p50_us"`
+	DeliveryP99US  float64 `json:"delivery_p99_us"`
+	DeliveryMaxUS  int64   `json:"delivery_max_us,omitempty"`
 }
 
 // HostInfo stamps where the measurement ran.
@@ -210,6 +233,15 @@ func (r *Report) Check() error {
 	for i := range r.Measured.Ramp {
 		if err := checkStep(&r.Measured.Ramp[i].Result, fmt.Sprintf("ramp[%d]", i)); err != nil {
 			return err
+		}
+	}
+	if ev := r.Measured.Events; ev != nil {
+		if ev.Subscribers <= 0 {
+			return fmt.Errorf("report: events section with %d subscribers", ev.Subscribers)
+		}
+		if ev.Delivered > 0 && !(ev.DeliveryP50US <= ev.DeliveryP99US && ev.DeliveryP99US <= float64(ev.DeliveryMaxUS)) {
+			return fmt.Errorf("report: delivery quantiles out of order (p50=%v p99=%v max=%v)",
+				ev.DeliveryP50US, ev.DeliveryP99US, ev.DeliveryMaxUS)
 		}
 	}
 	return nil

@@ -19,6 +19,11 @@ const (
 	// RouteDiscover uploads the user's GSM trace (delta sync after the
 	// first call) and runs place discovery.
 	RouteDiscover = "discover"
+	// RouteObsStream uploads the user's not-yet-acknowledged observations
+	// over the streaming ingest endpoint (chunked batches, online event
+	// detection server-side). Cursor-aware: later calls stream only what
+	// discover or earlier streams have not already synced.
+	RouteObsStream = "obs_stream"
 	// RouteProfilePut syncs one day's mobility profile.
 	RouteProfilePut = "profile_put"
 	// RoutePlacesGet reads the user's discovered places.
@@ -39,8 +44,8 @@ const (
 // AllRoutes lists every route the harness can drive, in report order.
 func AllRoutes() []string {
 	return []string{
-		RouteRegister, RouteDiscover, RouteProfilePut, RoutePlacesGet,
-		RoutePopular, RouteProfileRange, RoutePredictArrival,
+		RouteRegister, RouteDiscover, RouteObsStream, RouteProfilePut,
+		RoutePlacesGet, RoutePopular, RouteProfileRange, RoutePredictArrival,
 		RouteStatsDwell, RouteStatsFrequency,
 	}
 }
@@ -53,6 +58,8 @@ func ServerRoute(route string) string {
 		return "register"
 	case RouteDiscover:
 		return "places_discover"
+	case RouteObsStream:
+		return "obs_stream"
 	case RouteProfilePut:
 		return "profile_put"
 	case RoutePlacesGet:
@@ -126,10 +133,27 @@ type Spec struct {
 	// ObsIntervalSec is the GSM sampling period within those days.
 	ObsIntervalSec int `json:"obs_interval_sec"`
 
+	// Subscribers, when set, rides K concurrent SSE event subscribers along
+	// the main phase and reports publish-to-receive delivery latency.
+	Subscribers *SubscribersSpec `json:"subscribers,omitempty"`
+
 	// Ramp, when set, runs a saturation search after the main phase.
 	Ramp *RampSpec `json:"ramp,omitempty"`
 	// SLO bounds what counts as a passing ramp step.
 	SLO *SLOSpec `json:"slo,omitempty"`
+}
+
+// SubscribersSpec describes the SSE subscriber side-channel: Count
+// subscribers attach before the main phase starts (subscriber i as user
+// i mod Users) and detach after it ends. They receive the events the
+// obs_stream route's ingest publishes for their user; each event's
+// publish-to-receive latency feeds the report's delivery quantiles.
+type SubscribersSpec struct {
+	// Count is how many concurrent subscribers to run.
+	Count int `json:"count"`
+	// Buffer overrides each subscriber's client-side channel buffer
+	// (0 = the client default).
+	Buffer int `json:"buffer,omitempty"`
 }
 
 // RampSpec describes the saturation search: open-loop steps at
@@ -259,6 +283,14 @@ func (s *Spec) Validate() error {
 	}
 	if s.ObsIntervalSec <= 0 {
 		return fmt.Errorf("obs_interval_sec must be positive")
+	}
+	if sub := s.Subscribers; sub != nil {
+		if sub.Count <= 0 {
+			return fmt.Errorf("subscribers: count must be positive")
+		}
+		if sub.Buffer < 0 {
+			return fmt.Errorf("subscribers: buffer must not be negative")
+		}
 	}
 	if r := s.Ramp; r != nil {
 		if r.StartRPS <= 0 || r.MaxRPS < r.StartRPS {
