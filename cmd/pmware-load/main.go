@@ -4,7 +4,7 @@
 //
 //	pmware-load [-spec workload.json] [-seed 1] [-base-url http://host:port]
 //	            [-out BENCH_load.json] [-report report.json] [-trace trace.txt]
-//	            [-discover-workers 4] [-discover-queue 64]
+//	            [-wire json|bin] [-discover-workers 4] [-discover-queue 64]
 //	            [-check-determinism] [-print-spec] [-v]
 //
 // The workload is a Spec (see internal/load): a user population size, a
@@ -27,6 +27,12 @@
 // perf-over-time record. A spec with a "subscribers" section additionally
 // attaches that many concurrent SSE event subscribers for the span of the
 // run and reports event delivery quantiles alongside the request latencies.
+//
+// -wire (or the spec's "wire" field) selects the client codec: "json" (the
+// default) or "bin" for the negotiated application/x-pmware-bin format. The
+// report's measured.wire section records the codec and total body bytes in
+// each direction, so two runs of the same spec differing only in -wire give
+// the codec's byte delta under identical load.
 package main
 
 import (
@@ -49,6 +55,7 @@ func main() {
 	out := flag.String("out", "", "append the report to this trajectory file (e.g. BENCH_load.json)")
 	reportPath := flag.String("report", "", "also write this run's report alone to a file")
 	tracePath := flag.String("trace", "", "write the canonical main-phase request trace to a file")
+	wire := flag.String("wire", "", "client wire codec: json or bin (overrides the spec's \"wire\" field)")
 	discoverWorkers := flag.Int("discover-workers", cloud.DefaultDiscoverWorkers, "self-booted server: concurrent discovery runs")
 	discoverQueue := flag.Int("discover-queue", cloud.DefaultDiscoverQueue, "self-booted server: discovery queue before 429")
 	checkDeterminism := flag.Bool("check-determinism", false, "compile the schedule twice and fail unless byte-identical (no server needed)")
@@ -56,14 +63,14 @@ func main() {
 	verbose := flag.Bool("v", false, "log phase progress to stderr")
 	flag.Parse()
 
-	if err := run(*specPath, *seed, *baseURL, *out, *reportPath, *tracePath,
+	if err := run(*specPath, *seed, *baseURL, *out, *reportPath, *tracePath, *wire,
 		*discoverWorkers, *discoverQueue, *checkDeterminism, *printSpec, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "pmware-load:", err)
 		os.Exit(1)
 	}
 }
 
-func run(specPath string, seed int64, baseURL, out, reportPath, tracePath string,
+func run(specPath string, seed int64, baseURL, out, reportPath, tracePath, wire string,
 	discoverWorkers, discoverQueue int, checkDeterminism, printSpec, verbose bool) error {
 	spec := load.DefaultSpec()
 	if specPath != "" {
@@ -71,6 +78,9 @@ func run(specPath string, seed int64, baseURL, out, reportPath, tracePath string
 		if spec, err = load.LoadSpec(specPath); err != nil {
 			return err
 		}
+	}
+	if wire != "" {
+		spec.Wire = wire
 	}
 	if err := spec.Validate(); err != nil {
 		return err

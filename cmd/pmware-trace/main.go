@@ -2,9 +2,12 @@
 // and route discovery algorithms over trace files — the offline analysis
 // workflow for archived deployment data.
 //
-//	pmware-trace gen  -out trace.jsonl [-seed 42] [-days 7] [-gsm 1m] [-wifi 1m] [-gps 1m]
+//	pmware-trace gen  -out trace.jsonl [-format jsonl|binary] [-seed 42] [-days 7] [-gsm 1m] [-wifi 1m] [-gps 1m]
 //	pmware-trace show -in trace.jsonl
 //	pmware-trace discover -in trace.jsonl [-algo gsm|wifi|gps]
+//
+// Readers sniff the format (the binary container opens with the "PMTB"
+// magic), so show/discover accept either encoding without a flag.
 package main
 
 import (
@@ -53,6 +56,7 @@ func fatal(err error) {
 func cmdGen(args []string) {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
 	out := fs.String("out", "trace.jsonl", "output file")
+	format := fs.String("format", "jsonl", "output format: jsonl or binary")
 	seed := fs.Int64("seed", 42, "random seed")
 	days := fs.Int("days", 7, "days of simulated life")
 	gsmEvery := fs.Duration("gsm", time.Minute, "GSM sampling interval")
@@ -92,7 +96,16 @@ func cmdGen(args []string) {
 		fatal(err)
 	}
 	defer f.Close()
-	if err := trace.WriteBundle(f, b); err != nil {
+	switch *format {
+	case "jsonl":
+		err = trace.WriteBundle(f, b)
+	case "binary", "bin":
+		err = trace.WriteBinaryBundle(f, b)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -format %q\n", *format)
+		os.Exit(2)
+	}
+	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s: %d gsm, %d wifi, %d gps records over %d days (truth: %d venues)\n",
@@ -105,7 +118,7 @@ func readBundle(path string) *trace.Bundle {
 		fatal(err)
 	}
 	defer f.Close()
-	b, err := trace.Read(f)
+	b, err := trace.ReadAuto(f)
 	if err != nil {
 		fatal(err)
 	}

@@ -45,18 +45,6 @@ func newArrival(v *profile.PlaceVisit) arrival {
 	}
 }
 
-// arrivalsAt collects (time-of-day-seconds, weekday) of every arrival at the
-// place across the user's stored profiles, from the index. An overnight stay
-// split at midnight produces a spurious 00:00 "arrival" on the second day;
-// those continuation rows are skipped.
-func (a *Analytics) arrivalsAt(userID, placeID string) []arrival {
-	var out []arrival
-	a.store.viewIndex(userID, func(ux *userIndex) {
-		out = indexArrivalsAt(ux, placeID)
-	})
-	return out
-}
-
 // scanArrivalsAt is the from-scratch reference: deep-copy the history and
 // rescan it.
 func (a *Analytics) scanArrivalsAt(userID, placeID string) []arrival {
@@ -92,9 +80,23 @@ func isMidnightContinuation(v profile.PlaceVisit, prevDay *profile.DayProfile, p
 // TypicalArrival answers "at what time does the user typically reach this
 // place?" — e.g. the likely time the user reaches home in the evening. It
 // returns the circular mean of arrival times-of-day and the sample count
-// (zero when the place was never visited).
+// (zero when the place was never visited). The indexed path folds the sums
+// straight off the index under the read lock — no arrival slice exists.
 func (a *Analytics) TypicalArrival(userID, placeID string) (secOfDay int, n int) {
-	return typicalFromArrivals(a.arrivalsAt(userID, placeID))
+	a.store.viewIndex(userID, func(ux *userIndex) {
+		// Circular mean over the 24 h cycle, so 23:30 and 00:30 average to
+		// midnight rather than noon. Identical fold order to the scan twin,
+		// so the floats agree byte-for-byte.
+		var sx, sy float64
+		n = foldArrivalsAt(ux, placeID, func(v *visitRef) {
+			sx += v.cosTh
+			sy += v.sinTh
+		})
+		if n > 0 {
+			secOfDay = circularMeanSec(sx, sy)
+		}
+	})
+	return secOfDay, n
 }
 
 func (a *Analytics) scanTypicalArrival(userID, placeID string) (secOfDay int, n int) {
@@ -105,18 +107,22 @@ func typicalFromArrivals(arrivals []arrival) (secOfDay int, n int) {
 	if len(arrivals) == 0 {
 		return 0, 0
 	}
-	// Circular mean over the 24 h cycle, so 23:30 and 00:30 average to
-	// midnight rather than noon.
 	var sx, sy float64
 	for _, ar := range arrivals {
 		sx += ar.cosTh
 		sy += ar.sinTh
 	}
+	return circularMeanSec(sx, sy), len(arrivals)
+}
+
+// circularMeanSec maps summed unit-circle coordinates back to the mean
+// second of day.
+func circularMeanSec(sx, sy float64) int {
 	th := math.Atan2(sy, sx)
 	if th < 0 {
 		th += 2 * math.Pi
 	}
-	return int(th / (2 * math.Pi) * 86400), len(arrivals)
+	return int(th / (2 * math.Pi) * 86400)
 }
 
 // PredictNextVisit answers "when will the user next visit this place?" after
@@ -124,52 +130,67 @@ func typicalFromArrivals(arrivals []arrival) (secOfDay int, n int) {
 // of the next 14 days, if the user has historically visited the place on
 // that weekday, predict the typical arrival time on the first such day.
 // Confident is false when history is too thin (fewer than 2 visits).
-func (a *Analytics) PredictNextVisit(userID, placeID string, after time.Time) (time.Time, bool) {
-	return predictFromArrivals(a.arrivalsAt(userID, placeID), after)
+func (a *Analytics) PredictNextVisit(userID, placeID string, after time.Time) (next time.Time, confident bool) {
+	a.store.viewIndex(userID, func(ux *userIndex) {
+		// Per-weekday typical arrival, folded into a stack array — the
+		// per-weekday adds happen in the same (arrival) order as the scan
+		// twin's map accumulation, so each weekday's sums are bit-identical.
+		var byWD [7]weekdayAcc
+		total := foldArrivalsAt(ux, placeID, func(v *visitRef) {
+			acc := &byWD[v.weekday]
+			acc.sx += v.cosTh
+			acc.sy += v.sinTh
+			acc.n++
+		})
+		next, confident = predictFromWeekdays(&byWD, total, after)
+	})
+	return next, confident
 }
 
 func (a *Analytics) scanPredictNextVisit(userID, placeID string, after time.Time) (time.Time, bool) {
 	return predictFromArrivals(a.scanArrivalsAt(userID, placeID), after)
 }
 
-func predictFromArrivals(arrivals []arrival, after time.Time) (time.Time, bool) {
-	if len(arrivals) < 2 {
+// weekdayAcc accumulates one weekday's circular-mean terms.
+type weekdayAcc struct {
+	sx, sy float64
+	n      int
+}
+
+// predictFromWeekdays walks the next 14 days from after's midnight and
+// predicts the typical arrival on the first weekday with history that lands
+// after the given instant.
+func predictFromWeekdays(byWD *[7]weekdayAcc, total int, after time.Time) (time.Time, bool) {
+	if total < 2 {
 		return time.Time{}, false
-	}
-	// Per-weekday typical arrival.
-	type acc struct {
-		sx, sy float64
-		n      int
-	}
-	byWD := map[time.Weekday]*acc{}
-	for _, ar := range arrivals {
-		a, ok := byWD[ar.weekday]
-		if !ok {
-			a = &acc{}
-			byWD[ar.weekday] = a
-		}
-		a.sx += ar.cosTh
-		a.sy += ar.sinTh
-		a.n++
 	}
 	day := time.Date(after.Year(), after.Month(), after.Day(), 0, 0, 0, 0, after.Location())
 	for i := 0; i < 14; i++ {
 		d := day.AddDate(0, 0, i)
-		acc, ok := byWD[d.Weekday()]
-		if !ok {
+		acc := &byWD[d.Weekday()]
+		if acc.n == 0 {
 			continue
 		}
-		th := math.Atan2(acc.sy, acc.sx)
-		if th < 0 {
-			th += 2 * math.Pi
-		}
-		sec := int(th / (2 * math.Pi) * 86400)
-		cand := d.Add(time.Duration(sec) * time.Second)
+		cand := d.Add(time.Duration(circularMeanSec(acc.sx, acc.sy)) * time.Second)
 		if cand.After(after) {
 			return cand, true
 		}
 	}
 	return time.Time{}, false
+}
+
+func predictFromArrivals(arrivals []arrival, after time.Time) (time.Time, bool) {
+	if len(arrivals) < 2 {
+		return time.Time{}, false
+	}
+	var byWD [7]weekdayAcc
+	for _, ar := range arrivals {
+		acc := &byWD[ar.weekday]
+		acc.sx += ar.cosTh
+		acc.sy += ar.sinTh
+		acc.n++
+	}
+	return predictFromWeekdays(&byWD, len(arrivals), after)
 }
 
 // VisitFrequency answers "how often does the user visit this place?" as
@@ -179,7 +200,7 @@ func (a *Analytics) VisitFrequency(userID, placeID string) (perWeek float64, tot
 		if ux == nil || len(ux.dates) == 0 {
 			return
 		}
-		total = len(indexArrivalsAt(ux, placeID))
+		total = foldArrivalsAt(ux, placeID, nil)
 		perWeek = perWeekOver(ux.dates[0], ux.dates[len(ux.dates)-1], total)
 	})
 	return perWeek, total

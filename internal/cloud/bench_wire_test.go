@@ -1,0 +1,332 @@
+package cloud
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/gsm"
+	"repro/internal/profile"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+// The benchmarks behind BENCH_serving.json's wire_efficiency section
+// (ISSUE 8 acceptance): each pair measures one hot route's body codec — the
+// reflective JSON wire against the negotiated binary codec — at the codec
+// layer, where the bytes-on-the-wire and allocation deltas are not drowned by
+// net/http's per-request overhead (which both codecs pay identically). The
+// equivalence property in wire_test.go holds the two representations
+// interchangeable. Run with:
+//
+//	go test ./internal/cloud -run '^$' -bench Wire -benchmem
+
+// wireDiscoverFixture is a realistic delta-sync response: the places GCA
+// actually discovers over a week of the synthetic trace.
+func wireDiscoverFixture() *DiscoverPlacesResponse {
+	obs := synthDays(7)
+	res := gsm.Discover(obs, gsm.DefaultParams())
+	resp := &DiscoverPlacesResponse{TraceLen: int64(len(obs)), TraceHash: TraceHash(obs)}
+	for _, p := range res.Places {
+		resp.Places = append(resp.Places, PlaceToWire(p))
+	}
+	return resp
+}
+
+func benchEncodeJSON(b *testing.B, msg any) {
+	b.ReportAllocs()
+	var size int
+	for i := 0; i < b.N; i++ {
+		data, err := json.Marshal(msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		size = len(data)
+	}
+	b.ReportMetric(float64(size), "bodybytes/op")
+}
+
+func benchEncodeBinary(b *testing.B, msg any) {
+	b.ReportAllocs()
+	var buf []byte
+	for i := 0; i < b.N; i++ {
+		var ok bool
+		buf, ok = appendWire(buf[:0], msg)
+		if !ok {
+			b.Fatalf("no binary codec for %T", msg)
+		}
+	}
+	b.ReportMetric(float64(len(buf)), "bodybytes/op")
+}
+
+func benchDecodeJSON(b *testing.B, msg any, mk func() any) {
+	data, err := json.Marshal(msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := json.Unmarshal(data, mk()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDecodeBinary(b *testing.B, msg any, mk func() any) {
+	data, ok := appendWire(nil, msg)
+	if !ok {
+		b.Fatalf("no binary codec for %T", msg)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := decodeWire(data, mk()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- route 1: delta trace sync (DiscoverPlacesResponse) -------------------
+
+func BenchmarkWireDiscoverEncodeJSON(b *testing.B) { benchEncodeJSON(b, wireDiscoverFixture()) }
+func BenchmarkWireDiscoverEncodeBinary(b *testing.B) {
+	benchEncodeBinary(b, wireDiscoverFixture())
+}
+func BenchmarkWireDiscoverDecodeJSON(b *testing.B) {
+	benchDecodeJSON(b, wireDiscoverFixture(), func() any { return &DiscoverPlacesResponse{} })
+}
+func BenchmarkWireDiscoverDecodeBinary(b *testing.B) {
+	benchDecodeBinary(b, wireDiscoverFixture(), func() any { return &DiscoverPlacesResponse{} })
+}
+
+// --- route 2: profile upload/range ([]*profile.DayProfile) ----------------
+
+func BenchmarkWireProfileRangeEncodeJSON(b *testing.B) { benchEncodeJSON(b, synthProfiles(7)) }
+func BenchmarkWireProfileRangeEncodeBinary(b *testing.B) {
+	benchEncodeBinary(b, synthProfiles(7))
+}
+func BenchmarkWireProfileRangeDecodeJSON(b *testing.B) {
+	benchDecodeJSON(b, synthProfiles(7), func() any { return &[]*profile.DayProfile{} })
+}
+func BenchmarkWireProfileRangeDecodeBinary(b *testing.B) {
+	benchDecodeBinary(b, synthProfiles(7), func() any { return &[]*profile.DayProfile{} })
+}
+
+// BenchmarkWireProfileRangeServe* measure the whole serving path, store to
+// body bytes: the JSON route deep-clones the window then reflects over it;
+// the binary route encodes straight out of the store under the read lock
+// into a reused buffer.
+func BenchmarkWireProfileRangeServeJSON(b *testing.B) {
+	s := servingStore(b)
+	from := simclock.Epoch.AddDate(0, 0, 100).Format(profile.DateFormat)
+	to := simclock.Epoch.AddDate(0, 0, 106).Format(profile.DateFormat)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var size int
+	for i := 0; i < b.N; i++ {
+		data, err := json.Marshal(s.ProfileRange("u-serving", from, to))
+		if err != nil {
+			b.Fatal(err)
+		}
+		size = len(data)
+	}
+	b.ReportMetric(float64(size), "bodybytes/op")
+}
+
+func BenchmarkWireProfileRangeServeBinary(b *testing.B) {
+	s := servingStore(b)
+	from := simclock.Epoch.AddDate(0, 0, 100).Format(profile.DateFormat)
+	to := simclock.Epoch.AddDate(0, 0, 106).Format(profile.DateFormat)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var e trace.BinaryEncoder
+	for i := 0; i < b.N; i++ {
+		e.Buf = append(e.Buf[:0], wireVersion, wireKindProfileRange)
+		s.viewProfileRange("u-serving", from, to,
+			func(n int) { e.Uvarint(uint64(n)) },
+			func(p *profile.DayProfile) { appendProfileBody(&e, p) })
+	}
+	b.ReportMetric(float64(len(e.Buf)), "bodybytes/op")
+}
+
+// --- route 3: indexed analytics reads -------------------------------------
+
+var wireDwellFixture = &DwellStatsResponse{
+	PlaceID: "home", Visits: 365, MeanStaySec: 46980, MedianStaySec: 47100, LongestStaySec: 86400,
+}
+
+func BenchmarkWireAnalyticsEncodeJSON(b *testing.B) { benchEncodeJSON(b, wireDwellFixture) }
+func BenchmarkWireAnalyticsEncodeBinary(b *testing.B) {
+	benchEncodeBinary(b, wireDwellFixture)
+}
+func BenchmarkWireAnalyticsDecodeJSON(b *testing.B) {
+	benchDecodeJSON(b, wireDwellFixture, func() any { return &DwellStatsResponse{} })
+}
+func BenchmarkWireAnalyticsDecodeBinary(b *testing.B) {
+	benchDecodeBinary(b, wireDwellFixture, func() any { return &DwellStatsResponse{} })
+}
+
+// --- request side: streamed observation upload ----------------------------
+
+func BenchmarkWireObsStreamEncodeJSON(b *testing.B) {
+	obs := synthDays(1)
+	b.ReportAllocs()
+	var size int
+	for i := 0; i < b.N; i++ {
+		size = 0
+		for start := 0; start < len(obs); start += DefaultStreamBatchSize {
+			end := min(start+DefaultStreamBatchSize, len(obs))
+			data, err := json.Marshal(StreamBatch{Observations: obs[start:end]})
+			if err != nil {
+				b.Fatal(err)
+			}
+			size += len(data) + 1 // newline per JSON stream batch
+		}
+	}
+	b.ReportMetric(float64(size), "bodybytes/op")
+}
+
+func BenchmarkWireObsStreamEncodeBinary(b *testing.B) {
+	obs := synthDays(1)
+	b.ReportAllocs()
+	var e trace.BinaryEncoder
+	var frame []byte
+	var size int
+	for i := 0; i < b.N; i++ {
+		size = 2 // version + kind header
+		for start := 0; start < len(obs); start += DefaultStreamBatchSize {
+			end := min(start+DefaultStreamBatchSize, len(obs))
+			e.Reset(e.Buf)
+			trace.AppendObservations(&e, obs[start:end])
+			frame = appendWireFrame(frame[:0], e.Buf)
+			size += len(frame)
+		}
+		size += len(wireFrameEnd)
+	}
+	b.ReportMetric(float64(size), "bodybytes/op")
+}
+
+// --- recorder --------------------------------------------------------------
+
+// wireCodecSide is one codec's measured cost on one route.
+type wireCodecSide struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	AllocBPerOp int64 `json:"alloc_b_per_op"`
+	BodyBytes   int64 `json:"body_bytes"`
+	Iterations  int   `json:"iterations"`
+}
+
+// wireRouteRow is one before/after row of the wire_efficiency section.
+type wireRouteRow struct {
+	Route      string        `json:"route"`
+	JSON       wireCodecSide `json:"json"`
+	Binary     wireCodecSide `json:"binary"`
+	ByteRatio  float64       `json:"byte_ratio"`
+	AllocRatio float64       `json:"alloc_ratio"`
+}
+
+func measureWire(t *testing.T, fn func(b *testing.B)) wireCodecSide {
+	t.Helper()
+	r := testing.Benchmark(fn)
+	return wireCodecSide{
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		AllocBPerOp: r.AllocedBytesPerOp(),
+		BodyBytes:   int64(r.Extra["bodybytes/op"]),
+		Iterations:  r.N,
+	}
+}
+
+func ratio(num, den int64) float64 {
+	if den == 0 {
+		return float64(num) // vs zero: report the numerator as the factor
+	}
+	return float64(num) / float64(den)
+}
+
+// TestWireBenchRecord appends the wire_efficiency section to the JSON report
+// named by WIRE_BENCH_OUT (normally BENCH_serving.json, merged in place so
+// the serving rows survive). Skipped in normal test runs — measurement is
+// not a correctness gate — but when run it enforces the ISSUE 8 floor:
+// ≥ 5x fewer body bytes and ≥ 5x fewer encode allocations on all three
+// routes.
+func TestWireBenchRecord(t *testing.T) {
+	out := os.Getenv("WIRE_BENCH_OUT")
+	if out == "" {
+		t.Skip("set WIRE_BENCH_OUT to record the wire codec benchmarks")
+	}
+
+	routes := []struct {
+		name    string
+		encJSON func(b *testing.B)
+		encBin  func(b *testing.B)
+	}{
+		{"trace_sync_discover_response", BenchmarkWireDiscoverEncodeJSON, BenchmarkWireDiscoverEncodeBinary},
+		{"profile_range_response", BenchmarkWireProfileRangeEncodeJSON, BenchmarkWireProfileRangeEncodeBinary},
+		{"analytics_dwell_response", BenchmarkWireAnalyticsEncodeJSON, BenchmarkWireAnalyticsEncodeBinary},
+		{"obs_stream_request", BenchmarkWireObsStreamEncodeJSON, BenchmarkWireObsStreamEncodeBinary},
+	}
+
+	section := struct {
+		Recorded string         `json:"recorded"`
+		Go       string         `json:"go_version"`
+		Command  string         `json:"command"`
+		Note     string         `json:"note"`
+		Routes   []wireRouteRow `json:"routes"`
+	}{
+		Recorded: time.Now().UTC().Format("2006-01-02"),
+		Go:       runtime.Version(),
+		Command:  "WIRE_BENCH_OUT=BENCH_serving.json go test ./internal/cloud -run TestWireBenchRecord -v",
+		Note: "Body codec cost per route, JSON vs negotiated application/x-pmware-bin " +
+			"(encode into a reused pooled buffer). Ratios are JSON/binary; the first three " +
+			"routes carry the ISSUE 8 acceptance floor of 5x on both columns. " +
+			"TestWireRoundTripProperty holds the representations interchangeable.",
+	}
+
+	for _, rt := range routes {
+		row := wireRouteRow{
+			Route:  rt.name,
+			JSON:   measureWire(t, rt.encJSON),
+			Binary: measureWire(t, rt.encBin),
+		}
+		row.ByteRatio = ratio(row.JSON.BodyBytes, row.Binary.BodyBytes)
+		row.AllocRatio = ratio(row.JSON.AllocsPerOp, row.Binary.AllocsPerOp)
+		t.Logf("%s: %d -> %d body bytes (%.1fx), %d -> %d allocs/op (%.1fx), %d -> %d ns/op",
+			rt.name, row.JSON.BodyBytes, row.Binary.BodyBytes, row.ByteRatio,
+			row.JSON.AllocsPerOp, row.Binary.AllocsPerOp, row.AllocRatio,
+			row.JSON.NsPerOp, row.Binary.NsPerOp)
+		if rt.name != "obs_stream_request" {
+			if row.ByteRatio < 5 {
+				t.Errorf("%s: byte ratio %.2fx under the 5x floor", rt.name, row.ByteRatio)
+			}
+			if row.Binary.AllocsPerOp*5 > row.JSON.AllocsPerOp {
+				t.Errorf("%s: alloc ratio %.2fx under the 5x floor", rt.name, row.AllocRatio)
+			}
+		}
+		section.Routes = append(section.Routes, row)
+	}
+
+	// Merge into the existing report so the serving rows survive.
+	report := map[string]json.RawMessage{}
+	if data, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(data, &report); err != nil {
+			t.Fatalf("existing %s is not a JSON object: %v", out, err)
+		}
+	}
+	blob, err := json.Marshal(section)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report["wire_efficiency"] = blob
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

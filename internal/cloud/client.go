@@ -7,15 +7,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
 	"net/url"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/gsm"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/trace"
 	"repro/internal/world"
@@ -65,6 +68,59 @@ type Client struct {
 	syncMu    sync.Mutex
 	traceLen  int64
 	traceHash uint64
+
+	// wire is the preferred request/response encoding; jsonOnly latches true
+	// the first time a peer answers 415 to a binary request, downgrading
+	// this client to JSON for its lifetime (the peer predates the codec —
+	// asking again next call would just burn a round-trip every time).
+	wire     WireCodec
+	jsonOnly atomic.Bool
+}
+
+// WireCodec selects the client's preferred wire encoding.
+type WireCodec int
+
+const (
+	// WireJSON is the historical reflective-JSON wire — the default, and
+	// what every peer understands.
+	WireJSON WireCodec = iota
+	// WireBinary negotiates application/x-pmware-bin (DESIGN.md §14),
+	// falling back to JSON transparently against peers without the codec.
+	WireBinary
+)
+
+func (wc WireCodec) String() string {
+	if wc == WireBinary {
+		return "bin"
+	}
+	return "json"
+}
+
+// ParseWireCodec maps CLI/spec names onto a codec: "json" (or empty) and
+// "bin"/"binary".
+func ParseWireCodec(s string) (WireCodec, error) {
+	switch s {
+	case "", "json":
+		return WireJSON, nil
+	case "bin", "binary":
+		return WireBinary, nil
+	}
+	return WireJSON, fmt.Errorf("cloud: unknown wire codec %q", s)
+}
+
+// WithWireCodec sets the preferred wire encoding.
+func WithWireCodec(wc WireCodec) ClientOption {
+	return func(c *Client) { c.wire = wc }
+}
+
+// useBinary reports whether the next request should speak binary.
+func (c *Client) useBinary() bool { return c.wire == WireBinary && !c.jsonOnly.Load() }
+
+// fallbackToJSON latches the sticky JSON downgrade after a 415.
+func (c *Client) fallbackToJSON() {
+	if !c.jsonOnly.Swap(true) {
+		c.m.wireFallbacks.Inc()
+	}
 }
 
 // ClientOption customizes a Client.
@@ -190,34 +246,66 @@ func StatusCode(err error) (status int, ok bool) {
 	return 0, false
 }
 
-// call performs one JSON request under the retry policy. withAuth attaches
-// the bearer token; idempotent enables automatic retry on transient errors.
-// The request body is marshalled once and replayed per attempt.
+// call performs one request under the retry policy. withAuth attaches the
+// bearer token; idempotent enables automatic retry on transient errors. The
+// request body is marshalled once (binary when the active wire codec has an
+// encoding for it, JSON otherwise) and replayed per attempt. A binary call
+// rejected 415 — a peer without the codec — downgrades the client to JSON
+// and replays the whole call.
 func (c *Client) call(ctx context.Context, method, path string, query url.Values, body, into any, withAuth, idempotent bool) error {
 	u := c.baseURL + path
 	if len(query) > 0 {
 		u += "?" + query.Encode()
 	}
+	useBin := false
 	var payload []byte
-	if body != nil {
+	marshal := func() error {
+		useBin, payload = false, nil
+		if body == nil {
+			return nil
+		}
+		if c.useBinary() {
+			if data, ok := appendWire(nil, body); ok {
+				useBin, payload = true, data
+				return nil
+			}
+		}
 		data, err := json.Marshal(body)
 		if err != nil {
 			return fmt.Errorf("marshal request: %w", err)
 		}
 		payload = data
+		return nil
 	}
-	attempt := 0
-	return c.retry.withSleepObserver(c.m.observeBackoff).run(ctx, idempotent, func(ctx context.Context) error {
-		attempt++
-		if attempt > 1 {
-			c.m.retries.Inc()
+	run := func() error {
+		attempt := 0
+		return c.retry.withSleepObserver(c.m.observeBackoff).run(ctx, idempotent, func(ctx context.Context) error {
+			attempt++
+			if attempt > 1 {
+				c.m.retries.Inc()
+			}
+			return c.doOnce(ctx, method, u, payload, useBin, into, withAuth)
+		})
+	}
+	if err := marshal(); err != nil {
+		return err
+	}
+	err := run()
+	if useBin {
+		var se *statusError
+		if errors.As(err, &se) && se.Status == http.StatusUnsupportedMediaType {
+			c.fallbackToJSON()
+			if merr := marshal(); merr != nil {
+				return merr
+			}
+			err = run()
 		}
-		return c.doOnce(ctx, method, u, payload, into, withAuth)
-	})
+	}
+	return err
 }
 
 // doOnce performs a single HTTP attempt.
-func (c *Client) doOnce(ctx context.Context, method, u string, payload []byte, into any, withAuth bool) error {
+func (c *Client) doOnce(ctx context.Context, method, u string, payload []byte, binaryReq bool, into any, withAuth bool) error {
 	var rd io.Reader
 	if payload != nil {
 		rd = bytes.NewReader(payload)
@@ -227,7 +315,17 @@ func (c *Client) doOnce(ctx context.Context, method, u string, payload []byte, i
 		return err
 	}
 	if payload != nil {
-		req.Header.Set("Content-Type", "application/json")
+		if binaryReq {
+			req.Header.Set("Content-Type", ContentTypeBinary)
+		} else {
+			req.Header.Set("Content-Type", "application/json")
+		}
+	}
+	if into != nil && c.useBinary() && wireDecodable(into) {
+		// Offer binary but accept JSON: a peer without the codec ignores the
+		// preference and answers JSON, which finishResponse decodes by the
+		// response's own Content-Type — the fallback costs nothing.
+		req.Header.Set("Accept", ContentTypeBinary+", application/json;q=0.5")
 	}
 	if withAuth {
 		tok, _ := c.snapshotToken()
@@ -242,12 +340,24 @@ func (c *Client) doOnce(ctx context.Context, method, u string, payload []byte, i
 		c.m.connErrors.Inc()
 		return err
 	}
+	c.m.wireSentBytes.Add(uint64(len(payload)))
 	defer func() {
 		// Drain any leftover body (bounded) before close so the keep-alive
 		// connection is reusable by the next attempt.
 		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, drainLimit))
 		resp.Body.Close()
 	}()
+	return c.finishResponse(resp, into)
+}
+
+// finishResponse classifies one HTTP response and, for 2xx, decodes the body
+// into `into` by the RESPONSE's Content-Type — the server only answers
+// binary when the request offered it, and a JSON answer to a
+// binary-accepting request is the compatibility fallback working, not an
+// error. Every body byte read is counted into
+// client_wire_bytes_received_total. Shared by the buffered, streaming-ingest
+// and streaming-discover paths.
+func (c *Client) finishResponse(resp *http.Response, into any) error {
 	if resp.StatusCode/100 != 2 {
 		switch {
 		case resp.StatusCode >= 500:
@@ -257,6 +367,7 @@ func (c *Client) doOnce(ctx context.Context, method, u string, payload []byte, i
 		}
 		var e ErrorResponse
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, errorBodyLimit))
+		c.m.wireRecvBytes.Add(uint64(len(data)))
 		if jerr := json.Unmarshal(data, &e); jerr != nil || e.Error == "" {
 			e.Error = strconv.Quote(truncateForError(data))
 		}
@@ -271,13 +382,60 @@ func (c *Client) doOnce(ctx context.Context, method, u string, payload []byte, i
 	if into == nil {
 		return nil
 	}
-	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+	if mt, _, _ := mime.ParseMediaType(resp.Header.Get("Content-Type")); mt == ContentTypeBinary {
+		bp := getWireBuf()
+		defer putWireBuf(bp)
+		buf, rerr := readAllInto((*bp)[:0], resp.Body)
+		*bp = buf
+		c.m.wireRecvBytes.Add(uint64(len(buf)))
+		if rerr != nil {
+			c.m.bodyErrors.Inc()
+			return &transientError{err: fmt.Errorf("read response: %w", rerr)}
+		}
+		if derr := decodeWire(buf, into); derr != nil {
+			// Same classification as garbled JSON below: a link failure, not
+			// a protocol rejection.
+			c.m.bodyErrors.Inc()
+			return &transientError{err: fmt.Errorf("decode response: %w", derr)}
+		}
+		return nil
+	}
+	cr := &wireCountReader{r: resp.Body}
+	err := json.NewDecoder(cr).Decode(into)
+	c.m.wireRecvBytes.Add(cr.n)
+	if err != nil {
 		// A garbled or truncated 2xx body is a link failure, not a protocol
 		// rejection: mark it transient so idempotent calls retry.
 		c.m.bodyErrors.Inc()
 		return &transientError{err: fmt.Errorf("decode response: %w", err)}
 	}
 	return nil
+}
+
+// wireCountReader counts response bytes as the JSON decoder pulls them
+// (subscribe.go's countingReader serves the SSE path; this one feeds the
+// wire byte counters).
+type wireCountReader struct {
+	r io.Reader
+	n uint64
+}
+
+func (cr *wireCountReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += uint64(n)
+	return n, err
+}
+
+// wireCountWriter counts request bytes as a streaming body writes them.
+type wireCountWriter struct {
+	w io.Writer
+	m *obs.Counter
+}
+
+func (cw *wireCountWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.m.Add(uint64(n))
+	return n, err
 }
 
 // truncateForError trims raw non-JSON error bodies to a loggable size.
@@ -339,8 +497,8 @@ func (c *Client) DiscoverPlacesContext(ctx context.Context, obs []trace.GSMObser
 	var err error
 	if delta {
 		c.m.deltaUploads.Inc()
-		req := DiscoverPlacesRequest{Observations: obs[cursor:], Delta: true, Cursor: cursor, PrefixHash: hash}
-		err = c.authedCall(ctx, http.MethodPost, PathPlacesDiscover, nil, req, &resp, true)
+		req := &DiscoverPlacesRequest{Observations: obs[cursor:], Delta: true, Cursor: cursor, PrefixHash: hash}
+		err = c.discoverCall(ctx, req, &resp)
 		var se *statusError
 		if errors.As(err, &se) && se.Status == http.StatusConflict {
 			c.m.deltaFallbacks.Inc()
@@ -348,7 +506,10 @@ func (c *Client) DiscoverPlacesContext(ctx context.Context, obs []trace.GSMObser
 		}
 	}
 	if !delta {
-		err = c.authedCall(ctx, http.MethodPost, PathPlacesDiscover, nil, DiscoverPlacesRequest{Observations: obs}, &resp, true)
+		// On the binary wire the full-history fallback streams its frames
+		// through a pipe (chunked transfer), so neither side ever buffers
+		// the serialized form of the whole trace.
+		err = c.discoverCall(ctx, &DiscoverPlacesRequest{Observations: obs}, &resp)
 	}
 	if err != nil {
 		return nil, err
@@ -359,6 +520,21 @@ func (c *Client) DiscoverPlacesContext(ctx context.Context, obs []trace.GSMObser
 		places = append(places, WireToPlace(w))
 	}
 	return places, nil
+}
+
+// discoverCall routes one discover upload: framed binary streaming when the
+// binary wire is active (with the one-time JSON downgrade if the peer
+// answers 415), the buffered JSON call otherwise.
+func (c *Client) discoverCall(ctx context.Context, req *DiscoverPlacesRequest, out *DiscoverPlacesResponse) error {
+	if c.useBinary() {
+		err := c.discoverBinary(ctx, req, out)
+		var se *statusError
+		if !errors.As(err, &se) || se.Status != http.StatusUnsupportedMediaType {
+			return err
+		}
+		c.fallbackToJSON()
+	}
+	return c.authedCall(ctx, http.MethodPost, PathPlacesDiscover, nil, req, out, true)
 }
 
 // traceCursor decides whether obs can be uploaded as a delta: the stored

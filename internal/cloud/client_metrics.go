@@ -26,6 +26,9 @@ import (
 //	client_token_recoveries_coalesced_total 401 recoveries absorbed by single-flight
 //	client_delta_uploads_total              discover calls shipped as cursor deltas
 //	client_delta_fallbacks_total            deltas rejected 409, re-sent as full uploads
+//	client_wire_bytes_sent_total            request body bytes written, any codec
+//	client_wire_bytes_received_total        response body bytes read, any codec
+//	client_wire_json_fallbacks_total        binary requests downgraded after a 415
 type clientMetrics struct {
 	attempts       *obs.Counter
 	retries        *obs.Counter
@@ -39,6 +42,9 @@ type clientMetrics struct {
 	tokenCoalesced *obs.Counter
 	deltaUploads   *obs.Counter
 	deltaFallbacks *obs.Counter
+	wireSentBytes  *obs.Counter
+	wireRecvBytes  *obs.Counter
+	wireFallbacks  *obs.Counter
 }
 
 func newClientMetrics(reg *obs.Registry) *clientMetrics {
@@ -58,6 +64,9 @@ func newClientMetrics(reg *obs.Registry) *clientMetrics {
 		tokenCoalesced: reg.Counter("client_token_recoveries_coalesced_total"),
 		deltaUploads:   reg.Counter("client_delta_uploads_total"),
 		deltaFallbacks: reg.Counter("client_delta_fallbacks_total"),
+		wireSentBytes:  reg.Counter("client_wire_bytes_sent_total"),
+		wireRecvBytes:  reg.Counter("client_wire_bytes_received_total"),
+		wireFallbacks:  reg.Counter("client_wire_json_fallbacks_total"),
 	}
 }
 

@@ -190,35 +190,29 @@ func continuesPrevDay(v, prevLast *profile.PlaceVisit, placeID string) bool {
 	return prevLast != nil && prevLast.PlaceID == placeID && prevLast.Depart.Equal(v.Arrive)
 }
 
-// indexArrivalsAt is the indexed counterpart of Analytics.scanArrivalsAt:
-// every true arrival at the place, in date order then within-day order, with
-// midnight continuations skipped.
-func indexArrivalsAt(ux *userIndex, placeID string) []arrival {
+// foldArrivalsAt streams every true arrival at the place to fn — date order,
+// then within-day order, midnight continuations skipped — the indexed
+// counterpart of Analytics.scanArrivalsAt, without materializing the
+// intermediate slice the old indexed path allocated per query. fn may be nil
+// to just count. Returns the arrival count.
+func foldArrivalsAt(ux *userIndex, placeID string, fn func(v *visitRef)) int {
 	if ux == nil {
-		return nil
+		return 0
 	}
-	segs := ux.byPlace[placeID]
 	n := 0
-	for _, seg := range segs {
-		n += len(seg.visits)
-	}
-	if n == 0 {
-		return nil
-	}
-	out := make([]arrival, 0, n)
-	for _, seg := range segs {
+	for _, seg := range ux.byPlace[placeID] {
 		for i := range seg.visits {
 			v := &seg.visits[i]
 			if v.secOfDay == 0 && ux.continuedFrom(seg.prevDate, placeID, v.arrive) {
 				continue
 			}
-			out = append(out, arrival{
-				secOfDay: v.secOfDay, weekday: v.weekday, at: v.arrive,
-				cosTh: v.cosTh, sinTh: v.sinTh,
-			})
+			n++
+			if fn != nil {
+				fn(v)
+			}
 		}
 	}
-	return out
+	return n
 }
 
 // indexDwells is the indexed counterpart of the DwellStats scan fold: stay

@@ -17,24 +17,32 @@ import (
 //	pci_http_responses_total{class=...}      responses by status class (2xx/3xx/4xx/5xx)
 //	pci_http_in_flight                       gauge of requests currently in handlers
 //	pci_http_slow_requests_total             requests over the slow-request threshold
+//	pci_wire_encoding_total{codec=...}       negotiated response bodies by codec (json/bin)
 type serverMetrics struct {
 	reg       *obs.Registry
 	requests  *obs.CounterVec
 	responses *obs.CounterVec
 	inFlight  *obs.Gauge
 	slow      *obs.Counter
+	wireJSON  *obs.Counter
+	wireBin   *obs.Counter
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
 	if reg == nil {
 		reg = obs.Default()
 	}
+	encodings := reg.CounterVec("pci_wire_encoding_total", "codec")
 	return &serverMetrics{
 		reg:       reg,
 		requests:  reg.CounterVec("pci_http_requests_total", "route"),
 		responses: reg.CounterVec("pci_http_responses_total", "class"),
 		inFlight:  reg.Gauge("pci_http_in_flight"),
 		slow:      reg.Counter("pci_http_slow_requests_total"),
+		// Both labels resolved eagerly so a fresh boot exposes the family
+		// (and the hot path pays one atomic add, not a map lookup).
+		wireJSON: encodings.With("json"),
+		wireBin:  encodings.With("bin"),
 	}
 }
 

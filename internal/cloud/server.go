@@ -1,9 +1,12 @@
 package cloud
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"strconv"
@@ -14,6 +17,7 @@ import (
 	"repro/internal/gsm"
 	"repro/internal/profile"
 	"repro/internal/route"
+	"repro/internal/trace"
 	"repro/internal/world"
 )
 
@@ -247,6 +251,149 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
 	return true
 }
 
+// reply writes body under content negotiation: a pooled binary encode when
+// the request Accepts application/x-pmware-bin and the type has a binary
+// codec, the historical JSON path otherwise. Error responses never come
+// through here — they are always JSON (writeError), whatever the codec.
+func (s *Server) reply(w http.ResponseWriter, r *http.Request, status int, body any) {
+	if acceptsBinary(r) {
+		bp := getWireBuf()
+		if b, ok := appendWire((*bp)[:0], body); ok {
+			s.metrics.wireBin.Inc()
+			w.Header().Set("Content-Type", ContentTypeBinary)
+			w.WriteHeader(status)
+			_, _ = w.Write(b)
+			*bp = b
+			putWireBuf(bp)
+			return
+		}
+		putWireBuf(bp)
+	}
+	s.metrics.wireJSON.Inc()
+	writeJSON(w, status, body)
+}
+
+// decodeAny parses the request body by its declared Content-Type: JSON via
+// decode, binary via decodeBinaryBody, anything else answers 415.
+func (s *Server) decodeAny(w http.ResponseWriter, r *http.Request, into any) bool {
+	switch requestCodec(r) {
+	case codecJSON:
+		return s.decode(w, r, into)
+	case codecBinary:
+		return s.decodeBinaryBody(w, r, into)
+	default:
+		writeError(w, http.StatusUnsupportedMediaType,
+			"unsupported content type %q", r.Header.Get("Content-Type"))
+		return false
+	}
+}
+
+// decodeBinaryBody reads a whole binary-framed body (under the size cap)
+// into a pooled buffer and decodes one wire message from it. Mirrors
+// decode's status contract: 413 over the cap, 400 for anything garbled.
+func (s *Server) decodeBinaryBody(w http.ResponseWriter, r *http.Request, into any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	bp := getWireBuf()
+	defer putWireBuf(bp)
+	buf, err := readAllInto((*bp)[:0], r.Body)
+	*bp = buf
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "reading request body: %v", err)
+		return false
+	}
+	if err := decodeWire(buf, into); err != nil {
+		writeError(w, http.StatusBadRequest, "bad binary body: %v", err)
+		return false
+	}
+	return true
+}
+
+// decodeDiscoverBinary incrementally parses a binary discover upload: a
+// fixed header (version, kind, flags, cursor, prefix hash) followed by
+// CRC-framed observation blocks and an explicit end marker, so neither side
+// ever holds the serialized form of the whole history. Decoding runs
+// through http.MaxBytesReader, preserving the 413 contract, and a stream
+// that dies mid-frame (or never reaches the end marker) is a clean 400.
+func (s *Server) decodeDiscoverBinary(w http.ResponseWriter, r *http.Request, req *DiscoverPlacesRequest) bool {
+	fail := func(err error) bool {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+		} else {
+			writeError(w, http.StatusBadRequest, "bad binary request: %v", err)
+		}
+		return false
+	}
+	br := bufio.NewReader(http.MaxBytesReader(w, r.Body, s.maxBody))
+
+	readByte := func() (byte, error) {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, frameReadErr(err)
+		}
+		return b, nil
+	}
+	version, err := readByte()
+	if err != nil {
+		return fail(err)
+	}
+	if version != wireVersion {
+		return fail(fmt.Errorf("unsupported wire version %d", version))
+	}
+	kind, err := readByte()
+	if err != nil {
+		return fail(err)
+	}
+	if kind != wireKindDiscoverRequest {
+		return fail(fmt.Errorf("wire kind %d where %d expected", kind, wireKindDiscoverRequest))
+	}
+	flags, err := readByte()
+	if err != nil {
+		return fail(err)
+	}
+	req.Delta = flags&1 != 0
+	cursor, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fail(frameReadErr(err))
+	}
+	req.Cursor = int64(cursor)
+	var hash [8]byte
+	if _, err := io.ReadFull(br, hash[:]); err != nil {
+		return fail(frameReadErr(err))
+	}
+	req.PrefixHash = binary.LittleEndian.Uint64(hash[:])
+
+	bp := getWireBuf()
+	defer putWireBuf(bp)
+	for {
+		payload, err := readWireFrame(br, bp)
+		if err == errFrameEnd {
+			return true
+		}
+		if err == io.EOF {
+			// End-of-stream without the marker: the upload was cut short.
+			return fail(errWireTruncated)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		d := trace.NewBinaryDecoder(payload)
+		obs := trace.DecodeObservations(d)
+		if err := d.Err(); err != nil {
+			return fail(err)
+		}
+		if d.Rest() != 0 {
+			return fail(fmt.Errorf("%d trailing bytes in observation frame", d.Rest()))
+		}
+		req.Observations = append(req.Observations, obs...)
+	}
+}
+
 type authedHandler func(w http.ResponseWriter, r *http.Request, userID string)
 
 // auth wraps a handler with Bearer-token authentication.
@@ -297,7 +444,18 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handlePlacesDiscover(w http.ResponseWriter, r *http.Request, uid string) {
 	var req DiscoverPlacesRequest
-	if !s.decode(w, r, &req) {
+	switch requestCodec(r) {
+	case codecBinary:
+		if !s.decodeDiscoverBinary(w, r, &req) {
+			return
+		}
+	case codecJSON:
+		if !s.decode(w, r, &req) {
+			return
+		}
+	default:
+		writeError(w, http.StatusUnsupportedMediaType,
+			"unsupported content type %q", r.Header.Get("Content-Type"))
 		return
 	}
 	if !req.Delta && len(req.Observations) == 0 {
@@ -329,15 +487,15 @@ func (s *Server) handlePlacesDiscover(w http.ResponseWriter, r *http.Request, ui
 		writeError(w, http.StatusInternalServerError, "discovering places: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, DiscoverPlacesResponse{
+	s.reply(w, r, http.StatusOK, &DiscoverPlacesResponse{
 		Places:    places,
 		TraceLen:  status.Len,
 		TraceHash: status.Hash,
 	})
 }
 
-func (s *Server) handlePlacesGet(w http.ResponseWriter, _ *http.Request, uid string) {
-	writeJSON(w, http.StatusOK, DiscoverPlacesResponse{Places: s.store.Places(uid)})
+func (s *Server) handlePlacesGet(w http.ResponseWriter, r *http.Request, uid string) {
+	s.reply(w, r, http.StatusOK, &DiscoverPlacesResponse{Places: s.store.Places(uid)})
 }
 
 func (s *Server) handlePlacesLabel(w http.ResponseWriter, r *http.Request, uid string) {
@@ -428,7 +586,7 @@ func (s *Server) handleProfilePut(w http.ResponseWriter, r *http.Request, uid st
 		return
 	}
 	var p profile.DayProfile
-	if !s.decode(w, r, &p) {
+	if !s.decodeAny(w, r, &p) {
 		return
 	}
 	p.Date = date
@@ -447,12 +605,32 @@ func (s *Server) handleProfileGet(w http.ResponseWriter, r *http.Request, uid st
 		writeError(w, http.StatusNotFound, "no profile for %s", date)
 		return
 	}
-	writeJSON(w, http.StatusOK, p)
+	s.reply(w, r, http.StatusOK, p)
 }
 
 func (s *Server) handleProfileRange(w http.ResponseWriter, r *http.Request, uid string) {
 	q := r.URL.Query()
-	writeJSON(w, http.StatusOK, s.store.ProfileRange(uid, q.Get("from"), q.Get("to")))
+	from, to := q.Get("from"), q.Get("to")
+	if acceptsBinary(r) {
+		// The zero-alloc read path: encode straight out of the store's
+		// in-memory profiles under the shard read lock — no clones, no DTO
+		// slice, one pooled buffer.
+		s.metrics.wireBin.Inc()
+		bp := getWireBuf()
+		var e trace.BinaryEncoder
+		e.Buf = append((*bp)[:0], wireVersion, wireKindProfileRange)
+		s.store.viewProfileRange(uid, from, to,
+			func(n int) { e.Uvarint(uint64(n)) },
+			func(p *profile.DayProfile) { appendProfileBody(&e, p) })
+		w.Header().Set("Content-Type", ContentTypeBinary)
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(e.Buf)
+		*bp = e.Buf
+		putWireBuf(bp)
+		return
+	}
+	s.metrics.wireJSON.Inc()
+	writeJSON(w, http.StatusOK, s.store.ProfileRange(uid, from, to))
 }
 
 func (s *Server) handleContactsPost(w http.ResponseWriter, r *http.Request, uid string) {
@@ -509,7 +687,7 @@ func (s *Server) handlePredictArrival(w http.ResponseWriter, r *http.Request, ui
 		writeError(w, http.StatusNotFound, "no visits to %q", placeID)
 		return
 	}
-	writeJSON(w, http.StatusOK, PredictArrivalResponse{PlaceID: placeID, TypicalArrivalSec: sec, SampleCount: n})
+	s.reply(w, r, http.StatusOK, &PredictArrivalResponse{PlaceID: placeID, TypicalArrivalSec: sec, SampleCount: n})
 }
 
 func (s *Server) handlePredictNext(w http.ResponseWriter, r *http.Request, uid string) {
@@ -529,7 +707,7 @@ func (s *Server) handlePredictNext(w http.ResponseWriter, r *http.Request, uid s
 		after = t
 	}
 	next, confident := s.analytics.PredictNextVisit(uid, placeID, after)
-	writeJSON(w, http.StatusOK, PredictNextVisitResponse{PlaceID: placeID, NextVisit: next, Confident: confident})
+	s.reply(w, r, http.StatusOK, &PredictNextVisitResponse{PlaceID: placeID, NextVisit: next, Confident: confident})
 }
 
 func (s *Server) handleDwell(w http.ResponseWriter, r *http.Request, uid string) {
@@ -538,7 +716,7 @@ func (s *Server) handleDwell(w http.ResponseWriter, r *http.Request, uid string)
 		writeError(w, http.StatusBadRequest, "place parameter required")
 		return
 	}
-	writeJSON(w, http.StatusOK, s.analytics.DwellStats(uid, placeID))
+	s.reply(w, r, http.StatusOK, s.analytics.DwellStats(uid, placeID))
 }
 
 func (s *Server) handleFrequency(w http.ResponseWriter, r *http.Request, uid string) {
@@ -547,10 +725,10 @@ func (s *Server) handleFrequency(w http.ResponseWriter, r *http.Request, uid str
 	switch {
 	case placeID != "":
 		perWeek, total := s.analytics.VisitFrequency(uid, placeID)
-		writeJSON(w, http.StatusOK, FrequencyResponse{PlaceID: placeID, VisitsPerWeek: perWeek, TotalVisits: total})
+		s.reply(w, r, http.StatusOK, &FrequencyResponse{PlaceID: placeID, VisitsPerWeek: perWeek, TotalVisits: total})
 	case label != "":
 		perWeek, total := s.analytics.FrequencyByLabel(uid, label)
-		writeJSON(w, http.StatusOK, FrequencyResponse{PlaceID: "label:" + label, VisitsPerWeek: perWeek, TotalVisits: total})
+		s.reply(w, r, http.StatusOK, &FrequencyResponse{PlaceID: "label:" + label, VisitsPerWeek: perWeek, TotalVisits: total})
 	default:
 		writeError(w, http.StatusBadRequest, "place or label parameter required")
 	}

@@ -415,11 +415,30 @@ func (s *Store) Profile(userID, date string) (*profile.DayProfile, bool) {
 // binary-searches the user's sorted date index, so a narrow window costs the
 // window, not a scan-and-sort of the whole history.
 func (s *Store) ProfileRange(userID, from, to string) []*profile.DayProfile {
-	idx, d := s.dataFor(userID)
 	var out []*profile.DayProfile
+	s.viewProfileRange(userID, from, to,
+		func(n int) {
+			if n > 0 {
+				out = make([]*profile.DayProfile, 0, n)
+			}
+		},
+		func(p *profile.DayProfile) { out = append(out, cloneProfile(p)) })
+	return out
+}
+
+// viewProfileRange streams the profiles with from <= date <= to (inclusive,
+// date strings, empty bounds open) in date order under the owning shard's
+// read lock, without cloning: begin runs once with the count, then each per
+// profile. This is the binary serving path — the encoder writes straight
+// from store memory into its buffer. The viewIndex retention rules apply:
+// the callbacks must not retain or mutate what they are handed and must not
+// call back into the store.
+func (s *Store) viewProfileRange(userID, from, to string, begin func(n int), each func(p *profile.DayProfile)) {
+	idx, d := s.dataFor(userID)
 	s.eng.View(idx, func() {
 		ux := d.idx[userID]
 		if ux == nil {
+			begin(0)
 			return
 		}
 		days := d.profiles[userID]
@@ -435,11 +454,12 @@ func (s *Store) ProfileRange(userID, from, to string) []*profile.DayProfile {
 			}
 			hi = h
 		}
-		for _, date := range ux.dates[lo:max(lo, hi)] {
-			out = append(out, cloneProfile(days[date]))
+		dates := ux.dates[lo:max(lo, hi)]
+		begin(len(dates))
+		for _, date := range dates {
+			each(days[date])
 		}
 	})
-	return out
 }
 
 // viewIndex runs fn under the owning shard's read lock with the user's

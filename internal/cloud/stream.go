@@ -1,8 +1,10 @@
 package cloud
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"strconv"
@@ -101,56 +103,125 @@ func (s *Server) feedDetector(uid string, appended int) []events.Transition {
 	return out
 }
 
-// handleObsStream is POST /api/v1/observations/stream: a sequence of JSON
-// observation batches decoded as they arrive. Each batch is appended
-// WAL-durably, fed to the online detector, and its transitions published to
-// the fanout hub before the next batch is read — so a subscriber sees the
-// place entry while the device is still streaming. One summary response is
-// written when the client closes its side.
+// handleObsStream is POST /api/v1/observations/stream: a sequence of
+// observation batches decoded as they arrive — JSON documents or, under
+// Content-Type: application/x-pmware-bin, CRC-framed binary observation
+// blocks. Each batch is appended WAL-durably, fed to the online detector,
+// and its transitions published to the fanout hub before the next batch is
+// read — so a subscriber sees the place entry while the device is still
+// streaming. One summary response is written when the client closes its
+// side; in both codecs end-of-stream at a batch boundary is the clean end.
 func (s *Server) handleObsStream(w http.ResponseWriter, r *http.Request, uid string) {
 	// Deliberately no MaxBytesReader (see the file comment): the regression
 	// test pins that a stream outliving -max-body stays open.
-	dec := json.NewDecoder(r.Body)
 	var appended, published int
 	var status TraceStatus
-	for {
-		var batch StreamBatch
-		err := dec.Decode(&batch)
-		if errors.Is(err, io.EOF) {
-			break
-		}
-		if err != nil {
-			// Mid-stream garbage: everything before it is already durable;
-			// report what happened with the position reached.
-			writeError(w, http.StatusBadRequest, "bad stream batch after %d observations: %v", appended, err)
-			return
-		}
-		status, err = s.store.AppendTrace(uid, batch.Observations)
+
+	// ingest persists and publishes one batch; it answers the error response
+	// itself and returns false to stop the stream.
+	ingest := func(obs []trace.GSMObservation) bool {
+		var err error
+		status, err = s.store.AppendTrace(uid, obs)
 		if err != nil {
 			if errors.Is(err, ErrObservationOrder) {
 				writeError(w, http.StatusConflict, "%v", err)
-				return
+				return false
 			}
 			writeError(w, http.StatusInternalServerError, "appending observations: %v", err)
-			return
+			return false
 		}
-		if n := len(batch.Observations); n > 0 {
+		if n := len(obs); n > 0 {
 			appended += n
 			s.pool.m.appended.Add(uint64(n))
 		}
-		for _, t := range s.feedDetector(uid, len(batch.Observations)) {
+		for _, t := range s.feedDetector(uid, len(obs)) {
 			published += s.publishTransition(uid, t)
 		}
+		return true
+	}
+
+	switch requestCodec(r) {
+	case codecBinary:
+		if !s.readObsStreamBinary(w, r, &appended, ingest) {
+			return
+		}
+	case codecJSON:
+		dec := json.NewDecoder(r.Body)
+		for {
+			var batch StreamBatch
+			err := dec.Decode(&batch)
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				// Mid-stream garbage: everything before it is already durable;
+				// report what happened with the position reached.
+				writeError(w, http.StatusBadRequest, "bad stream batch after %d observations: %v", appended, err)
+				return
+			}
+			if !ingest(batch.Observations) {
+				return
+			}
+		}
+	default:
+		writeError(w, http.StatusUnsupportedMediaType,
+			"unsupported content type %q", r.Header.Get("Content-Type"))
+		return
 	}
 	if status == (TraceStatus{}) {
 		status = s.store.TraceStatusFor(uid)
 	}
-	writeJSON(w, http.StatusOK, StreamResult{
+	s.reply(w, r, http.StatusOK, &StreamResult{
 		TraceLen:  status.Len,
 		TraceHash: status.Hash,
 		Appended:  appended,
 		Events:    published,
 	})
+}
+
+// readObsStreamBinary drains a binary observation stream: a two-byte
+// version/kind header, then CRC-framed observation blocks until the client
+// closes. EOF at a frame boundary is the clean end (mirroring the JSON
+// decoder loop); a stream that dies mid-frame, or a frame that fails its
+// CRC, is a 400 with everything before it already durable.
+func (s *Server) readObsStreamBinary(w http.ResponseWriter, r *http.Request, appended *int, ingest func([]trace.GSMObservation) bool) bool {
+	fail := func(err error) bool {
+		writeError(w, http.StatusBadRequest, "bad stream batch after %d observations: %v", *appended, err)
+		return false
+	}
+	br := bufio.NewReader(r.Body)
+	var hdr [2]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return fail(frameReadErr(err))
+	}
+	if hdr[0] != wireVersion {
+		return fail(fmt.Errorf("unsupported wire version %d", hdr[0]))
+	}
+	if hdr[1] != wireKindObsStream {
+		return fail(fmt.Errorf("wire kind %d where %d expected", hdr[1], wireKindObsStream))
+	}
+	bp := getWireBuf()
+	defer putWireBuf(bp)
+	for {
+		payload, err := readWireFrame(br, bp)
+		if err == io.EOF || err == errFrameEnd {
+			return true
+		}
+		if err != nil {
+			return fail(err)
+		}
+		d := trace.NewBinaryDecoder(payload)
+		obs := trace.DecodeObservations(d)
+		if err := d.Err(); err != nil {
+			return fail(err)
+		}
+		if d.Rest() != 0 {
+			return fail(fmt.Errorf("%d trailing bytes in observation frame", d.Rest()))
+		}
+		if !ingest(obs) {
+			return false
+		}
+	}
 }
 
 // publishTransition enriches one canonical transition into a wire event

@@ -6,7 +6,6 @@ import (
 	"errors"
 	"io"
 	"net/http"
-	"strconv"
 
 	"repro/internal/trace"
 )
@@ -39,6 +38,12 @@ func (c *Client) StreamObservations(ctx context.Context, obs []trace.GSMObservat
 	_, gen := c.snapshotToken()
 	res, err := c.streamOnce(ctx, obs, batchSize)
 	var se *statusError
+	if errors.As(err, &se) && se.Status == http.StatusUnsupportedMediaType && c.useBinary() {
+		// The peer predates the binary codec: downgrade and restream as
+		// JSON. Nothing was appended (the 415 precedes ingest).
+		c.fallbackToJSON()
+		res, err = c.streamOnce(ctx, obs, batchSize)
+	}
 	if errors.As(err, &se) && se.Status == http.StatusUnauthorized {
 		if rerr := c.recoverToken(ctx, gen); rerr == nil {
 			res, err = c.streamOnce(ctx, obs, batchSize)
@@ -59,18 +64,25 @@ func (c *Client) streamOnce(ctx context.Context, obs []trace.GSMObservation, bat
 	if cursor, _, delta := c.traceCursor(obs); delta {
 		obs = obs[cursor:]
 	}
+	binary := c.useBinary()
 
 	// Feed the body through a pipe so batches hit the wire as they are
 	// encoded (chunked transfer, no Content-Length): the server ingests and
 	// publishes batch by batch, which is the point of the streaming path.
 	pr, pw := io.Pipe()
 	go func() {
-		enc := json.NewEncoder(pw)
-		for start := 0; start < len(obs); start += batchSize {
-			end := start + batchSize
-			if end > len(obs) {
-				end = len(obs)
+		cw := &wireCountWriter{w: pw, m: c.m.wireSentBytes}
+		if binary {
+			if err := writeObsFrames(cw, obs, batchSize); err != nil {
+				pw.CloseWithError(err)
+				return
 			}
+			pw.Close()
+			return
+		}
+		enc := json.NewEncoder(cw)
+		for start := 0; start < len(obs); start += batchSize {
+			end := min(start+batchSize, len(obs))
 			if err := enc.Encode(StreamBatch{Observations: obs[start:end]}); err != nil {
 				pw.CloseWithError(err)
 				return
@@ -81,9 +93,15 @@ func (c *Client) streamOnce(ctx context.Context, obs []trace.GSMObservation, bat
 
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+PathObservationsStream, pr)
 	if err != nil {
+		pr.Close()
 		return StreamResult{}, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	if binary {
+		req.Header.Set("Content-Type", ContentTypeBinary)
+		req.Header.Set("Accept", ContentTypeBinary+", application/json;q=0.5")
+	} else {
+		req.Header.Set("Content-Type", "application/json")
+	}
 	req.Header.Set("Authorization", "Bearer "+tok)
 	c.m.attempts.Inc()
 	resp, err := c.http.Do(req)
@@ -95,24 +113,123 @@ func (c *Client) streamOnce(ctx context.Context, obs []trace.GSMObservation, bat
 		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, drainLimit))
 		resp.Body.Close()
 	}()
-	if resp.StatusCode/100 != 2 {
-		switch {
-		case resp.StatusCode >= 500:
-			c.m.http5xx.Inc()
-		case resp.StatusCode >= 400:
-			c.m.http4xx.Inc()
-		}
-		var e ErrorResponse
-		data, _ := io.ReadAll(io.LimitReader(resp.Body, errorBodyLimit))
-		if jerr := json.Unmarshal(data, &e); jerr != nil || e.Error == "" {
-			e.Error = strconv.Quote(truncateForError(data))
-		}
-		return StreamResult{}, &statusError{Status: resp.StatusCode, Msg: e.Error}
-	}
 	var res StreamResult
-	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
-		c.m.bodyErrors.Inc()
-		return StreamResult{}, &transientError{err: err}
+	if err := c.finishResponse(resp, &res); err != nil {
+		return StreamResult{}, err
 	}
 	return res, nil
+}
+
+// writeObsFrames emits the binary observation stream: the two-byte
+// version/kind header, one CRC frame per batch, and the explicit end marker
+// so the server can tell a deliberate close from a dropped link.
+func writeObsFrames(w io.Writer, obs []trace.GSMObservation, batchSize int) error {
+	if _, err := w.Write([]byte{wireVersion, wireKindObsStream}); err != nil {
+		return err
+	}
+	var e trace.BinaryEncoder
+	var frame []byte
+	for start := 0; start < len(obs); start += batchSize {
+		end := min(start+batchSize, len(obs))
+		e.Reset(e.Buf)
+		trace.AppendObservations(&e, obs[start:end])
+		frame = appendWireFrame(frame[:0], e.Buf)
+		if _, err := w.Write(frame); err != nil {
+			return err
+		}
+	}
+	_, err := w.Write(wireFrameEnd)
+	return err
+}
+
+// discoverBinary performs one binary streamed discover call with the same
+// 401 single-flight token recovery as authedCall; each retry attempt builds
+// a fresh pipe.
+func (c *Client) discoverBinary(ctx context.Context, dreq *DiscoverPlacesRequest, out *DiscoverPlacesResponse) error {
+	_, gen := c.snapshotToken()
+	err := c.discoverBinaryRetry(ctx, dreq, out)
+	var se *statusError
+	if !errors.As(err, &se) || se.Status != http.StatusUnauthorized {
+		return err
+	}
+	if rerr := c.recoverToken(ctx, gen); rerr != nil {
+		return err
+	}
+	return c.discoverBinaryRetry(ctx, dreq, out)
+}
+
+func (c *Client) discoverBinaryRetry(ctx context.Context, dreq *DiscoverPlacesRequest, out *DiscoverPlacesResponse) error {
+	attempt := 0
+	return c.retry.withSleepObserver(c.m.observeBackoff).run(ctx, true, func(ctx context.Context) error {
+		attempt++
+		if attempt > 1 {
+			c.m.retries.Inc()
+		}
+		return c.discoverOnce(ctx, dreq, out)
+	})
+}
+
+// discoverOnce streams one binary discover request: the fixed header
+// (version, kind, flags, cursor, prefix hash) followed by CRC-framed
+// observation blocks and the end marker, all through a pipe so the full
+// history is never serialized at once.
+func (c *Client) discoverOnce(ctx context.Context, dreq *DiscoverPlacesRequest, out *DiscoverPlacesResponse) error {
+	tok, _ := c.snapshotToken()
+	if tok == "" {
+		return &statusError{Status: http.StatusUnauthorized, Msg: "no token (register first)"}
+	}
+	pr, pw := io.Pipe()
+	go func() {
+		cw := &wireCountWriter{w: pw, m: c.m.wireSentBytes}
+		var e trace.BinaryEncoder
+		e.Byte(wireVersion)
+		e.Byte(wireKindDiscoverRequest)
+		var flags byte
+		if dreq.Delta {
+			flags |= 1
+		}
+		e.Byte(flags)
+		e.Uvarint(uint64(dreq.Cursor))
+		e.Fixed64(dreq.PrefixHash)
+		if _, err := cw.Write(e.Buf); err != nil {
+			pw.CloseWithError(err)
+			return
+		}
+		var frame []byte
+		obs := dreq.Observations
+		for start := 0; start < len(obs); start += wireFrameObs {
+			end := min(start+wireFrameObs, len(obs))
+			e.Reset(e.Buf)
+			trace.AppendObservations(&e, obs[start:end])
+			frame = appendWireFrame(frame[:0], e.Buf)
+			if _, err := cw.Write(frame); err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+		}
+		if _, err := cw.Write(wireFrameEnd); err != nil {
+			pw.CloseWithError(err)
+			return
+		}
+		pw.Close()
+	}()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+PathPlacesDiscover, pr)
+	if err != nil {
+		pr.Close()
+		return err
+	}
+	req.Header.Set("Content-Type", ContentTypeBinary)
+	req.Header.Set("Accept", ContentTypeBinary+", application/json;q=0.5")
+	req.Header.Set("Authorization", "Bearer "+tok)
+	c.m.attempts.Inc()
+	resp, err := c.http.Do(req)
+	if err != nil {
+		c.m.connErrors.Inc()
+		return err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, drainLimit))
+		resp.Body.Close()
+	}()
+	return c.finishResponse(resp, out)
 }

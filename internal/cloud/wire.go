@@ -1,0 +1,618 @@
+package cloud
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"mime"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/profile"
+	"repro/internal/trace"
+	"repro/internal/world"
+)
+
+// Binary wire codec (DESIGN.md §14). The paper's communication-management
+// module assumes phones on intermittent cellular links, where every byte of
+// PMS↔PCI traffic costs energy; reflective JSON spends most of its bytes on
+// field names and RFC 3339 timestamps. This file promotes the compact trace
+// codec (internal/trace/binary.go) to the wire via content negotiation:
+//
+//   - A client that wants binary sends Content-Type and/or Accept
+//     application/x-pmware-bin. Anything else — including no header at all —
+//     is the JSON path, byte-for-byte what it always was, so old and new
+//     peers interoperate without a protocol flag day.
+//   - Every binary message opens with a version byte and a message-kind
+//     byte, so a route mix-up or codec drift fails loudly instead of
+//     misparsing.
+//   - Responses encode into sync.Pool-recycled buffers: the hot read routes
+//     serve without an intermediate DTO slice or per-request allocation.
+//   - Error bodies are ALWAYS JSON (ErrorResponse), whatever the request
+//     codec — the client's error parsing predates negotiation and stays
+//     uniform.
+//
+// Streamed bodies (trace sync, observation ingest) do not fit one buffer by
+// design; they use CRC-framed observation blocks (uvarint length, CRC-32
+// IEEE of the payload, payload — the storage WAL idiom) so neither side
+// buffers the whole history and truncation fails at a frame boundary.
+
+// ContentTypeBinary is the negotiated binary media type.
+const ContentTypeBinary = "application/x-pmware-bin"
+
+// contentTypeJSON is the default media type.
+const contentTypeJSON = "application/json"
+
+// wireVersion is the current binary wire-format version, the first byte of
+// every binary message.
+const wireVersion = 1
+
+// Message kinds — the second byte of every binary message.
+const (
+	wireKindDiscoverRequest  byte = 1
+	wireKindDiscoverResponse byte = 2
+	wireKindStreamResult     byte = 3
+	wireKindProfile          byte = 4
+	wireKindProfileRange     byte = 5
+	wireKindPredictArrival   byte = 6
+	wireKindPredictNext      byte = 7
+	wireKindFrequency        byte = 8
+	wireKindDwell            byte = 9
+	wireKindObsStream        byte = 10
+)
+
+// maxWireFrame bounds one framed observation block on the streaming paths;
+// a larger claim is corruption, not data.
+const maxWireFrame = 8 << 20
+
+// wireFrameObs is how many observations the client packs per frame on
+// streamed binary uploads.
+const wireFrameObs = 512
+
+// errFrameEnd is the in-band end-of-frames marker (a zero-length frame).
+var errFrameEnd = errors.New("cloud: end of frames")
+
+// errWireTruncated reports a binary body that ended mid-message.
+var errWireTruncated = errors.New("cloud: truncated binary body")
+
+// maxPooledWireBuf caps the capacity of buffers returned to the pool, so one
+// huge response does not pin its buffer forever.
+const maxPooledWireBuf = 1 << 20
+
+var wireBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+func getWireBuf() *[]byte { return wireBufPool.Get().(*[]byte) }
+
+func putWireBuf(p *[]byte) {
+	if cap(*p) <= maxPooledWireBuf {
+		wireBufPool.Put(p)
+	}
+}
+
+// readAllInto reads r to EOF appending into buf (reusing its capacity),
+// returning the filled slice. io.ReadAll without the fresh allocation.
+func readAllInto(buf []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
+// acceptsBinary reports whether the request's Accept header asks for the
+// binary media type: its q-value must be positive and at least as high as
+// the best JSON-capable alternative (application/json, application/*, */*).
+// No Accept header means JSON — the compatible default.
+func acceptsBinary(r *http.Request) bool {
+	values := r.Header.Values("Accept")
+	if len(values) == 0 {
+		return false
+	}
+	qBin, qJSON := -1.0, -1.0
+	for _, hdr := range values {
+		for _, part := range strings.Split(hdr, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			mt, params, err := mime.ParseMediaType(part)
+			if err != nil {
+				continue
+			}
+			q := 1.0
+			if qs, ok := params["q"]; ok {
+				f, err := strconv.ParseFloat(qs, 64)
+				if err != nil || f < 0 {
+					continue
+				}
+				q = f
+			}
+			switch mt {
+			case ContentTypeBinary:
+				qBin = max(qBin, q)
+			case contentTypeJSON, "application/*", "*/*":
+				qJSON = max(qJSON, q)
+			}
+		}
+	}
+	return qBin > 0 && qBin >= qJSON
+}
+
+// reqCodec classifies a request body's declared encoding.
+type reqCodec int
+
+const (
+	codecJSON reqCodec = iota
+	codecBinary
+	codecUnknown
+)
+
+// requestCodec classifies the Content-Type header. An absent header is JSON
+// (the historical default); an unparseable or foreign one is unknown, which
+// negotiating handlers answer with 415.
+func requestCodec(r *http.Request) reqCodec {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return codecJSON
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return codecUnknown
+	}
+	switch mt {
+	case contentTypeJSON:
+		return codecJSON
+	case ContentTypeBinary:
+		return codecBinary
+	default:
+		return codecUnknown
+	}
+}
+
+// --- message codecs -------------------------------------------------------
+
+// appendWire encodes msg as a binary wire message appended to dst. ok is
+// false when the type has no binary codec (the caller falls back to JSON).
+func appendWire(dst []byte, msg any) ([]byte, bool) {
+	var e trace.BinaryEncoder
+	e.Buf = append(dst, wireVersion)
+	switch m := msg.(type) {
+	case *DiscoverPlacesResponse:
+		e.Byte(wireKindDiscoverResponse)
+		appendDiscoverResponse(&e, m)
+	case DiscoverPlacesResponse:
+		e.Byte(wireKindDiscoverResponse)
+		appendDiscoverResponse(&e, &m)
+	case *StreamResult:
+		e.Byte(wireKindStreamResult)
+		appendStreamResult(&e, m)
+	case StreamResult:
+		e.Byte(wireKindStreamResult)
+		appendStreamResult(&e, &m)
+	case *profile.DayProfile:
+		e.Byte(wireKindProfile)
+		appendProfileBody(&e, m)
+	case []*profile.DayProfile:
+		e.Byte(wireKindProfileRange)
+		e.Uvarint(uint64(len(m)))
+		for _, p := range m {
+			appendProfileBody(&e, p)
+		}
+	case *PredictArrivalResponse:
+		e.Byte(wireKindPredictArrival)
+		e.String(m.PlaceID)
+		e.Varint(int64(m.TypicalArrivalSec))
+		e.Varint(int64(m.SampleCount))
+	case PredictArrivalResponse:
+		return appendWire(dst, &m)
+	case *PredictNextVisitResponse:
+		e.Byte(wireKindPredictNext)
+		e.String(m.PlaceID)
+		e.Bool(m.Confident)
+		// The zero time.Time predates the UnixNano range; carry presence
+		// explicitly instead of a garbage delta.
+		e.Bool(!m.NextVisit.IsZero())
+		if !m.NextVisit.IsZero() {
+			e.Time(m.NextVisit)
+		}
+	case PredictNextVisitResponse:
+		return appendWire(dst, &m)
+	case *FrequencyResponse:
+		e.Byte(wireKindFrequency)
+		e.String(m.PlaceID)
+		e.Float64(m.VisitsPerWeek)
+		e.Varint(int64(m.TotalVisits))
+	case FrequencyResponse:
+		return appendWire(dst, &m)
+	case *DwellStatsResponse:
+		e.Byte(wireKindDwell)
+		e.String(m.PlaceID)
+		e.Varint(int64(m.Visits))
+		e.Varint(int64(m.MeanStaySec))
+		e.Varint(int64(m.MedianStaySec))
+		e.Varint(int64(m.LongestStaySec))
+	case DwellStatsResponse:
+		return appendWire(dst, &m)
+	default:
+		return dst, false
+	}
+	return e.Buf, true
+}
+
+// wireDecodable reports whether decodeWire can fill into — the client uses
+// it to decide whether to offer Accept: application/x-pmware-bin.
+func wireDecodable(into any) bool {
+	switch into.(type) {
+	case *DiscoverPlacesResponse, *StreamResult, *profile.DayProfile, *[]*profile.DayProfile,
+		*PredictArrivalResponse, *PredictNextVisitResponse, *FrequencyResponse, *DwellStatsResponse:
+		return true
+	}
+	return false
+}
+
+// decodeWire parses a binary wire message into the pointed-to value,
+// verifying version and message kind. Decoded values never alias data — the
+// buffer may be recycled the moment this returns.
+func decodeWire(data []byte, into any) error {
+	d := trace.NewBinaryDecoder(data)
+	if v := d.Byte(); d.Err() == nil && v != wireVersion {
+		return fmt.Errorf("cloud: unsupported wire version %d", v)
+	}
+	kind := d.Byte()
+	var want byte
+	switch v := into.(type) {
+	case *DiscoverPlacesResponse:
+		want = wireKindDiscoverResponse
+		if kind == want {
+			decodeDiscoverResponse(d, v)
+		}
+	case *StreamResult:
+		want = wireKindStreamResult
+		if kind == want {
+			v.TraceLen = d.Varint()
+			v.TraceHash = d.Fixed64()
+			v.Appended = int(d.Uvarint())
+			v.Events = int(d.Uvarint())
+		}
+	case *profile.DayProfile:
+		want = wireKindProfile
+		if kind == want {
+			decodeProfileBody(d, v)
+		}
+	case *[]*profile.DayProfile:
+		want = wireKindProfileRange
+		if kind == want {
+			n := d.Uvarint()
+			var out []*profile.DayProfile
+			for i := uint64(0); i < n && d.Err() == nil; i++ {
+				p := &profile.DayProfile{}
+				decodeProfileBody(d, p)
+				out = append(out, p)
+			}
+			if d.Err() == nil {
+				*v = out
+			}
+		}
+	case *PredictArrivalResponse:
+		want = wireKindPredictArrival
+		if kind == want {
+			v.PlaceID = d.String()
+			v.TypicalArrivalSec = int(d.Varint())
+			v.SampleCount = int(d.Varint())
+		}
+	case *PredictNextVisitResponse:
+		want = wireKindPredictNext
+		if kind == want {
+			v.PlaceID = d.String()
+			v.Confident = d.Bool()
+			if d.Bool() {
+				v.NextVisit = d.Time()
+			} else {
+				v.NextVisit = time.Time{}
+			}
+		}
+	case *FrequencyResponse:
+		want = wireKindFrequency
+		if kind == want {
+			v.PlaceID = d.String()
+			v.VisitsPerWeek = d.Float64()
+			v.TotalVisits = int(d.Varint())
+		}
+	case *DwellStatsResponse:
+		want = wireKindDwell
+		if kind == want {
+			v.PlaceID = d.String()
+			v.Visits = int(d.Varint())
+			v.MeanStaySec = int(d.Varint())
+			v.MedianStaySec = int(d.Varint())
+			v.LongestStaySec = int(d.Varint())
+		}
+	default:
+		return fmt.Errorf("cloud: no binary codec for %T", into)
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if kind != want {
+		return fmt.Errorf("cloud: wire kind %d where %d expected", kind, want)
+	}
+	if d.Rest() != 0 {
+		return fmt.Errorf("cloud: %d trailing bytes after wire message", d.Rest())
+	}
+	return nil
+}
+
+func appendDiscoverResponse(e *trace.BinaryEncoder, m *DiscoverPlacesResponse) {
+	e.Uvarint(uint64(len(m.Places)))
+	for i := range m.Places {
+		p := &m.Places[i]
+		e.Varint(int64(p.ID))
+		appendCells(e, p.Signature)
+		appendCells(e, p.Cells)
+		e.Uvarint(uint64(len(p.Visits)))
+		for _, v := range p.Visits {
+			e.Time(v.Arrive)
+			e.Time(v.Depart)
+		}
+		e.String(p.Label)
+	}
+	e.Varint(m.TraceLen)
+	e.Fixed64(m.TraceHash)
+}
+
+func decodeDiscoverResponse(d *trace.BinaryDecoder, m *DiscoverPlacesResponse) {
+	n := d.Uvarint()
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		var p PlaceWire
+		p.ID = int(d.Varint())
+		p.Signature = decodeCells(d)
+		p.Cells = decodeCells(d)
+		nv := d.Uvarint()
+		for j := uint64(0); j < nv && d.Err() == nil; j++ {
+			var v VisitWire
+			v.Arrive = d.Time()
+			v.Depart = d.Time()
+			p.Visits = append(p.Visits, v)
+		}
+		p.Label = d.String()
+		if d.Err() == nil {
+			m.Places = append(m.Places, p)
+		}
+	}
+	m.TraceLen = d.Varint()
+	m.TraceHash = d.Fixed64()
+}
+
+func appendStreamResult(e *trace.BinaryEncoder, m *StreamResult) {
+	e.Varint(m.TraceLen)
+	e.Fixed64(m.TraceHash)
+	e.Uvarint(uint64(m.Appended))
+	e.Uvarint(uint64(m.Events))
+}
+
+// appendCells encodes a cell list with per-field deltas against the previous
+// cell in the list (a place signature's cells share MCC/MNC and usually LAC,
+// so most entries cost a few bytes).
+func appendCells(e *trace.BinaryEncoder, cells []world.CellID) {
+	e.Uvarint(uint64(len(cells)))
+	var prev world.CellID
+	for _, c := range cells {
+		e.Varint(int64(c.MCC - prev.MCC))
+		e.Varint(int64(c.MNC - prev.MNC))
+		e.Varint(int64(c.LAC - prev.LAC))
+		e.Varint(int64(c.CID - prev.CID))
+		prev = c
+	}
+}
+
+func decodeCells(d *trace.BinaryDecoder) []world.CellID {
+	n := d.Uvarint()
+	if d.Err() != nil || n == 0 {
+		return nil
+	}
+	out := make([]world.CellID, 0, min(int(n), d.Rest()/4+1))
+	var prev world.CellID
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		var c world.CellID
+		c.MCC = prev.MCC + int(d.Varint())
+		c.MNC = prev.MNC + int(d.Varint())
+		c.LAC = prev.LAC + int(d.Varint())
+		c.CID = prev.CID + int(d.Varint())
+		if d.Err() != nil {
+			return nil
+		}
+		prev = c
+		out = append(out, c)
+	}
+	return out
+}
+
+// wireTimeChain delta-encodes a run of timestamps that are overwhelmingly
+// whole seconds (profile visits, route uses, encounters): when both the
+// previous and current instant sit on a second boundary the delta travels at
+// seconds scale — a working day is three varint bytes instead of seven at
+// nanoseconds scale — with a per-value flag falling back to nanoseconds for
+// anything finer. Each profile body gets its own chain, so range entries
+// decode independently of their neighbours.
+type wireTimeChain struct{ lastNs int64 }
+
+func (c *wireTimeChain) put(e *trace.BinaryEncoder, t time.Time) {
+	ns := t.UnixNano()
+	if ns%int64(time.Second) == 0 && c.lastNs%int64(time.Second) == 0 {
+		e.Bool(true)
+		e.Varint((ns - c.lastNs) / int64(time.Second))
+	} else {
+		e.Bool(false)
+		e.Varint(ns - c.lastNs)
+	}
+	c.lastNs = ns
+}
+
+func (c *wireTimeChain) get(d *trace.BinaryDecoder) time.Time {
+	seconds := d.Bool()
+	delta := d.Varint()
+	if seconds {
+		delta *= int64(time.Second)
+	}
+	c.lastNs += delta
+	return time.Unix(0, c.lastNs).UTC()
+}
+
+// appendProfileBody encodes one day profile.
+func appendProfileBody(e *trace.BinaryEncoder, p *profile.DayProfile) {
+	var tc wireTimeChain
+	e.String(p.UserID)
+	e.String(p.Date)
+	e.Uvarint(uint64(len(p.Places)))
+	for i := range p.Places {
+		v := &p.Places[i]
+		e.String(v.PlaceID)
+		e.String(v.Label)
+		tc.put(e, v.Arrive)
+		tc.put(e, v.Depart)
+	}
+	e.Uvarint(uint64(len(p.Routes)))
+	for i := range p.Routes {
+		r := &p.Routes[i]
+		e.String(r.RouteID)
+		tc.put(e, r.Start)
+		tc.put(e, r.End)
+	}
+	e.Uvarint(uint64(len(p.Contacts)))
+	for i := range p.Contacts {
+		c := &p.Contacts[i]
+		e.String(c.ContactID)
+		e.String(c.PlaceID)
+		tc.put(e, c.Start)
+		tc.put(e, c.End)
+	}
+	e.Bool(p.Activity != nil)
+	if p.Activity != nil {
+		e.Varint(int64(p.Activity.MovingMinutes))
+		e.Varint(int64(p.Activity.StillMinutes))
+	}
+}
+
+func decodeProfileBody(d *trace.BinaryDecoder, p *profile.DayProfile) {
+	var tc wireTimeChain
+	p.UserID = d.String()
+	p.Date = d.String()
+	np := d.Uvarint()
+	for i := uint64(0); i < np && d.Err() == nil; i++ {
+		var v profile.PlaceVisit
+		v.PlaceID = d.String()
+		v.Label = d.String()
+		v.Arrive = tc.get(d)
+		v.Depart = tc.get(d)
+		p.Places = append(p.Places, v)
+	}
+	nr := d.Uvarint()
+	for i := uint64(0); i < nr && d.Err() == nil; i++ {
+		var r profile.RouteUse
+		r.RouteID = d.String()
+		r.Start = tc.get(d)
+		r.End = tc.get(d)
+		p.Routes = append(p.Routes, r)
+	}
+	nc := d.Uvarint()
+	for i := uint64(0); i < nc && d.Err() == nil; i++ {
+		var c profile.Encounter
+		c.ContactID = d.String()
+		c.PlaceID = d.String()
+		c.Start = tc.get(d)
+		c.End = tc.get(d)
+		p.Contacts = append(p.Contacts, c)
+	}
+	if d.Bool() {
+		p.Activity = &profile.ActivitySummary{
+			MovingMinutes: int(d.Varint()),
+			StillMinutes:  int(d.Varint()),
+		}
+	}
+}
+
+// --- framing for streamed bodies ------------------------------------------
+
+// appendWireFrame frames one payload: uvarint length, CRC-32 IEEE of the
+// payload (little-endian), payload.
+func appendWireFrame(dst, payload []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	return append(dst, payload...)
+}
+
+// wireFrameEnd is the explicit end-of-frames marker: a zero length. A stream
+// that ends without it was truncated — that is the point.
+var wireFrameEnd = []byte{0}
+
+// readWireFrame reads one frame into *scratch (grown as needed, reused
+// across calls). Returns io.EOF cleanly at end-of-stream before any length
+// byte, errFrameEnd on the explicit end marker, errWireTruncated when the
+// stream dies mid-frame.
+func readWireFrame(br *bufio.Reader, scratch *[]byte) ([]byte, error) {
+	size, err := binary.ReadUvarint(br)
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, errWireTruncated
+		}
+		return nil, err
+	}
+	if size == 0 {
+		return nil, errFrameEnd
+	}
+	if size > maxWireFrame {
+		return nil, fmt.Errorf("cloud: frame of %d bytes exceeds limit", size)
+	}
+	var crcb [4]byte
+	if _, err := io.ReadFull(br, crcb[:]); err != nil {
+		return nil, frameReadErr(err)
+	}
+	buf := *scratch
+	if uint64(cap(buf)) < size {
+		buf = make([]byte, size)
+		*scratch = buf
+	}
+	buf = buf[:size]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, frameReadErr(err)
+	}
+	if crc := crc32.ChecksumIEEE(buf); crc != binary.LittleEndian.Uint32(crcb[:]) {
+		return nil, errors.New("cloud: frame CRC mismatch")
+	}
+	return buf, nil
+}
+
+// frameReadErr maps mid-frame read failures to errWireTruncated while
+// letting policy errors (http.MaxBytesError) through for 413 handling.
+func frameReadErr(err error) error {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return err
+	}
+	if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+		return errWireTruncated
+	}
+	return err
+}

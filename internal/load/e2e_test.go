@@ -192,6 +192,85 @@ func TestE2ESubscribers(t *testing.T) {
 	}
 }
 
+// TestE2EWireCodecDelta runs the same workload twice — once per wire codec —
+// and pins the knob end to end: identical schedules, clean runs on both, the
+// report's wire sections naming the codec each run actually spoke (no 415
+// fallbacks against our own server), the server's pci_wire_encoding_total
+// family agreeing, and the binary run moving strictly fewer body bytes.
+func TestE2EWireCodecDelta(t *testing.T) {
+	mkSpec := func(wire string) *Spec {
+		s := e2eSpec()
+		s.Name = "e2e-wire"
+		s.Users = 8
+		s.Concurrency = 4
+		s.DurationSec = 8
+		s.RouteMix = map[string]float64{
+			RouteDiscover:     0.25,
+			RouteObsStream:    0.15,
+			RouteProfilePut:   0.20,
+			RoutePlacesGet:    0.20,
+			RouteProfileRange: 0.20,
+		}
+		s.Wire = wire
+		return s
+	}
+
+	repJSON, traceJSON, _, afterJSON, _ := runOnce(t, mkSpec(""), 21)
+	repBin, traceBin, beforeBin, afterBin, _ := runOnce(t, mkSpec("bin"), 21)
+
+	for name, rep := range map[string]*Report{"json": repJSON, "bin": repBin} {
+		if err := rep.Check(); err != nil {
+			t.Fatalf("%s report malformed: %v", name, err)
+		}
+		if main := rep.Measured.Main; main.OK != main.Requests {
+			t.Fatalf("%s run not clean: ok=%d of %d", name, main.OK, main.Requests)
+		}
+	}
+
+	// The wire knob must not perturb the workload: same seed, same request
+	// sequence. Only the traces' header lines may differ (they stamp the
+	// spec hash, and the codec is part of the spec's identity).
+	stripHeader := func(trace []byte) []byte {
+		_, rest, _ := bytes.Cut(trace, []byte("\n"))
+		return rest
+	}
+	if !bytes.Equal(stripHeader(traceJSON), stripHeader(traceBin)) {
+		t.Fatal("request sequences differ between codecs: wire leaked into the schedule")
+	}
+
+	wj, wb := repJSON.Measured.Wire, repBin.Measured.Wire
+	if wj == nil || wb == nil {
+		t.Fatal("missing measured wire section")
+	}
+	if wj.Codec != "json" || repJSON.Workload.Wire != "json" {
+		t.Errorf("json run reported codec %q / workload %q", wj.Codec, repJSON.Workload.Wire)
+	}
+	if wb.Codec != "bin" || repBin.Workload.Wire != "bin" {
+		t.Errorf("bin run reported codec %q / workload %q", wb.Codec, repBin.Workload.Wire)
+	}
+	if wb.JSONFallbacks != 0 {
+		t.Errorf("bin run downgraded %d clients to JSON against a binary-capable server", wb.JSONFallbacks)
+	}
+
+	// The codec delta the report exists to surface: binary moves fewer bytes
+	// in both directions under the identical request sequence.
+	if wb.BytesSent >= wj.BytesSent {
+		t.Errorf("binary sent %d bytes >= json %d", wb.BytesSent, wj.BytesSent)
+	}
+	if wb.BytesReceived >= wj.BytesReceived {
+		t.Errorf("binary received %d bytes >= json %d", wb.BytesReceived, wj.BytesReceived)
+	}
+
+	// Server-side agreement: the json run negotiated no binary responses,
+	// the bin run negotiated binary ones.
+	if n := afterJSON.Counters[obs.Labeled("pci_wire_encoding_total", "codec", "bin")]; n != 0 {
+		t.Errorf("json run produced %d binary-encoded responses", n)
+	}
+	if d := afterBin.CounterDelta(beforeBin, obs.Labeled("pci_wire_encoding_total", "codec", "bin")); d == 0 {
+		t.Error("bin run produced no binary-encoded responses server-side")
+	}
+}
+
 // TestE2EDeterministicReplay is the acceptance criterion: two full runs with
 // the same seed and spec — fresh server, fresh store, fresh runner — produce
 // byte-identical request traces and identical reports modulo wall-clock

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/cloud"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/simclock"
 )
@@ -50,9 +51,14 @@ type RunnerConfig struct {
 // Clients run with retries disabled: a retry would hide exactly the 5xx/429
 // signal the report exists to measure.
 type Runner struct {
-	cfg RunnerConfig
-	key Key
-	pop *Population
+	cfg  RunnerConfig
+	key  Key
+	pop  *Population
+	wire cloud.WireCodec
+	// clientReg collects every harness client's client_* families in one
+	// run-private registry, so the report can sum wire bytes across the
+	// population without touching the process-wide default registry.
+	clientReg *obs.Registry
 
 	mu    sync.Mutex
 	users map[int]*userState
@@ -81,12 +87,18 @@ func NewRunner(cfg RunnerConfig) (*Runner, error) {
 	if cfg.HTTP == nil {
 		cfg.HTTP = http.DefaultClient
 	}
+	wire, err := cloud.ParseWireCodec(cfg.Spec.Wire)
+	if err != nil {
+		return nil, err
+	}
 	key := Key{Seed: cfg.Seed}
 	return &Runner{
-		cfg:   cfg,
-		key:   key,
-		pop:   NewPopulation(cfg.Spec, key),
-		users: make(map[int]*userState),
+		cfg:       cfg,
+		key:       key,
+		pop:       NewPopulation(cfg.Spec, key),
+		wire:      wire,
+		clientReg: obs.NewRegistry(),
+		users:     make(map[int]*userState),
 	}, nil
 }
 
@@ -132,6 +144,7 @@ func (r *Runner) Run() (*Report, error) {
 			Requests:           uint64(len(main.Requests)),
 			RouteCounts:        main.RouteCounts(),
 			TraceHash:          fmt.Sprintf("%016x", main.Hash()),
+			Wire:               r.wire.String(),
 		},
 		Measured: MeasuredReport{
 			RecordedAt: time.Now().UTC().Format(time.RFC3339),
@@ -173,10 +186,24 @@ func (r *Runner) Run() (*Report, error) {
 			return nil, err
 		}
 	}
+	report.Measured.Wire = r.wireReport()
+	r.logf("wire: %s codec, %d bytes sent, %d bytes received, %d json fallbacks",
+		report.Measured.Wire.Codec, report.Measured.Wire.BytesSent,
+		report.Measured.Wire.BytesReceived, report.Measured.Wire.JSONFallbacks)
 	if err := report.Check(); err != nil {
 		return nil, err
 	}
 	return report, nil
+}
+
+// wireReport sums the run's client-side wire counters.
+func (r *Runner) wireReport() *WireReport {
+	return &WireReport{
+		Codec:         r.wire.String(),
+		BytesSent:     r.clientReg.Counter("client_wire_bytes_sent_total").Value(),
+		BytesReceived: r.clientReg.Counter("client_wire_bytes_received_total").Value(),
+		JSONFallbacks: r.clientReg.Counter("client_wire_json_fallbacks_total").Value(),
+	}
 }
 
 // runRamp performs the saturation search: geometric rate steps, each its own
@@ -333,7 +360,9 @@ func (r *Runner) perform(req Request, rec *Recorder) error {
 	if st.client == nil {
 		_, imei, email := UserIdentity(req.User)
 		st.client = cloud.NewClient(r.cfg.BaseURL, imei, email, r.cfg.HTTP,
-			cloud.WithRetryPolicy(cloud.RetryPolicy{MaxAttempts: 1, PerTryTimeout: 30 * time.Second}))
+			cloud.WithRetryPolicy(cloud.RetryPolicy{MaxAttempts: 1, PerTryTimeout: 30 * time.Second}),
+			cloud.WithWireCodec(r.wire),
+			cloud.WithClientMetrics(r.clientReg))
 	}
 
 	t0 := time.Now()

@@ -47,6 +47,9 @@ type WorkloadReport struct {
 	// TraceHash is the FNV-64a of the canonical request trace (hex) — the
 	// byte-for-byte reproducibility stamp.
 	TraceHash string `json:"trace_hash"`
+	// Wire is the canonical name of the client codec the run drove
+	// ("json" or "bin") — deterministic because it comes from the spec.
+	Wire string `json:"wire"`
 }
 
 // MeasuredReport is the wall-clock half.
@@ -67,6 +70,22 @@ type MeasuredReport struct {
 	// Events is the SSE subscriber side-channel, present when the spec ran
 	// one (it spans the main phase only).
 	Events *EventsReport `json:"events,omitempty"`
+	// Wire sums the clients' wire traffic over the whole run (main phase
+	// plus any ramp steps). Two runs of the same spec differing only in
+	// the wire knob give the codec's byte delta under identical load.
+	Wire *WireReport `json:"wire,omitempty"`
+}
+
+// WireReport is the client-side wire accounting: which codec the harness
+// spoke and how many body bytes crossed the wire in each direction, summed
+// across every simulated user's client. JSONFallbacks counts clients a 415
+// downgraded to JSON — nonzero against a binary-capable server means the
+// run did not measure the codec it claims.
+type WireReport struct {
+	Codec         string `json:"codec"`
+	BytesSent     uint64 `json:"bytes_sent"`
+	BytesReceived uint64 `json:"bytes_received"`
+	JSONFallbacks uint64 `json:"json_fallbacks,omitempty"`
 }
 
 // EventsReport is the delivery half of a run with subscribers: what the
@@ -233,6 +252,14 @@ func (r *Report) Check() error {
 	for i := range r.Measured.Ramp {
 		if err := checkStep(&r.Measured.Ramp[i].Result, fmt.Sprintf("ramp[%d]", i)); err != nil {
 			return err
+		}
+	}
+	if mw := r.Measured.Wire; mw != nil {
+		if r.Workload.Wire != "" && mw.Codec != r.Workload.Wire {
+			return fmt.Errorf("report: measured wire codec %q != workload %q", mw.Codec, r.Workload.Wire)
+		}
+		if r.Measured.Main.Requests > 0 && mw.BytesSent == 0 {
+			return fmt.Errorf("report: %d requests executed but zero wire bytes sent", r.Measured.Main.Requests)
 		}
 	}
 	if ev := r.Measured.Events; ev != nil {

@@ -6,6 +6,8 @@ import (
 	"hash/fnv"
 	"os"
 	"sort"
+
+	"repro/internal/cloud"
 )
 
 // Harness route names. These are the units of the spec's route mix and of
@@ -118,6 +120,12 @@ type Spec struct {
 	// RouteMix weights the non-register routes. Weights are relative;
 	// unknown route names are rejected.
 	RouteMix map[string]float64 `json:"route_mix"`
+	// Wire selects the client codec every harness client speaks: "json"
+	// (the default, and what the empty string means) or "bin"/"binary" for
+	// the negotiated application/x-pmware-bin wire format (DESIGN.md §14).
+	// Identical specs differing only in wire are the codec A/B comparison:
+	// same schedule, same payloads, different encoding.
+	Wire string `json:"wire,omitempty"`
 
 	// World/population shape.
 
@@ -271,6 +279,9 @@ func (s *Spec) Validate() error {
 	}
 	if total <= 0 {
 		return fmt.Errorf("route_mix: weights sum to zero")
+	}
+	if _, err := cloud.ParseWireCodec(s.Wire); err != nil {
+		return fmt.Errorf("wire: must be \"json\" or \"bin\", got %q", s.Wire)
 	}
 	if s.ExtentMeters <= 0 {
 		return fmt.Errorf("extent_meters must be positive")

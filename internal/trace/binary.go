@@ -1,0 +1,557 @@
+package trace
+
+// Binary trace codec — the compact counterpart of the JSON-lines codec in
+// codec.go, and the primitive layer for the cloud wire format (DESIGN.md
+// §14). Two things live here:
+//
+//  1. BinaryEncoder/BinaryDecoder: append-style varint primitives over a
+//     caller-owned []byte, so hot paths can encode into pooled buffers with
+//     zero allocation. Timestamps are delta-chained (zigzag varint of the
+//     UnixNano difference from the previous Time written through the same
+//     encoder), which collapses a periodic trace's ~19-digit nanosecond
+//     stamps into 2-5 bytes each.
+//
+//  2. A framed binary file format for Bundle: magic + version, then one
+//     length-prefixed CRC-checked record per observation/scan/fix/sample,
+//     reusing the framing idiom of internal/storage's WAL (length, CRC-32
+//     IEEE of the payload, payload). Every record is self-contained so a
+//     truncated file fails cleanly at a record boundary.
+//
+// Decoded timestamps are rebuilt with time.Unix(0, ns).UTC(): the binary
+// form carries the instant, not the zone. Trace hashing and delta-sync
+// cursors depend only on UnixNano, so round-tripping through this codec
+// preserves them exactly.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/world"
+)
+
+// BinaryVersion is the current binary trace format version, written after
+// the magic and checked on read.
+const BinaryVersion = 1
+
+// binaryMagic opens every binary trace file.
+var binaryMagic = [4]byte{'P', 'M', 'T', 'B'}
+
+// maxBinaryRecord bounds a single framed record; anything larger is treated
+// as corruption, mirroring storage.MaxRecordSize.
+const maxBinaryRecord = 16 << 20
+
+// ErrTruncated reports binary input that ended mid-value or mid-record.
+var ErrTruncated = errors.New("trace: truncated binary data")
+
+// record kind bytes for the framed bundle format.
+const (
+	binKindGSM      byte = 1
+	binKindWiFi     byte = 2
+	binKindGPS      byte = 3
+	binKindActivity byte = 4
+)
+
+// BinaryEncoder appends varint-packed primitives to Buf. The zero value is
+// ready to use; set Buf to a recycled slice to encode without allocating.
+type BinaryEncoder struct {
+	Buf []byte
+
+	lastNs int64 // delta chain for Time
+}
+
+// Reset points the encoder at buf (truncated to zero length) and restarts
+// the timestamp delta chain.
+func (e *BinaryEncoder) Reset(buf []byte) {
+	e.Buf = buf[:0]
+	e.lastNs = 0
+}
+
+// ResetChain restarts the timestamp delta chain without touching Buf. Call
+// it at frame boundaries so each frame decodes independently.
+func (e *BinaryEncoder) ResetChain() { e.lastNs = 0 }
+
+// Byte appends one raw byte.
+func (e *BinaryEncoder) Byte(b byte) { e.Buf = append(e.Buf, b) }
+
+// Uvarint appends v in LEB128.
+func (e *BinaryEncoder) Uvarint(v uint64) { e.Buf = binary.AppendUvarint(e.Buf, v) }
+
+// Varint appends v zigzag-encoded.
+func (e *BinaryEncoder) Varint(v int64) { e.Buf = binary.AppendVarint(e.Buf, v) }
+
+// Fixed32 appends v as 4 little-endian bytes.
+func (e *BinaryEncoder) Fixed32(v uint32) { e.Buf = binary.LittleEndian.AppendUint32(e.Buf, v) }
+
+// Fixed64 appends v as 8 little-endian bytes.
+func (e *BinaryEncoder) Fixed64(v uint64) { e.Buf = binary.LittleEndian.AppendUint64(e.Buf, v) }
+
+// Float64 appends the IEEE-754 bit pattern of f as a Fixed64.
+func (e *BinaryEncoder) Float64(f float64) { e.Fixed64(math.Float64bits(f)) }
+
+// Bool appends 1 or 0.
+func (e *BinaryEncoder) Bool(b bool) {
+	if b {
+		e.Buf = append(e.Buf, 1)
+	} else {
+		e.Buf = append(e.Buf, 0)
+	}
+}
+
+// String appends a uvarint length followed by the raw bytes.
+func (e *BinaryEncoder) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.Buf = append(e.Buf, s...)
+}
+
+// Time appends t as a zigzag varint delta of UnixNano from the previous
+// Time written (absolute on the first write after Reset/ResetChain).
+func (e *BinaryEncoder) Time(t time.Time) {
+	ns := t.UnixNano()
+	e.Varint(ns - e.lastNs)
+	e.lastNs = ns
+}
+
+// BinaryDecoder consumes values appended by BinaryEncoder. Errors are
+// sticky: after the first failure every read returns the zero value and
+// Err reports the cause, so call sites can decode a whole message and check
+// once at the end.
+type BinaryDecoder struct {
+	buf    []byte
+	off    int
+	lastNs int64
+	err    error
+}
+
+// NewBinaryDecoder returns a decoder over b.
+func NewBinaryDecoder(b []byte) *BinaryDecoder { return &BinaryDecoder{buf: b} }
+
+// Err returns the first decode failure, or nil.
+func (d *BinaryDecoder) Err() error { return d.err }
+
+// Rest returns the number of unconsumed bytes.
+func (d *BinaryDecoder) Rest() int { return len(d.buf) - d.off }
+
+// ResetChain restarts the timestamp delta chain (frame boundary).
+func (d *BinaryDecoder) ResetChain() { d.lastNs = 0 }
+
+func (d *BinaryDecoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+// Byte reads one raw byte.
+func (d *BinaryDecoder) Byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.fail(ErrTruncated)
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+// Uvarint reads a LEB128 value.
+func (d *BinaryDecoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		if n == 0 {
+			d.fail(ErrTruncated)
+		} else {
+			d.fail(errors.New("trace: uvarint overflow"))
+		}
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Varint reads a zigzag value.
+func (d *BinaryDecoder) Varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		if n == 0 {
+			d.fail(ErrTruncated)
+		} else {
+			d.fail(errors.New("trace: varint overflow"))
+		}
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Fixed32 reads 4 little-endian bytes.
+func (d *BinaryDecoder) Fixed32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if d.Rest() < 4 {
+		d.fail(ErrTruncated)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+// Fixed64 reads 8 little-endian bytes.
+func (d *BinaryDecoder) Fixed64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.Rest() < 8 {
+		d.fail(ErrTruncated)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+// Float64 reads an IEEE-754 bit pattern.
+func (d *BinaryDecoder) Float64() float64 { return math.Float64frombits(d.Fixed64()) }
+
+// Bool reads a 1/0 byte; anything else is a format error.
+func (d *BinaryDecoder) Bool() bool {
+	switch b := d.Byte(); b {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail(fmt.Errorf("trace: bad bool byte 0x%02x", b))
+		return false
+	}
+}
+
+// String reads a length-prefixed string.
+func (d *BinaryDecoder) String() string {
+	n := d.Uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(d.Rest()) {
+		d.fail(ErrTruncated)
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// Time reads a delta-chained timestamp; the result is in UTC.
+func (d *BinaryDecoder) Time() time.Time {
+	ns := d.lastNs + d.Varint()
+	if d.err != nil {
+		return time.Time{}
+	}
+	d.lastNs = ns
+	return time.Unix(0, ns).UTC()
+}
+
+// AppendObservations encodes a GSM observation block: a uvarint count, then
+// per observation a delta-chained timestamp, zigzag deltas of the four cell
+// fields against the previous observation's cell (a stationary handset
+// costs 4 zero bytes per reading), and the fixed-8-byte signal. The block
+// shares e's timestamp chain, so decode blocks in write order or reset the
+// chain per block.
+func AppendObservations(e *BinaryEncoder, obs []GSMObservation) {
+	e.Uvarint(uint64(len(obs)))
+	var prev world.CellID
+	for i := range obs {
+		o := &obs[i]
+		e.Time(o.At)
+		e.Varint(int64(o.Cell.MCC - prev.MCC))
+		e.Varint(int64(o.Cell.MNC - prev.MNC))
+		e.Varint(int64(o.Cell.LAC - prev.LAC))
+		e.Varint(int64(o.Cell.CID - prev.CID))
+		e.Float64(o.SignalDBM)
+		prev = o.Cell
+	}
+}
+
+// DecodeObservations decodes one observation block. An empty block decodes
+// to nil. On malformed input it returns nil and leaves the error on d.
+func DecodeObservations(d *BinaryDecoder) []GSMObservation {
+	n := d.Uvarint()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	// The count is attacker-controlled; size the initial allocation by what
+	// the remaining bytes could plausibly hold (>= 14 bytes per observation)
+	// and let append grow it if the data is real.
+	capHint := min(int(n), d.Rest()/14+1)
+	out := make([]GSMObservation, 0, capHint)
+	var prev world.CellID
+	for i := uint64(0); i < n; i++ {
+		var o GSMObservation
+		o.At = d.Time()
+		o.Cell.MCC = prev.MCC + int(d.Varint())
+		o.Cell.MNC = prev.MNC + int(d.Varint())
+		o.Cell.LAC = prev.LAC + int(d.Varint())
+		o.Cell.CID = prev.CID + int(d.Varint())
+		o.SignalDBM = d.Float64()
+		if d.err != nil {
+			return nil
+		}
+		prev = o.Cell
+		out = append(out, o)
+	}
+	return out
+}
+
+// BinaryWriter streams trace records in the framed binary format. It mirrors
+// Writer's API so generators can target either codec.
+type BinaryWriter struct {
+	w           *bufio.Writer
+	enc         BinaryEncoder
+	head        [binary.MaxVarintLen64 + 4]byte
+	wroteHeader bool
+}
+
+// NewBinaryWriter wraps w. The magic/version header is written lazily with
+// the first record.
+func NewBinaryWriter(w io.Writer) *BinaryWriter {
+	return &BinaryWriter{w: bufio.NewWriter(w)}
+}
+
+func (bw *BinaryWriter) record(fill func(e *BinaryEncoder)) error {
+	if !bw.wroteHeader {
+		if _, err := bw.w.Write(binaryMagic[:]); err != nil {
+			return err
+		}
+		if err := bw.w.WriteByte(BinaryVersion); err != nil {
+			return err
+		}
+		bw.wroteHeader = true
+	}
+	bw.enc.Reset(bw.enc.Buf)
+	fill(&bw.enc)
+	payload := bw.enc.Buf
+	n := binary.PutUvarint(bw.head[:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(bw.head[n:], crc32.ChecksumIEEE(payload))
+	if _, err := bw.w.Write(bw.head[:n+4]); err != nil {
+		return err
+	}
+	_, err := bw.w.Write(payload)
+	return err
+}
+
+// WriteGSM emits one GSM observation record.
+func (bw *BinaryWriter) WriteGSM(o GSMObservation) error {
+	return bw.record(func(e *BinaryEncoder) {
+		e.Byte(binKindGSM)
+		e.Time(o.At)
+		e.Varint(int64(o.Cell.MCC))
+		e.Varint(int64(o.Cell.MNC))
+		e.Varint(int64(o.Cell.LAC))
+		e.Varint(int64(o.Cell.CID))
+		e.Float64(o.SignalDBM)
+	})
+}
+
+// WriteWiFi emits one scan record.
+func (bw *BinaryWriter) WriteWiFi(s WiFiScan) error {
+	return bw.record(func(e *BinaryEncoder) {
+		e.Byte(binKindWiFi)
+		e.Time(s.At)
+		e.Uvarint(uint64(len(s.APs)))
+		for _, ap := range s.APs {
+			e.String(ap.BSSID)
+			e.String(ap.SSID)
+			e.Float64(ap.RSSIDBM)
+		}
+	})
+}
+
+// WriteGPS emits one fix record.
+func (bw *BinaryWriter) WriteGPS(f GPSFix) error {
+	return bw.record(func(e *BinaryEncoder) {
+		e.Byte(binKindGPS)
+		e.Time(f.At)
+		e.Float64(f.Pos.Lat)
+		e.Float64(f.Pos.Lng)
+		e.Float64(f.AccuracyMeters)
+		e.Bool(f.Valid)
+	})
+}
+
+// WriteActivity emits one activity-sample record.
+func (bw *BinaryWriter) WriteActivity(a ActivitySample) error {
+	return bw.record(func(e *BinaryEncoder) {
+		e.Byte(binKindActivity)
+		e.Time(a.At)
+		e.Bool(a.Moving)
+	})
+}
+
+// Flush writes buffered output (including the header, if no record was
+// ever written).
+func (bw *BinaryWriter) Flush() error {
+	if !bw.wroteHeader {
+		if _, err := bw.w.Write(binaryMagic[:]); err != nil {
+			return err
+		}
+		if err := bw.w.WriteByte(BinaryVersion); err != nil {
+			return err
+		}
+		bw.wroteHeader = true
+	}
+	return bw.w.Flush()
+}
+
+// WriteBinaryBundle streams an entire bundle in the binary format, in the
+// same per-sensor stream order as WriteBundle.
+func WriteBinaryBundle(w io.Writer, b *Bundle) error {
+	bw := NewBinaryWriter(w)
+	for _, o := range b.GSM {
+		if err := bw.WriteGSM(o); err != nil {
+			return err
+		}
+	}
+	for _, s := range b.WiFi {
+		if err := bw.WriteWiFi(s); err != nil {
+			return err
+		}
+	}
+	for _, f := range b.GPS {
+		if err := bw.WriteGPS(f); err != nil {
+			return err
+		}
+	}
+	for _, a := range b.Activity {
+		if err := bw.WriteActivity(a); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a framed binary trace stream into a Bundle. Unknown
+// record kinds are an error (version mismatch, not noise), as are CRC
+// mismatches and truncated records.
+func ReadBinary(r io.Reader) (*Bundle, error) {
+	br := bufio.NewReader(r)
+	var head [5]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil {
+		return nil, fmt.Errorf("trace: binary header: %w", errors.Join(ErrTruncated, err))
+	}
+	if [4]byte(head[:4]) != binaryMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", head[:4])
+	}
+	if head[4] != BinaryVersion {
+		return nil, fmt.Errorf("trace: unsupported binary version %d", head[4])
+	}
+
+	b := &Bundle{}
+	var payload []byte
+	for rec := 1; ; rec++ {
+		size, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			return b, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", rec, ErrTruncated)
+		}
+		if size > maxBinaryRecord {
+			return nil, fmt.Errorf("trace: record %d: size %d exceeds limit", rec, size)
+		}
+		var crcb [4]byte
+		if _, err := io.ReadFull(br, crcb[:]); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", rec, ErrTruncated)
+		}
+		if uint64(cap(payload)) < size {
+			payload = make([]byte, size)
+		}
+		payload = payload[:size]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", rec, ErrTruncated)
+		}
+		if crc := crc32.ChecksumIEEE(payload); crc != binary.LittleEndian.Uint32(crcb[:]) {
+			return nil, fmt.Errorf("trace: record %d: CRC mismatch", rec)
+		}
+		if err := decodeBinaryRecord(payload, b); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", rec, err)
+		}
+	}
+}
+
+func decodeBinaryRecord(payload []byte, b *Bundle) error {
+	d := NewBinaryDecoder(payload)
+	kind := d.Byte()
+	at := d.Time()
+	switch kind {
+	case binKindGSM:
+		var o GSMObservation
+		o.At = at
+		o.Cell.MCC = int(d.Varint())
+		o.Cell.MNC = int(d.Varint())
+		o.Cell.LAC = int(d.Varint())
+		o.Cell.CID = int(d.Varint())
+		o.SignalDBM = d.Float64()
+		if d.err == nil {
+			b.GSM = append(b.GSM, o)
+		}
+	case binKindWiFi:
+		s := WiFiScan{At: at}
+		n := d.Uvarint()
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			var ap WiFiReading
+			ap.BSSID = d.String()
+			ap.SSID = d.String()
+			ap.RSSIDBM = d.Float64()
+			if d.err == nil {
+				s.APs = append(s.APs, ap)
+			}
+		}
+		if d.err == nil {
+			b.WiFi = append(b.WiFi, s)
+		}
+	case binKindGPS:
+		f := GPSFix{At: at}
+		f.Pos.Lat = d.Float64()
+		f.Pos.Lng = d.Float64()
+		f.AccuracyMeters = d.Float64()
+		f.Valid = d.Bool()
+		if d.err == nil {
+			b.GPS = append(b.GPS, f)
+		}
+	case binKindActivity:
+		a := ActivitySample{At: at}
+		a.Moving = d.Bool()
+		if d.err == nil {
+			b.Activity = append(b.Activity, a)
+		}
+	default:
+		if d.err == nil {
+			return fmt.Errorf("unknown kind 0x%02x", kind)
+		}
+	}
+	return d.Err()
+}
+
+// ReadAuto sniffs the stream and dispatches to ReadBinary when it opens with
+// the binary magic, Read (JSON lines) otherwise.
+func ReadAuto(r io.Reader) (*Bundle, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(4)
+	if err == nil && [4]byte(head) == binaryMagic {
+		return ReadBinary(br)
+	}
+	return Read(br)
+}

@@ -104,15 +104,15 @@ type Bundle struct {
 func Read(r io.Reader) (*Bundle, error) {
 	b := &Bundle{}
 	dec := json.NewDecoder(bufio.NewReader(r))
-	line := 0
-	for {
+	// line is the 1-based number of the record currently being read; both
+	// error paths below must report it, not the previous record's number.
+	for line := 1; ; line++ {
 		var rec Record
 		if err := dec.Decode(&rec); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("trace: record %d: %w", line+1, err)
+			return nil, fmt.Errorf("trace: record %d: %w", line, err)
 		}
-		line++
 		switch rec.Kind {
 		case "gsm":
 			b.GSM = append(b.GSM, GSMObservation{
