@@ -32,6 +32,14 @@
 // Last-Event-ID), -event-history the per-user replay ring backing resume,
 // and -event-heartbeat the SSE keep-alive period on idle subscriptions.
 //
+// Clustering: -cluster lists the members as id=url pairs and -node-id names
+// this node's entry; the node then partitions users over the consistent-hash
+// ring, ships its WAL to the ring-assigned follower, and gates client
+// requests on ownership (see DESIGN.md §15). -repl-dir holds the stream
+// epoch and replication cursors, and -coord runs the embedded coordinator —
+// exactly one node per cluster should pass it — which health-probes the
+// members and pushes failover ring versions.
+//
 // The legacy -store JSON file, when given, is loaded on startup (if present)
 // and saved on SIGINT/SIGTERM; it can be combined with -data-dir to migrate
 // an old store file into a durable data directory.
@@ -54,10 +62,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/cloud"
+	"repro/internal/cluster"
 	"repro/internal/storage"
 	"repro/internal/world"
 )
@@ -81,6 +92,14 @@ func main() {
 	storePath := flag.String("store", "", "legacy JSON persistence file (optional)")
 	worldSeed := flag.Int64("world-seed", 2014, "seed of the synthetic world for the cell database")
 	extent := flag.Float64("extent", 2600, "world half-extent in meters (must match the simulation)")
+	clusterSpec := flag.String("cluster", "", "cluster membership as comma-separated id=url pairs (e.g. a=http://h1:8080,b=http://h2:8080); empty = single node")
+	nodeID := flag.String("node-id", "", "this node's ID within -cluster")
+	advertiseURL := flag.String("advertise", "", "override this node's advertised base URL (default: its -cluster entry)")
+	replDir := flag.String("repl-dir", "", "replication state directory (stream epoch + cursors); default <data-dir>/repl")
+	shipLinger := flag.Duration("ship-linger", 0, "hold partial replication batches this long to coalesce writers (0 = default, negative = ship immediately)")
+	coord := flag.Bool("coord", false, "run the embedded cluster coordinator on this node (health probes + ring pushes)")
+	coordInterval := flag.Duration("coord-interval", 2*time.Second, "coordinator health probe period")
+	coordFails := flag.Int("coord-fails", 3, "consecutive failed probes before the coordinator promotes a node's follower")
 	flag.Parse()
 
 	var side *sidecar
@@ -99,9 +118,45 @@ func main() {
 	wc.TowerRangeMeters = 800
 	w := world.Generate(wc, rand.New(rand.NewSource(*worldSeed)))
 
-	store, err := openStore(*dataDir, *fsyncMode, *fsyncEvery, *shards, *commitBatch, *commitLinger)
-	if err != nil {
-		log.Fatalf("open store: %v", err)
+	var store *cloud.Store
+	var cnode *cloud.ClusterNode
+	var coordinator *cluster.Coordinator
+	if *clusterSpec != "" {
+		peers, self, err := parseClusterSpec(*clusterSpec, *nodeID, *advertiseURL)
+		if err != nil {
+			log.Fatalf("cluster: %v", err)
+		}
+		storeCfg, err := buildStoreConfig(*dataDir, *fsyncMode, *fsyncEvery, *shards, *commitBatch, *commitLinger)
+		if err != nil {
+			log.Fatalf("open store: %v", err)
+		}
+		rd := *replDir
+		if rd == "" && *dataDir != "" {
+			rd = filepath.Join(*dataDir, "repl")
+		}
+		cnode, err = cloud.NewClusterNode(*dataDir, storeCfg, cloud.ClusterNodeConfig{
+			Self:       self,
+			Peers:      peers,
+			ReplDir:    rd,
+			ShipLinger: *shipLinger,
+			Logf:       log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("cluster node: %v", err)
+		}
+		store = cnode.Store()
+		log.Printf("cluster node %s up (%d members, follower stream armed)", self.ID, len(peers))
+		if *coord {
+			coordinator = cluster.NewCoordinator(peers, cluster.DefaultVNodes, nil, log.Printf)
+			coordinator.StartHealth(*coordInterval, *coordFails)
+			log.Printf("embedded coordinator probing %d members every %s", len(peers), *coordInterval)
+		}
+	} else {
+		var err error
+		store, err = openStore(*dataDir, *fsyncMode, *fsyncEvery, *shards, *commitBatch, *commitLinger)
+		if err != nil {
+			log.Fatalf("open store: %v", err)
+		}
 	}
 	if *storePath != "" {
 		if err := store.Load(*storePath); err == nil {
@@ -120,6 +175,9 @@ func main() {
 	}
 	if *slowReq > 0 {
 		opts = append(opts, cloud.WithSlowRequestLog(*slowReq, nil))
+	}
+	if cnode != nil {
+		opts = append(opts, cloud.WithClusterNode(cnode))
 	}
 	server := cloud.NewServer(store, opts...)
 
@@ -162,6 +220,17 @@ func main() {
 	}
 	// Stop the discovery workers before the store goes away under them.
 	server.Close()
+	if coordinator != nil {
+		coordinator.Stop()
+	}
+	if cnode != nil {
+		// Flush the replication stream and persist exact cursors before the
+		// store closes under the shipper/receiver.
+		if err := cnode.Close(); err != nil {
+			log.Printf("cluster close failed: %v", err)
+			code = 1
+		}
+	}
 	// Close compacts each shard and fsyncs, so the next boot recovers from
 	// snapshots instead of replaying the full logs.
 	if err := store.Close(); err != nil {
@@ -169,6 +238,62 @@ func main() {
 		code = 1
 	}
 	os.Exit(code)
+}
+
+// parseClusterSpec parses "id=url,id=url" into the membership list and
+// resolves this node's own entry.
+func parseClusterSpec(spec, selfID, advertise string) ([]cluster.Node, cluster.Node, error) {
+	if selfID == "" {
+		return nil, cluster.Node{}, fmt.Errorf("-cluster requires -node-id")
+	}
+	var peers []cluster.Node
+	var self cluster.Node
+	found := false
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, u, ok := strings.Cut(part, "=")
+		if !ok || id == "" || u == "" {
+			return nil, cluster.Node{}, fmt.Errorf("bad -cluster entry %q (want id=url)", part)
+		}
+		n := cluster.Node{ID: id, URL: strings.TrimSuffix(u, "/")}
+		if id == selfID {
+			if advertise != "" {
+				n.URL = strings.TrimSuffix(advertise, "/")
+			}
+			self = n
+			found = true
+		}
+		peers = append(peers, n)
+	}
+	if !found {
+		return nil, cluster.Node{}, fmt.Errorf("-node-id %q not present in -cluster", selfID)
+	}
+	if len(peers) < 2 {
+		return nil, cluster.Node{}, fmt.Errorf("-cluster needs at least 2 members (got %d)", len(peers))
+	}
+	return peers, self, nil
+}
+
+// buildStoreConfig assembles the StoreConfig a cluster node opens its store
+// with (dir may be empty for memory-only).
+func buildStoreConfig(dir, fsyncMode string, fsyncEvery time.Duration, shards, commitBatch int, commitLinger time.Duration) (cloud.StoreConfig, error) {
+	cfg := cloud.StoreConfig{
+		Shards:         shards,
+		SyncEvery:      fsyncEvery,
+		CommitMaxBatch: commitBatch,
+		CommitLinger:   commitLinger,
+	}
+	if dir != "" {
+		policy, err := storage.ParseSyncPolicy(fsyncMode)
+		if err != nil {
+			return cloud.StoreConfig{}, err
+		}
+		cfg.Sync = policy
+	}
+	return cfg, nil
 }
 
 // openStore builds the in-memory store or opens (and recovers) a durable one.

@@ -43,6 +43,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strings"
 
 	"repro/internal/cloud"
 	"repro/internal/load"
@@ -52,6 +53,7 @@ func main() {
 	specPath := flag.String("spec", "", "workload spec JSON (default: built-in 1k-user closed-loop spec)")
 	seed := flag.Int64("seed", 1, "master seed; same seed+spec reproduces the run")
 	baseURL := flag.String("base-url", "", "PMWare cloud server to drive (default: self-boot one in-process)")
+	targets := flag.String("targets", "", "comma-separated cluster node base URLs; clients ring-route across them (overrides -base-url)")
 	out := flag.String("out", "", "append the report to this trajectory file (e.g. BENCH_load.json)")
 	reportPath := flag.String("report", "", "also write this run's report alone to a file")
 	tracePath := flag.String("trace", "", "write the canonical main-phase request trace to a file")
@@ -63,14 +65,14 @@ func main() {
 	verbose := flag.Bool("v", false, "log phase progress to stderr")
 	flag.Parse()
 
-	if err := run(*specPath, *seed, *baseURL, *out, *reportPath, *tracePath, *wire,
+	if err := run(*specPath, *seed, *baseURL, *targets, *out, *reportPath, *tracePath, *wire,
 		*discoverWorkers, *discoverQueue, *checkDeterminism, *printSpec, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "pmware-load:", err)
 		os.Exit(1)
 	}
 }
 
-func run(specPath string, seed int64, baseURL, out, reportPath, tracePath, wire string,
+func run(specPath string, seed int64, baseURL, targets, out, reportPath, tracePath, wire string,
 	discoverWorkers, discoverQueue int, checkDeterminism, printSpec, verbose bool) error {
 	spec := load.DefaultSpec()
 	if specPath != "" {
@@ -103,10 +105,23 @@ func run(specPath string, seed int64, baseURL, out, reportPath, tracePath, wire 
 		return nil
 	}
 
+	var targetList []string
+	if targets != "" {
+		for _, t := range strings.Split(targets, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				targetList = append(targetList, strings.TrimSuffix(t, "/"))
+			}
+		}
+		if baseURL == "" && len(targetList) > 0 {
+			baseURL = targetList[0] // suppress the self-boot path
+		}
+	}
+
 	cfg := load.RunnerConfig{
 		Spec:    spec,
 		Seed:    seed,
 		BaseURL: baseURL,
+		Targets: targetList,
 		HTTP: &http.Client{Transport: &http.Transport{
 			MaxIdleConnsPerHost: spec.Concurrency * 2,
 			MaxIdleConns:        spec.Concurrency * 2,

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/gsm"
@@ -75,6 +76,10 @@ type Client struct {
 	// asking again next call would just burn a round-trip every time).
 	wire     WireCodec
 	jsonOnly atomic.Bool
+
+	// router, when set (WithCluster), routes each call by the consistent-hash
+	// ring instead of baseURL and drives failover across nodes.
+	router *clusterRouter
 }
 
 // WireCodec selects the client's preferred wire encoding.
@@ -150,6 +155,11 @@ func NewClient(baseURL, imei, email string, httpClient *http.Client, opts ...Cli
 	if c.m == nil {
 		c.m = defaultClientMetrics
 	}
+	if c.router != nil {
+		c.router.key = StableUserID(imei, email)
+		c.router.httpc = c.http
+		c.router.m = c.m
+	}
 	return c
 }
 
@@ -223,6 +233,9 @@ type statusError struct {
 	// RetryAfter is the server's Retry-After hint on backpressure responses
 	// (0 when absent). The retry loop waits at least this long.
 	RetryAfter time.Duration
+	// Owner is the owning node's URL off a 421 Misdirected Request — the
+	// cluster router re-targets there without refetching the ring.
+	Owner string
 }
 
 func (e *statusError) Error() string {
@@ -253,9 +266,20 @@ func StatusCode(err error) (status int, ok bool) {
 // rejected 415 — a peer without the codec — downgrades the client to JSON
 // and replays the whole call.
 func (c *Client) call(ctx context.Context, method, path string, query url.Values, body, into any, withAuth, idempotent bool) error {
-	u := c.baseURL + path
-	if len(query) > 0 {
-		u += "?" + query.Encode()
+	var rt *routeSession
+	if c.router != nil {
+		rt = c.router.begin()
+	}
+	urlFor := func() string {
+		base := c.baseURL
+		if rt != nil {
+			base = rt.current()
+		}
+		u := base + path
+		if len(query) > 0 {
+			u += "?" + query.Encode()
+		}
+		return u
 	}
 	useBin := false
 	var payload []byte
@@ -284,7 +308,11 @@ func (c *Client) call(ctx context.Context, method, path string, query url.Values
 			if attempt > 1 {
 				c.m.retries.Inc()
 			}
-			return c.doOnce(ctx, method, u, payload, useBin, into, withAuth)
+			err := c.doOnce(ctx, method, urlFor(), payload, useBin, into, withAuth)
+			if err != nil && rt != nil {
+				rt.observe(err)
+			}
+			return err
 		})
 	}
 	if err := marshal(); err != nil {
@@ -298,6 +326,16 @@ func (c *Client) call(ctx context.Context, method, path string, query url.Values
 			if merr := marshal(); merr != nil {
 				return merr
 			}
+			err = run()
+		}
+	}
+	if rt != nil {
+		// A 421 is answered before the request touches any state, so one
+		// whole-call replay on the owner the router just adopted is always
+		// safe — including for non-idempotent calls and for retry policies
+		// whose attempt budget was already spent inside run().
+		var se *statusError
+		if errors.As(err, &se) && se.Status == http.StatusMisdirectedRequest {
 			err = run()
 		}
 	}
@@ -333,6 +371,9 @@ func (c *Client) doOnce(ctx context.Context, method, u string, payload []byte, b
 			return &statusError{Status: http.StatusUnauthorized, Msg: "no token (register first)"}
 		}
 		req.Header.Set("Authorization", "Bearer "+tok)
+	}
+	if c.router != nil {
+		req.Header.Set(cluster.HeaderKey, c.router.key)
 	}
 	c.m.attempts.Inc()
 	resp, err := c.http.Do(req)
@@ -376,6 +417,9 @@ func (c *Client) finishResponse(resp *http.Response, into any) error {
 			if secs, perr := strconv.Atoi(ra); perr == nil && secs > 0 {
 				se.RetryAfter = time.Duration(secs) * time.Second
 			}
+		}
+		if resp.StatusCode == http.StatusMisdirectedRequest {
+			se.Owner = resp.Header.Get(cluster.HeaderOwner)
 		}
 		return se
 	}

@@ -29,6 +29,8 @@ import (
 //	client_wire_bytes_sent_total            request body bytes written, any codec
 //	client_wire_bytes_received_total        response body bytes read, any codec
 //	client_wire_json_fallbacks_total        binary requests downgraded after a 415
+//	client_cluster_failovers_total          candidate advances on conn error / 5xx
+//	client_cluster_redirects_total          421 redirects adopted from X-PMWare-Owner
 type clientMetrics struct {
 	attempts       *obs.Counter
 	retries        *obs.Counter
@@ -45,6 +47,9 @@ type clientMetrics struct {
 	wireSentBytes  *obs.Counter
 	wireRecvBytes  *obs.Counter
 	wireFallbacks  *obs.Counter
+
+	clusterFailovers *obs.Counter
+	clusterRedirects *obs.Counter
 }
 
 func newClientMetrics(reg *obs.Registry) *clientMetrics {
@@ -67,6 +72,9 @@ func newClientMetrics(reg *obs.Registry) *clientMetrics {
 		wireSentBytes:  reg.Counter("client_wire_bytes_sent_total"),
 		wireRecvBytes:  reg.Counter("client_wire_bytes_received_total"),
 		wireFallbacks:  reg.Counter("client_wire_json_fallbacks_total"),
+
+		clusterFailovers: reg.Counter("client_cluster_failovers_total"),
+		clusterRedirects: reg.Counter("client_cluster_redirects_total"),
 	}
 }
 

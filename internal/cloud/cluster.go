@@ -1,0 +1,652 @@
+package cloud
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+// This file is the node side of the horizontal PCI cluster (DESIGN.md §15):
+// the glue between the cloud Store and internal/cluster's ring, shipper and
+// receiver. A ClusterNode owns one node's view of the ring, ships the
+// store's WAL to its follower, applies the stream it follows, gates every
+// client request on ring ownership, and moves users on topology changes.
+
+// StableUserID derives the cluster user ID from the device identity: FNV-64a
+// of the registration device key. Every node — and the client itself —
+// computes the same ID for a device without coordination, which is what
+// makes client-side ring routing possible before the first request.
+func StableUserID(imei, email string) string {
+	h := fnv.New64a()
+	h.Write([]byte(deviceKey(imei, email)))
+	return fmt.Sprintf("u%016x", h.Sum64())
+}
+
+// ApplyShipped journals one replicated record verbatim into the named
+// engine and shard (cluster.Applier). Shipped records bypass the write gate:
+// they never enqueue on this node's own stream, and they only touch users
+// owned by the sending primary — disjoint from any export this node cuts.
+// The replay into in-memory state is deferred (storage.AppendShipped):
+// durability is what the ack promises, and materializeReplicas runs before
+// this node serves or exports the replicated users.
+func (s *Store) ApplyShipped(engine uint8, shard int, rec []byte) error {
+	switch engine {
+	case cluster.EngineMain:
+		if shard < 0 || shard >= s.eng.NumShards() {
+			return fmt.Errorf("cloud: shipped record for main shard %d of %d", shard, s.eng.NumShards())
+		}
+		return s.eng.AppendShipped(shard, rec)
+	case cluster.EngineTrace:
+		if shard < 0 || shard >= s.traceEng.NumShards() {
+			return fmt.Errorf("cloud: shipped record for trace shard %d of %d", shard, s.traceEng.NumShards())
+		}
+		return s.traceEng.AppendShipped(shard, rec)
+	}
+	return fmt.Errorf("cloud: shipped record for unknown engine %d", engine)
+}
+
+// materializeReplicas replays every deferred shipped record into in-memory
+// state. Promotion must call it before reading ownership or serving users
+// that arrived over replication.
+func (s *Store) materializeReplicas() error {
+	if err := s.eng.MaterializeAll(); err != nil {
+		return err
+	}
+	return s.traceEng.MaterializeAll()
+}
+
+// applyImported journals a handed-off record through the full primary
+// mutation path: unlike ApplyShipped it ships onward to this node's own
+// follower, because an imported user is now this node's to replicate.
+func (s *Store) applyImported(engine uint8, shard int, rec []byte) error {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	switch engine {
+	case cluster.EngineMain:
+		if shard < 0 || shard >= s.eng.NumShards() {
+			return fmt.Errorf("cloud: imported record for main shard %d of %d", shard, s.eng.NumShards())
+		}
+		return s.eng.ApplyRecord(shard, rec)
+	case cluster.EngineTrace:
+		if shard < 0 || shard >= s.traceEng.NumShards() {
+			return fmt.Errorf("cloud: imported record for trace shard %d of %d", shard, s.traceEng.NumShards())
+		}
+		return s.traceEng.ApplyRecord(shard, rec)
+	}
+	return fmt.Errorf("cloud: imported record for unknown engine %d", engine)
+}
+
+// userIDs returns every registered user ID.
+func (s *Store) userIDs() []string {
+	var ids []string
+	s.eng.View(0, func() {
+		ids = make([]string, 0, len(s.meta.users))
+		for id := range s.meta.users {
+			ids = append(ids, id)
+		}
+	})
+	sort.Strings(ids)
+	return ids
+}
+
+// exportUsersLocked builds the wholesale per-user record stream for every
+// user matching own: a register record, a sync_user replacement of the
+// user's mobility data, and a trace replace (or drop, so a follower's stale
+// copy cannot outlive the primary's deletion). The caller must hold the
+// write gate exclusively — the per-shard View locks below only protect the
+// map reads against concurrent shipped applies, not the snapshot/stream
+// consistency the gate provides.
+func (s *Store) exportUsersLocked(own func(uid string) bool) ([]cluster.ShipRecord, error) {
+	type expUser struct {
+		u   User
+		key string
+	}
+	var users []expUser
+	s.eng.View(0, func() {
+		for id, u := range s.meta.users {
+			if own(id) {
+				users = append(users, expUser{u: *u, key: deviceKey(u.IMEI, u.Email)})
+			}
+		}
+	})
+	sort.Slice(users, func(i, j int) bool { return users[i].u.ID < users[j].u.ID })
+
+	var recs []cluster.ShipRecord
+	add := func(engine uint8, shard int, rec any) error {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		recs = append(recs, cluster.ShipRecord{Engine: engine, Shard: shard, Rec: b})
+		return nil
+	}
+	for _, eu := range users {
+		uid := eu.u.ID
+		if err := add(cluster.EngineMain, 0, &walRecord{Op: opRegister, User: &eu.u, DeviceKey: eu.key}); err != nil {
+			return nil, err
+		}
+		idx, d := s.dataFor(uid)
+		var err error
+		s.eng.View(idx, func() {
+			err = add(cluster.EngineMain, idx, &walRecord{
+				Op:         opSyncUser,
+				UserID:     uid,
+				Places:     d.places[uid],
+				Routes:     d.routes[uid],
+				Profiles:   d.profiles[uid],
+				Encounters: d.contacts[uid],
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+		tidx := s.traceShard(uid)
+		s.traceEng.View(tidx, func() {
+			if ut := s.traces[tidx].users[uid]; ut != nil {
+				err = add(cluster.EngineTrace, tidx, &traceRecord{Op: opTraceReplace, UserID: uid, Observations: ut.obs})
+			} else {
+				err = add(cluster.EngineTrace, tidx, &traceRecord{Op: opTraceDrop, UserID: uid})
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return recs, nil
+}
+
+// dropUsersLocal removes the named users from this node after a handoff.
+// The drops are journaled but deliberately NOT shipped (ApplyShipped path):
+// this node's follower may be the very node that just imported the users as
+// their new primary, and a shipped drop would delete its primary copy. The
+// follower's replica copy goes stale instead — harmless, because serving is
+// ring-gated, and the next full resync rebuilds only owned users anyway.
+// Meta goes last so a crash mid-drop leaves the user discoverable.
+func (s *Store) dropUsersLocal(uids []string) error {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	for _, uid := range uids {
+		var key string
+		s.eng.View(0, func() {
+			if u := s.meta.users[uid]; u != nil {
+				key = deviceKey(u.IMEI, u.Email)
+			}
+		})
+		// Eager (not the deferred AppendShipped path): the dropped users must
+		// vanish from in-memory state before the handoff acks.
+		drop := func(eng uint8, shard int, rec any) error {
+			b, err := json.Marshal(rec)
+			if err != nil {
+				return err
+			}
+			if eng == cluster.EngineMain {
+				return s.eng.ApplyShipped(shard, b)
+			}
+			return s.traceEng.ApplyShipped(shard, b)
+		}
+		idx, _ := s.dataFor(uid)
+		if err := drop(cluster.EngineMain, idx, &walRecord{Op: opDropUser, UserID: uid}); err != nil {
+			return err
+		}
+		if err := drop(cluster.EngineTrace, s.traceShard(uid), &traceRecord{Op: opTraceDrop, UserID: uid}); err != nil {
+			return err
+		}
+		if err := drop(cluster.EngineMain, 0, &walRecord{Op: opDropMeta, UserID: uid, DeviceKey: key}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ClusterNodeConfig configures one PCI cluster node.
+type ClusterNodeConfig struct {
+	// Self identifies this node in the ring (ID and advertised URL).
+	Self cluster.Node
+	// Peers is the initial membership, including Self (ring version 1; the
+	// coordinator pushes every later version).
+	Peers []cluster.Node
+	// ReplDir persists the stream epoch and replication cursors ("" =
+	// memory-only: every restart full-resyncs).
+	ReplDir string
+	// VNodes is the virtual-node count per member (0 = cluster.DefaultVNodes).
+	VNodes int
+	// ShipLinger holds partial replication batches briefly so concurrent
+	// writers share one POST (0 = DefaultShipLinger, negative = ship each
+	// batch immediately). See cluster.ShipperConfig.Linger.
+	ShipLinger time.Duration
+	// HTTP issues replication, proxy, and handoff requests.
+	HTTP *http.Client
+	// Metrics receives the pci_repl_* and pci_cluster_* families.
+	Metrics *obs.Registry
+	Logf    func(format string, args ...any)
+}
+
+// ClusterNode ties one Store into the cluster: it owns the node's ring
+// view, the WAL shipper to its follower, and the receiver for the stream it
+// follows, and it implements the ownership gate and topology-change moves.
+type ClusterNode struct {
+	cfg   ClusterNodeConfig
+	store *Store
+	ship  *cluster.Shipper
+	recv  *cluster.Receiver
+	httpc *http.Client
+	logf  func(format string, args ...any)
+
+	mu   sync.Mutex
+	ring *cluster.Ring
+
+	proxied   *obs.Counter // pci_cluster_proxied_total
+	misrouted *obs.Counter // pci_cluster_misrouted_total
+	handoffs  *obs.Counter // pci_cluster_handoff_users_total
+	ringVer   *obs.Gauge   // pci_cluster_ring_version
+}
+
+// ErrStaleRing reports a pushed ring whose version does not exceed the one
+// the node already holds.
+var ErrStaleRing = errors.New("cloud: stale ring version")
+
+// DefaultShipLinger is the default replication batch linger: long enough to
+// coalesce a busy node's concurrent writers into shared POSTs, short enough
+// to stay invisible next to a WAN round trip.
+const DefaultShipLinger = 2 * time.Millisecond
+
+// NewClusterNode opens the node's store (dir may be "" for memory-only) with
+// replication wired in, restores replication cursors, and points the WAL
+// stream at the ring-assigned follower. Close order on shutdown: HTTP server
+// first, then the ClusterNode, then the Store.
+func NewClusterNode(dir string, storeCfg StoreConfig, cfg ClusterNodeConfig) (*ClusterNode, error) {
+	if cfg.HTTP == nil {
+		cfg.HTTP = &http.Client{Timeout: 15 * time.Second}
+	}
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = cluster.DefaultVNodes
+	}
+	switch {
+	case cfg.ShipLinger == 0:
+		cfg.ShipLinger = DefaultShipLinger
+	case cfg.ShipLinger < 0:
+		cfg.ShipLinger = 0
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	dataShards, traceShards, err := plannedShards(dir, storeCfg)
+	if err != nil {
+		return nil, err
+	}
+	epoch, err := cluster.NextEpoch(cfg.ReplDir)
+	if err != nil {
+		return nil, err
+	}
+	cn := &ClusterNode{
+		cfg:       cfg,
+		httpc:     cfg.HTTP,
+		logf:      logf,
+		ring:      cluster.NewRing(1, cfg.Peers, cfg.VNodes),
+		proxied:   reg.Counter("pci_cluster_proxied_total"),
+		misrouted: reg.Counter("pci_cluster_misrouted_total"),
+		handoffs:  reg.Counter("pci_cluster_handoff_users_total"),
+		ringVer:   reg.Gauge("pci_cluster_ring_version"),
+	}
+	cn.ship = cluster.NewShipper(cluster.ShipperConfig{
+		Self:        cfg.Self.ID,
+		Epoch:       epoch,
+		HTTP:        cfg.HTTP,
+		DataShards:  dataShards,
+		TraceShards: traceShards,
+		Export:      cn.exportForResync,
+		Linger:      cfg.ShipLinger,
+		Metrics:     reg,
+		Logf:        logf,
+	})
+	storeCfg.StableIDs = true
+	storeCfg.Repl = cluster.EngineSink{S: cn.ship, Engine: cluster.EngineMain}
+	storeCfg.TraceRepl = cluster.EngineSink{S: cn.ship, Engine: cluster.EngineTrace}
+	store, err := newStore(dir, storeCfg)
+	if err != nil {
+		cn.ship.Close()
+		return nil, err
+	}
+	cn.store = store
+	cn.recv, err = cluster.OpenReceiver(cluster.ReceiverConfig{
+		Applier:     store,
+		Dir:         cfg.ReplDir,
+		DataShards:  dataShards,
+		TraceShards: traceShards,
+		Metrics:     reg,
+		Logf:        logf,
+	})
+	if err != nil {
+		cn.ship.Close()
+		store.Close()
+		return nil, err
+	}
+	if f, ok := cn.ring.Follower(cfg.Self.ID); ok {
+		cn.ship.SetTarget(&f)
+	}
+	cn.ringVer.Set(int64(cn.ring.Version))
+	return cn, nil
+}
+
+// Store returns the node's store (the caller owns its lifecycle).
+func (cn *ClusterNode) Store() *Store { return cn.store }
+
+// Ring returns the node's current ring view.
+func (cn *ClusterNode) Ring() *cluster.Ring {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	return cn.ring
+}
+
+// Lag reports how many records this node's follower is behind.
+func (cn *ClusterNode) Lag() uint64 { return cn.ship.Lag() }
+
+// Close stops the shipper (flushing what it can) and persists the
+// receiver's cursors. The store stays open — close it after.
+func (cn *ClusterNode) Close() error {
+	cn.ship.Close()
+	return cn.recv.Close()
+}
+
+// exportForResync is the shipper's Export callback: under the store-wide
+// write gate (no write can slip between the snapshot and the baseline) it
+// cuts a wholesale copy of every user this node currently owns, pinned to
+// the stream position the follower's cursor re-baselines at.
+func (cn *ClusterNode) exportForResync() ([]cluster.ShipRecord, uint64, error) {
+	s := cn.store
+	s.gate.Lock()
+	defer s.gate.Unlock()
+	baseline := cn.ship.Seq()
+	ring := cn.Ring()
+	self := cn.cfg.Self.ID
+	recs, err := s.exportUsersLocked(func(uid string) bool {
+		return ring.PrimaryID(uid) == self
+	})
+	return recs, baseline, err
+}
+
+// AdoptRing installs a newer ring version and performs the moves it
+// implies: retarget the WAL stream at the new follower, full-resync when
+// this node inherited ownership (its follower is missing that history), and
+// hand off users it no longer owns — synchronously, so by the time the ring
+// push is acknowledged the new owners hold the data.
+func (cn *ClusterNode) AdoptRing(nr *cluster.Ring) error {
+	cn.mu.Lock()
+	old := cn.ring
+	if nr.Version <= old.Version {
+		cn.mu.Unlock()
+		return ErrStaleRing
+	}
+	cn.ring = nr
+	cn.mu.Unlock()
+	cn.ringVer.Set(int64(nr.Version))
+	self := cn.cfg.Self.ID
+	cn.logf("cluster: node %s adopted ring v%d", self, nr.Version)
+
+	// Users this node may now own could still sit in the deferred-replay
+	// queue; the ownership scan and any export below need them in state.
+	if err := cn.store.materializeReplicas(); err != nil {
+		return fmt.Errorf("materialize replicas: %w", err)
+	}
+
+	if f, ok := nr.Follower(self); ok {
+		cn.ship.SetTarget(&f)
+	} else {
+		cn.ship.SetTarget(nil)
+	}
+
+	var lost []string
+	gained := false
+	for _, uid := range cn.store.userIDs() {
+		oldOwn := old.PrimaryID(uid) == self
+		newOwn := nr.PrimaryID(uid) == self
+		if oldOwn && !newOwn {
+			lost = append(lost, uid)
+		}
+		if newOwn && !oldOwn {
+			gained = true
+		}
+	}
+	if gained {
+		// Inherited users exist here only as replica or handed-off state the
+		// follower never saw on this stream: re-baseline it wholesale.
+		cn.ship.ForceResync()
+	}
+	if len(lost) > 0 {
+		cn.handoff(nr, lost)
+	}
+	return nil
+}
+
+// handoff transfers the named users to their new owners and drops the local
+// copies. A destination that cannot be reached keeps its users here — data
+// is never dropped unacknowledged; the users stay served by the ownership
+// gate's redirect until a later ring version retries the move.
+func (cn *ClusterNode) handoff(ring *cluster.Ring, uids []string) {
+	byDest := map[string][]string{}
+	for _, uid := range uids {
+		if owner, ok := ring.Primary(uid); ok && owner.ID != cn.cfg.Self.ID {
+			byDest[owner.ID] = append(byDest[owner.ID], uid)
+		}
+	}
+	for destID, users := range byDest {
+		dest, ok := ring.NodeByID(destID)
+		if !ok {
+			continue
+		}
+		set := map[string]bool{}
+		for _, uid := range users {
+			set[uid] = true
+		}
+		s := cn.store
+		s.gate.Lock()
+		recs, err := s.exportUsersLocked(func(uid string) bool { return set[uid] })
+		s.gate.Unlock()
+		if err != nil {
+			cn.logf("cluster: handoff export to %s failed: %v", destID, err)
+			continue
+		}
+		if err := cn.postHandoff(dest, recs); err != nil {
+			cn.logf("cluster: handoff of %d users to %s failed (keeping local copies): %v", len(users), destID, err)
+			continue
+		}
+		if err := s.dropUsersLocal(users); err != nil {
+			cn.logf("cluster: dropping %d handed-off users: %v", len(users), err)
+			continue
+		}
+		cn.handoffs.Add(uint64(len(users)))
+		cn.logf("cluster: handed %d users to %s", len(users), destID)
+	}
+}
+
+// postHandoff delivers one handoff batch, with bounded retries — the
+// destination just adopted the same ring and may still be settling.
+func (cn *ClusterNode) postHandoff(dest cluster.Node, recs []cluster.ShipRecord) error {
+	body, err := json.Marshal(cluster.HandoffRequest{From: cn.cfg.Self.ID, Records: recs})
+	if err != nil {
+		return err
+	}
+	var last error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * 200 * time.Millisecond)
+		}
+		resp, err := cn.httpc.Post(dest.URL+cluster.PathHandoff, "application/json", bytes.NewReader(body))
+		if err != nil {
+			last = err
+			continue
+		}
+		var hr cluster.HandoffResponse
+		err = json.NewDecoder(resp.Body).Decode(&hr)
+		resp.Body.Close()
+		switch {
+		case err != nil:
+			last = err
+		case !hr.OK:
+			last = fmt.Errorf("%s", hr.Error)
+		default:
+			return nil
+		}
+	}
+	return last
+}
+
+// Mount attaches the node-to-node cluster endpoints (replication stream,
+// ring exchange, handoff) to mux. These are mounted outside the ownership
+// gate and the request timeout: they are peer traffic, not client traffic.
+func (cn *ClusterNode) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("POST "+cluster.PathReplBatch, cn.recv.HandleBatch)
+	mux.HandleFunc("POST "+cluster.PathReplSync, cn.recv.HandleSync)
+	mux.HandleFunc("GET "+cluster.PathReplCursor, cn.recv.HandleCursor)
+	mux.HandleFunc("GET "+cluster.PathRing, func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(cn.Ring().Encode())
+	})
+	mux.HandleFunc("POST "+cluster.PathRing, func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "reading ring: %v", err)
+			return
+		}
+		ring, err := cluster.DecodeRing(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "decoding ring: %v", err)
+			return
+		}
+		if err := cn.AdoptRing(ring); err != nil {
+			if errors.Is(err, ErrStaleRing) {
+				writeError(w, http.StatusConflict, "%v", err)
+				return
+			}
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, struct{}{})
+	})
+	mux.HandleFunc("POST "+cluster.PathHandoff, func(w http.ResponseWriter, r *http.Request) {
+		var req cluster.HandoffRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "decoding handoff: %v", err)
+			return
+		}
+		for i, rec := range req.Records {
+			if err := cn.store.applyImported(rec.Engine, rec.Shard, rec.Rec); err != nil {
+				writeJSON(w, http.StatusOK, cluster.HandoffResponse{
+					Error: fmt.Sprintf("apply handoff record %d: %v", i, err),
+				})
+				return
+			}
+		}
+		cn.logf("cluster: imported %d handoff records from %s", len(req.Records), req.From)
+		writeJSON(w, http.StatusOK, cluster.HandoffResponse{OK: true})
+	})
+}
+
+// owner resolves the routing key's owner under the current ring, reporting
+// whether this node is it.
+func (cn *ClusterNode) owner(uid string) (cluster.Node, bool) {
+	ring := cn.Ring()
+	owner, ok := ring.Primary(uid)
+	if !ok {
+		return cluster.Node{}, true // no ring owner: serve locally
+	}
+	return owner, owner.ID == cn.cfg.Self.ID
+}
+
+// Gate is the ownership middleware for client traffic: a request stamped
+// with a routing key this node does not own is proxied to the owner when
+// this node is the owner's follower (the failover window — the client fell
+// over here for a reason), and answered 421 Misdirected Request with the
+// owner's URL otherwise. Unstamped requests (non-cluster-aware clients) and
+// already-proxied requests (single hop, loop guard) are served locally.
+func (cn *ClusterNode) Gate(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		uid := r.Header.Get(cluster.HeaderKey)
+		if uid == "" || r.Header.Get(cluster.HeaderProxied) != "" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		owner, self := cn.owner(uid)
+		if self {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if f, ok := cn.Ring().Follower(owner.ID); ok && f.ID == cn.cfg.Self.ID {
+			cn.proxy(w, r, owner)
+			return
+		}
+		cn.redirect(w, owner, uid)
+		return
+	})
+}
+
+// GateStreaming guards a streaming handler (SSE, chunked ingest): proxying
+// a long-lived stream through a second node would pin two connections per
+// client, so a misrouted stream is always redirected, never proxied.
+func (cn *ClusterNode) GateStreaming(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		uid := r.Header.Get(cluster.HeaderKey)
+		if uid == "" {
+			next(w, r)
+			return
+		}
+		if owner, self := cn.owner(uid); !self {
+			cn.redirect(w, owner, uid)
+			return
+		}
+		next(w, r)
+	}
+}
+
+func (cn *ClusterNode) redirect(w http.ResponseWriter, owner cluster.Node, uid string) {
+	cn.misrouted.Inc()
+	w.Header().Set(cluster.HeaderOwner, owner.URL)
+	writeError(w, http.StatusMisdirectedRequest, "user %s is owned by node %s", uid, owner.ID)
+}
+
+// proxy forwards one buffered request to the owner and relays the response.
+// A proxy transport failure answers 503 so the client's retry loop runs its
+// own failover instead of trusting this hop.
+func (cn *ClusterNode) proxy(w http.ResponseWriter, r *http.Request, owner cluster.Node) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, DefaultMaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading request body: %v", err)
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, owner.URL+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "building proxy request: %v", err)
+		return
+	}
+	req.Header = r.Header.Clone()
+	req.Header.Set(cluster.HeaderProxied, "1")
+	resp, err := cn.httpc.Do(req)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "proxy to owner %s failed: %v", owner.ID, err)
+		return
+	}
+	defer resp.Body.Close()
+	cn.proxied.Inc()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}

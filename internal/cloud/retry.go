@@ -200,7 +200,12 @@ func retryable(err error) bool {
 	}
 	var se *statusError
 	if errors.As(err, &se) {
-		return se.Status == http.StatusTooManyRequests || se.Status >= 500
+		// 421 Misdirected Request is answered before the request touches any
+		// state: the cluster router adopts the owner URL and the retry lands
+		// on the right node.
+		return se.Status == http.StatusTooManyRequests ||
+			se.Status == http.StatusMisdirectedRequest ||
+			se.Status >= 500
 	}
 	// Everything else is a transport-level failure (url.Error, injected
 	// connection faults, deadline-exceeded attempts, truncated bodies).

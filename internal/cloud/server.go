@@ -48,6 +48,8 @@ type Server struct {
 	slowThreshold time.Duration
 	slowLog       *log.Logger
 
+	cnode *ClusterNode
+
 	mux *http.ServeMux
 }
 
@@ -130,6 +132,13 @@ func WithEventHeartbeat(d time.Duration) ServerOption {
 	}
 }
 
+// WithClusterNode attaches this server to a PCI cluster node: client traffic
+// is gated on ring ownership, and the node-to-node replication/ring/handoff
+// endpoints are mounted. The server must be built over cn.Store().
+func WithClusterNode(cn *ClusterNode) ServerOption {
+	return func(s *Server) { s.cnode = cn }
+}
+
 // NewServer builds the cloud instance over the given store.
 func NewServer(store *Store, opts ...ServerOption) *Server {
 	s := &Server{
@@ -180,11 +189,29 @@ func (s *Server) Hub() *events.Hub { return s.hub }
 // mount beside it, exempt from both the timeout (http.TimeoutHandler
 // buffers, which would strip http.Flusher and kill SSE) and the -max-body
 // cap (a long-lived stream legitimately outgrows any per-request limit).
+// When a cluster node is attached, the regular API additionally passes the
+// ownership gate (misrouted requests proxied or answered 421), streaming
+// routes get the redirect-only gate (proxying a long-lived stream would pin
+// two connections per client), and the peer-facing cluster endpoints plus
+// /healthz mount on the root mux outside both gate and timeout.
 func (s *Server) Handler() http.Handler {
 	root := http.NewServeMux()
-	root.Handle("/", TimeoutMiddleware(s.mux, s.reqTimeout))
-	root.HandleFunc("POST "+PathObservationsStream, s.instrument("obs_stream", s.auth(s.handleObsStream)))
-	root.HandleFunc("GET "+PathEventsSubscribe, s.instrument("events_subscribe", s.auth(s.handleEventsSubscribe)))
+	api := TimeoutMiddleware(s.mux, s.reqTimeout)
+	obsStream := s.instrument("obs_stream", s.auth(s.handleObsStream))
+	evSub := s.instrument("events_subscribe", s.auth(s.handleEventsSubscribe))
+	if s.cnode != nil {
+		api = s.cnode.Gate(api)
+		obsStream = s.cnode.GateStreaming(obsStream)
+		evSub = s.cnode.GateStreaming(evSub)
+		s.cnode.Mount(root)
+	}
+	root.Handle("/", api)
+	root.HandleFunc("POST "+PathObservationsStream, obsStream)
+	root.HandleFunc("GET "+PathEventsSubscribe, evSub)
+	root.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok"))
+	})
 	return root
 }
 

@@ -24,6 +24,9 @@ const (
 	opAddContacts = "add_contacts"
 	opLoadMeta    = "load_meta"  // legacy Save-file import: replace meta keyspace
 	opLoadShard   = "load_shard" // legacy Save-file import: replace one data shard
+	opSyncUser    = "sync_user"  // cluster resync/handoff: replace one user's data wholesale
+	opDropUser    = "drop_user"  // cluster handoff: remove one user's data from this node
+	opDropMeta    = "drop_meta"  // cluster handoff: remove one user's registration
 )
 
 // walRecord is the journaled form of every Store mutation. One struct for
@@ -47,6 +50,10 @@ type walRecord struct {
 	// load ops
 	Meta *metaSnapshot `json:"meta,omitempty"`
 	Data *dataSnapshot `json:"data,omitempty"`
+
+	// opSyncUser: the user's whole per-day history (Places/Routes/Encounters
+	// above carry the rest of the wholesale state).
+	Profiles map[string]*profile.DayProfile `json:"profiles,omitempty"`
 }
 
 // metaState is shard 0: the registration keyspace.
@@ -83,6 +90,9 @@ func (m *metaState) apply(rec *walRecord) error {
 		if rec.Meta.ByDevice != nil {
 			m.byDevice = rec.Meta.ByDevice
 		}
+	case opDropMeta:
+		delete(m.users, rec.UserID)
+		delete(m.byDevice, rec.DeviceKey)
 	default:
 		return fmt.Errorf("cloud: meta shard cannot apply op %q", rec.Op)
 	}
@@ -223,6 +233,41 @@ func (d *dataState) apply(rec *walRecord) error {
 			return fmt.Errorf("cloud: load_shard record without payload")
 		}
 		d.install(rec.Data)
+	case opSyncUser:
+		// Wholesale replacement of one user (cluster resync/handoff). Only
+		// this user's entries change; the rest of the shard — which may be
+		// primary data owned by the receiving node — is untouched.
+		if rec.Places == nil {
+			delete(d.places, rec.UserID)
+		} else {
+			d.places[rec.UserID] = rec.Places
+		}
+		if rec.Routes == nil {
+			delete(d.routes, rec.UserID)
+		} else {
+			d.routes[rec.UserID] = rec.Routes
+		}
+		if rec.Profiles == nil {
+			delete(d.profiles, rec.UserID)
+			delete(d.idx, rec.UserID)
+		} else {
+			d.profiles[rec.UserID] = rec.Profiles
+			d.idx[rec.UserID] = buildUserIndex(rec.Profiles)
+		}
+		if rec.Encounters == nil {
+			delete(d.contacts, rec.UserID)
+		} else {
+			d.contacts[rec.UserID] = rec.Encounters
+		}
+		d.bumpPlaces(rec.UserID)
+	case opDropUser:
+		delete(d.places, rec.UserID)
+		delete(d.routes, rec.UserID)
+		delete(d.profiles, rec.UserID)
+		delete(d.contacts, rec.UserID)
+		delete(d.idx, rec.UserID)
+		delete(d.placesGen, rec.UserID)
+		d.ver++
 	default:
 		return fmt.Errorf("cloud: data shard cannot apply op %q", rec.Op)
 	}

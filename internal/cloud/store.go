@@ -65,6 +65,17 @@ type Store struct {
 	tokenMu sync.RWMutex
 	tokens  map[string]tokenInfo
 
+	// gate is the store-wide write gate cluster resync/handoff exports cut
+	// their consistent snapshots under: every mutation path holds it for
+	// read, an export holds it for write, freezing the replication stream
+	// position relative to state. Uncontended in single-node mode.
+	gate sync.RWMutex
+
+	// stableIDs derives user IDs from the device key instead of a
+	// registration counter, so any cluster node (and the client itself)
+	// computes the same routing key for a device without coordination.
+	stableIDs bool
+
 	now func() time.Time
 
 	obsReg       *obs.Registry
@@ -97,6 +108,41 @@ type StoreConfig struct {
 	// Metrics is the registry the store's storage_*, analytics_*, and
 	// popular_* families register in (nil means the process-wide default).
 	Metrics *obs.Registry
+	// StableIDs derives user IDs from the device key (cluster mode) instead
+	// of a registration counter, making placement computable client-side.
+	StableIDs bool
+	// Repl/TraceRepl receive every record journaled by the main and trace
+	// engines for shipment to this node's follower (nil = unreplicated).
+	Repl      storage.ReplSink
+	TraceRepl storage.ReplSink
+}
+
+// plannedShards resolves the shard counts a store over dir would open with:
+// the persisted manifests win over cfg.Shards, exactly as newStore decides.
+// Cluster wiring calls this before the store exists, because the shipper
+// must advertise the shard layout its stream was journaled under.
+func plannedShards(dir string, cfg StoreConfig) (data, trace int, err error) {
+	data = cfg.Shards
+	if data <= 0 {
+		data = DefaultShards
+	}
+	trace = -1
+	if dir != "" {
+		if n, ok, err := storage.ReadManifest(dir); err != nil {
+			return 0, 0, err
+		} else if ok {
+			data = n - 1 // shard 0 is the registration keyspace
+		}
+		if n, ok, err := storage.ReadManifest(filepath.Join(dir, "traces")); err != nil {
+			return 0, 0, err
+		} else if ok {
+			trace = n
+		}
+	}
+	if trace < 0 {
+		trace = data
+	}
+	return data, trace, nil
 }
 
 // NewStore returns an empty memory-only store using the given time source
@@ -126,18 +172,11 @@ func newStore(dir string, cfg StoreConfig) (*Store, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	shards := cfg.Shards
-	if shards <= 0 {
-		shards = DefaultShards
-	}
-	if dir != "" {
-		// A pre-existing layout pins the shard count: rehashing users across
-		// a different count would strand their data on the wrong shards.
-		if n, ok, err := storage.ReadManifest(dir); err != nil {
-			return nil, err
-		} else if ok {
-			shards = n - 1 // shard 0 is the registration keyspace
-		}
+	// A pre-existing layout pins the shard counts: rehashing users across a
+	// different count would strand their data on the wrong shards.
+	shards, tshards, err := plannedShards(dir, cfg)
+	if err != nil {
+		return nil, err
 	}
 
 	reg := cfg.Metrics
@@ -148,6 +187,7 @@ func newStore(dir string, cfg StoreConfig) (*Store, error) {
 		meta:         newMetaState(),
 		data:         make([]*dataState, shards),
 		tokens:       map[string]tokenInfo{},
+		stableIDs:    cfg.StableIDs,
 		now:          cfg.Now,
 		obsReg:       reg,
 		idxHits:      reg.Counter("analytics_index_hits_total"),
@@ -167,6 +207,7 @@ func newStore(dir string, cfg StoreConfig) (*Store, error) {
 		CommitMaxBatch: cfg.CommitMaxBatch,
 		CommitLinger:   cfg.CommitLinger,
 		Metrics:        reg,
+		Repl:           cfg.Repl,
 	}, states)
 	if err != nil {
 		return nil, err
@@ -176,16 +217,6 @@ func newStore(dir string, cfg StoreConfig) (*Store, error) {
 	traceDir := ""
 	if dir != "" {
 		traceDir = filepath.Join(dir, "traces")
-	}
-	tshards := shards
-	if traceDir != "" {
-		// The trace engine's own manifest pins its shard count independently.
-		if n, ok, err := storage.ReadManifest(traceDir); err != nil {
-			eng.Close()
-			return nil, err
-		} else if ok {
-			tshards = n
-		}
 	}
 	s.traces = make([]*traceState, tshards)
 	tstates := make([]storage.ShardState, tshards)
@@ -201,6 +232,7 @@ func newStore(dir string, cfg StoreConfig) (*Store, error) {
 		CommitMaxBatch: cfg.CommitMaxBatch,
 		CommitLinger:   cfg.CommitLinger,
 		Metrics:        reg,
+		Repl:           cfg.TraceRepl,
 	}, tstates)
 	if err != nil {
 		eng.Close()
@@ -251,6 +283,8 @@ func (s *Store) dataFor(userID string) (int, *dataState) {
 // path recovery replays, journaled only when it succeeds. Marshal runs after
 // apply so the journal captures any normalization apply performed.
 func (s *Store) mutateData(userID string, rec *walRecord) error {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
 	idx, d := s.dataFor(userID)
 	return s.eng.Mutate(idx, func() ([]byte, error) {
 		if err := d.apply(rec); err != nil {
@@ -277,13 +311,18 @@ func (s *Store) Register(imei, email string) (RegisterResponse, error) {
 		return RegisterResponse{}, fmt.Errorf("cloud: imei and email are required")
 	}
 	var uid string
+	s.gate.RLock()
 	err := s.eng.Mutate(0, func() ([]byte, error) {
 		key := deviceKey(imei, email)
 		if id, ok := s.meta.byDevice[key]; ok {
 			uid = id
 			return nil, nil // known device: nothing to journal
 		}
-		u := &User{ID: fmt.Sprintf("user-%04d", len(s.meta.users)+1), IMEI: imei, Email: email}
+		id := fmt.Sprintf("user-%04d", len(s.meta.users)+1)
+		if s.stableIDs {
+			id = StableUserID(imei, email)
+		}
+		u := &User{ID: id, IMEI: imei, Email: email}
 		rec := &walRecord{Op: opRegister, User: u, DeviceKey: key}
 		if err := s.meta.apply(rec); err != nil {
 			return nil, err
@@ -291,6 +330,7 @@ func (s *Store) Register(imei, email string) (RegisterResponse, error) {
 		uid = u.ID
 		return json.Marshal(rec)
 	})
+	s.gate.RUnlock()
 	if err != nil {
 		return RegisterResponse{}, err
 	}
@@ -634,6 +674,8 @@ func (s *Store) Load(path string) error {
 	if err := json.Unmarshal(data, &snap); err != nil {
 		return fmt.Errorf("cloud: parse store: %w", err)
 	}
+	s.gate.RLock()
+	defer s.gate.RUnlock()
 
 	// Meta shard: replace users/device index wholesale.
 	err = s.eng.Mutate(0, func() ([]byte, error) {

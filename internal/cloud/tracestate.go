@@ -18,6 +18,7 @@ import (
 const (
 	opTraceAppend  = "trace_append"  // extend the user's trace
 	opTraceReplace = "trace_replace" // replace it wholesale (full upload)
+	opTraceDrop    = "trace_drop"    // cluster handoff: remove the user's trace
 )
 
 // traceRecord is the journaled form of every trace mutation.
@@ -71,6 +72,9 @@ func (t *traceState) apply(rec *traceRecord) error {
 		u.hash = TraceHash(u.obs)
 		t.gens++
 		u.gen = t.gens
+	case opTraceDrop:
+		delete(t.users, rec.UserID)
+		t.gens++
 	default:
 		return fmt.Errorf("cloud: trace shard cannot apply op %q", rec.Op)
 	}

@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func randBatch(rng *rand.Rand) *BatchRequest {
+	n := rng.Intn(20)
+	recs := make([]ShipRecord, n)
+	for i := range recs {
+		rec := make([]byte, rng.Intn(200))
+		rng.Read(rec)
+		recs[i] = ShipRecord{
+			Engine: uint8(rng.Intn(2)),
+			Shard:  rng.Intn(16),
+			Rec:    rec,
+		}
+	}
+	return &BatchRequest{
+		From:        fmt.Sprintf("node-%d", rng.Intn(100)),
+		Epoch:       rng.Uint64() >> rng.Intn(60),
+		Start:       rng.Uint64() >> rng.Intn(60),
+		DataShards:  1 + rng.Intn(8),
+		TraceShards: 1 + rng.Intn(8),
+		Records:     recs,
+	}
+}
+
+// Every batch must round-trip the binary framing exactly.
+func TestBatchBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		want := randBatch(rng)
+		enc := EncodeBatchBinary(nil, want)
+		got, err := DecodeBatchBinary(enc)
+		if err != nil {
+			t.Fatalf("iteration %d: decode: %v", i, err)
+		}
+		if got.Records == nil {
+			got.Records = []ShipRecord{}
+		}
+		if want.Records == nil {
+			want.Records = []ShipRecord{}
+		}
+		for j := range got.Records {
+			if got.Records[j].Rec == nil {
+				got.Records[j].Rec = []byte{}
+			}
+			if want.Records[j].Rec == nil {
+				want.Records[j].Rec = []byte{}
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("iteration %d: round-trip mismatch:\ngot  %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+// Encoding into a reused buffer must not leak the previous batch.
+func TestBatchBinaryBufferReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var buf []byte
+	a, b := randBatch(rng), randBatch(rng)
+	buf = EncodeBatchBinary(buf[:0], a)
+	first := append([]byte(nil), buf...)
+	buf = EncodeBatchBinary(buf[:0], b)
+	buf = EncodeBatchBinary(buf[:0], a)
+	if !bytes.Equal(buf, first) {
+		t.Fatal("re-encoding the same batch into a reused buffer changed the bytes")
+	}
+}
+
+// Truncation at any byte boundary must error, never misparse.
+func TestBatchBinaryTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	enc := EncodeBatchBinary(nil, randBatch(rng))
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeBatchBinary(enc[:cut]); err == nil {
+			t.Fatalf("decode of %d/%d-byte prefix succeeded", cut, len(enc))
+		}
+	}
+	if _, err := DecodeBatchBinary(append(append([]byte(nil), enc...), 0)); err == nil {
+		t.Fatal("decode with a trailing byte succeeded")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] = 99
+	if _, err := DecodeBatchBinary(bad); err == nil {
+		t.Fatal("decode with a wrong version byte succeeded")
+	}
+}

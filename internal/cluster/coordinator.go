@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Coordinator owns ring membership: it builds new ring versions on node
+// join/leave/failure and pushes them to every member. Nodes and clients
+// never invent rings — they only adopt higher versions — so there is one
+// writer of topology and a total order on its decisions.
+//
+// It is deliberately small: membership state lives in memory (a restarted
+// coordinator is re-seeded from flags and re-pushes; nodes ignore pushes
+// that do not exceed their version). Leases/fencing for partitioned
+// primaries are out of scope and called out in DESIGN.md §15.
+type Coordinator struct {
+	mu    sync.Mutex
+	ring  *Ring
+	http  *http.Client
+	logf  func(format string, args ...any)
+	fails map[string]int
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewCoordinator seeds ring version 1 over the given members.
+func NewCoordinator(nodes []Node, vnodes int, httpc *http.Client, logf func(string, ...any)) *Coordinator {
+	if httpc == nil {
+		httpc = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Coordinator{
+		ring:  NewRing(1, nodes, vnodes),
+		http:  httpc,
+		logf:  logf,
+		fails: map[string]int{},
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+func (c *Coordinator) log(format string, args ...any) {
+	if c.logf != nil {
+		c.logf(format, args...)
+	}
+}
+
+// Ring returns the current ring.
+func (c *Coordinator) Ring() *Ring {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring
+}
+
+// PushAll sends the current ring to every member (best effort; a node that
+// misses a push catches up on the next one, or redirects clients until it
+// does).
+func (c *Coordinator) PushAll() {
+	c.mu.Lock()
+	ring := c.ring
+	c.mu.Unlock()
+	body := ring.Encode()
+	for _, n := range ring.Nodes {
+		resp, err := c.http.Post(n.URL+PathRing, "application/json", bytes.NewReader(body))
+		if err != nil {
+			c.log("cluster: ring v%d push to %s failed: %v", ring.Version, n.ID, err)
+			continue
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict {
+			c.log("cluster: ring v%d push to %s returned %d", ring.Version, n.ID, resp.StatusCode)
+		}
+	}
+}
+
+// Fail promotes the failed node's follower over its ranges and pushes the
+// new ring. The follower is safe to serve immediately: semi-synchronous
+// replication means every acknowledged write is already in its store.
+func (c *Coordinator) Fail(id string) error {
+	c.mu.Lock()
+	if !c.ring.alive(id) {
+		c.mu.Unlock()
+		return nil // already failed over
+	}
+	heir, ok := c.ring.FollowerID(id)
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: no follower to promote for %s", id)
+	}
+	c.ring = c.ring.WithTakeover(id, heir)
+	ring := c.ring
+	c.mu.Unlock()
+	c.log("cluster: node %s failed, promoting %s (ring v%d)", id, heir, ring.Version)
+	c.PushAll()
+	return nil
+}
+
+// Join adds (or revives) a member and pushes the new ring. Nodes that lose
+// ranges to the joiner hand the affected users off when they adopt the new
+// version.
+func (c *Coordinator) Join(n Node) error {
+	c.mu.Lock()
+	c.ring = c.ring.WithJoin(n)
+	ring := c.ring
+	c.fails[n.ID] = 0
+	c.mu.Unlock()
+	c.log("cluster: node %s joined (ring v%d, %d members)", n.ID, ring.Version, len(ring.Nodes))
+	c.PushAll()
+	return nil
+}
+
+// Leave removes a member gracefully: the departing node sees the new ring,
+// hands every user it owned to the new owners, and only then shuts down.
+// The push deliberately still includes the leaver so it learns the version.
+func (c *Coordinator) Leave(id string) error {
+	c.mu.Lock()
+	old := c.ring
+	if _, ok := old.NodeByID(id); !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: unknown node %s", id)
+	}
+	if len(old.Nodes) < 2 {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: cannot remove the last node")
+	}
+	c.ring = old.WithLeave(id)
+	ring := c.ring
+	c.mu.Unlock()
+	c.log("cluster: node %s leaving (ring v%d, %d members)", id, ring.Version, len(ring.Nodes))
+	// Push to survivors AND the leaver (not a member anymore, so PushAll
+	// alone would skip it).
+	c.PushAll()
+	if n, ok := old.NodeByID(id); ok {
+		resp, err := c.http.Post(n.URL+PathRing, "application/json", bytes.NewReader(ring.Encode()))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}
+	return nil
+}
+
+// StartHealth runs the failure detector: probe every alive member's
+// /healthz each interval, and after `threshold` consecutive failures
+// promote its follower. Transient blips under the threshold only cost the
+// probe; a false positive past it is still safe for data (the heir holds
+// every acknowledged write) at the price of a resync when the node rejoins.
+func (c *Coordinator) StartHealth(interval time.Duration, threshold int) {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	go func() {
+		defer close(c.done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-tick.C:
+				c.probeAll(threshold)
+			}
+		}
+	}()
+}
+
+func (c *Coordinator) probeAll(threshold int) {
+	c.mu.Lock()
+	ring := c.ring
+	c.mu.Unlock()
+	for _, n := range ring.Nodes {
+		if !ring.alive(n.ID) {
+			continue
+		}
+		ok := c.probe(n)
+		c.mu.Lock()
+		if ok {
+			c.fails[n.ID] = 0
+			c.mu.Unlock()
+			continue
+		}
+		c.fails[n.ID]++
+		trip := c.fails[n.ID] >= threshold
+		c.mu.Unlock()
+		if trip {
+			if err := c.Fail(n.ID); err != nil {
+				c.log("cluster: failover of %s blocked: %v", n.ID, err)
+			}
+		}
+	}
+}
+
+func (c *Coordinator) probe(n Node) bool {
+	resp, err := c.http.Get(n.URL + "/healthz")
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// Stop halts the health detector (if started).
+func (c *Coordinator) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+}

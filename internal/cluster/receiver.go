@@ -1,0 +1,275 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Applier is what the receiver needs from the node's store: journal one
+// shipped record verbatim into the named engine and shard.
+type Applier interface {
+	ApplyShipped(engine uint8, shard int, rec []byte) error
+}
+
+// Receiver is the follower side of WAL-shipping replication: it applies
+// shipped batches in order, tracks one durable cursor per source stream,
+// and demands a full resync whenever it cannot prove the stream is
+// contiguous with what it already holds.
+//
+// Cursor rules (DESIGN.md §15): the cursor file is written at clean
+// shutdown and when a resync re-baselines the stream — not per batch,
+// because a dirty marker created at open and removed at clean close
+// detects crashes, and after an unclean restart every persisted cursor is
+// discarded anyway. The acknowledged cursor can therefore never run ahead
+// of the follower's durable state — at worst it under-reports and the
+// stream re-baselines with a full resync.
+type Receiver struct {
+	cfg ReceiverConfig
+
+	mu  sync.Mutex
+	cur map[string]streamCursor // source node -> position
+
+	applied     *obs.Counter
+	syncRecords *obs.Counter
+	rejected    *obs.Counter
+}
+
+type streamCursor struct {
+	Epoch uint64 `json:"epoch"`
+	Seq   uint64 `json:"seq"`
+}
+
+// ReceiverConfig configures a node's receiver.
+type ReceiverConfig struct {
+	// Applier journals shipped records (the cloud store).
+	Applier Applier
+	// Dir persists cursors and the dirty marker ("" = memory-only: every
+	// restart resyncs).
+	Dir string
+	// DataShards/TraceShards validate stream compatibility.
+	DataShards  int
+	TraceShards int
+	// Metrics receives the pci_repl_* receiver families (nil = obs.Default).
+	Metrics *obs.Registry
+	Logf    func(format string, args ...any)
+}
+
+const (
+	dirtyMarker  = "REPL_DIRTY"
+	cursorPrefix = "repl-cursor-"
+)
+
+// OpenReceiver loads persisted cursors (discarding them after an unclean
+// shutdown) and arms the dirty marker.
+func OpenReceiver(cfg ReceiverConfig) (*Receiver, error) {
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	r := &Receiver{
+		cfg:         cfg,
+		cur:         map[string]streamCursor{},
+		applied:     reg.Counter("pci_repl_applied_records_total"),
+		syncRecords: reg.Counter("pci_repl_resync_records_total"),
+		rejected:    reg.Counter("pci_repl_batches_rejected_total"),
+	}
+	if cfg.Dir == "" {
+		return r, nil
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	marker := filepath.Join(cfg.Dir, dirtyMarker)
+	if _, err := os.Stat(marker); err == nil {
+		// Unclean shutdown: cursors may under-report what was applied, and
+		// resuming would double-apply the gap. Discard them; the streams
+		// re-baseline with full resyncs.
+		r.logf("cluster: unclean shutdown detected, discarding replication cursors")
+		ents, _ := os.ReadDir(cfg.Dir)
+		for _, e := range ents {
+			if strings.HasPrefix(e.Name(), cursorPrefix) {
+				os.Remove(filepath.Join(cfg.Dir, e.Name()))
+			}
+		}
+	} else {
+		ents, _ := os.ReadDir(cfg.Dir)
+		for _, e := range ents {
+			name := e.Name()
+			if !strings.HasPrefix(name, cursorPrefix) || !strings.HasSuffix(name, ".json") {
+				continue
+			}
+			b, err := os.ReadFile(filepath.Join(cfg.Dir, name))
+			if err != nil {
+				continue
+			}
+			var c streamCursor
+			if json.Unmarshal(b, &c) == nil {
+				from := strings.TrimSuffix(strings.TrimPrefix(name, cursorPrefix), ".json")
+				r.cur[from] = c
+			}
+		}
+	}
+	if err := os.WriteFile(marker, []byte("1"), 0o644); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *Receiver) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// Close persists exact cursors and disarms the dirty marker.
+func (r *Receiver) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cfg.Dir == "" {
+		return nil
+	}
+	for from, c := range r.cur {
+		if err := r.persistLocked(from, c); err != nil {
+			return err
+		}
+	}
+	return os.Remove(filepath.Join(r.cfg.Dir, dirtyMarker))
+}
+
+func (r *Receiver) persistLocked(from string, c streamCursor) error {
+	if r.cfg.Dir == "" {
+		return nil
+	}
+	b, _ := json.Marshal(c)
+	return writeFileAtomic(filepath.Join(r.cfg.Dir, cursorPrefix+from+".json"), b)
+}
+
+// Cursor reports the follower's position in one source's stream.
+func (r *Receiver) Cursor(from string) (epoch, seq uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.cur[from]
+	return c.Epoch, c.Seq
+}
+
+func (r *Receiver) validShards(data, trace int) error {
+	if data != r.cfg.DataShards || trace != r.cfg.TraceShards {
+		return fmt.Errorf("shard layout mismatch: stream %d/%d vs local %d/%d (key placement would differ)",
+			data, trace, r.cfg.DataShards, r.cfg.TraceShards)
+	}
+	return nil
+}
+
+// HandleBatch is the PathReplBatch endpoint. The batch body is negotiated
+// by Content-Type: the binary framing (codec.go) on the hot path, JSON from
+// older peers.
+func (r *Receiver) HandleBatch(w http.ResponseWriter, req *http.Request) {
+	var b BatchRequest
+	if req.Header.Get("Content-Type") == ContentTypeReplBinary {
+		body, err := io.ReadAll(req.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		// Decoded records alias body, which stays reachable for as long as
+		// the engine parks them — no per-record copy.
+		dec, err := DecodeBatchBinary(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		b = *dec
+	} else if err := json.NewDecoder(req.Body).Decode(&b); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	resp := BatchResponse{}
+	c := r.cur[b.From]
+	switch {
+	case r.validShards(b.DataShards, b.TraceShards) != nil:
+		resp.Error = r.validShards(b.DataShards, b.TraceShards).Error()
+		r.rejected.Inc()
+	case b.Epoch != c.Epoch || b.Start != c.Seq+1:
+		// A stream this follower cannot prove contiguous: wrong epoch
+		// (primary restarted, or follower never met this primary) or a gap.
+		resp.Resync = true
+		resp.Acked = c.Seq
+		r.rejected.Inc()
+	default:
+		applied := 0
+		for _, rec := range b.Records {
+			if err := r.cfg.Applier.ApplyShipped(rec.Engine, rec.Shard, rec.Rec); err != nil {
+				resp.Error = fmt.Sprintf("apply record %d: %v", c.Seq+uint64(applied)+1, err)
+				break
+			}
+			applied++
+		}
+		c.Seq += uint64(applied)
+		r.cur[b.From] = c
+		r.applied.Add(uint64(applied))
+		resp.Acked = c.Seq
+		// No cursor persist here: a crash discards cursors via the dirty
+		// marker regardless, so only clean close and resync re-baselines
+		// write the file.
+	}
+	writeJSON(w, resp)
+}
+
+// HandleSync is the PathReplSync endpoint: wholesale replacement of the
+// source's ranges, then the cursor re-baselines.
+func (r *Receiver) HandleSync(w http.ResponseWriter, req *http.Request) {
+	var b SyncRequest
+	if err := json.NewDecoder(req.Body).Decode(&b); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	resp := SyncResponse{}
+	if err := r.validShards(b.DataShards, b.TraceShards); err != nil {
+		resp.Error = err.Error()
+		r.rejected.Inc()
+		writeJSON(w, resp)
+		return
+	}
+	for i, rec := range b.Records {
+		if err := r.cfg.Applier.ApplyShipped(rec.Engine, rec.Shard, rec.Rec); err != nil {
+			resp.Error = fmt.Sprintf("apply sync record %d: %v", i, err)
+			writeJSON(w, resp)
+			return
+		}
+	}
+	c := streamCursor{Epoch: b.Epoch, Seq: b.Baseline}
+	r.cur[b.From] = c
+	r.syncRecords.Add(uint64(len(b.Records)))
+	if err := r.persistLocked(b.From, c); err != nil {
+		resp.Error = fmt.Sprintf("persist cursor: %v", err)
+		writeJSON(w, resp)
+		return
+	}
+	r.logf("cluster: resynced %d records from %s, cursor re-baselined at %d", len(b.Records), b.From, b.Baseline)
+	resp.OK = true
+	writeJSON(w, resp)
+}
+
+// HandleCursor is the PathReplCursor endpoint (?from=<node>).
+func (r *Receiver) HandleCursor(w http.ResponseWriter, req *http.Request) {
+	from := req.URL.Query().Get("from")
+	epoch, seq := r.Cursor(from)
+	writeJSON(w, CursorResponse{Epoch: epoch, Seq: seq, Resync: epoch == 0})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteForcePrimary is the O(nodes*vnodes) oracle: enumerate every vnode
+// point, find the smallest point hash >= key hash (wrapping to the global
+// minimum), resolve takeover. The ring's binary search must agree on every
+// key.
+func bruteForcePrimary(r *Ring, key string) string {
+	h := hash64(key)
+	bestAny, bestGE := -1, -1
+	var bestAnyH, bestGEH uint64
+	better := func(cur int, curH, candH uint64, cand int) bool {
+		if cur == -1 || candH < curH {
+			return true
+		}
+		// Tie-break identically to the ring: lower node index wins.
+		return candH == curH && cand < cur
+	}
+	for ni, n := range r.Nodes {
+		for v := 0; v < r.VNodes; v++ {
+			ph := hash64(fmt.Sprintf("%s#%d", n.ID, v))
+			if better(bestAny, bestAnyH, ph, ni) {
+				bestAny, bestAnyH = ni, ph
+			}
+			if ph >= h && better(bestGE, bestGEH, ph, ni) {
+				bestGE, bestGEH = ni, ph
+			}
+		}
+	}
+	pick := bestGE
+	if pick == -1 {
+		pick = bestAny
+	}
+	return r.ownerID(pick)
+}
+
+func testNodes(n int) []Node {
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = Node{ID: fmt.Sprintf("node-%c", 'a'+i), URL: fmt.Sprintf("http://10.0.0.%d:8080", i+1)}
+	}
+	return nodes
+}
+
+// TestRingMatchesBruteForceOracle pins the binary-searched lookup to the
+// exhaustive oracle over random member counts and random keys.
+func TestRingMatchesBruteForceOracle(t *testing.T) {
+	prop := func(seed int64, nNodes uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nNodes)%5
+		ring := NewRing(1, testNodes(n), 64)
+		if rng.Intn(2) == 1 { // half the cases run with a takeover in place
+			dead := ring.Nodes[rng.Intn(n)].ID
+			if heir, ok := ring.FollowerID(dead); ok {
+				ring = ring.WithTakeover(dead, heir)
+			}
+		}
+		for i := 0; i < 64; i++ {
+			key := fmt.Sprintf("user-%016x", rng.Uint64())
+			if ring.PrimaryID(key) != bruteForcePrimary(ring, key) {
+				t.Logf("key %s: ring=%s oracle=%s", key, ring.PrimaryID(key), bruteForcePrimary(ring, key))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRingDeterministicPlacement: same members (in any order) and vnode
+// count build the same assignment for every key; decode(encode(ring)) also
+// agrees.
+func TestRingDeterministicPlacement(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := testNodes(2 + rng.Intn(5))
+		a := NewRing(7, nodes, 128)
+		shuffled := make([]Node, len(nodes))
+		copy(shuffled, nodes)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		b := NewRing(7, shuffled, 128)
+		c, err := DecodeRing(a.Encode())
+		if err != nil {
+			t.Logf("decode: %v", err)
+			return false
+		}
+		for i := 0; i < 128; i++ {
+			key := fmt.Sprintf("user-%016x", rng.Uint64())
+			if a.PrimaryID(key) != b.PrimaryID(key) || a.PrimaryID(key) != c.PrimaryID(key) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRingBalance: at 128 vnodes, every node's share of a large random
+// keyset stays within ±20% of the fair share.
+func TestRingBalance(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 8} {
+		ring := NewRing(1, testNodes(n), 128)
+		rng := rand.New(rand.NewSource(int64(n)))
+		const keys = 20000
+		counts := map[string]int{}
+		for i := 0; i < keys; i++ {
+			counts[ring.PrimaryID(fmt.Sprintf("user-%016x", rng.Uint64()))]++
+		}
+		fair := float64(keys) / float64(n)
+		for id, c := range counts {
+			dev := float64(c)/fair - 1
+			if dev > 0.20 || dev < -0.20 {
+				t.Errorf("%d nodes: %s holds %d keys (%.1f%% off fair share %0.f)", n, id, c, dev*100, fair)
+			}
+		}
+		if len(counts) != n {
+			t.Errorf("%d nodes: only %d received keys", n, len(counts))
+		}
+	}
+}
+
+// TestRingMinimalDisruption: a join moves keys only TO the new node; a leave
+// moves only the leaver's keys; everything else stays put.
+func TestRingMinimalDisruption(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(rng.Intn(4))
+		before := NewRing(1, testNodes(n), 128)
+		joined := Node{ID: "node-z", URL: "http://10.0.0.99:8080"}
+		after := before.WithJoin(joined)
+		if after.Version != before.Version+1 {
+			return false
+		}
+		left := before.Nodes[rng.Intn(n)].ID
+		shrunk := before.WithLeave(left)
+		for i := 0; i < 256; i++ {
+			key := fmt.Sprintf("user-%016x", rng.Uint64())
+			ob, oa := before.PrimaryID(key), after.PrimaryID(key)
+			if ob != oa && oa != joined.ID {
+				t.Logf("join moved %s from %s to %s (not the joiner)", key, ob, oa)
+				return false
+			}
+			os := shrunk.PrimaryID(key)
+			if ob != left && os != ob {
+				t.Logf("leave of %s moved %s from %s to %s", left, key, ob, os)
+				return false
+			}
+			if ob == left && os == left {
+				return false // leaver must not keep keys
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRingTakeoverAndFollower: promotion routes a dead node's keys to its
+// follower; follower selection skips dead nodes; a rejoin restores the
+// original owner.
+func TestRingTakeoverAndFollower(t *testing.T) {
+	ring := NewRing(1, testNodes(3), 128) // node-a, node-b, node-c
+	if f, _ := ring.FollowerID("node-a"); f != "node-b" {
+		t.Fatalf("follower(a)=%s, want node-b", f)
+	}
+	if f, _ := ring.FollowerID("node-c"); f != "node-a" {
+		t.Fatalf("follower(c)=%s, want node-a (wrap)", f)
+	}
+	dead := "node-a"
+	heir, _ := ring.FollowerID(dead)
+	v2 := ring.WithTakeover(dead, heir)
+	moved := 0
+	for i := 0; i < 4096; i++ {
+		key := fmt.Sprintf("user-%d", i)
+		was, now := ring.PrimaryID(key), v2.PrimaryID(key)
+		if was == dead {
+			moved++
+			if now != heir {
+				t.Fatalf("key %s owned by dead %s went to %s, want heir %s", key, dead, now, heir)
+			}
+		} else if was != now {
+			t.Fatalf("takeover moved unrelated key %s from %s to %s", key, was, now)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("takeover test exercised no keys of the dead node")
+	}
+	// Dead nodes are skipped as followers: node-c's follower was node-a.
+	if f, _ := v2.FollowerID("node-c"); f != "node-b" {
+		t.Fatalf("follower(c) with node-a dead = %s, want node-b", f)
+	}
+	// Rejoin clears the takeover.
+	v3 := v2.WithJoin(Node{ID: dead, URL: "http://10.0.0.1:8080"})
+	for i := 0; i < 1024; i++ {
+		key := fmt.Sprintf("user-%d", i)
+		if v3.PrimaryID(key) != ring.PrimaryID(key) {
+			t.Fatalf("rejoin did not restore placement for %s", key)
+		}
+	}
+}

@@ -1,0 +1,499 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Shipper is the primary side of WAL-shipping replication: a bounded
+// in-order buffer of journaled records and a single goroutine that ships
+// them to the node's follower in batches.
+//
+// Semi-synchronous contract: the engine calls Enqueue under the shard lock
+// (freezing per-shard ship order to WAL order) and Wait after the record is
+// locally durable. Wait returns once the follower has acknowledged the
+// record's sequence number — so every client-acknowledged write exists on
+// two nodes — unless the shipper is degraded (follower unreachable or
+// resyncing), in which case writes proceed locally and the follower catches
+// up with a stream resume or a full resync.
+//
+// Stream identity is (node, epoch). The epoch bumps on every process start:
+// a restarted primary cannot know which suffix of its in-memory queue
+// reached the follower, so it never resumes a cursor — it re-baselines with
+// a full resync. Within one epoch the cursor is exact.
+type Shipper struct {
+	cfg   ShipperConfig
+	epoch uint64
+
+	mu      sync.Mutex
+	cond    *sync.Cond // wakes the ship loop
+	ackCond *sync.Cond // wakes semi-sync waiters
+	seq     uint64     // last sequence number issued
+	acked   uint64     // follower's durable cursor
+	buf     []bufRec   // contiguous run acked+1..seq (unless dropped for resync)
+	target  *Node      // current follower; nil = unreplicated
+	resync  bool       // next action is a full resync
+	degrade bool       // Wait must not block (follower down / resyncing)
+	closing bool
+
+	failures int
+	done     chan struct{}
+	encBuf   []byte // batch encode buffer, reused by the ship loop goroutine
+	m        shipMetrics
+}
+
+type bufRec struct {
+	seq uint64
+	rec ShipRecord
+}
+
+// ShipperConfig configures a node's shipper.
+type ShipperConfig struct {
+	// Self is this node's ID (the stream name followers key cursors on).
+	Self string
+	// Epoch is this process lifetime's stream epoch (see NextEpoch).
+	Epoch uint64
+	// HTTP issues the replication POSTs.
+	HTTP *http.Client
+	// DataShards/TraceShards are carried on every request so a misconfigured
+	// follower (different shard count = different key placement) rejects the
+	// stream instead of silently corrupting it.
+	DataShards  int
+	TraceShards int
+	// Export cuts a consistent wholesale snapshot of every user this node
+	// owns, returning the stream baseline the snapshot corresponds to. It
+	// must block writes for the duration (the cloud store's write gate).
+	Export func() (recs []ShipRecord, baseline uint64, err error)
+	// MaxBatch caps records per batch POST (default 256).
+	MaxBatch int
+	// MaxQueue caps records buffered while the follower is unreachable;
+	// beyond it the buffer is dropped and the stream re-baselines with a
+	// full resync on reconnect (default 1 << 16).
+	MaxQueue int
+	// DegradeAfter is how many consecutive batch failures switch Wait to
+	// non-blocking (default 2).
+	DegradeAfter int
+	// Linger, when positive, delays each partial batch by this long so
+	// concurrent writers coalesce into one POST instead of paying a full
+	// inter-node round trip per record or two. It adds at most Linger to
+	// the semi-sync ack latency; full batches ship immediately.
+	Linger time.Duration
+	// Metrics receives the pci_repl_* shipper families (nil = obs.Default).
+	Metrics *obs.Registry
+	Logf    func(format string, args ...any)
+}
+
+type shipMetrics struct {
+	shipped  *obs.Counter
+	batches  *obs.Counter
+	errors   *obs.Counter
+	resyncs  *obs.Counter
+	lag      *obs.Gauge
+	degraded *obs.Gauge
+}
+
+// NewShipper starts a shipper; Close releases it.
+func NewShipper(cfg ShipperConfig) *Shipper {
+	if cfg.HTTP == nil {
+		cfg.HTTP = &http.Client{Timeout: 30 * time.Second}
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 256
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 1 << 16
+	}
+	if cfg.DegradeAfter <= 0 {
+		cfg.DegradeAfter = 2
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	s := &Shipper{
+		cfg:   cfg,
+		epoch: cfg.Epoch,
+		done:  make(chan struct{}),
+		m: shipMetrics{
+			shipped:  reg.Counter("pci_repl_shipped_records_total"),
+			batches:  reg.Counter("pci_repl_ship_batches_total"),
+			errors:   reg.Counter("pci_repl_ship_errors_total"),
+			resyncs:  reg.Counter("pci_repl_resyncs_total"),
+			lag:      reg.Gauge("pci_repl_lag_records"),
+			degraded: reg.Gauge("pci_repl_degraded"),
+		},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.ackCond = sync.NewCond(&s.mu)
+	go s.run()
+	return s
+}
+
+func (s *Shipper) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Seq reports the last issued sequence number. Export callbacks read it
+// under the store's write gate to compute the resync baseline.
+func (s *Shipper) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// Lag reports how many records the follower is behind.
+func (s *Shipper) Lag() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq - s.acked
+}
+
+// Enqueue registers one record for shipment (storage.ReplSink, via an
+// engineSink adapter that fixes the engine index). Called under a shard
+// lock: constant-time append only.
+func (s *Shipper) enqueue(engine uint8, shard int, rec []byte) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	if s.target != nil {
+		if len(s.buf) >= s.cfg.MaxQueue {
+			// The follower is too far behind to stream to; drop the buffer
+			// and re-baseline with a full resync when it answers again.
+			s.buf = s.buf[:0]
+			s.resync = true
+			s.setDegraded(true)
+		} else {
+			s.buf = append(s.buf, bufRec{seq: s.seq, rec: ShipRecord{Engine: engine, Shard: shard, Rec: rec}})
+		}
+	}
+	s.m.lag.Set(int64(s.seq - s.acked))
+	s.cond.Signal()
+	return s.seq
+}
+
+// wait blocks until the follower acked the token (storage.ReplSink).
+func (s *Shipper) wait(tok uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.target != nil && !s.degrade && !s.closing && s.acked < tok {
+		s.ackCond.Wait()
+	}
+}
+
+// EngineSink adapts the shipper to one engine's storage.ReplSink.
+type EngineSink struct {
+	S      *Shipper
+	Engine uint8
+}
+
+func (es EngineSink) Enqueue(shard int, rec []byte) uint64 {
+	return es.S.enqueue(es.Engine, shard, rec)
+}
+func (es EngineSink) Wait(tok uint64) { es.S.wait(tok) }
+
+// SetTarget points the stream at a (possibly new) follower. A changed
+// target always re-baselines with a full resync: the new follower's state
+// is unknown.
+func (s *Shipper) SetTarget(n *Node) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n == nil {
+		s.target = nil
+		s.buf = s.buf[:0]
+		s.resync = false
+		s.setDegraded(false) // no follower: writes are local-only by design
+		s.acked = s.seq
+		s.ackCond.Broadcast()
+		s.cond.Signal()
+		return
+	}
+	if s.target != nil && s.target.ID == n.ID && s.target.URL == n.URL {
+		return
+	}
+	s.target = &Node{ID: n.ID, URL: n.URL}
+	s.buf = s.buf[:0]
+	s.resync = true
+	s.setDegraded(true)
+	s.ackCond.Broadcast()
+	s.cond.Signal()
+}
+
+// ForceResync re-baselines the current stream (used when this node's owned
+// range set changed, e.g. it inherited a dead peer's ranges: the follower
+// is missing the inherited history).
+func (s *Shipper) ForceResync() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.target == nil {
+		return
+	}
+	s.buf = s.buf[:0]
+	s.resync = true
+	s.setDegraded(true)
+	s.ackCond.Broadcast()
+	s.cond.Signal()
+}
+
+// setDegraded must run under mu.
+func (s *Shipper) setDegraded(d bool) {
+	s.degrade = d
+	if d {
+		s.m.degraded.Set(1)
+		s.ackCond.Broadcast()
+	} else {
+		s.m.degraded.Set(0)
+	}
+}
+
+// Close flushes what it can (bounded) and stops the ship loop.
+func (s *Shipper) Close() {
+	s.mu.Lock()
+	s.closing = true
+	s.ackCond.Broadcast()
+	s.cond.Signal()
+	s.mu.Unlock()
+	select {
+	case <-s.done:
+	case <-time.After(3 * time.Second):
+	}
+}
+
+// run is the ship loop: one in-flight batch (or resync) at a time.
+func (s *Shipper) run() {
+	defer close(s.done)
+	backoff := 50 * time.Millisecond
+	for {
+		s.mu.Lock()
+		for !s.closing && (s.target == nil || (!s.resync && len(s.buf) == 0)) {
+			s.cond.Wait()
+		}
+		if s.closing && (s.target == nil || (!s.resync && len(s.buf) == 0) || s.degrade) {
+			s.mu.Unlock()
+			return
+		}
+		target := *s.target
+		doResync := s.resync
+		if !doResync && s.cfg.Linger > 0 && len(s.buf) < s.cfg.MaxBatch {
+			// Partial batch: hold briefly so writers landing now ride the
+			// same POST. State may change while unlocked — re-evaluate from
+			// the top if it did (the loop top also handles a close).
+			s.mu.Unlock()
+			time.Sleep(s.cfg.Linger)
+			s.mu.Lock()
+			if s.target == nil || s.resync || len(s.buf) == 0 {
+				s.mu.Unlock()
+				continue
+			}
+			target = *s.target
+		}
+		var batch []bufRec
+		if !doResync {
+			n := len(s.buf)
+			if n > s.cfg.MaxBatch {
+				n = s.cfg.MaxBatch
+			}
+			batch = make([]bufRec, n)
+			copy(batch, s.buf[:n])
+		}
+		s.mu.Unlock()
+
+		var err error
+		if doResync {
+			err = s.doResync(target)
+		} else {
+			err = s.shipBatch(target, batch)
+		}
+
+		s.mu.Lock()
+		if err != nil {
+			s.failures++
+			s.m.errors.Inc()
+			if s.failures >= s.cfg.DegradeAfter && !s.degrade {
+				s.logf("cluster: shipper to %s degraded after %d failures: %v", target.ID, s.failures, err)
+				s.setDegraded(true)
+			}
+			if s.closing {
+				s.mu.Unlock()
+				return
+			}
+			s.mu.Unlock()
+			time.Sleep(backoff)
+			if backoff < time.Second {
+				backoff *= 2
+			}
+			continue
+		}
+		s.failures = 0
+		backoff = 50 * time.Millisecond
+		if !s.resync && len(s.buf) == 0 && s.degrade {
+			s.logf("cluster: shipper to %s caught up, back to semi-sync", target.ID)
+			s.setDegraded(false)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// shipBatch POSTs one contiguous batch (binary framing, see codec.go) and
+// advances the cursor.
+func (s *Shipper) shipBatch(target Node, batch []bufRec) error {
+	req := BatchRequest{
+		From:        s.cfg.Self,
+		Epoch:       s.epoch,
+		Start:       batch[0].seq,
+		DataShards:  s.cfg.DataShards,
+		TraceShards: s.cfg.TraceShards,
+		Records:     make([]ShipRecord, len(batch)),
+	}
+	for i, b := range batch {
+		req.Records[i] = b.rec
+	}
+	var resp BatchResponse
+	if err := s.postBatch(target.URL+PathReplBatch, &req, &resp); err != nil {
+		return err
+	}
+	s.m.batches.Inc()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if resp.Resync {
+		// Follower cannot continue this stream (unclean restart, epoch or
+		// gap mismatch): re-baseline.
+		s.logf("cluster: follower %s demands resync (acked %d)", target.ID, resp.Acked)
+		s.buf = s.buf[:0]
+		s.resync = true
+		s.setDegraded(true)
+		return nil
+	}
+	if resp.Error != "" {
+		return fmt.Errorf("cluster: follower %s: %s", target.ID, resp.Error)
+	}
+	if resp.Acked > s.acked {
+		shipped := resp.Acked - s.acked
+		s.m.shipped.Add(shipped)
+		// Trim everything the follower now has.
+		cut := 0
+		for cut < len(s.buf) && s.buf[cut].seq <= resp.Acked {
+			cut++
+		}
+		s.buf = s.buf[cut:]
+		s.acked = resp.Acked
+		s.m.lag.Set(int64(s.seq - s.acked))
+		s.ackCond.Broadcast()
+	}
+	return nil
+}
+
+// doResync cuts a wholesale snapshot under the store's write gate and
+// replaces the follower's copy of this node's ranges.
+func (s *Shipper) doResync(target Node) error {
+	recs, baseline, err := s.cfg.Export()
+	if err != nil {
+		return fmt.Errorf("cluster: export for resync: %w", err)
+	}
+	req := SyncRequest{
+		From:        s.cfg.Self,
+		Epoch:       s.epoch,
+		Baseline:    baseline,
+		DataShards:  s.cfg.DataShards,
+		TraceShards: s.cfg.TraceShards,
+		Records:     recs,
+	}
+	var resp SyncResponse
+	if err := s.post(target.URL+PathReplSync, req, &resp); err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("cluster: resync rejected by %s: %s", target.ID, resp.Error)
+	}
+	s.m.resyncs.Inc()
+	s.logf("cluster: resynced %d users' records to %s at baseline %d", len(recs), target.ID, baseline)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resync = false
+	if baseline > s.acked {
+		s.acked = baseline
+	}
+	cut := 0
+	for cut < len(s.buf) && s.buf[cut].seq <= baseline {
+		cut++
+	}
+	s.buf = s.buf[cut:]
+	s.m.lag.Set(int64(s.seq - s.acked))
+	s.ackCond.Broadcast()
+	return nil
+}
+
+// postBatch sends one batch in the binary replication framing, reusing one
+// encode buffer across the shipper's (single-goroutine) ship loop.
+func (s *Shipper) postBatch(url string, req *BatchRequest, into *BatchResponse) error {
+	s.encBuf = EncodeBatchBinary(s.encBuf[:0], req)
+	resp, err := s.cfg.HTTP.Post(url, ContentTypeReplBinary, bytes.NewReader(s.encBuf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: %s returned %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+func (s *Shipper) post(url string, body, into any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := s.cfg.HTTP.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: %s returned %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+// NextEpoch persists and returns the node's stream epoch: a counter in the
+// node's data directory bumped once per process start. An empty dir yields
+// a wall-clock-free ephemeral epoch of 1 (memory-only test nodes).
+func NextEpoch(dir string) (uint64, error) {
+	if dir == "" {
+		return 1, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	path := filepath.Join(dir, "REPL_EPOCH")
+	var epoch uint64
+	if b, err := os.ReadFile(path); err == nil {
+		if v, perr := strconv.ParseUint(string(bytes.TrimSpace(b)), 10, 64); perr == nil {
+			epoch = v
+		}
+	}
+	epoch++
+	if err := writeFileAtomic(path, []byte(strconv.FormatUint(epoch, 10))); err != nil {
+		return 0, err
+	}
+	return epoch, nil
+}
+
+// writeFileAtomic writes via temp file + rename so a crash never leaves a
+// half-written file.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -24,6 +24,10 @@ type RunnerConfig struct {
 	// discovery geolocation to resolve (cmd/pmware-load self-boots a
 	// matching server when no URL is given).
 	BaseURL string
+	// Targets, when set, drives a PCI cluster: every harness client becomes
+	// cluster-aware (ring-routed with 421/failover handling) over these node
+	// base URLs, and BaseURL is only the ring bootstrap fallback.
+	Targets []string
 	// HTTP is the transport; it should allow at least Concurrency idle
 	// connections per host or connection churn will dominate latency.
 	HTTP *http.Client
@@ -187,6 +191,15 @@ func (r *Runner) Run() (*Report, error) {
 		}
 	}
 	report.Measured.Wire = r.wireReport()
+	if len(r.cfg.Targets) > 0 {
+		report.Measured.Cluster = &ClusterReport{
+			Targets:   len(r.cfg.Targets),
+			Failovers: r.clientReg.Counter("client_cluster_failovers_total").Value(),
+			Redirects: r.clientReg.Counter("client_cluster_redirects_total").Value(),
+		}
+		r.logf("cluster: %d targets, %d failovers, %d redirects",
+			report.Measured.Cluster.Targets, report.Measured.Cluster.Failovers, report.Measured.Cluster.Redirects)
+	}
 	r.logf("wire: %s codec, %d bytes sent, %d bytes received, %d json fallbacks",
 		report.Measured.Wire.Codec, report.Measured.Wire.BytesSent,
 		report.Measured.Wire.BytesReceived, report.Measured.Wire.JSONFallbacks)
@@ -359,10 +372,18 @@ func (r *Runner) perform(req Request, rec *Recorder) error {
 
 	if st.client == nil {
 		_, imei, email := UserIdentity(req.User)
-		st.client = cloud.NewClient(r.cfg.BaseURL, imei, email, r.cfg.HTTP,
+		opts := []cloud.ClientOption{
 			cloud.WithRetryPolicy(cloud.RetryPolicy{MaxAttempts: 1, PerTryTimeout: 30 * time.Second}),
 			cloud.WithWireCodec(r.wire),
-			cloud.WithClientMetrics(r.clientReg))
+			cloud.WithClientMetrics(r.clientReg),
+		}
+		base := r.cfg.BaseURL
+		if len(r.cfg.Targets) > 0 {
+			opts = append(opts, cloud.WithCluster(r.cfg.Targets))
+			// Spread ring-less bootstrap (and any unrouted call) across nodes.
+			base = r.cfg.Targets[req.User%len(r.cfg.Targets)]
+		}
+		st.client = cloud.NewClient(base, imei, email, r.cfg.HTTP, opts...)
 	}
 
 	t0 := time.Now()

@@ -74,6 +74,9 @@ type MeasuredReport struct {
 	// plus any ramp steps). Two runs of the same spec differing only in
 	// the wire knob give the codec's byte delta under identical load.
 	Wire *WireReport `json:"wire,omitempty"`
+	// Cluster sums the clients' ring-routing activity, present when the
+	// run drove a multi-node cluster (RunnerConfig.Targets).
+	Cluster *ClusterReport `json:"cluster,omitempty"`
 }
 
 // WireReport is the client-side wire accounting: which codec the harness
@@ -86,6 +89,15 @@ type WireReport struct {
 	BytesSent     uint64 `json:"bytes_sent"`
 	BytesReceived uint64 `json:"bytes_received"`
 	JSONFallbacks uint64 `json:"json_fallbacks,omitempty"`
+}
+
+// ClusterReport is the client-side routing accounting for a cluster run:
+// how many candidate failovers the clients performed (connection errors and
+// 5xx answers) and how many 421 redirects they followed to the owning node.
+type ClusterReport struct {
+	Targets   int    `json:"targets"`
+	Failovers uint64 `json:"failovers"`
+	Redirects uint64 `json:"redirects"`
 }
 
 // EventsReport is the delivery half of a run with subscribers: what the

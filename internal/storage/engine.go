@@ -57,6 +57,26 @@ type Options struct {
 	// Nil means the process-wide obs.Default() registry (what /metrics
 	// serves); tests inject their own for exact delta assertions.
 	Metrics *obs.Registry
+	// Repl, when set, receives every journaled record for shipment to a
+	// replica (see internal/cluster). Enqueue runs under the shard lock —
+	// the same critical section that fixes WAL order — so ship order per
+	// shard equals WAL order equals apply order. Records applied through
+	// ApplyShipped (i.e. records that are themselves replicas) bypass the
+	// sink: replication is one hop, never a chain.
+	Repl ReplSink
+}
+
+// ReplSink is the engine's replication hook. Implementations live in
+// internal/cluster; the engine only guarantees ordering and calls Wait for
+// semi-synchronous acknowledgement after the record is locally durable.
+type ReplSink interface {
+	// Enqueue registers one journaled record for shipment and returns a
+	// token for Wait. Called under the shard's write lock: it must be fast
+	// and must not block on I/O.
+	Enqueue(shard int, rec []byte) uint64
+	// Wait blocks until the token's record is acknowledged by the replica,
+	// or the sink has degraded to asynchronous shipping (replica down).
+	Wait(token uint64)
 }
 
 // DefaultSyncEvery is the SyncInterval period when none is given.
@@ -110,7 +130,10 @@ type shard struct {
 	w     *wal
 	c     *committer // nil in memory-only mode
 	since int        // records appended since the last snapshot
-	m     *engineMetrics
+	// pending holds replica records journaled via AppendShipped but not yet
+	// replayed into state; materializeLocked drains it before any snapshot.
+	pending [][]byte
+	m       *engineMetrics
 }
 
 // sticky reports the shard's poison state: a failed journal append leaves
@@ -351,6 +374,117 @@ func (e *Engine) Durable() bool { return e.opts.Dir != "" }
 // divergence cannot be repaired in place, so every later mutation fails
 // fast.
 func (e *Engine) Mutate(i int, apply func() ([]byte, error)) error {
+	return e.mutate(i, apply, true)
+}
+
+// ApplyShipped journals one replicated record on shard i verbatim: the
+// record bytes another node's engine produced are applied through the
+// shard state's replay path and appended to this engine's WAL unchanged,
+// which is what makes a caught-up follower's on-disk shards byte-identical
+// to the primary's. Shipped records are not re-enqueued on the replication
+// sink — replication is a single hop.
+func (e *Engine) ApplyShipped(i int, rec []byte) error {
+	return e.mutate(i, func() ([]byte, error) {
+		if err := e.shards[i].state.Apply(rec); err != nil {
+			return nil, err
+		}
+		return rec, nil
+	}, false)
+}
+
+// AppendShipped journals one replicated record on shard i without replaying
+// it into the in-memory state: what a follower owes the primary at ack time
+// is durability, and deferring the replay drops most of the CPU a replica
+// spends per record. Parked records are drained through the state's replay
+// path before the next snapshot (compaction or close) and on Materialize —
+// promotion calls the latter before serving reads over replicated users.
+// The resulting WAL bytes and snapshots are identical to the eager
+// ApplyShipped path: WAL order is append order either way, and shipped
+// records only touch users the sending primary owns — disjoint from this
+// node's locally-written keys — so the deferred replay commutes with local
+// mutations. In memory-only mode there is no WAL to defer behind, so the
+// record is applied eagerly.
+func (e *Engine) AppendShipped(i int, rec []byte) error {
+	s := e.shards[i]
+	s.mu.Lock()
+	if err := s.sticky(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	if s.w == nil {
+		err := s.state.Apply(rec)
+		s.mu.Unlock()
+		return err
+	}
+	req, leader, err := s.c.enqueue(rec)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	s.pending = append(s.pending, rec)
+	s.since++
+	compact := e.opts.CompactEvery > 0 && s.since >= e.opts.CompactEvery
+	s.mu.Unlock()
+
+	if err := s.c.commitWait(req, leader); err != nil {
+		return err
+	}
+	if compact {
+		e.compactIfDue(i)
+	}
+	return nil
+}
+
+// Materialize replays shard i's parked replica records (see AppendShipped)
+// into the in-memory state.
+func (e *Engine) Materialize(i int) error {
+	s := e.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.materializeLocked()
+}
+
+// MaterializeAll replays every shard's parked replica records; the first
+// error is returned but all shards are attempted.
+func (e *Engine) MaterializeAll() error {
+	var firstErr error
+	for i := range e.shards {
+		if err := e.Materialize(i); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// materializeLocked drains the pending replica records in append order. On
+// error the already-applied prefix is dropped and the failing record kept,
+// so a retry does not double-apply.
+func (s *shard) materializeLocked() error {
+	for len(s.pending) > 0 {
+		if err := s.state.Apply(s.pending[0]); err != nil {
+			return fmt.Errorf("storage: materialize shipped record: %w", err)
+		}
+		s.pending = s.pending[1:]
+	}
+	s.pending = nil
+	return nil
+}
+
+// ApplyRecord journals one pre-encoded record on shard i through the full
+// primary mutation path: applied via the shard state's replay path, written
+// to the WAL, and enqueued on the replication sink like any local write.
+// Cluster handoff imports use it — a handed-off user's records must ship
+// onward to the importing node's own follower, unlike ApplyShipped records.
+func (e *Engine) ApplyRecord(i int, rec []byte) error {
+	return e.mutate(i, func() ([]byte, error) {
+		if err := e.shards[i].state.Apply(rec); err != nil {
+			return nil, err
+		}
+		return rec, nil
+	}, true)
+}
+
+func (e *Engine) mutate(i int, apply func() ([]byte, error), ship bool) error {
 	s := e.shards[i]
 	s.mu.Lock()
 	if err := s.sticky(); err != nil {
@@ -362,8 +496,20 @@ func (e *Engine) Mutate(i int, apply func() ([]byte, error)) error {
 		s.mu.Unlock()
 		return err
 	}
-	if rec == nil || s.w == nil {
+	if rec == nil {
 		s.mu.Unlock()
+		return nil
+	}
+	var rtok uint64
+	if ship && e.opts.Repl != nil {
+		// Under the lock: per-shard ship order is frozen to WAL order here.
+		rtok = e.opts.Repl.Enqueue(i, rec)
+	}
+	if s.w == nil {
+		s.mu.Unlock()
+		if rtok != 0 {
+			e.opts.Repl.Wait(rtok)
+		}
 		return nil
 	}
 	req, leader, err := s.c.enqueue(rec)
@@ -377,6 +523,12 @@ func (e *Engine) Mutate(i int, apply func() ([]byte, error)) error {
 
 	if err := s.c.commitWait(req, leader); err != nil {
 		return err
+	}
+	if rtok != 0 {
+		// Semi-synchronous replication: acknowledge the caller only after
+		// the record is durable locally AND the follower has acked it (or
+		// the sink degraded because the follower is unreachable).
+		e.opts.Repl.Wait(rtok)
 	}
 	if compact {
 		// Best-effort: the record is already durable in the WAL; a failed
@@ -429,6 +581,11 @@ func (s *shard) compactLocked(opts Options) error {
 	if err := s.c.drain(); err != nil {
 		// Poisoned: the in-memory state includes mutations the log rejected;
 		// snapshotting would persist the divergence as truth.
+		return err
+	}
+	if err := s.materializeLocked(); err != nil {
+		// Snapshotting now would drop the parked records when the old WAL
+		// (the only durable copy) is retired below.
 		return err
 	}
 	start := time.Now()
