@@ -55,6 +55,54 @@ func (s *Store) ApplyShipped(engine uint8, shard int, rec []byte) error {
 	return fmt.Errorf("cloud: shipped record for unknown engine %d", engine)
 }
 
+// ApplyShippedBatch journals a contiguous run of replicated records
+// (cluster.BatchApplier), grouped per engine shard so each shard pays one
+// group-commit wait for the whole run instead of one per record — with a
+// non-zero commit linger the per-record path costs a full linger each,
+// which stalls the stream and everything queued behind it. Stream order is
+// preserved within each shard, and per-shard WALs are the only place
+// replication order exists, so the journaled bytes are identical to the
+// per-record path's.
+func (s *Store) ApplyShippedBatch(recs []cluster.ShipRecord) error {
+	type dest struct {
+		engine uint8
+		shard  int
+	}
+	groups := map[dest][][]byte{}
+	var order []dest
+	for _, rec := range recs {
+		switch rec.Engine {
+		case cluster.EngineMain:
+			if rec.Shard < 0 || rec.Shard >= s.eng.NumShards() {
+				return fmt.Errorf("cloud: shipped record for main shard %d of %d", rec.Shard, s.eng.NumShards())
+			}
+		case cluster.EngineTrace:
+			if rec.Shard < 0 || rec.Shard >= s.traceEng.NumShards() {
+				return fmt.Errorf("cloud: shipped record for trace shard %d of %d", rec.Shard, s.traceEng.NumShards())
+			}
+		default:
+			return fmt.Errorf("cloud: shipped record for unknown engine %d", rec.Engine)
+		}
+		d := dest{engine: rec.Engine, shard: rec.Shard}
+		if _, ok := groups[d]; !ok {
+			order = append(order, d)
+		}
+		groups[d] = append(groups[d], rec.Rec)
+	}
+	for _, d := range order {
+		var err error
+		if d.engine == cluster.EngineMain {
+			err = s.eng.AppendShippedBatch(d.shard, groups[d])
+		} else {
+			err = s.traceEng.AppendShippedBatch(d.shard, groups[d])
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // materializeReplicas replays every deferred shipped record into in-memory
 // state. Promotion must call it before reading ownership or serving users
 // that arrived over replication.
@@ -165,16 +213,18 @@ func (s *Store) exportUsersLocked(own func(uid string) bool) ([]cluster.ShipReco
 	return recs, nil
 }
 
-// dropUsersLocal removes the named users from this node after a handoff.
-// The drops are journaled but deliberately NOT shipped (ApplyShipped path):
-// this node's follower may be the very node that just imported the users as
-// their new primary, and a shipped drop would delete its primary copy. The
-// follower's replica copy goes stale instead — harmless, because serving is
-// ring-gated, and the next full resync rebuilds only owned users anyway.
-// Meta goes last so a crash mid-drop leaves the user discoverable.
-func (s *Store) dropUsersLocal(uids []string) error {
-	s.gate.RLock()
-	defer s.gate.RUnlock()
+// dropUsersLocked removes the named users from this node after a handoff.
+// The caller must hold the write gate exclusively — the drop is the second
+// half of the export-then-drop pair, and only the gate makes the pair
+// atomic against writes (a write landing between the export snapshot and
+// the drop would be acknowledged and then deleted). The drops are journaled
+// but deliberately NOT shipped (ApplyShipped path): this node's follower
+// may be the very node that just imported the users as their new primary,
+// and a shipped drop would delete its primary copy. The follower's replica
+// copy goes stale instead — harmless, because serving is ring-gated, and
+// the next full resync rebuilds only owned users anyway. Meta goes last so
+// a crash mid-drop leaves the user discoverable.
+func (s *Store) dropUsersLocked(uids []string) error {
 	for _, uid := range uids {
 		var key string
 		s.eng.View(0, func() {
@@ -205,6 +255,10 @@ func (s *Store) dropUsersLocal(uids []string) error {
 			return err
 		}
 	}
+	// Tombstone the dropped users: a writer that was parked on the gate
+	// during this drop re-checks ownership when it resumes and is refused
+	// (ErrNotOwner) instead of re-creating state no reader is routed to.
+	s.markMoved(uids)
 	return nil
 }
 
@@ -255,6 +309,14 @@ type ClusterNode struct {
 // the node already holds.
 var ErrStaleRing = errors.New("cloud: stale ring version")
 
+// ErrNotOwner reports a store mutation for a user this node does not own
+// under its current ring. The HTTP ownership gate runs before the handler;
+// the ring can change — and a handoff can export and drop the user —
+// before the store applies, and a write acknowledged after that would live
+// on a node no reader is ever routed to. The store refuses it instead and
+// the server answers the gate's 421 contract so the client re-targets.
+var ErrNotOwner = errors.New("cloud: user not owned by this node")
+
 // DefaultShipLinger is the default replication batch linger: long enough to
 // coalesce a busy node's concurrent writers into shared POSTs, short enough
 // to stay invisible next to a WAN round trip.
@@ -303,6 +365,22 @@ func NewClusterNode(dir string, storeCfg StoreConfig, cfg ClusterNodeConfig) (*C
 		handoffs:  reg.Counter("pci_cluster_handoff_users_total"),
 		ringVer:   reg.Gauge("pci_cluster_ring_version"),
 	}
+	if epoch > 1 {
+		// This node restarted. The cluster may have moved on while it was
+		// down — in particular it may have been failed over, in which case
+		// the flag-seeded v1 ring names its own promoted heir as its
+		// follower, and the resync armed below would replace the heir's
+		// (now primary) data with this node's stale pre-crash copy. Fetch
+		// the current ring from the peers before arming anything; if no
+		// peer answers, the receivers' stream admission check (verifyStream)
+		// is the backstop. A first boot (epoch 1, or memory-only) skips the
+		// fetch: there is no pre-crash state to protect, and on a cold
+		// cluster boot no peer is up to answer.
+		if nr := cn.fetchPeerRing(); nr != nil && nr.Version > cn.ring.Version {
+			cn.ring = nr
+			logf("cluster: node %s booted onto fetched ring v%d", cfg.Self.ID, nr.Version)
+		}
+	}
 	cn.ship = cluster.NewShipper(cluster.ShipperConfig{
 		Self:        cfg.Self.ID,
 		Epoch:       epoch,
@@ -310,6 +388,7 @@ func NewClusterNode(dir string, storeCfg StoreConfig, cfg ClusterNodeConfig) (*C
 		DataShards:  dataShards,
 		TraceShards: traceShards,
 		Export:      cn.exportForResync,
+		RingVersion: func() uint64 { return cn.Ring().Version },
 		Linger:      cfg.ShipLinger,
 		Metrics:     reg,
 		Logf:        logf,
@@ -323,13 +402,20 @@ func NewClusterNode(dir string, storeCfg StoreConfig, cfg ClusterNodeConfig) (*C
 		return nil, err
 	}
 	cn.store = store
+	// Ownership re-check under the write gate (see ErrNotOwner): closes the
+	// window between the HTTP gate's ring lookup and the store apply.
+	store.owns = func(uid string) bool {
+		id := cn.Ring().PrimaryID(uid)
+		return id == "" || id == cn.cfg.Self.ID
+	}
 	cn.recv, err = cluster.OpenReceiver(cluster.ReceiverConfig{
-		Applier:     store,
-		Dir:         cfg.ReplDir,
-		DataShards:  dataShards,
-		TraceShards: traceShards,
-		Metrics:     reg,
-		Logf:        logf,
+		Applier:      store,
+		Dir:          cfg.ReplDir,
+		DataShards:   dataShards,
+		TraceShards:  traceShards,
+		VerifyStream: cn.verifyStream,
+		Metrics:      reg,
+		Logf:         logf,
 	})
 	if err != nil {
 		cn.ship.Close()
@@ -341,6 +427,56 @@ func NewClusterNode(dir string, storeCfg StoreConfig, cfg ClusterNodeConfig) (*C
 	}
 	cn.ringVer.Set(int64(cn.ring.Version))
 	return cn, nil
+}
+
+// fetchPeerRing asks every peer for its current ring and returns the
+// newest one seen (nil when no peer answered). Best effort on a short
+// timeout: it runs during boot, before this node serves anything, and a
+// peer that is itself down just means the flag-seeded ring stands until
+// the coordinator's next push.
+func (cn *ClusterNode) fetchPeerRing() *cluster.Ring {
+	httpc := &http.Client{Timeout: 2 * time.Second}
+	var best *cluster.Ring
+	for _, p := range cn.cfg.Peers {
+		if p.ID == cn.cfg.Self.ID {
+			continue
+		}
+		resp, err := httpc.Get(p.URL + cluster.PathRing)
+		if err != nil {
+			continue
+		}
+		body, rerr := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		resp.Body.Close()
+		if rerr != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		ring, derr := cluster.DecodeRing(body)
+		if derr != nil {
+			continue
+		}
+		if best == nil || ring.Version > best.Version {
+			best = ring
+		}
+	}
+	return best
+}
+
+// verifyStream is this node's replication stream admission check
+// (cluster.ReceiverConfig.VerifyStream): a batch or resync is accepted
+// only when the sender's stamped ring version is not provably stale.
+// Cursor epochs order streams *within* one topology; this check orders
+// them *across* topologies — without it a restarted pre-failover primary
+// (ring v1 from flags) could wholesale-replace its promoted heir's data,
+// destroying every write the heir acknowledged during the failover.
+func (cn *ClusterNode) verifyStream(from string, ringVersion uint64) error {
+	ring := cn.Ring()
+	if ringVersion < ring.Version {
+		return fmt.Errorf("stale ring v%d (this node holds v%d)", ringVersion, ring.Version)
+	}
+	if ringVersion == ring.Version && !ring.Alive(from) {
+		return fmt.Errorf("sender %s is failed over under ring v%d", from, ring.Version)
+	}
+	return nil
 }
 
 // Store returns the node's store (the caller owns its lifecycle).
@@ -398,6 +534,10 @@ func (cn *ClusterNode) AdoptRing(nr *cluster.Ring) error {
 	self := cn.cfg.Self.ID
 	cn.logf("cluster: node %s adopted ring v%d", self, nr.Version)
 
+	// Users handed off earlier whose ranges this version routes back here
+	// are no longer moved-away (the handoff back re-imports their data).
+	cn.store.clearMovedOwned(func(uid string) bool { return nr.PrimaryID(uid) == self })
+
 	// Users this node may now own could still sit in the deferred-replay
 	// queue; the ownership scan and any export below need them in state.
 	if err := cn.store.materializeReplicas(); err != nil {
@@ -434,9 +574,19 @@ func (cn *ClusterNode) AdoptRing(nr *cluster.Ring) error {
 }
 
 // handoff transfers the named users to their new owners and drops the local
-// copies. A destination that cannot be reached keeps its users here — data
-// is never dropped unacknowledged; the users stay served by the ownership
-// gate's redirect until a later ring version retries the move.
+// copies. Export, delivery, and drop run as one atomic step under the
+// store-wide write gate: no write — stamped, unstamped, or proxied — can
+// land between the snapshot the new owner receives and the local drop, so
+// nothing acknowledged is ever deleted un-transferred. Holding the gate
+// across the POST stalls this node's writes for one bounded round trip
+// (the HTTP client timeout caps it); on failure the gate is released
+// between attempts, writes proceed, and the next attempt's fresh export
+// captures them. A destination that cannot be reached keeps its users here
+// — data is never dropped unacknowledged; the users stay served by the
+// ownership gate's redirect until a later ring version retries the move.
+// (Two nodes handing off to each other could block on each other's gates
+// for one timeout; a single membership change only ever moves keys toward
+// or away from one node, so the pair never arises from one ring step.)
 func (cn *ClusterNode) handoff(ring *cluster.Ring, uids []string) {
 	byDest := map[string][]string{}
 	for _, uid := range uids {
@@ -454,19 +604,32 @@ func (cn *ClusterNode) handoff(ring *cluster.Ring, uids []string) {
 			set[uid] = true
 		}
 		s := cn.store
-		s.gate.Lock()
-		recs, err := s.exportUsersLocked(func(uid string) bool { return set[uid] })
-		s.gate.Unlock()
-		if err != nil {
-			cn.logf("cluster: handoff export to %s failed: %v", destID, err)
-			continue
+		done := false
+		for attempt := 0; attempt < 3 && !done; attempt++ {
+			if attempt > 0 {
+				time.Sleep(time.Duration(attempt) * 200 * time.Millisecond)
+			}
+			s.gate.Lock()
+			recs, err := s.exportUsersLocked(func(uid string) bool { return set[uid] })
+			if err != nil {
+				s.gate.Unlock()
+				cn.logf("cluster: handoff export to %s failed: %v", destID, err)
+				break
+			}
+			if err := cn.postHandoff(dest, recs); err != nil {
+				s.gate.Unlock()
+				cn.logf("cluster: handoff of %d users to %s failed (keeping local copies): %v", len(users), destID, err)
+				continue
+			}
+			err = s.dropUsersLocked(users)
+			s.gate.Unlock()
+			if err != nil {
+				cn.logf("cluster: dropping %d handed-off users: %v", len(users), err)
+				break
+			}
+			done = true
 		}
-		if err := cn.postHandoff(dest, recs); err != nil {
-			cn.logf("cluster: handoff of %d users to %s failed (keeping local copies): %v", len(users), destID, err)
-			continue
-		}
-		if err := s.dropUsersLocal(users); err != nil {
-			cn.logf("cluster: dropping %d handed-off users: %v", len(users), err)
+		if !done {
 			continue
 		}
 		cn.handoffs.Add(uint64(len(users)))
@@ -474,36 +637,28 @@ func (cn *ClusterNode) handoff(ring *cluster.Ring, uids []string) {
 	}
 }
 
-// postHandoff delivers one handoff batch, with bounded retries — the
-// destination just adopted the same ring and may still be settling.
+// postHandoff delivers one handoff batch — a single attempt, because the
+// caller holds the write gate across it; retries (with fresh exports) are
+// the caller's loop.
 func (cn *ClusterNode) postHandoff(dest cluster.Node, recs []cluster.ShipRecord) error {
 	body, err := json.Marshal(cluster.HandoffRequest{From: cn.cfg.Self.ID, Records: recs})
 	if err != nil {
 		return err
 	}
-	var last error
-	for attempt := 0; attempt < 3; attempt++ {
-		if attempt > 0 {
-			time.Sleep(time.Duration(attempt) * 200 * time.Millisecond)
-		}
-		resp, err := cn.httpc.Post(dest.URL+cluster.PathHandoff, "application/json", bytes.NewReader(body))
-		if err != nil {
-			last = err
-			continue
-		}
-		var hr cluster.HandoffResponse
-		err = json.NewDecoder(resp.Body).Decode(&hr)
-		resp.Body.Close()
-		switch {
-		case err != nil:
-			last = err
-		case !hr.OK:
-			last = fmt.Errorf("%s", hr.Error)
-		default:
-			return nil
-		}
+	resp, err := cn.httpc.Post(dest.URL+cluster.PathHandoff, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
 	}
-	return last
+	var hr cluster.HandoffResponse
+	err = json.NewDecoder(resp.Body).Decode(&hr)
+	resp.Body.Close()
+	switch {
+	case err != nil:
+		return err
+	case !hr.OK:
+		return fmt.Errorf("%s", hr.Error)
+	}
+	return nil
 }
 
 // Mount attaches the node-to-node cluster endpoints (replication stream,
@@ -572,12 +727,17 @@ func (cn *ClusterNode) owner(uid string) (cluster.Node, bool) {
 // with a routing key this node does not own is proxied to the owner when
 // this node is the owner's follower (the failover window — the client fell
 // over here for a reason), and answered 421 Misdirected Request with the
-// owner's URL otherwise. Unstamped requests (non-cluster-aware clients) and
-// already-proxied requests (single hop, loop guard) are served locally.
+// owner's URL otherwise. Unstamped requests (non-cluster-aware clients) are
+// served locally. A proxied request is ownership-checked like any other:
+// the proxying peer may have routed it off a stale ring, and serving it
+// here would land the write on a non-owner that silently diverges from the
+// real owner's copy. It is just never proxied a second time (single hop,
+// loop guard) — a misdirected one bounces 421 with the owner's URL, which
+// the proxying node relays verbatim so the client re-targets.
 func (cn *ClusterNode) Gate(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		uid := r.Header.Get(cluster.HeaderKey)
-		if uid == "" || r.Header.Get(cluster.HeaderProxied) != "" {
+		if uid == "" {
 			next.ServeHTTP(w, r)
 			return
 		}
@@ -586,12 +746,13 @@ func (cn *ClusterNode) Gate(next http.Handler) http.Handler {
 			next.ServeHTTP(w, r)
 			return
 		}
-		if f, ok := cn.Ring().Follower(owner.ID); ok && f.ID == cn.cfg.Self.ID {
-			cn.proxy(w, r, owner)
-			return
+		if r.Header.Get(cluster.HeaderProxied) == "" {
+			if f, ok := cn.Ring().Follower(owner.ID); ok && f.ID == cn.cfg.Self.ID {
+				cn.proxy(w, r, owner)
+				return
+			}
 		}
 		cn.redirect(w, owner, uid)
-		return
 	})
 }
 

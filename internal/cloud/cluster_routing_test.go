@@ -51,8 +51,10 @@ func rawRegister(t *testing.T, url string, hdr map[string]string) *http.Response
 
 // TestClusterGateRouting pins the server-side gate decision table: owner
 // serves, follower-of-owner proxies (one hop), anyone else redirects with
-// the owner's URL, and keyless or already-proxied requests are served
-// locally — each with its exact pci_cluster_* delta.
+// the owner's URL, keyless requests are served locally, and a proxied
+// request for a key this node does not own bounces 421 (the hop is not a
+// license to serve someone else's user) — each with its exact
+// pci_cluster_* delta.
 func TestClusterGateRouting(t *testing.T) {
 	nodes := startChaosCluster(t, 3)
 	uid := StableUserID("route-imei-1", "route@example.com")
@@ -99,14 +101,26 @@ func TestClusterGateRouting(t *testing.T) {
 	if resp := rawRegister(t, third.url, nil); resp.StatusCode != http.StatusOK {
 		t.Fatalf("keyless: status %d", resp.StatusCode)
 	}
-	// A proxied request is terminal: the receiving node serves it even for
-	// a key it does not own (the single-hop rule).
+	// A proxied request is still ownership-checked: a hop off a stale ring
+	// must not land a write on a non-owner. It is never proxied a second
+	// time (single hop) — it bounces 421 naming the real owner, for the
+	// proxying node to relay.
 	hopped := map[string]string{cluster.HeaderKey: uid, cluster.HeaderProxied: "1"}
-	if resp := rawRegister(t, third.url, hopped); resp.StatusCode != http.StatusOK {
-		t.Fatalf("proxied flag: status %d", resp.StatusCode)
+	resp = rawRegister(t, third.url, hopped)
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("proxied flag: status %d, want 421", resp.StatusCode)
 	}
-	if got := third.reg.Counter("pci_cluster_misrouted_total").Value(); got != 1 {
-		t.Fatalf("third misrouted counter moved to %d on exempt paths", got)
+	if got := resp.Header.Get(cluster.HeaderOwner); got != owner.url {
+		t.Fatalf("proxied bounce owner = %q, want %q", got, owner.url)
+	}
+	if got := third.reg.Counter("pci_cluster_misrouted_total").Value(); got != 2 {
+		t.Fatalf("third misrouted counter = %d, want 2", got)
+	}
+	// A proxied request for a key this node DOES own is served (the normal
+	// proxy hop terminates here).
+	ownerHop := map[string]string{cluster.HeaderKey: uid, cluster.HeaderProxied: "1"}
+	if resp := rawRegister(t, owner.url, ownerHop); resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxied-to-owner: status %d", resp.StatusCode)
 	}
 	if got := owner.reg.Counter("pci_cluster_proxied_total").Value() +
 		owner.reg.Counter("pci_cluster_misrouted_total").Value(); got != 0 {

@@ -260,6 +260,21 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// notOwner answers a store ErrNotOwner: the ring moved between the
+// ownership gate and the apply, so the store refused the write rather than
+// landing it on a node readers are never routed to. Answer the gate's 421
+// contract (owner URL included) so the client re-targets and retries; if
+// ownership has already swung back to this node, a retryable 503.
+func (s *Server) notOwner(w http.ResponseWriter, uid string) {
+	if s.cnode != nil {
+		if owner, self := s.cnode.owner(uid); !self {
+			s.cnode.redirect(w, owner, uid)
+			return
+		}
+	}
+	writeError(w, http.StatusServiceUnavailable, "ownership of user %s changed mid-request; retry", uid)
+}
+
 // decode parses the request body under the server's size cap. A body over
 // the cap answers 413 so the client can tell "your upload is too big" apart
 // from a garbled request (400) or a transient fault.
@@ -448,6 +463,10 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := s.store.Register(req.IMEI, req.Email)
 	if err != nil {
+		if errors.Is(err, ErrNotOwner) {
+			s.notOwner(w, StableUserID(req.IMEI, req.Email))
+			return
+		}
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -496,6 +515,10 @@ func (s *Server) handlePlacesDiscover(w http.ResponseWriter, r *http.Request, ui
 			writeError(w, http.StatusConflict, "%v", err)
 			return
 		}
+		if errors.Is(err, ErrNotOwner) {
+			s.notOwner(w, uid)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, "syncing trace: %v", err)
 		return
 	}
@@ -531,6 +554,10 @@ func (s *Server) handlePlacesLabel(w http.ResponseWriter, r *http.Request, uid s
 		return
 	}
 	if err := s.store.LabelPlace(uid, req.PlaceID, req.Label); err != nil {
+		if errors.Is(err, ErrNotOwner) {
+			s.notOwner(w, uid)
+			return
+		}
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
@@ -579,6 +606,10 @@ func (s *Server) handleRoutesDiscover(w http.ResponseWriter, r *http.Request, ui
 		wire = append(wire, RouteToWire(rt))
 	}
 	if err := s.store.SetRoutes(uid, wire); err != nil {
+		if errors.Is(err, ErrNotOwner) {
+			s.notOwner(w, uid)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, "storing routes: %v", err)
 		return
 	}
@@ -619,6 +650,10 @@ func (s *Server) handleProfilePut(w http.ResponseWriter, r *http.Request, uid st
 	p.Date = date
 	p.UserID = uid
 	if err := s.store.PutProfile(uid, &p); err != nil {
+		if errors.Is(err, ErrNotOwner) {
+			s.notOwner(w, uid)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -666,6 +701,10 @@ func (s *Server) handleContactsPost(w http.ResponseWriter, r *http.Request, uid 
 		return
 	}
 	if err := s.store.AddContacts(uid, req.Encounters); err != nil {
+		if errors.Is(err, ErrNotOwner) {
+			s.notOwner(w, uid)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, "storing contacts: %v", err)
 		return
 	}

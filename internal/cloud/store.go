@@ -76,6 +76,29 @@ type Store struct {
 	// computes the same routing key for a device without coordination.
 	stableIDs bool
 
+	// owns, when set (cluster mode), re-checks user ownership under the
+	// write gate on every primary mutation. The HTTP ownership gate runs
+	// before the handler; the ring can change — and a handoff can export
+	// and drop the user — between that check and the store apply, and a
+	// write acknowledged after the drop would live on a node no reader is
+	// ever routed to. Mutations for users this node handed off (see moved)
+	// and still does not own fail with ErrNotOwner instead, and the client
+	// retries at the new owner. Set once before the node serves traffic;
+	// nil means own everything.
+	owns func(userID string) bool
+
+	// moved tombstones users this node handed off to a new owner. The
+	// refusal above is gated on it so only the actual loss window — a
+	// write that raced the export→drop of its user — is refused; keyless
+	// (pre-cluster) traffic for users that never moved keeps its
+	// served-where-it-lands contract. Entries are cleared when a ring
+	// version makes this node the user's owner again (the handoff back
+	// re-imports the data). Guarded by movedMu, not the gate: readers
+	// check it under gate.RLock while drops write it under gate.Lock, but
+	// ring adoption clears it outside any gate hold.
+	movedMu sync.Mutex
+	moved   map[string]struct{}
+
 	now func() time.Time
 
 	obsReg       *obs.Registry
@@ -282,9 +305,50 @@ func (s *Store) dataFor(userID string) (int, *dataState) {
 // mutateData runs one record through the owning data shard: the same apply
 // path recovery replays, journaled only when it succeeds. Marshal runs after
 // apply so the journal captures any normalization apply performed.
+// markMoved tombstones users just dropped by a handoff (caller holds the
+// write gate exclusively, so no mutation can interleave with the marking).
+func (s *Store) markMoved(uids []string) {
+	s.movedMu.Lock()
+	if s.moved == nil {
+		s.moved = map[string]struct{}{}
+	}
+	for _, uid := range uids {
+		s.moved[uid] = struct{}{}
+	}
+	s.movedMu.Unlock()
+}
+
+// clearMovedOwned drops tombstones for users the given predicate reports as
+// owned again — called on ring adoption, when a rejoin hands ranges back.
+func (s *Store) clearMovedOwned(owned func(userID string) bool) {
+	s.movedMu.Lock()
+	for uid := range s.moved {
+		if owned(uid) {
+			delete(s.moved, uid)
+		}
+	}
+	s.movedMu.Unlock()
+}
+
+// refuseMoved reports whether a primary mutation for the user must be
+// refused with ErrNotOwner: this node handed the user off and the current
+// ring still routes it elsewhere (see the moved field).
+func (s *Store) refuseMoved(userID string) bool {
+	if s.owns == nil {
+		return false
+	}
+	s.movedMu.Lock()
+	_, moved := s.moved[userID]
+	s.movedMu.Unlock()
+	return moved && !s.owns(userID)
+}
+
 func (s *Store) mutateData(userID string, rec *walRecord) error {
 	s.gate.RLock()
 	defer s.gate.RUnlock()
+	if s.refuseMoved(userID) {
+		return ErrNotOwner
+	}
 	idx, d := s.dataFor(userID)
 	return s.eng.Mutate(idx, func() ([]byte, error) {
 		if err := d.apply(rec); err != nil {
@@ -312,6 +376,12 @@ func (s *Store) Register(imei, email string) (RegisterResponse, error) {
 	}
 	var uid string
 	s.gate.RLock()
+	// Cluster mode forces stable IDs, so the routing key is known before
+	// the user exists and ownership can be re-checked under the gate.
+	if s.refuseMoved(StableUserID(imei, email)) {
+		s.gate.RUnlock()
+		return RegisterResponse{}, ErrNotOwner
+	}
 	err := s.eng.Mutate(0, func() ([]byte, error) {
 		key := deviceKey(imei, email)
 		if id, ok := s.meta.byDevice[key]; ok {

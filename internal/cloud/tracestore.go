@@ -46,6 +46,9 @@ func (s *Store) traceShard(userID string) int {
 func (s *Store) SyncTrace(userID string, delta bool, cursor int64, prefixHash uint64, obs []trace.GSMObservation) (TraceStatus, int, error) {
 	s.gate.RLock()
 	defer s.gate.RUnlock()
+	if s.refuseMoved(userID) {
+		return TraceStatus{}, 0, ErrNotOwner
+	}
 	idx := s.traceShard(userID)
 	t := s.traces[idx]
 	var status TraceStatus
@@ -98,6 +101,9 @@ var ErrObservationOrder = errors.New("cloud: observations out of time order")
 func (s *Store) AppendTrace(userID string, obs []trace.GSMObservation) (TraceStatus, error) {
 	s.gate.RLock()
 	defer s.gate.RUnlock()
+	if s.refuseMoved(userID) {
+		return TraceStatus{}, ErrNotOwner
+	}
 	idx := s.traceShard(userID)
 	t := s.traces[idx]
 	var status TraceStatus

@@ -20,6 +20,7 @@ import (
 //	uvarint len(From), From bytes
 //	uvarint Epoch
 //	uvarint Start
+//	uvarint RingVersion
 //	uvarint DataShards
 //	uvarint TraceShards
 //	uvarint len(Records)
@@ -28,8 +29,11 @@ import (
 // ContentTypeReplBinary is the negotiated binary replication media type.
 const ContentTypeReplBinary = "application/x-pmware-repl"
 
-// replWireVersion is the first byte of every binary batch.
-const replWireVersion = 1
+// replWireVersion is the first byte of every binary batch. v2 added the
+// sender's ring version to the stream header (stream admission control); a
+// v1 peer's batches fail the version check and fall back through its JSON
+// retry like any mixed-version pair.
+const replWireVersion = 2
 
 // EncodeBatchBinary appends the batch's binary encoding to buf (reusing its
 // capacity) and returns the filled slice.
@@ -39,6 +43,7 @@ func EncodeBatchBinary(buf []byte, req *BatchRequest) []byte {
 	buf = append(buf, req.From...)
 	buf = binary.AppendUvarint(buf, req.Epoch)
 	buf = binary.AppendUvarint(buf, req.Start)
+	buf = binary.AppendUvarint(buf, req.RingVersion)
 	buf = binary.AppendUvarint(buf, uint64(req.DataShards))
 	buf = binary.AppendUvarint(buf, uint64(req.TraceShards))
 	buf = binary.AppendUvarint(buf, uint64(len(req.Records)))
@@ -70,6 +75,9 @@ func DecodeBatchBinary(data []byte) (*BatchRequest, error) {
 		return nil, err
 	}
 	if req.Start, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	if req.RingVersion, err = r.uvarint(); err != nil {
 		return nil, err
 	}
 	if req.DataShards, err = r.uvarintInt(); err != nil {

@@ -24,6 +24,7 @@ func randBatch(rng *rand.Rand) *BatchRequest {
 		From:        fmt.Sprintf("node-%d", rng.Intn(100)),
 		Epoch:       rng.Uint64() >> rng.Intn(60),
 		Start:       rng.Uint64() >> rng.Intn(60),
+		RingVersion: rng.Uint64() >> rng.Intn(60),
 		DataShards:  1 + rng.Intn(8),
 		TraceShards: 1 + rng.Intn(8),
 		Records:     recs,

@@ -64,18 +64,25 @@ func (c *Coordinator) PushAll() {
 	c.mu.Lock()
 	ring := c.ring
 	c.mu.Unlock()
-	body := ring.Encode()
 	for _, n := range ring.Nodes {
-		resp, err := c.http.Post(n.URL+PathRing, "application/json", bytes.NewReader(body))
-		if err != nil {
-			c.log("cluster: ring v%d push to %s failed: %v", ring.Version, n.ID, err)
-			continue
-		}
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict {
-			c.log("cluster: ring v%d push to %s returned %d", ring.Version, n.ID, resp.StatusCode)
-		}
+		c.push(n, ring)
 	}
+}
+
+// push delivers one ring version to one node, reporting whether the node
+// acknowledged it (an already-newer ring counts: the node is current).
+func (c *Coordinator) push(n Node, ring *Ring) bool {
+	resp, err := c.http.Post(n.URL+PathRing, "application/json", bytes.NewReader(ring.Encode()))
+	if err != nil {
+		c.log("cluster: ring v%d push to %s failed: %v", ring.Version, n.ID, err)
+		return false
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict {
+		c.log("cluster: ring v%d push to %s returned %d", ring.Version, n.ID, resp.StatusCode)
+		return false
+	}
+	return true
 }
 
 // Fail promotes the failed node's follower over its ranges and pushes the
@@ -103,6 +110,14 @@ func (c *Coordinator) Fail(id string) error {
 // Join adds (or revives) a member and pushes the new ring. Nodes that lose
 // ranges to the joiner hand the affected users off when they adopt the new
 // version.
+//
+// Push order matters: donors (every existing member) get the ring before
+// the joiner. A node's AdoptRing hands users off synchronously, so by the
+// time a donor acknowledges the push the joiner has imported them — and
+// only then does the joiner itself adopt the version that makes it serve.
+// Pushed the other way round, the joiner would accept (and acknowledge)
+// writes for an inherited user before the donor's handoff import arrived,
+// and the import — a whole-user snapshot — would silently replace them.
 func (c *Coordinator) Join(n Node) error {
 	c.mu.Lock()
 	c.ring = c.ring.WithJoin(n)
@@ -110,13 +125,29 @@ func (c *Coordinator) Join(n Node) error {
 	c.fails[n.ID] = 0
 	c.mu.Unlock()
 	c.log("cluster: node %s joined (ring v%d, %d members)", n.ID, ring.Version, len(ring.Nodes))
-	c.PushAll()
+	for _, m := range ring.Nodes {
+		if m.ID != n.ID {
+			c.push(m, ring)
+		}
+	}
+	c.push(n, ring)
 	return nil
 }
 
 // Leave removes a member gracefully: the departing node sees the new ring,
 // hands every user it owned to the new owners, and only then shuts down.
-// The push deliberately still includes the leaver so it learns the version.
+//
+// The leaver — the donor of every moved user — is pushed FIRST, the
+// survivors after. AdoptRing hands users off synchronously, so when the
+// leaver's push returns, every new owner already holds the imported data,
+// and only then do the survivors adopt the version under which they serve
+// those users. Pushed survivors-first, a gainer would acknowledge writes
+// for a moved user in the window before the leaver's handoff import, and
+// the import — a whole-user snapshot of the leaver's older state — would
+// silently replace them: an acknowledged write lost with no failure
+// anywhere. (Writes during the donor-first window just bounce between the
+// v-old owner's 421 and not-yet-adopted survivors until a push lands;
+// unacknowledged, so the client retries them — slower, never lost.)
 func (c *Coordinator) Leave(id string) error {
 	c.mu.Lock()
 	old := c.ring
@@ -132,15 +163,13 @@ func (c *Coordinator) Leave(id string) error {
 	ring := c.ring
 	c.mu.Unlock()
 	c.log("cluster: node %s leaving (ring v%d, %d members)", id, ring.Version, len(ring.Nodes))
-	// Push to survivors AND the leaver (not a member anymore, so PushAll
-	// alone would skip it).
-	c.PushAll()
+	// The leaver is not a member of the new ring, so PushAll would skip it.
 	if n, ok := old.NodeByID(id); ok {
-		resp, err := c.http.Post(n.URL+PathRing, "application/json", bytes.NewReader(ring.Encode()))
-		if err == nil {
-			resp.Body.Close()
+		if !c.push(n, ring) {
+			c.log("cluster: leaver %s missed ring v%d; its users move on the next resync, not by handoff", id, ring.Version)
 		}
 	}
+	c.PushAll()
 	return nil
 }
 
@@ -174,6 +203,18 @@ func (c *Coordinator) probeAll(threshold int) {
 	c.mu.Unlock()
 	for _, n := range ring.Nodes {
 		if !ring.alive(n.ID) {
+			// Taken-over members keep getting probed: a failed node that
+			// restarts must be driven back in through Join — the push clears
+			// its takeover entry and makes its heir hand the ranges (with
+			// every write accepted during the failover) back to it. Without
+			// this rejoin trigger no corrective ring would ever reach the
+			// restarted node.
+			if c.probe(n) {
+				c.log("cluster: failed node %s answers again, rejoining it", n.ID)
+				if err := c.Join(n); err != nil {
+					c.log("cluster: rejoin of %s failed: %v", n.ID, err)
+				}
+			}
 			continue
 		}
 		ok := c.probe(n)

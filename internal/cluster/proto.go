@@ -53,11 +53,16 @@ type ShipRecord struct {
 // BatchRequest ships records Start..Start+len(Records)-1 of the primary's
 // stream. Epoch identifies the primary's process lifetime: a primary that
 // restarted cannot know which tail of its stream reached the follower, so
-// it bumps its epoch and the mismatch forces a full resync.
+// it bumps its epoch and the mismatch forces a full resync. RingVersion is
+// the ring the sender holds: a receiver with a newer ring rejects the
+// stream (the sender's view of who owns what — and of who its follower is —
+// is stale), which is what keeps a restarted pre-failover primary from
+// overwriting its promoted heir.
 type BatchRequest struct {
 	From        string       `json:"from"`
 	Epoch       uint64       `json:"epoch"`
 	Start       uint64       `json:"start"`
+	RingVersion uint64       `json:"ring_version"`
 	DataShards  int          `json:"data_shards"`
 	TraceShards int          `json:"trace_shards"`
 	Records     []ShipRecord `json:"records"`
@@ -89,6 +94,7 @@ type SyncRequest struct {
 	From        string       `json:"from"`
 	Epoch       uint64       `json:"epoch"`
 	Baseline    uint64       `json:"baseline"`
+	RingVersion uint64       `json:"ring_version"`
 	DataShards  int          `json:"data_shards"`
 	TraceShards int          `json:"trace_shards"`
 	Records     []ShipRecord `json:"records"`

@@ -19,6 +19,19 @@ type Applier interface {
 	ApplyShipped(engine uint8, shard int, rec []byte) error
 }
 
+// BatchApplier is an optional Applier fast path: journal one contiguous run
+// of shipped records, grouped so each engine shard pays roughly one
+// group-commit wait for the whole run instead of one per record (with a
+// non-zero commit linger, the per-record path costs a full linger each).
+// An error reports the whole run as unapplied even though some shards'
+// groups may already be durable; that is safe because batch-apply errors
+// are terminal — a poisoned shard or a corrupt record — and the stream
+// cannot continue past them anyway (the primary degrades and the follower
+// is healed by resync or replacement).
+type BatchApplier interface {
+	ApplyShippedBatch(recs []ShipRecord) error
+}
+
 // Receiver is the follower side of WAL-shipping replication: it applies
 // shipped batches in order, tracks one durable cursor per source stream,
 // and demands a full resync whenever it cannot prove the stream is
@@ -31,15 +44,26 @@ type Applier interface {
 // discarded anyway. The acknowledged cursor can therefore never run ahead
 // of the follower's durable state — at worst it under-reports and the
 // stream re-baselines with a full resync.
+//
+// Locking: Receiver.mu guards only the stream map and cursor values, so
+// the cursor endpoint and other sources' streams never block behind an
+// apply; each stream's validate→apply→advance sequence is serialized by
+// its own sourceStream.apply mutex.
 type Receiver struct {
 	cfg ReceiverConfig
 
 	mu  sync.Mutex
-	cur map[string]streamCursor // source node -> position
+	src map[string]*sourceStream // source node -> stream state
 
 	applied     *obs.Counter
 	syncRecords *obs.Counter
 	rejected    *obs.Counter
+}
+
+// sourceStream is one primary's stream state.
+type sourceStream struct {
+	apply sync.Mutex   // serializes application (batch and sync) for this stream
+	c     streamCursor // guarded by Receiver.mu
 }
 
 type streamCursor struct {
@@ -49,7 +73,8 @@ type streamCursor struct {
 
 // ReceiverConfig configures a node's receiver.
 type ReceiverConfig struct {
-	// Applier journals shipped records (the cloud store).
+	// Applier journals shipped records (the cloud store). If it also
+	// implements BatchApplier, runs are applied through the batch path.
 	Applier Applier
 	// Dir persists cursors and the dirty marker ("" = memory-only: every
 	// restart resyncs).
@@ -57,6 +82,14 @@ type ReceiverConfig struct {
 	// DataShards/TraceShards validate stream compatibility.
 	DataShards  int
 	TraceShards int
+	// VerifyStream admits or rejects a stream before any record is applied:
+	// from is the sending node, ringVersion the ring version it stamped on
+	// the request. The cluster node wires this to its ring view, so a
+	// sender with a stale topology — e.g. a restarted primary that was
+	// failed over while it was down — is refused instead of wholesale-
+	// replacing this node's (possibly promoted-primary) state. nil accepts
+	// every stream.
+	VerifyStream func(from string, ringVersion uint64) error
 	// Metrics receives the pci_repl_* receiver families (nil = obs.Default).
 	Metrics *obs.Registry
 	Logf    func(format string, args ...any)
@@ -76,7 +109,7 @@ func OpenReceiver(cfg ReceiverConfig) (*Receiver, error) {
 	}
 	r := &Receiver{
 		cfg:         cfg,
-		cur:         map[string]streamCursor{},
+		src:         map[string]*sourceStream{},
 		applied:     reg.Counter("pci_repl_applied_records_total"),
 		syncRecords: reg.Counter("pci_repl_resync_records_total"),
 		rejected:    reg.Counter("pci_repl_batches_rejected_total"),
@@ -113,7 +146,7 @@ func OpenReceiver(cfg ReceiverConfig) (*Receiver, error) {
 			var c streamCursor
 			if json.Unmarshal(b, &c) == nil {
 				from := strings.TrimSuffix(strings.TrimPrefix(name, cursorPrefix), ".json")
-				r.cur[from] = c
+				r.src[from] = &sourceStream{c: c}
 			}
 		}
 	}
@@ -129,6 +162,18 @@ func (r *Receiver) logf(format string, args ...any) {
 	}
 }
 
+// source returns (creating if needed) the stream state for one sender.
+func (r *Receiver) source(from string) *sourceStream {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ss := r.src[from]
+	if ss == nil {
+		ss = &sourceStream{}
+		r.src[from] = ss
+	}
+	return ss
+}
+
 // Close persists exact cursors and disarms the dirty marker.
 func (r *Receiver) Close() error {
 	r.mu.Lock()
@@ -136,15 +181,17 @@ func (r *Receiver) Close() error {
 	if r.cfg.Dir == "" {
 		return nil
 	}
-	for from, c := range r.cur {
-		if err := r.persistLocked(from, c); err != nil {
+	for from, ss := range r.src {
+		if err := r.persist(from, ss.c); err != nil {
 			return err
 		}
 	}
 	return os.Remove(filepath.Join(r.cfg.Dir, dirtyMarker))
 }
 
-func (r *Receiver) persistLocked(from string, c streamCursor) error {
+// persist writes one stream's cursor file. Callers serialize per stream
+// (the stream's apply mutex, or Receiver.mu at close).
+func (r *Receiver) persist(from string, c streamCursor) error {
 	if r.cfg.Dir == "" {
 		return nil
 	}
@@ -156,8 +203,11 @@ func (r *Receiver) persistLocked(from string, c streamCursor) error {
 func (r *Receiver) Cursor(from string) (epoch, seq uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c := r.cur[from]
-	return c.Epoch, c.Seq
+	ss := r.src[from]
+	if ss == nil {
+		return 0, 0
+	}
+	return ss.c.Epoch, ss.c.Seq
 }
 
 func (r *Receiver) validShards(data, trace int) error {
@@ -166,6 +216,32 @@ func (r *Receiver) validShards(data, trace int) error {
 			data, trace, r.cfg.DataShards, r.cfg.TraceShards)
 	}
 	return nil
+}
+
+func (r *Receiver) verifyStream(from string, ringVersion uint64) error {
+	if r.cfg.VerifyStream == nil {
+		return nil
+	}
+	return r.cfg.VerifyStream(from, ringVersion)
+}
+
+// applyRun journals one contiguous run of records, preferring the batch
+// path (one commit wait per engine shard) over per-record applies. The
+// serial fallback reports the applied prefix on error; the batch path
+// reports zero (see BatchApplier for why that is safe).
+func (r *Receiver) applyRun(recs []ShipRecord) (applied int, errStr string) {
+	if ba, ok := r.cfg.Applier.(BatchApplier); ok {
+		if err := ba.ApplyShippedBatch(recs); err != nil {
+			return 0, fmt.Sprintf("apply batch: %v", err)
+		}
+		return len(recs), ""
+	}
+	for i, rec := range recs {
+		if err := r.cfg.Applier.ApplyShipped(rec.Engine, rec.Shard, rec.Rec); err != nil {
+			return i, fmt.Sprintf("apply record %d: %v", i, err)
+		}
+	}
+	return len(recs), ""
 }
 
 // HandleBatch is the PathReplBatch endpoint. The batch body is negotiated
@@ -191,33 +267,35 @@ func (r *Receiver) HandleBatch(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	ss := r.source(b.From)
+	ss.apply.Lock()
+	defer ss.apply.Unlock()
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	resp := BatchResponse{}
-	c := r.cur[b.From]
+	c := ss.c
+	r.mu.Unlock()
+	resp := BatchResponse{Acked: c.Seq}
 	switch {
 	case r.validShards(b.DataShards, b.TraceShards) != nil:
 		resp.Error = r.validShards(b.DataShards, b.TraceShards).Error()
+		r.rejected.Inc()
+	case r.verifyStream(b.From, b.RingVersion) != nil:
+		resp.Error = r.verifyStream(b.From, b.RingVersion).Error()
 		r.rejected.Inc()
 	case b.Epoch != c.Epoch || b.Start != c.Seq+1:
 		// A stream this follower cannot prove contiguous: wrong epoch
 		// (primary restarted, or follower never met this primary) or a gap.
 		resp.Resync = true
-		resp.Acked = c.Seq
 		r.rejected.Inc()
 	default:
-		applied := 0
-		for _, rec := range b.Records {
-			if err := r.cfg.Applier.ApplyShipped(rec.Engine, rec.Shard, rec.Rec); err != nil {
-				resp.Error = fmt.Sprintf("apply record %d: %v", c.Seq+uint64(applied)+1, err)
-				break
-			}
-			applied++
-		}
-		c.Seq += uint64(applied)
-		r.cur[b.From] = c
+		applied, errStr := r.applyRun(b.Records)
+		r.mu.Lock()
+		ss.c.Seq += uint64(applied)
+		resp.Acked = ss.c.Seq
+		r.mu.Unlock()
 		r.applied.Add(uint64(applied))
-		resp.Acked = c.Seq
+		if errStr != "" {
+			resp.Error = errStr
+		}
 		// No cursor persist here: a crash discards cursors via the dirty
 		// marker regardless, so only clean close and resync re-baselines
 		// write the file.
@@ -226,15 +304,18 @@ func (r *Receiver) HandleBatch(w http.ResponseWriter, req *http.Request) {
 }
 
 // HandleSync is the PathReplSync endpoint: wholesale replacement of the
-// source's ranges, then the cursor re-baselines.
+// source's ranges, then the cursor re-baselines. Admission runs the same
+// VerifyStream check as batches — a resync is precisely the request a
+// zombie primary uses to overwrite its heir, so it must not bypass it.
 func (r *Receiver) HandleSync(w http.ResponseWriter, req *http.Request) {
 	var b SyncRequest
 	if err := json.NewDecoder(req.Body).Decode(&b); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	ss := r.source(b.From)
+	ss.apply.Lock()
+	defer ss.apply.Unlock()
 	resp := SyncResponse{}
 	if err := r.validShards(b.DataShards, b.TraceShards); err != nil {
 		resp.Error = err.Error()
@@ -242,17 +323,25 @@ func (r *Receiver) HandleSync(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, resp)
 		return
 	}
-	for i, rec := range b.Records {
-		if err := r.cfg.Applier.ApplyShipped(rec.Engine, rec.Shard, rec.Rec); err != nil {
-			resp.Error = fmt.Sprintf("apply sync record %d: %v", i, err)
-			writeJSON(w, resp)
-			return
-		}
+	if err := r.verifyStream(b.From, b.RingVersion); err != nil {
+		resp.Error = err.Error()
+		r.rejected.Inc()
+		r.logf("cluster: refused resync from %s: %v", b.From, err)
+		writeJSON(w, resp)
+		return
+	}
+	applied, errStr := r.applyRun(b.Records)
+	if errStr != "" {
+		resp.Error = fmt.Sprintf("apply sync: %s", errStr)
+		writeJSON(w, resp)
+		return
 	}
 	c := streamCursor{Epoch: b.Epoch, Seq: b.Baseline}
-	r.cur[b.From] = c
-	r.syncRecords.Add(uint64(len(b.Records)))
-	if err := r.persistLocked(b.From, c); err != nil {
+	r.mu.Lock()
+	ss.c = c
+	r.mu.Unlock()
+	r.syncRecords.Add(uint64(applied))
+	if err := r.persist(b.From, c); err != nil {
 		resp.Error = fmt.Sprintf("persist cursor: %v", err)
 		writeJSON(w, resp)
 		return

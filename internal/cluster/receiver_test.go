@@ -1,0 +1,208 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// Receiver stream admission: a sender whose stamped ring version is stale —
+// or who the verify callback says is no longer a legitimate primary — must
+// be refused before a single record is applied, on both the batch and the
+// resync endpoint. The resync path is the dangerous one: it is exactly the
+// request a restarted pre-failover primary uses to wholesale-replace its
+// promoted heir's data.
+
+// recApplier records every applied record; failAfter poisons applies past
+// the given count (-1 = never fail).
+type recApplier struct {
+	recs    []ShipRecord
+	batches int
+}
+
+func (a *recApplier) ApplyShipped(engine uint8, shard int, rec []byte) error {
+	a.recs = append(a.recs, ShipRecord{Engine: engine, Shard: shard, Rec: rec})
+	return nil
+}
+
+// batchApplier additionally implements the BatchApplier fast path.
+type batchApplier struct{ recApplier }
+
+func (a *batchApplier) ApplyShippedBatch(recs []ShipRecord) error {
+	a.recs = append(a.recs, recs...)
+	a.batches++
+	return nil
+}
+
+func openTestReceiver(t *testing.T, applier Applier, verify func(string, uint64) error) (*Receiver, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	r, err := OpenReceiver(ReceiverConfig{
+		Applier:      applier,
+		DataShards:   2,
+		TraceShards:  1,
+		VerifyStream: verify,
+		Metrics:      reg,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r, reg
+}
+
+func postBatch(t *testing.T, r *Receiver, b BatchRequest) BatchResponse {
+	t.Helper()
+	body, _ := json.Marshal(b)
+	req := httptest.NewRequest("POST", PathReplBatch, bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	r.HandleBatch(w, req)
+	var resp BatchResponse
+	if err := json.NewDecoder(w.Body).Decode(&resp); err != nil {
+		t.Fatalf("decode batch response: %v", err)
+	}
+	return resp
+}
+
+func postSync(t *testing.T, r *Receiver, b SyncRequest) SyncResponse {
+	t.Helper()
+	body, _ := json.Marshal(b)
+	req := httptest.NewRequest("POST", PathReplSync, bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	r.HandleSync(w, req)
+	var resp SyncResponse
+	if err := json.NewDecoder(w.Body).Decode(&resp); err != nil {
+		t.Fatalf("decode sync response: %v", err)
+	}
+	return resp
+}
+
+func testRecords(n int) []ShipRecord {
+	out := make([]ShipRecord, n)
+	for i := range out {
+		out[i] = ShipRecord{Engine: EngineMain, Shard: i % 2, Rec: []byte(fmt.Sprintf("rec-%d", i))}
+	}
+	return out
+}
+
+// TestReceiverAdmissionRejectsStaleRing pins the zombie-primary guard: a
+// resync or batch stamped with an older ring version than the receiver
+// holds is refused with zero records applied and an unmoved cursor.
+func TestReceiverAdmissionRejectsStaleRing(t *testing.T) {
+	const localRing = 3
+	applier := &recApplier{}
+	verify := func(from string, rv uint64) error {
+		if rv < localRing {
+			return fmt.Errorf("stale ring v%d (this node holds v%d)", rv, localRing)
+		}
+		return nil
+	}
+	r, reg := openTestReceiver(t, applier, verify)
+
+	// The zombie's resync: ring v1 from its boot flags.
+	sresp := postSync(t, r, SyncRequest{
+		From: "zombie", Epoch: 2, Baseline: 0, RingVersion: 1,
+		DataShards: 2, TraceShards: 1, Records: testRecords(4),
+	})
+	if sresp.OK || sresp.Error == "" {
+		t.Fatalf("stale resync accepted: %+v", sresp)
+	}
+	if len(applier.recs) != 0 {
+		t.Fatalf("stale resync applied %d records", len(applier.recs))
+	}
+	if e, s := r.Cursor("zombie"); e != 0 || s != 0 {
+		t.Fatalf("stale resync moved cursor to %d/%d", e, s)
+	}
+
+	// Same for a batch.
+	bresp := postBatch(t, r, BatchRequest{
+		From: "zombie", Epoch: 2, Start: 1, RingVersion: 1,
+		DataShards: 2, TraceShards: 1, Records: testRecords(2),
+	})
+	if bresp.Error == "" {
+		t.Fatalf("stale batch accepted: %+v", bresp)
+	}
+	if len(applier.recs) != 0 {
+		t.Fatalf("stale batch applied %d records", len(applier.recs))
+	}
+	if got := reg.Counter("pci_repl_batches_rejected_total").Value(); got != 2 {
+		t.Fatalf("rejected counter = %d, want 2", got)
+	}
+
+	// A current-ring sender is admitted: resync re-baselines, batch resumes.
+	sresp = postSync(t, r, SyncRequest{
+		From: "live", Epoch: 1, Baseline: 0, RingVersion: localRing,
+		DataShards: 2, TraceShards: 1, Records: testRecords(3),
+	})
+	if !sresp.OK {
+		t.Fatalf("live resync refused: %+v", sresp)
+	}
+	bresp = postBatch(t, r, BatchRequest{
+		From: "live", Epoch: 1, Start: 1, RingVersion: localRing,
+		DataShards: 2, TraceShards: 1, Records: testRecords(2),
+	})
+	if bresp.Error != "" || bresp.Acked != 2 {
+		t.Fatalf("live batch: %+v", bresp)
+	}
+	if len(applier.recs) != 5 {
+		t.Fatalf("applied %d records, want 5", len(applier.recs))
+	}
+}
+
+// TestReceiverAdmissionRejectsTakenOverSender pins the same-version case: a
+// sender the verify callback reports as failed over (its heir answers for
+// its ranges) is refused even when its ring version is current.
+func TestReceiverAdmissionRejectsTakenOverSender(t *testing.T) {
+	applier := &recApplier{}
+	verify := func(from string, rv uint64) error {
+		if from == "dead" {
+			return fmt.Errorf("sender %s is failed over", from)
+		}
+		return nil
+	}
+	r, _ := openTestReceiver(t, applier, verify)
+
+	sresp := postSync(t, r, SyncRequest{
+		From: "dead", Epoch: 3, Baseline: 0, RingVersion: 2,
+		DataShards: 2, TraceShards: 1, Records: testRecords(2),
+	})
+	if sresp.OK || sresp.Error == "" {
+		t.Fatalf("taken-over resync accepted: %+v", sresp)
+	}
+	if len(applier.recs) != 0 {
+		t.Fatalf("taken-over resync applied %d records", len(applier.recs))
+	}
+}
+
+// TestReceiverBatchApplierPath pins the batch fast path: an Applier that
+// implements BatchApplier gets one ApplyShippedBatch call per admitted run
+// (not one apply per record), and the cursor advances by the full run.
+func TestReceiverBatchApplierPath(t *testing.T) {
+	applier := &batchApplier{}
+	r, _ := openTestReceiver(t, applier, nil)
+
+	if resp := postSync(t, r, SyncRequest{
+		From: "A", Epoch: 1, Baseline: 0,
+		DataShards: 2, TraceShards: 1, Records: testRecords(3),
+	}); !resp.OK {
+		t.Fatalf("resync: %+v", resp)
+	}
+	resp := postBatch(t, r, BatchRequest{
+		From: "A", Epoch: 1, Start: 1,
+		DataShards: 2, TraceShards: 1, Records: testRecords(5),
+	})
+	if resp.Error != "" || resp.Acked != 5 {
+		t.Fatalf("batch: %+v", resp)
+	}
+	if applier.batches != 2 {
+		t.Fatalf("ApplyShippedBatch called %d times, want 2 (one per run)", applier.batches)
+	}
+	if len(applier.recs) != 8 {
+		t.Fatalf("applied %d records, want 8", len(applier.recs))
+	}
+}

@@ -157,6 +157,12 @@ func (r *Ring) alive(id string) bool {
 	return !dead
 }
 
+// Alive reports whether a node answers for its own ranges under this ring —
+// false for a member that has been failed over to its heir. Receivers use
+// it for stream admission: a taken-over node is not a legitimate primary
+// for anything, so nothing it ships may replace data.
+func (r *Ring) Alive(id string) bool { return r.alive(id) }
+
 // FollowerID reports the designated follower for a primary: the next alive
 // node in sorted-ID order. Follower assignment is per NODE, not per range —
 // a primary ships its entire WAL to exactly one follower, which is what

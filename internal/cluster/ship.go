@@ -73,6 +73,11 @@ type ShipperConfig struct {
 	// owns, returning the stream baseline the snapshot corresponds to. It
 	// must block writes for the duration (the cloud store's write gate).
 	Export func() (recs []ShipRecord, baseline uint64, err error)
+	// RingVersion reports the ring version this node currently holds; it is
+	// stamped on every batch and sync so the follower can refuse a stream
+	// from a sender whose topology view is stale (nil = unversioned, only
+	// acceptable against a receiver with no VerifyStream check).
+	RingVersion func() uint64
 	// MaxBatch caps records per batch POST (default 256).
 	MaxBatch int
 	// MaxQueue caps records buffered while the follower is unreachable;
@@ -136,6 +141,13 @@ func NewShipper(cfg ShipperConfig) *Shipper {
 	s.ackCond = sync.NewCond(&s.mu)
 	go s.run()
 	return s
+}
+
+func (s *Shipper) ringVersion() uint64 {
+	if s.cfg.RingVersion == nil {
+		return 0
+	}
+	return s.cfg.RingVersion()
 }
 
 func (s *Shipper) logf(format string, args ...any) {
@@ -351,6 +363,7 @@ func (s *Shipper) shipBatch(target Node, batch []bufRec) error {
 		From:        s.cfg.Self,
 		Epoch:       s.epoch,
 		Start:       batch[0].seq,
+		RingVersion: s.ringVersion(),
 		DataShards:  s.cfg.DataShards,
 		TraceShards: s.cfg.TraceShards,
 		Records:     make([]ShipRecord, len(batch)),
@@ -404,6 +417,7 @@ func (s *Shipper) doResync(target Node) error {
 		From:        s.cfg.Self,
 		Epoch:       s.epoch,
 		Baseline:    baseline,
+		RingVersion: s.ringVersion(),
 		DataShards:  s.cfg.DataShards,
 		TraceShards: s.cfg.TraceShards,
 		Records:     recs,

@@ -435,6 +435,73 @@ func (e *Engine) AppendShipped(i int, rec []byte) error {
 	return nil
 }
 
+// AppendShippedBatch journals a run of replicated records on shard i with
+// one group-commit wait for the whole run: every record is enqueued on the
+// committer under a single shard-lock hold (so WAL order is the run's
+// order), and only then does the caller park on the commit signals — the
+// first enqueue's leader drains the entire run into as few fsync batches
+// as CommitMaxBatch allows, instead of each record paying its own commit
+// cycle (and, with a non-zero CommitLinger, its own full linger). The
+// durability contract is AppendShipped's: when the call returns nil, every
+// record in the run is in the WAL under the engine's fsync policy.
+func (e *Engine) AppendShippedBatch(i int, recs [][]byte) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	s := e.shards[i]
+	s.mu.Lock()
+	if err := s.sticky(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	if s.w == nil {
+		for _, rec := range recs {
+			if err := s.state.Apply(rec); err != nil {
+				s.mu.Unlock()
+				return err
+			}
+		}
+		s.mu.Unlock()
+		return nil
+	}
+	reqs := make([]*commitReq, 0, len(recs))
+	leaders := make([]bool, 0, len(recs))
+	var enqErr error
+	for _, rec := range recs {
+		req, leader, err := s.c.enqueue(rec)
+		if err != nil {
+			// Poisoned mid-run: stop enqueueing, but still wait on what was
+			// enqueued — a leader among them must run its batch (which will
+			// fail fast) or the queue would stall forever.
+			enqErr = err
+			break
+		}
+		reqs = append(reqs, req)
+		leaders = append(leaders, leader)
+		s.pending = append(s.pending, rec)
+		s.since++
+	}
+	compact := e.opts.CompactEvery > 0 && s.since >= e.opts.CompactEvery
+	s.mu.Unlock()
+
+	var firstErr error
+	for j, req := range reqs {
+		if err := s.c.commitWait(req, leaders[j]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if enqErr != nil {
+		return enqErr
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if compact {
+		e.compactIfDue(i)
+	}
+	return nil
+}
+
 // Materialize replays shard i's parked replica records (see AppendShipped)
 // into the in-memory state.
 func (e *Engine) Materialize(i int) error {
