@@ -6,7 +6,8 @@
 // Usage:
 //
 //	pmware-cloud [-addr :8080] [-data-dir ./pmware-data] [-fsync always]
-//	             [-shards 8] [-commit-batch 128] [-commit-linger 0s]
+//	             [-shards 8] [-compact-every 4096]
+//	             [-commit-batch 128] [-commit-linger 0s]
 //	             [-discover-workers 4] [-discover-queue 64] [-max-body 64MiB]
 //	             [-event-queue 64] [-event-history 256] [-event-heartbeat 15s]
 //	             [-pprof :6060] [-slow-request 0s]
@@ -18,7 +19,10 @@
 // whatever the last run left on disk (including crashes mid-write). -fsync
 // picks the durability/latency trade-off and -shards the number of data
 // shards for concurrent writers; the shard count is pinned by the data
-// directory's manifest after the first boot.
+// directory's manifest after the first boot. -compact-every tunes how many
+// journaled records a shard accepts before it snapshots and rotates its log;
+// the snapshot encode and fsync run off the shard lock (DESIGN.md §16), so a
+// smaller cadence buys faster recovery without stalling writers.
 //
 // Discovery offload runs on a bounded worker pool: -discover-workers sets
 // how many GCA runs execute concurrently and -discover-queue how many may
@@ -81,6 +85,7 @@ func main() {
 	shards := flag.Int("shards", cloud.DefaultShards, "data shards (pinned by the data directory after first boot)")
 	commitBatch := flag.Int("commit-batch", 0, "max mutations per WAL group commit (0 = default, negative = no grouping)")
 	commitLinger := flag.Duration("commit-linger", 0, "how long a commit leader waits for followers when its batch is short")
+	compactEvery := flag.Int("compact-every", 0, "snapshot+rotate a shard after this many journaled records (0 = engine default, negative = disable auto-compaction)")
 	discoverWorkers := flag.Int("discover-workers", cloud.DefaultDiscoverWorkers, "concurrent discovery (GCA) runs")
 	discoverQueue := flag.Int("discover-queue", cloud.DefaultDiscoverQueue, "queued discovery requests before 429 backpressure")
 	maxBody := flag.Int64("max-body", cloud.DefaultMaxBodyBytes, "max request body bytes (oversized uploads get 413; streaming routes exempt)")
@@ -126,7 +131,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("cluster: %v", err)
 		}
-		storeCfg, err := buildStoreConfig(*dataDir, *fsyncMode, *fsyncEvery, *shards, *commitBatch, *commitLinger)
+		storeCfg, err := buildStoreConfig(*dataDir, *fsyncMode, *fsyncEvery, *shards, *commitBatch, *commitLinger, *compactEvery)
 		if err != nil {
 			log.Fatalf("open store: %v", err)
 		}
@@ -153,7 +158,7 @@ func main() {
 		}
 	} else {
 		var err error
-		store, err = openStore(*dataDir, *fsyncMode, *fsyncEvery, *shards, *commitBatch, *commitLinger)
+		store, err = openStore(*dataDir, *fsyncMode, *fsyncEvery, *shards, *commitBatch, *commitLinger, *compactEvery)
 		if err != nil {
 			log.Fatalf("open store: %v", err)
 		}
@@ -279,10 +284,11 @@ func parseClusterSpec(spec, selfID, advertise string) ([]cluster.Node, cluster.N
 
 // buildStoreConfig assembles the StoreConfig a cluster node opens its store
 // with (dir may be empty for memory-only).
-func buildStoreConfig(dir, fsyncMode string, fsyncEvery time.Duration, shards, commitBatch int, commitLinger time.Duration) (cloud.StoreConfig, error) {
+func buildStoreConfig(dir, fsyncMode string, fsyncEvery time.Duration, shards, commitBatch int, commitLinger time.Duration, compactEvery int) (cloud.StoreConfig, error) {
 	cfg := cloud.StoreConfig{
 		Shards:         shards,
 		SyncEvery:      fsyncEvery,
+		CompactEvery:   compactEvery,
 		CommitMaxBatch: commitBatch,
 		CommitLinger:   commitLinger,
 	}
@@ -297,7 +303,7 @@ func buildStoreConfig(dir, fsyncMode string, fsyncEvery time.Duration, shards, c
 }
 
 // openStore builds the in-memory store or opens (and recovers) a durable one.
-func openStore(dir, fsyncMode string, fsyncEvery time.Duration, shards, commitBatch int, commitLinger time.Duration) (*cloud.Store, error) {
+func openStore(dir, fsyncMode string, fsyncEvery time.Duration, shards, commitBatch int, commitLinger time.Duration, compactEvery int) (*cloud.Store, error) {
 	if dir == "" {
 		return cloud.NewStore(nil), nil
 	}
@@ -309,6 +315,7 @@ func openStore(dir, fsyncMode string, fsyncEvery time.Duration, shards, commitBa
 		Shards:         shards,
 		Sync:           policy,
 		SyncEvery:      fsyncEvery,
+		CompactEvery:   compactEvery,
 		CommitMaxBatch: commitBatch,
 		CommitLinger:   commitLinger,
 	})

@@ -3,7 +3,9 @@ package cloud
 import (
 	"encoding/json"
 	"fmt"
+	"maps"
 	"slices"
+	"sync/atomic"
 
 	"repro/internal/profile"
 )
@@ -141,6 +143,14 @@ type dataState struct {
 	idx       map[string]*userIndex // user id -> materialized analytics index
 	placesGen map[string]uint64     // user id -> generation of places[user]
 	ver       uint64                // bumped on every places change; never reset
+
+	// snapViews counts outstanding off-lock snapshot views (snapview.go).
+	// While non-zero, apply copy-on-writes the inner structures a view may
+	// share instead of mutating them in place. A pointer so the count
+	// survives install's *d = *fresh value copy only when the maps it guards
+	// do — install replaces every map wholesale, so its fresh zero counter
+	// correctly stops the copy-on-write for structures no view references.
+	snapViews *int32
 }
 
 func newDataState() *dataState {
@@ -151,6 +161,7 @@ func newDataState() *dataState {
 		contacts:  map[string][]profile.Encounter{},
 		idx:       map[string]*userIndex{},
 		placesGen: map[string]uint64{},
+		snapViews: new(int32),
 	}
 }
 
@@ -204,7 +215,11 @@ func (d *dataState) apply(rec *walRecord) error {
 		ps := d.places[rec.UserID]
 		for i := range ps {
 			if ps[i].ID == rec.PlaceID {
+				// Clone-modify-replace rather than writing in place: an
+				// off-lock snapshot view (snapview.go) may share this slice.
+				ps = slices.Clone(ps)
 				ps[i].Label = rec.Label
+				d.places[rec.UserID] = ps
 				d.bumpPlaces(rec.UserID)
 				return nil
 			}
@@ -216,10 +231,18 @@ func (d *dataState) apply(rec *walRecord) error {
 		if rec.Profile == nil {
 			return fmt.Errorf("cloud: put_profile record without profile")
 		}
-		if d.profiles[rec.UserID] == nil {
-			d.profiles[rec.UserID] = map[string]*profile.DayProfile{}
+		days := d.profiles[rec.UserID]
+		switch {
+		case days == nil:
+			days = map[string]*profile.DayProfile{}
+			d.profiles[rec.UserID] = days
+		case atomic.LoadInt32(d.snapViews) > 0:
+			// An off-lock snapshot encoder may be reading this user's day
+			// map (snapview.go shares inner maps); write a copy instead.
+			days = maps.Clone(days)
+			d.profiles[rec.UserID] = days
 		}
-		d.profiles[rec.UserID][rec.Profile.Date] = rec.Profile
+		days[rec.Profile.Date] = rec.Profile
 		ux := d.idx[rec.UserID]
 		if ux == nil {
 			ux = newUserIndex()

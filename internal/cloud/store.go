@@ -125,6 +125,10 @@ type StoreConfig struct {
 	// CommitLinger is how long a commit leader waits for followers when its
 	// batch is short (default 0: the fsync latency is the batching window).
 	CommitLinger time.Duration
+	// RecoverWorkers bounds how many shards boot recovery (and close)
+	// processes concurrently (default 0: min(shards, max(2, GOMAXPROCS));
+	// 1 forces serial recovery).
+	RecoverWorkers int
 	// Now is the time source (nil means time.Now; simulations inject the
 	// virtual clock).
 	Now func() time.Time
@@ -229,6 +233,7 @@ func newStore(dir string, cfg StoreConfig) (*Store, error) {
 		CompactEvery:   cfg.CompactEvery,
 		CommitMaxBatch: cfg.CommitMaxBatch,
 		CommitLinger:   cfg.CommitLinger,
+		RecoverWorkers: cfg.RecoverWorkers,
 		Metrics:        reg,
 		Repl:           cfg.Repl,
 	}, states)
@@ -254,6 +259,7 @@ func newStore(dir string, cfg StoreConfig) (*Store, error) {
 		CompactEvery:   cfg.CompactEvery,
 		CommitMaxBatch: cfg.CommitMaxBatch,
 		CommitLinger:   cfg.CommitLinger,
+		RecoverWorkers: cfg.RecoverWorkers,
 		Metrics:        reg,
 		Repl:           cfg.TraceRepl,
 	}, tstates)

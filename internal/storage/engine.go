@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -27,6 +29,32 @@ type ShardState interface {
 	Snapshot() ([]byte, error)
 	// Restore replaces the state with a decoded snapshot.
 	Restore(snap []byte) error
+}
+
+// SnapshotViewer is an optional ShardState extension for off-lock snapshots
+// (DESIGN.md §16). SnapshotView captures a consistent, immutable view of the
+// state cheaply — shallow clones / copy-on-write, not a full encode — and
+// returns an encoder over that view plus a release function. It is called
+// under the shard write lock and must be fast; the engine then invokes
+// encode at most once, off the lock, while writers mutate the live state on
+// the next WAL generation, and calls release exactly once when the view is
+// no longer needed (whether or not encode ran or succeeded). encode must
+// produce exactly the bytes Snapshot would have produced at capture time —
+// recovery and the cluster's byte-identical-directory equivalence depend on
+// it. States that do not implement the extension keep the legacy in-lock
+// encode path.
+type SnapshotViewer interface {
+	SnapshotView() (encode func(io.Writer) error, release func(), err error)
+}
+
+// StreamRestorer is an optional ShardState extension that decodes a snapshot
+// straight from a validated reader instead of one whole-state []byte, so
+// restoring a large shard never doubles its memory. The same all-or-nothing
+// contract as Restore applies: on error the previous state must be intact.
+// The engine fully CRC-validates the snapshot file before the first byte
+// reaches RestoreStream.
+type StreamRestorer interface {
+	RestoreStream(r io.Reader) error
 }
 
 // Options configures an Engine.
@@ -57,6 +85,12 @@ type Options struct {
 	// Nil means the process-wide obs.Default() registry (what /metrics
 	// serves); tests inject their own for exact delta assertions.
 	Metrics *obs.Registry
+	// RecoverWorkers bounds how many shards Open recovers — and Close /
+	// MaterializeAll / CompactAll process — concurrently. 0 means
+	// min(shards, max(2, GOMAXPROCS)); 1 forces the serial behavior
+	// (benchmark baseline). Boot therefore costs roughly the largest shard,
+	// not the sum of all shards.
+	RecoverWorkers int
 	// Repl, when set, receives every journaled record for shipment to a
 	// replica (see internal/cluster). Enqueue runs under the shard lock —
 	// the same critical section that fixes WAL order — so ship order per
@@ -114,9 +148,13 @@ func ReadManifest(dir string) (shards int, ok bool, err error) {
 	return m.Shards, true, nil
 }
 
-// shard pairs one ShardState with its lock and its log generation.
-// Generation N means: snapshot-N (absent for N=0 on a fresh shard) holds
-// the state as of rotation N, and wal-N holds every mutation since.
+// shard pairs one ShardState with its lock and its log generations.
+// Appends go to wal-<seq>; base is the oldest generation still on disk.
+// Steady state is base == seq: snapshot-<seq> (absent for seq 0 on a fresh
+// shard) holds the state as of rotation seq and wal-<seq> every mutation
+// since. While an off-lock snapshot persist is in flight (compacting true),
+// base < seq and the durable state is snapshot-<base> plus the contiguous
+// WAL chain wal-<base> .. wal-<seq>; recovery replays exactly that chain.
 //
 // mu protects the state and the WAL handle/generation bookkeeping; the WAL
 // file itself is written by the committer's group-commit leader, outside mu,
@@ -127,13 +165,26 @@ type shard struct {
 	state ShardState
 	dir   string // "" in memory-only mode
 	seq   uint64
+	base  uint64
 	w     *wal
 	c     *committer // nil in memory-only mode
-	since int        // records appended since the last snapshot
+	since int        // records appended since the last rotation
+	// compacting marks an in-flight off-lock snapshot persist; at most one
+	// per shard. compactCond (on mu) wakes waiters when it clears.
+	compacting  bool
+	compactCond *sync.Cond
 	// pending holds replica records journaled via AppendShipped but not yet
 	// replayed into state; materializeLocked drains it before any snapshot.
 	pending [][]byte
 	m       *engineMetrics
+}
+
+// waitCompactLocked blocks (releasing mu) until no snapshot persist is in
+// flight. Caller holds mu.
+func (s *shard) waitCompactLocked() {
+	for s.compacting {
+		s.compactCond.Wait()
+	}
 }
 
 // sticky reports the shard's poison state: a failed journal append leaves
@@ -172,7 +223,9 @@ func Open(opts Options, states []ShardState) (*Engine, error) {
 	e := &Engine{opts: opts, shards: make([]*shard, len(states))}
 	if opts.Dir == "" {
 		for i, st := range states {
-			e.shards[i] = &shard{state: st, m: m}
+			sh := &shard{state: st, m: m}
+			sh.compactCond = sync.NewCond(&sh.mu)
+			e.shards[i] = sh
 		}
 		return e, nil
 	}
@@ -194,24 +247,88 @@ func Open(opts Options, states []ShardState) (*Engine, error) {
 		}
 	}
 
+	// Recover shards concurrently: each shard's snapshot restore + WAL
+	// replay is independent, so boot costs roughly the largest shard, not
+	// the sum. First error (by shard index, for determinism) wins; every
+	// shard that did open is closed again on failure.
+	workers := e.workerCount()
+	errs := make([]error, len(states))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
 	for i, st := range states {
-		dir := filepath.Join(opts.Dir, fmt.Sprintf("shard-%03d", i))
-		sh, err := openShard(dir, st, opts, m)
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, st ShardState) {
+			defer func() { <-sem; wg.Done() }()
+			dir := filepath.Join(opts.Dir, fmt.Sprintf("shard-%03d", i))
+			sh, err := openShard(dir, st, opts, m)
+			if err != nil {
+				errs[i] = fmt.Errorf("storage: shard %d: %w", i, err)
+				return
+			}
+			e.shards[i] = sh
+		}(i, st)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			e.closePartial(i)
-			return nil, fmt.Errorf("storage: shard %d: %w", i, err)
+			e.closeOpened()
+			return nil, err
 		}
-		e.shards[i] = sh
 	}
 	return e, nil
 }
 
-func (e *Engine) closePartial(n int) {
-	for _, sh := range e.shards[:n] {
+// workerCount resolves Options.RecoverWorkers against the shard count.
+func (e *Engine) workerCount() int {
+	w := e.opts.RecoverWorkers
+	if w <= 0 {
+		w = max(2, runtime.GOMAXPROCS(0))
+	}
+	return min(w, len(e.shards))
+}
+
+// closeOpened releases the WAL handles of whichever shards a failed Open
+// managed to recover.
+func (e *Engine) closeOpened() {
+	for _, sh := range e.shards {
 		if sh != nil && sh.w != nil {
 			sh.w.Close()
 		}
 	}
+}
+
+// forEachShard runs fn(i) on every shard through a bounded worker pool. All
+// shards are attempted; the first error by shard index is returned.
+func (e *Engine) forEachShard(fn func(i int) error) error {
+	workers := e.workerCount()
+	if workers <= 1 {
+		var firstErr error
+		for i := range e.shards {
+			if err := fn(i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	errs := make([]error, len(e.shards))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range e.shards {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func snapName(seq uint64) string { return fmt.Sprintf("snapshot-%016d.snap", seq) }
@@ -220,14 +337,18 @@ func walName(seq uint64) string  { return fmt.Sprintf("wal-%016d.log", seq) }
 // openShard recovers one shard directory:
 //
 //  1. delete leftover *.tmp files (a crash mid-snapshot-write);
-//  2. pick the highest sequence whose snapshot is intact (CRC-framed and
-//     restorable) — or sequence 0 with no snapshot on a fresh shard;
-//  3. restore it and replay wal-<seq>, truncating any torn tail;
-//  4. delete files of every other sequence (a crash between "new snapshot
-//     durable" and "old generation deleted" leaves them behind; their
-//     content is subsumed by the chosen snapshot);
-//  5. reopen wal-<seq> for appending.
+//  2. pick the highest sequence whose snapshot is intact (CRC-validated end
+//     to end, end marker present, restorable) — or sequence 0 with no
+//     snapshot on a fresh shard;
+//  3. restore it and replay the contiguous WAL chain wal-<seq>,
+//     wal-<seq+1>, ... in order, truncating a torn final tail — a crash
+//     during an off-lock snapshot persist leaves the retained wal-<N> plus
+//     the live wal-<N+1>, and both replay;
+//  4. delete files outside the chosen chain (stale generations a crash left
+//     behind; their content is subsumed by the chosen snapshot + chain);
+//  5. reopen the chain's last WAL for appending.
 func openShard(dir string, state ShardState, opts Options, m *engineMetrics) (*shard, error) {
+	start := time.Now()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -253,27 +374,24 @@ func openShard(dir string, state ShardState, opts Options, m *engineMetrics) (*s
 	}
 	sort.Slice(snapSeqs, func(i, j int) bool { return snapSeqs[i] > snapSeqs[j] })
 
-	var seq uint64
+	var base uint64
 	restored := false
 	for _, s := range snapSeqs {
-		payload, err := readSnapshotFile(filepath.Join(dir, snapName(s)))
-		if err != nil {
-			continue // corrupt or unreadable: fall back to an older generation
+		if err := restoreSnapshotFile(filepath.Join(dir, snapName(s)), state); err != nil {
+			continue // corrupt, truncated, or unrestorable: fall back
 		}
-		if err := state.Restore(payload); err != nil {
-			continue
-		}
-		seq, restored = s, true
+		base, restored = s, true
 		break
 	}
 	if !restored {
-		// Fresh shard (or no usable snapshot): replay the oldest WAL on
-		// disk — by construction wal-N is only created after snapshot-N is
-		// durable, so with no snapshot the oldest WAL is genesis history.
-		seq = 0
+		// Fresh shard (or no usable snapshot): start the chain at the oldest
+		// WAL on disk — by construction wal-N is only created after
+		// snapshot-N is durable, so with no snapshot the oldest WAL is
+		// genesis history.
+		base = 0
 		for i, s := range walSeqs {
-			if i == 0 || s < seq {
-				seq = s
+			if i == 0 || s < base {
+				base = s
 			}
 		}
 	}
@@ -281,25 +399,44 @@ func openShard(dir string, state ShardState, opts Options, m *engineMetrics) (*s
 	if m == nil {
 		m = newEngineMetrics(nil)
 	}
-	sh := &shard{state: state, dir: dir, seq: seq, m: m}
-	replayed, torn, err := replayWAL(filepath.Join(dir, walName(seq)), state.Apply)
-	if err != nil {
-		return nil, err
-	}
-	sh.since = replayed
-	m.replayRecords.Add(uint64(replayed))
-	if torn {
-		m.replayTornTails.Inc()
-	}
+	sh := &shard{state: state, dir: dir, seq: base, base: base, m: m}
+	sh.compactCond = sync.NewCond(&sh.mu)
 
-	// Sweep every other generation.
+	// Replay the contiguous WAL chain starting at base. wal-<base> may be
+	// absent (fresh shard); any later gap ends the chain. A torn non-final
+	// log means the suffix the later logs extend was lost, so the chain
+	// stops there too — replay always yields a prefix-consistent state.
+	onDisk := make(map[uint64]bool, len(walSeqs))
+	for _, s := range walSeqs {
+		onDisk[s] = true
+	}
+	seq := base
+	for k := base; ; k++ {
+		if k > base && !onDisk[k] {
+			break
+		}
+		replayed, torn, err := replayWAL(filepath.Join(dir, walName(k)), state.Apply)
+		if err != nil {
+			return nil, err
+		}
+		seq = k
+		sh.since += replayed
+		m.replayRecords.Add(uint64(replayed))
+		if torn {
+			m.replayTornTails.Inc()
+			break
+		}
+	}
+	sh.seq = seq
+
+	// Sweep everything outside snapshot-<base> + wal-[base..seq].
 	for _, s := range snapSeqs {
-		if s != seq {
+		if s != base {
 			os.Remove(filepath.Join(dir, snapName(s)))
 		}
 	}
 	for _, s := range walSeqs {
-		if s != seq {
+		if s < base || s > seq {
 			os.Remove(filepath.Join(dir, walName(s)))
 		}
 	}
@@ -315,6 +452,7 @@ func openShard(dir string, state ShardState, opts Options, m *engineMetrics) (*s
 	sh.w = w
 	sh.c = newCommitter(w, opts.CommitMaxBatch, opts.CommitLinger)
 	sh.c.m = m
+	m.bootRecoverDur.ObserveDuration(time.Since(start))
 	return sh, nil
 }
 
@@ -511,16 +649,12 @@ func (e *Engine) Materialize(i int) error {
 	return s.materializeLocked()
 }
 
-// MaterializeAll replays every shard's parked replica records; the first
-// error is returned but all shards are attempted.
+// MaterializeAll replays every shard's parked replica records concurrently
+// (bounded pool — promotion wants the whole store readable in the time the
+// largest shard takes); the first error is returned but all shards are
+// attempted.
 func (e *Engine) MaterializeAll() error {
-	var firstErr error
-	for i := range e.shards {
-		if err := e.Materialize(i); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	return firstErr
+	return e.forEachShard(e.Materialize)
 }
 
 // materializeLocked drains the pending replica records in append order. On
@@ -607,18 +741,24 @@ func (e *Engine) mutate(i int, apply func() ([]byte, error), ship bool) error {
 
 // compactIfDue compacts shard i if it is still over the auto-compaction
 // threshold. Several writers can cross the threshold while one batch is in
-// flight; re-checking under the lock makes exactly one of them do the work.
+// flight; re-checking under the lock makes exactly one of them do the work,
+// and an in-flight off-lock persist makes this a no-op (the rotation that
+// started it already reset the counter, but a racer may have sampled the
+// old value).
 func (e *Engine) compactIfDue(i int) {
 	s := e.shards[i]
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.sticky() != nil || s.since < e.opts.CompactEvery {
+	if s.compacting || s.w == nil || s.sticky() != nil || s.since < e.opts.CompactEvery {
+		s.mu.Unlock()
 		return
 	}
-	if err := s.compactLocked(e.opts); err != nil {
+	if err := e.compactShard(s); err != nil { // releases s.mu
 		// Resetting the counter spaces retries instead of attempting on
-		// every append.
+		// every append. (After a post-rotation persist failure the counter
+		// is already reset; this covers failures before the rotation.)
+		s.mu.Lock()
 		s.since = 0
+		s.mu.Unlock()
 	}
 }
 
@@ -631,81 +771,142 @@ func (e *Engine) View(i int, read func()) {
 	read()
 }
 
-// compactLocked rotates the shard to a new generation: write snapshot-(N+1)
-// durably (temp + rename + dir fsync), switch appends to a fresh wal-(N+1),
-// then delete generation N. A crash at any point leaves a recoverable
-// layout; openShard's sweep finishes the job.
+// compactShard rotates the shard to a new generation using the two-phase
+// protocol of DESIGN.md §16. The caller holds s.mu (not compacting, not
+// poisoned, w non-nil); the lock is RELEASED by the time compactShard
+// returns, success or not.
 //
-// The commit queue is drained first: every queued record was applied to the
-// state before enqueue (and so is captured by the snapshot), but its waiter
-// is parked on an fsync of the old log, which must complete before the log
-// can be retired. New enqueues are blocked for the duration by the shard
-// write lock the caller holds.
-func (s *shard) compactLocked(opts Options) error {
-	if s.w == nil {
-		return nil
-	}
+// Phase 1, under the lock (the only part writers ever wait on): drain the
+// commit queue, materialize parked replica records, capture a snapshot
+// encoder, and switch appends to a fresh wal-(N+1). The commit queue is
+// drained first because every queued record was applied to the state before
+// enqueue (so the snapshot captures it) but its waiter is parked on an fsync
+// of the old log, which must complete before that log can be retired; new
+// enqueues are blocked by the write lock.
+//
+// Phase 2, off the lock, while writers proceed on wal-(N+1): close the old
+// log (flushing any unsynced tail — the retained generation must be complete
+// before it becomes part of the recovery chain's past), stream the snapshot
+// to snapshot-(N+1) via temp + fsync + rename, and only then delete
+// generations [base, N]. A crash at any point leaves either a complete
+// snapshot-(N+1) (recovery restores it and replays wal-(N+1)) or a missing /
+// truncated one (recovery falls back to snapshot-<base> and replays the
+// chain wal-<base> .. wal-(N+1)); openShard's sweep finishes the cleanup.
+//
+// For states implementing SnapshotViewer the encoder works over a captured
+// immutable view and the lock-held pause is O(1) in shard size; legacy
+// states encode under the lock as before (the pause metric then includes the
+// encode).
+func (e *Engine) compactShard(s *shard) error {
+	pauseStart := time.Now()
 	if err := s.c.drain(); err != nil {
 		// Poisoned: the in-memory state includes mutations the log rejected;
 		// snapshotting would persist the divergence as truth.
+		s.mu.Unlock()
 		return err
 	}
 	if err := s.materializeLocked(); err != nil {
 		// Snapshotting now would drop the parked records when the old WAL
-		// (the only durable copy) is retired below.
+		// (the only durable copy) is retired.
+		s.mu.Unlock()
 		return err
 	}
-	start := time.Now()
-	payload, err := s.state.Snapshot()
-	if err != nil {
-		return fmt.Errorf("storage: encode snapshot: %w", err)
+	var encode func(io.Writer) error
+	release := func() {}
+	if v, ok := s.state.(SnapshotViewer); ok {
+		enc, rel, err := v.SnapshotView()
+		if err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("storage: capture snapshot view: %w", err)
+		}
+		encode, release = enc, rel
+	} else {
+		payload, err := s.state.Snapshot()
+		if err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("storage: encode snapshot: %w", err)
+		}
+		encode = func(w io.Writer) error {
+			_, err := w.Write(payload)
+			return err
+		}
 	}
 	next := s.seq + 1
-	snapPath := filepath.Join(s.dir, snapName(next))
-	if err := writeFileAtomic(snapPath, frameSnapshot(payload), 0o644); err != nil {
-		return fmt.Errorf("storage: write snapshot: %w", err)
-	}
 	w, err := createWAL(filepath.Join(s.dir, walName(next)), s.w.policy, s.w.every, s.m)
 	if err != nil {
+		release()
+		s.mu.Unlock()
 		return err
 	}
 	if err := syncDir(w.path); err != nil {
 		w.Close()
+		os.Remove(filepath.Join(s.dir, walName(next)))
+		release()
+		s.mu.Unlock()
 		return err
 	}
 	old := s.w
-	oldSeq := s.seq
+	base := s.base
 	s.w, s.seq, s.since = w, next, 0
 	s.c.setWAL(w)
-	old.Close()
-	os.Remove(filepath.Join(s.dir, walName(oldSeq)))
-	os.Remove(filepath.Join(s.dir, snapName(oldSeq)))
-	s.m.compactions.Inc()
-	s.m.compactionDur.ObserveDuration(time.Since(start))
-	return nil
+	s.compacting = true
+	s.m.compactPauseDur.ObserveDuration(time.Since(pauseStart))
+	s.mu.Unlock()
+
+	// Phase 2: persist off the lock.
+	encStart := time.Now()
+	err = old.Close()
+	var payloadBytes int64
+	if err == nil {
+		payloadBytes, err = writeSnapshotFile(filepath.Join(s.dir, snapName(next)), encode)
+	}
+	release()
+	if err == nil {
+		for g := base; g < next; g++ {
+			os.Remove(filepath.Join(s.dir, walName(g)))
+			os.Remove(filepath.Join(s.dir, snapName(g)))
+		}
+	}
+
+	s.mu.Lock()
+	s.compacting = false
+	if err == nil {
+		s.base = next
+		s.m.compactions.Inc()
+		s.m.compactionDur.ObserveDuration(time.Since(pauseStart))
+		s.m.compactEncodeDur.ObserveDuration(time.Since(encStart))
+		s.m.snapshotBytes.Observe(payloadBytes)
+	}
+	// On failure generations [base, next-1] stay on disk and base is
+	// unchanged: recovery replays the whole chain, and the next compaction
+	// retries the persist from the new tip.
+	s.compactCond.Broadcast()
+	s.mu.Unlock()
+	return err
 }
 
-// Compact snapshots shard i and truncates its log.
+// Compact snapshots shard i and truncates its log chain. It waits for any
+// in-flight off-lock persist first, so when Compact returns nil the shard is
+// at a single fresh generation.
 func (e *Engine) Compact(i int) error {
 	s := e.shards[i]
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.waitCompactLocked()
 	if err := s.sticky(); err != nil {
+		s.mu.Unlock()
 		return err
 	}
-	return s.compactLocked(e.opts)
+	if s.w == nil {
+		s.mu.Unlock()
+		return nil
+	}
+	return e.compactShard(s) // releases s.mu
 }
 
-// CompactAll snapshots every shard; the first error is returned but all
-// shards are attempted.
+// CompactAll snapshots every shard concurrently (bounded pool); the first
+// error is returned but all shards are attempted.
 func (e *Engine) CompactAll() error {
-	var firstErr error
-	for i := range e.shards {
-		if err := e.Compact(i); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	return firstErr
+	return e.forEachShard(e.Compact)
 }
 
 // Sync drains every shard's commit queue and forces its WAL to stable
@@ -729,28 +930,38 @@ func (e *Engine) Sync() error {
 }
 
 // Close compacts (so the next boot replays nothing), syncs, and closes every
-// shard. The engine must not be used afterwards.
+// shard, fanning out across the same bounded pool as Open so shutdown costs
+// the largest shard. The engine must not be used afterwards.
 func (e *Engine) Close() error {
-	var firstErr error
-	for i, s := range e.shards {
-		s.mu.Lock()
-		if s.w != nil {
-			if s.sticky() == nil && s.since > 0 {
-				if err := s.compactLocked(e.opts); err != nil && firstErr == nil {
-					firstErr = err
-				}
-			} else {
-				// Poisoned or already compact: still flush whatever the
-				// queue holds before the log closes.
-				s.c.drain()
-			}
-			s.c.setWAL(nil) // late mutations are acknowledged but unjournaled, as before
-			if err := s.w.Close(); err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("storage: close shard %d: %w", i, err)
-			}
-			s.w = nil
-		}
+	return e.forEachShard(e.closeShard)
+}
+
+func (e *Engine) closeShard(i int) error {
+	s := e.shards[i]
+	s.mu.Lock()
+	s.waitCompactLocked()
+	if s.w == nil {
 		s.mu.Unlock()
+		return nil
 	}
+	var firstErr error
+	if s.sticky() == nil && (s.since > 0 || s.base != s.seq) {
+		if err := e.compactShard(s); err != nil { // releases s.mu
+			firstErr = err
+		}
+		s.mu.Lock()
+		s.waitCompactLocked()
+	}
+	if s.w != nil {
+		// Flush whatever the queue holds before the log closes — a writer
+		// may have slipped in while the final compaction persisted.
+		s.c.drain()
+		s.c.setWAL(nil) // late mutations are acknowledged but unjournaled, as before
+		if err := s.w.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("storage: close shard %d: %w", i, err)
+		}
+		s.w = nil
+	}
+	s.mu.Unlock()
 	return firstErr
 }

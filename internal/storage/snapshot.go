@@ -1,0 +1,292 @@
+package storage
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Chunked snapshot layout (v2, DESIGN.md §16):
+//
+//	| magic "PMSNAP02" | chunk* | end marker |
+//	chunk:      | u32 payload length (>0) | u32 CRC32-IEEE(payload) | payload |
+//	end marker: | u32 0                   | u32 CRC32-IEEE(magic)   |
+//
+// little-endian, same frame header as the WAL. The encoder streams the state
+// straight into chunk frames, so neither writer nor reader ever holds the
+// whole shard as one []byte; the explicit end marker distinguishes "complete
+// snapshot" from "crash truncated the file mid-write", which the off-lock
+// compaction protocol depends on. Files that do not start with the magic are
+// read as the legacy v1 single-frame layout (u32 len | u32 crc | payload) so
+// stores written before this format — and tests that craft v1 files — still
+// open.
+const snapMagic = "PMSNAP02"
+
+// snapChunkSize is the encoder's target chunk payload size. Large enough to
+// amortize framing and Write syscalls, small enough that the reader's
+// per-chunk buffer stays cheap.
+const snapChunkSize = 256 << 10
+
+// maxSnapChunk bounds a single chunk on read; a larger length prefix means a
+// corrupt file (the writer never produces one above snapChunkSize).
+const maxSnapChunk = 4 << 20
+
+// snapEndCRC is the constant checksum field of the end marker. Any value
+// would do for framing, but a fixed non-zero constant means a zero-filled
+// torn tail can never fake a valid end marker.
+var snapEndCRC = crc32.ChecksumIEEE([]byte(snapMagic))
+
+// snapshotWriter chunk-frames a payload stream into an *os.File. Not
+// concurrency-safe; exactly one encoder writes to it.
+type snapshotWriter struct {
+	f       *os.File
+	buf     []byte
+	payload int64 // payload bytes accepted via Write
+}
+
+func newSnapshotWriter(f *os.File) (*snapshotWriter, error) {
+	if _, err := f.Write([]byte(snapMagic)); err != nil {
+		return nil, err
+	}
+	return &snapshotWriter{f: f, buf: make([]byte, 0, snapChunkSize)}, nil
+}
+
+func (sw *snapshotWriter) Write(p []byte) (int, error) {
+	total := len(p)
+	for len(p) > 0 {
+		room := snapChunkSize - len(sw.buf)
+		if room == 0 {
+			if err := sw.flushChunk(); err != nil {
+				return 0, err
+			}
+			room = snapChunkSize
+		}
+		n := min(room, len(p))
+		sw.buf = append(sw.buf, p[:n]...)
+		p = p[n:]
+	}
+	sw.payload += int64(total)
+	return total, nil
+}
+
+func (sw *snapshotWriter) flushChunk() error {
+	if len(sw.buf) == 0 {
+		return nil
+	}
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(sw.buf)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(sw.buf))
+	if _, err := sw.f.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := sw.f.Write(sw.buf); err != nil {
+		return err
+	}
+	sw.buf = sw.buf[:0]
+	return nil
+}
+
+// finish flushes the final partial chunk and writes the end marker.
+func (sw *snapshotWriter) finish() error {
+	if err := sw.flushChunk(); err != nil {
+		return err
+	}
+	var end [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(end[4:8], snapEndCRC)
+	_, err := sw.f.Write(end[:])
+	return err
+}
+
+// writeSnapshotFile streams encode's output into path as a chunked v2
+// snapshot, via temp file + fsync + rename + directory fsync, so a crash at
+// any point leaves either no snapshot-<N+1> or a complete one — and a crash
+// after the rename but before the directory fsync leaves a file that recovery
+// validates before trusting. Returns the payload byte count (pre-framing).
+func writeSnapshotFile(path string, encode func(io.Writer) error) (int64, error) {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	fail := func(err error) (int64, error) {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	sw, err := newSnapshotWriter(f)
+	if err != nil {
+		return fail(err)
+	}
+	if err := encode(sw); err != nil {
+		return fail(err)
+	}
+	if err := sw.finish(); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := syncDir(path); err != nil {
+		return 0, err
+	}
+	return sw.payload, nil
+}
+
+// snapChunkScanner iterates the chunk frames of a v2 snapshot, verifying
+// each CRC. next returns (payload, false, nil) per chunk, (nil, true, nil)
+// at a valid end marker, and an error on any torn or corrupt frame. The
+// returned payload aliases an internal buffer reused by the next call.
+type snapChunkScanner struct {
+	r   *bufio.Reader
+	hdr [frameHeaderSize]byte
+	buf []byte
+}
+
+func newSnapChunkScanner(r io.Reader) *snapChunkScanner {
+	return &snapChunkScanner{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+func (sc *snapChunkScanner) next() (payload []byte, end bool, err error) {
+	if _, err := io.ReadFull(sc.r, sc.hdr[:]); err != nil {
+		return nil, false, fmt.Errorf("storage: snapshot truncated: %w", err)
+	}
+	ln := binary.LittleEndian.Uint32(sc.hdr[0:4])
+	crc := binary.LittleEndian.Uint32(sc.hdr[4:8])
+	if ln == 0 {
+		if crc != snapEndCRC {
+			return nil, false, fmt.Errorf("storage: snapshot end marker corrupt")
+		}
+		// Nothing may follow the end marker; trailing bytes mean the file is
+		// not what the writer produced.
+		if _, err := sc.r.ReadByte(); err != io.EOF {
+			return nil, false, fmt.Errorf("storage: snapshot has trailing data")
+		}
+		return nil, true, nil
+	}
+	if ln > maxSnapChunk {
+		return nil, false, fmt.Errorf("storage: snapshot chunk of %d bytes exceeds bound", ln)
+	}
+	if cap(sc.buf) < int(ln) {
+		sc.buf = make([]byte, ln)
+	}
+	sc.buf = sc.buf[:ln]
+	if _, err := io.ReadFull(sc.r, sc.buf); err != nil {
+		return nil, false, fmt.Errorf("storage: snapshot chunk truncated: %w", err)
+	}
+	if crc32.ChecksumIEEE(sc.buf) != crc {
+		return nil, false, fmt.Errorf("storage: snapshot chunk checksum mismatch")
+	}
+	return sc.buf, false, nil
+}
+
+// validateSnapV2 scans every chunk of an already-magic-matched v2 snapshot
+// stream, requiring intact CRCs and a terminal end marker.
+func validateSnapV2(r io.Reader) error {
+	sc := newSnapChunkScanner(r)
+	for {
+		_, end, err := sc.next()
+		if err != nil {
+			return err
+		}
+		if end {
+			return nil
+		}
+	}
+}
+
+// snapPayloadReader exposes a validated v2 stream's chunk payloads as one
+// contiguous io.Reader for streaming decoders.
+type snapPayloadReader struct {
+	sc   *snapChunkScanner
+	rest []byte
+	done bool
+	err  error
+}
+
+func (pr *snapPayloadReader) Read(p []byte) (int, error) {
+	for len(pr.rest) == 0 {
+		if pr.err != nil {
+			return 0, pr.err
+		}
+		if pr.done {
+			return 0, io.EOF
+		}
+		payload, end, err := pr.sc.next()
+		if err != nil {
+			pr.err = err
+			return 0, err
+		}
+		if end {
+			pr.done = true
+			return 0, io.EOF
+		}
+		pr.rest = payload
+	}
+	n := copy(p, pr.rest)
+	pr.rest = pr.rest[n:]
+	return n, nil
+}
+
+// restoreSnapshotFile validates the snapshot at path and loads it into
+// state: a v2 file is CRC-scanned end to end (end marker required) before a
+// byte reaches the state, preserving Restore's all-or-nothing contract, then
+// streamed through RestoreStream when the state supports it; a legacy v1
+// file goes through the whole-payload path. Any framing damage — truncation
+// at any byte offset, bit rot, a missing end marker — is an error, so
+// openShard falls back to an older generation.
+func restoreSnapshotFile(path string, state ShardState) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	magic := make([]byte, len(snapMagic))
+	if n, err := io.ReadFull(f, magic); err != nil || !bytes.Equal(magic, []byte(snapMagic)) {
+		// Legacy v1 single-frame snapshot (or a file too short to matter —
+		// the v1 reader rejects those). n covers the short-read case where
+		// err is ErrUnexpectedEOF.
+		_ = n
+		payload, err := readSnapshotFile(path)
+		if err != nil {
+			return err
+		}
+		return restorePayload(state, payload)
+	}
+	// Pass 1: validate framing without touching the state.
+	if err := validateSnapV2(f); err != nil {
+		return err
+	}
+	if _, err := f.Seek(int64(len(snapMagic)), io.SeekStart); err != nil {
+		return err
+	}
+	// Pass 2: decode. The file was just validated, but the reader still
+	// re-checks CRCs — a concurrent modification or short read should fail,
+	// not feed garbage to the decoder.
+	if sr, ok := state.(StreamRestorer); ok {
+		return sr.RestoreStream(&snapPayloadReader{sc: newSnapChunkScanner(f)})
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(&snapPayloadReader{sc: newSnapChunkScanner(f)}); err != nil {
+		return err
+	}
+	return state.Restore(buf.Bytes())
+}
+
+func restorePayload(state ShardState, payload []byte) error {
+	if sr, ok := state.(StreamRestorer); ok {
+		return sr.RestoreStream(bytes.NewReader(payload))
+	}
+	return state.Restore(payload)
+}
